@@ -1,0 +1,25 @@
+"""Benchmark-suite configuration.
+
+Environments (TPC-H + snapshot histories) are cached in-process by
+``repro.bench.harness``; the first figure touching a configuration pays
+its build cost, later figures reuse it.  Every figure writes its
+reproduced series to ``benchmarks/results/``.
+"""
+
+import pytest
+
+from repro.bench import PAPER_PARAMETERS
+
+
+def pytest_report_header(config):
+    return [
+        "RQL reproduction benchmarks — one per paper figure "
+        "(Table 1 parameters reproduced in repro.bench.PAPER_PARAMETERS)",
+        f"  figures: 6, 7, 8, 9, 10, 11, 12, 13 + Section 5.3 memory "
+        f"table + 4 ablations",
+    ]
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _quiet_env():
+    yield

@@ -1,0 +1,53 @@
+"""Ablation (DESIGN.md §6) — Skippy skip-level SPT construction vs a
+linear Maplog scan.
+
+Retro's Skippy index [SIGMOD'08] bounds the SPT-build scan at ~n log n
+entries regardless of history length; a linear scan degrades with the
+distance between the snapshot and the history's end.  Old snapshots in
+a long history show the gap.
+"""
+
+from repro.bench import print_figure
+from repro.bench.figures import FigureResult, _env_fig6, OLD_START
+from repro.bench.report import save_figure
+from repro.workloads import UW30
+
+
+def run_ablation_skippy():
+    env = _env_fig6(UW30)
+    maplog = env.session.db.engine.retro.maplog
+    series = {}
+    last = env.last_snapshot
+    for label, sid in (("oldest snapshot", OLD_START),
+                       ("middle snapshot", last // 2),
+                       ("recent snapshot", last - 2)):
+        skippy = maplog.build_spt(sid, use_skippy=True)
+        linear = maplog.build_spt(sid, use_skippy=False)
+        assert skippy.spt == linear.spt  # equivalence, always
+        series[label] = [(
+            "scan", {
+                "snapshot": float(sid),
+                "skippy_entries": float(skippy.entries_scanned),
+                "linear_entries": float(linear.entries_scanned),
+                "skippy_nodes": float(skippy.nodes_visited),
+                "linear_nodes": float(linear.nodes_visited),
+                "spt_size": float(len(skippy.spt)),
+            },
+        )]
+    return FigureResult(
+        figure="Ablation Skippy",
+        title="SPT construction scan length: Skippy levels vs linear "
+              "Maplog scan",
+        series=series,
+    )
+
+
+def test_ablation_skippy(benchmark):
+    result = benchmark.pedantic(run_ablation_skippy, rounds=1,
+                                iterations=1)
+    save_figure(result)
+    print_figure(result)
+    oldest = result.series["oldest snapshot"][0][1]
+    # For old snapshots in a long history Skippy scans far less.
+    assert oldest["skippy_entries"] < oldest["linear_entries"] / 2
+    assert oldest["skippy_nodes"] < oldest["linear_nodes"]

@@ -1,0 +1,16 @@
+"""Figure 6 — ratio C vs snapshot-interval length (old snapshots).
+
+Paper claim: C starts near 1 for short intervals (the cold iteration
+dominates), drops as the interval grows, and converges to a constant
+determined by inter-snapshot sharing; more sharing (UW15, step 1) gives
+a lower plateau than less sharing (UW30, step 10).
+"""
+
+from repro.bench import fig6_checks, print_figure, run_fig6, save_figure
+
+
+def test_fig06_ratio_c(benchmark):
+    result = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    save_figure(result)
+    print_figure(result)
+    fig6_checks(result)

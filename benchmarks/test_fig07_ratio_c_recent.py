@@ -1,0 +1,15 @@
+"""Figure 7 — ratio C for intervals of recent snapshots.
+
+Paper claim: as the interval start moves toward Slast, snapshots share
+pages with the current (memory-resident) database, so both the measured
+RQL cost and the all-cold baseline drop sharply.
+"""
+
+from repro.bench import fig7_checks, print_figure, run_fig7, save_figure
+
+
+def test_fig07_ratio_c_recent(benchmark):
+    result = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    save_figure(result)
+    print_figure(result)
+    fig7_checks(result)

@@ -1,0 +1,18 @@
+"""Figure 8 — single-iteration cost breakdown (I/O, SPT build, query
+evaluation, RQL UDF) for cold vs hot iterations on old, recent, and
+current-state data, UW30.
+
+Paper claims: cold iterations on old snapshots are I/O-bound (every
+page from the Pagelog); hot iterations hit the snapshot cache; recent
+snapshots fetch shared pages from the database; the current state does
+no snapshot I/O at all.
+"""
+
+from repro.bench import fig8_checks, print_figure, run_fig8, save_figure
+
+
+def test_fig08_iteration_breakdown(benchmark):
+    result = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    save_figure(result)
+    print_figure(result)
+    fig8_checks(result)

@@ -1,0 +1,16 @@
+"""Figure 9 — CPU-intensive Qq_cpu (lineitem x part join).
+
+Paper claims: without a native index SQLite builds an automatic
+covering index per iteration, and that index creation dominates RQL
+cost; with a native index captured in the snapshots the build
+disappears; the cold/hot gap is small because I/O is a minor share.
+"""
+
+from repro.bench import fig9_checks, print_figure, run_fig9, save_figure
+
+
+def test_fig09_cpu_index(benchmark):
+    result = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    save_figure(result)
+    print_figure(result)
+    fig9_checks(result)

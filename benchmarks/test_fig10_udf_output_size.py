@@ -1,0 +1,16 @@
+"""Figure 10 — CollateData with varying Qq output size (Qq_collate's
+date predicate swept across the orders table's date quantiles).
+
+Paper claim: the RQL UDF cost (one insert callback per returned record)
+grows with output size and becomes the dominant cost for large outputs;
+sharing has minimal impact on these CPU-heavy iterations.
+"""
+
+from repro.bench import fig10_checks, print_figure, run_fig10, save_figure
+
+
+def test_fig10_udf_output_size(benchmark):
+    result = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    save_figure(result)
+    print_figure(result)
+    fig10_checks(result)

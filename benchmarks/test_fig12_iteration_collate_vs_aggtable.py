@@ -1,0 +1,17 @@
+"""Figure 12 — single cold/hot iteration: CollateData vs
+AggregateDataInTable on Qq_agg.
+
+Paper claims: AggT's cold iteration is more expensive (it builds the
+result-table index, and its inserts maintain that index); its hot
+iterations are more expensive too (an index probe per Qq record plus
+inserts/updates, vs CollateData's plain inserts).
+"""
+
+from repro.bench import fig12_checks, print_figure, run_fig12, save_figure
+
+
+def test_fig12_iteration_collate_vs_aggtable(benchmark):
+    result = benchmark.pedantic(run_fig12, rounds=1, iterations=1)
+    save_figure(result)
+    print_figure(result)
+    fig12_checks(result)

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Session analytics: lifetimes and temporal aggregation over churn.
+
+A larger LoggedIn-style workload: hundreds of users log in and out over
+30 snapshots.  Shows the temporal-database-style analyses RQL covers
+(paper Section 6 relates them to temporal aggregation and record
+lifetimes):
+
+* CollateDataIntoIntervals builds the record-lifetime representation;
+* session-length distribution computed with plain SQL over it;
+* peak concurrency per country via an across-time GROUP BY;
+* named snapshots and time-range snapshot sets as Qs.
+
+Run:  python examples/session_analytics.py
+"""
+
+from repro.core import RQLSession
+from repro.workloads import LoggedInSimulator
+
+
+def main() -> None:
+    session = RQLSession()
+    simulator = LoggedInSimulator(session, users=150, seed=42)
+
+    print("simulating 30 snapshots of login/logout churn...")
+    for day in range(30):
+        name = f"day-{day + 1}" if day % 10 == 9 else None
+        simulator.churn_and_snapshot(logins=25, logouts=18, name=name)
+
+    online_now = session.execute("SELECT COUNT(*) FROM LoggedIn").scalar()
+    print(f"currently online: {online_now} users")
+
+    # -- record lifetimes ---------------------------------------------------
+    session.collate_data_into_intervals(
+        "SELECT snap_id FROM SnapIds",
+        "SELECT l_userid FROM LoggedIn",
+        "Sessions",
+    )
+    stats = session.execute("""
+        SELECT COUNT(*) AS sessions,
+               AVG(end_snapshot - start_snapshot + 1) AS avg_len,
+               MAX(end_snapshot - start_snapshot + 1) AS max_len
+        FROM "Sessions"
+    """).rows[0]
+    print(f"\nlogin sessions: {stats[0]}, avg length {stats[1]:.2f} "
+          f"snapshots, longest {stats[2]}")
+
+    returning = session.execute("""
+        SELECT l_userid, COUNT(*) AS n FROM "Sessions"
+        GROUP BY l_userid HAVING n > 1
+        ORDER BY n DESC, l_userid LIMIT 5
+    """)
+    print("most frequently returning users:")
+    for user, count in returning.rows:
+        print(f"  {user}: {count} separate sessions")
+
+    # -- peak concurrency per country (across-time GROUP BY) ----------------
+    session.aggregate_data_in_table(
+        "SELECT snap_id FROM SnapIds",
+        "SELECT l_country, COUNT(*) AS c FROM LoggedIn "
+        "GROUP BY l_country",
+        "PeakConcurrency", "(c,max)",
+    )
+    print("\npeak concurrent logins per country:")
+    for country, peak in session.execute(
+            'SELECT * FROM "PeakConcurrency" ORDER BY c DESC').rows:
+        print(f"  {country}: {peak}")
+
+    # -- named snapshots and windowed snapshot sets --------------------------
+    day10 = session.snapids.id_for_name("day-10")
+    day20 = session.snapids.id_for_name("day-20")
+    print(f"\nnamed snapshots: day-10 -> id {day10}, day-20 -> id {day20}")
+
+    session.aggregate_data_in_variable(
+        session.snapids.qs_range(day10, day20),
+        "SELECT COUNT(*) FROM LoggedIn",
+        "MidPeriodAvg", "avg",
+    )
+    print(f"average concurrency between day-10 and day-20: "
+          f"{session.execute('SELECT * FROM MidPeriodAvg').scalar():.1f}")
+
+    # Strided snapshot set: every 5th snapshot only.
+    session.collate_data(
+        session.snapids.qs_last(6, step=5),
+        "SELECT current_snapshot() AS snap, COUNT(*) AS online "
+        "FROM LoggedIn",
+        "Sampled",
+    )
+    print("\nconcurrency sampled every 5 snapshots:")
+    for snap, online in session.execute(
+            'SELECT * FROM "Sampled" ORDER BY snap').rows:
+        print(f"  snapshot {snap}: {online}")
+
+
+if __name__ == "__main__":
+    main()

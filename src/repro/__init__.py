@@ -1,0 +1,16 @@
+"""repro: a full reproduction of "RQL: Retrospective Computations over
+Snapshot Sets" (Tsikoudis, Shrira, Cohen — EDBT 2018).
+
+Public API highlights:
+
+* :class:`repro.core.session.RQLSession` — open an application database
+  with an integrated Retro snapshot system and run RQL mechanisms.
+* :mod:`repro.core.mechanisms` — CollateData, AggregateDataInVariable,
+  AggregateDataInTable, CollateDataIntoIntervals.
+* :mod:`repro.sql.database` — the SQLite-like engine (``SELECT AS OF``,
+  ``COMMIT WITH SNAPSHOT``, UDFs).
+* :mod:`repro.workloads` — TPC-H dbgen/refresh and the LoggedIn example.
+* :mod:`repro.bench` — the experiment harness regenerating every figure.
+"""
+
+__version__ = "1.0.0"

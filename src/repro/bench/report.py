@@ -1,0 +1,42 @@
+"""Result persistence + pretty-printing for the benchmark suite.
+
+Every figure bench writes its reproduced series to
+``benchmarks/results/<figure>.txt`` so a run leaves a complete,
+diffable record mirroring the paper's evaluation section (the same data
+is summarized in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.bench.figures import FigureResult
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))),
+    "benchmarks", "results")
+
+
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_figure(result: FigureResult,
+                directory: Optional[str] = None) -> str:
+    """Write the figure's series to a text file; returns the path."""
+    directory = directory or results_dir()
+    os.makedirs(directory, exist_ok=True)
+    slug = (result.figure.lower().replace(" ", "_")
+            .replace(".", "_"))
+    path = os.path.join(directory, f"{slug}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(result.format_text())
+        handle.write("\n")
+    return path
+
+
+def print_figure(result: FigureResult) -> None:
+    print()
+    print(result.format_text())

@@ -1,0 +1,230 @@
+"""Interactive shell (``python -m repro``) — a sqlite3-CLI lookalike
+with Retro snapshots and RQL built in.
+
+Supports plain SQL (including ``SELECT AS OF`` and
+``COMMIT WITH SNAPSHOT``), the RQL mechanism UDFs, and dot-commands:
+
+.help                       this text
+.tables                     list tables (main + aux/temp)
+.schema [table]             show column definitions
+.indexes [table]            list indexes
+.snapshots                  list declared snapshots (SnapIds)
+.snapshot [name]            declare a snapshot now
+.checkpoint                 flush everything durably
+.stats                      storage / Retro statistics
+.quit                       exit
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, List, Optional
+
+from repro.core import RQLSession
+from repro.errors import ReproError
+from repro.sql.executor import ResultSet
+from repro.sql.types import value_repr
+
+
+def format_table(result: ResultSet, max_width: int = 40) -> str:
+    """Render a ResultSet as an aligned text table."""
+    if not result.columns:
+        rowcount = getattr(result, "rowcount", None)
+        return f"ok ({rowcount} rows affected)" if rowcount else "ok"
+    rendered = [
+        [_clip(value_repr(v), max_width) for v in row]
+        for row in result.rows
+    ]
+    headers = [str(c) for c in result.columns]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    lines.append(f"({len(result.rows)} row"
+                 f"{'s' if len(result.rows) != 1 else ''})")
+    return "\n".join(lines)
+
+
+def _clip(text: str, max_width: int) -> str:
+    return text if len(text) <= max_width else text[:max_width - 1] + "…"
+
+
+class Shell:
+    """Reads statements, dispatches SQL and dot-commands."""
+
+    def __init__(self, session: Optional[RQLSession] = None,
+                 out: Optional[IO[str]] = None) -> None:
+        self.session = session or RQLSession()
+        # Resolve stdout at call time (it may be redirected by then).
+        self.out = out if out is not None else sys.stdout
+        self.running = True
+
+    # -- I/O ------------------------------------------------------------
+
+    def write(self, text: str = "") -> None:
+        print(text, file=self.out)
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self, stream: IO[str], interactive: bool = False) -> int:
+        buffer: List[str] = []
+        while self.running:
+            if interactive:
+                prompt = "rql> " if not buffer else "...> "
+                self.out.write(prompt)
+                self.out.flush()
+            line = stream.readline()
+            if not line:
+                break
+            stripped = line.strip()
+            if not buffer and stripped.startswith("."):
+                self.dispatch_dot(stripped)
+                continue
+            if not stripped and not buffer:
+                continue
+            buffer.append(line)
+            if stripped.endswith(";"):
+                statement = "".join(buffer)
+                buffer = []
+                self.execute(statement)
+        if buffer:
+            self.execute("".join(buffer))
+        return 0
+
+    def execute(self, sql: str) -> None:
+        sql = sql.strip().rstrip(";").strip()
+        if not sql:
+            return
+        try:
+            result = self.session.db.executescript(sql + ";")
+        except ReproError as exc:
+            self.write(f"error: {exc}")
+            return
+        if result is not None:
+            self.write(format_table(result))
+
+    # -- dot commands ------------------------------------------------------
+
+    def dispatch_dot(self, line: str) -> None:
+        parts = line.split()
+        command, args = parts[0].lower(), parts[1:]
+        handler = getattr(self, "cmd_" + command[1:], None)
+        if handler is None:
+            self.write(f"unknown command {command}; try .help")
+            return
+        try:
+            handler(args)
+        except ReproError as exc:
+            self.write(f"error: {exc}")
+
+    def cmd_help(self, args: List[str]) -> None:
+        self.write(__doc__.split("Supports", 1)[-1]
+                   if args else __doc__ or "")
+
+    def cmd_quit(self, args: List[str]) -> None:
+        self.running = False
+
+    def cmd_exit(self, args: List[str]) -> None:
+        self.running = False
+
+    def _catalogs(self):
+        from repro.sql.catalog import Catalog
+
+        for engine, kind in ((self.session.db.engine, "main"),
+                             (self.session.db.aux_engine, "temp")):
+            ctx = engine.begin_read()
+            try:
+                source = engine.read_source(ctx)
+                yield Catalog(source, engine.pager.get_root("catalog")), kind
+            finally:
+                ctx.close()
+
+    def cmd_tables(self, args: List[str]) -> None:
+        for catalog, kind in self._catalogs():
+            for table in catalog.list_tables():
+                self.write(f"{table.name}  [{kind}]")
+
+    def cmd_schema(self, args: List[str]) -> None:
+        wanted = args[0].lower() if args else None
+        for catalog, kind in self._catalogs():
+            for table in catalog.list_tables():
+                if wanted and table.name.lower() != wanted:
+                    continue
+                columns = ", ".join(
+                    f"{c.name} {c.type_name}".strip()
+                    for c in table.columns
+                )
+                pk = (f", PRIMARY KEY ({', '.join(table.primary_key)})"
+                      if table.primary_key else "")
+                self.write(f"CREATE TABLE {table.name} ({columns}{pk});"
+                           f"  -- [{kind}]")
+
+    def cmd_indexes(self, args: List[str]) -> None:
+        wanted = args[0].lower() if args else None
+        for catalog, kind in self._catalogs():
+            for index in catalog.list_indexes():
+                if wanted and index.table.lower() != wanted:
+                    continue
+                unique = "UNIQUE " if index.unique else ""
+                self.write(
+                    f"{unique}INDEX {index.name} ON {index.table} "
+                    f"({', '.join(index.columns)})  [{kind}]"
+                )
+
+    def cmd_snapshots(self, args: List[str]) -> None:
+        result = self.session.execute(
+            "SELECT snap_id, snap_ts, snap_name FROM SnapIds "
+            "ORDER BY snap_id"
+        )
+        self.write(format_table(result))
+
+    def cmd_snapshot(self, args: List[str]) -> None:
+        name = args[0] if args else None
+        sid = self.session.declare_snapshot(name=name)
+        self.write(f"declared snapshot {sid}"
+                   + (f" ({name})" if name else ""))
+
+    def cmd_checkpoint(self, args: List[str]) -> None:
+        self.session.checkpoint()
+        self.write("checkpointed")
+
+    def cmd_stats(self, args: List[str]) -> None:
+        engine = self.session.db.engine
+        retro = engine.retro
+        self.write(f"database pages:      {engine.database_pages()}")
+        self.write(f"declared snapshots:  {retro.latest_snapshot_id}")
+        self.write(f"pagelog pre-states:  {retro.pagelog.total_slots} "
+                   f"({retro.pagelog.size_bytes} bytes)")
+        self.write(f"maplog entries:      {retro.maplog.entries_recorded}")
+        cache = retro.cache
+        self.write(f"snapshot cache:      {len(cache)} pages, "
+                   f"hit rate {cache.hit_rate():.1%}")
+        pool = engine.pager.pool.stats
+        self.write(f"buffer pool:         hit rate {pool.hit_rate():.1%}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    shell = Shell()
+    if argv:
+        for path in argv:
+            with open(path, "r", encoding="utf-8") as handle:
+                code = shell.run(handle)
+                if code:
+                    return code
+        return 0
+    interactive = sys.stdin.isatty()
+    if interactive:
+        shell.write("RQL shell — retrospective computations over "
+                    "snapshot sets (.help for commands)")
+    return shell.run(sys.stdin, interactive=interactive)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,44 @@
+"""RQL: the paper's contribution — mechanisms, rewrite, SnapIds, session."""
+
+from repro.core.aggregates import (
+    CrossSnapshotAggregate,
+    binary_op,
+    identity_element,
+    make_cross_snapshot_aggregate,
+    parse_col_func_pairs,
+)
+from repro.core.mechanisms import (
+    RQLResult,
+    aggregate_data_in_table,
+    aggregate_data_in_variable,
+    collate_data,
+    collate_data_into_intervals,
+)
+from repro.core.rewrite import rewrite_qq, validate_qs, wrap_qs
+from repro.core.sortmerge import (
+    SortMergeAggregateDataInTableRun,
+    sort_merge_aggregate_data_in_table,
+)
+from repro.core.session import RQLSession
+from repro.core.snapids import SNAPIDS_TABLE, SnapIds
+
+__all__ = [
+    "CrossSnapshotAggregate",
+    "RQLResult",
+    "RQLSession",
+    "SNAPIDS_TABLE",
+    "SortMergeAggregateDataInTableRun",
+    "sort_merge_aggregate_data_in_table",
+    "SnapIds",
+    "aggregate_data_in_table",
+    "aggregate_data_in_variable",
+    "binary_op",
+    "collate_data",
+    "collate_data_into_intervals",
+    "identity_element",
+    "make_cross_snapshot_aggregate",
+    "parse_col_func_pairs",
+    "rewrite_qq",
+    "validate_qs",
+    "wrap_qs",
+]

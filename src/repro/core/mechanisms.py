@@ -1,0 +1,618 @@
+"""The four RQL mechanisms (paper Section 2), implemented as loop bodies
+over the snapshot set (paper Section 3).
+
+Every mechanism iterates the snapshot ids returned by Qs, and per
+iteration:
+
+1. rewrites Qq — ``AS OF sid`` injection + ``current_snapshot()``
+   inlining (:mod:`repro.core.rewrite`);
+2. runs the rewritten Qq through the engine's row-callback interface
+   (the ``sqlite3_exec`` analogue), processing each returned record in a
+   mechanism-specific way;
+3. meters its costs into a :class:`~repro.retro.metrics.MetricsSink`,
+   splitting *query evaluation* (Qq execution) from *RQL UDF* work
+   (result-table inserts, index probes, aggregate updates) exactly as
+   the paper's figures break them down.
+
+Result tables default to the non-snapshotable aux database (the paper's
+"temporary non-snapshotable table"); ``persistent=True`` places them in
+the snapshotable main database instead.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import MechanismError
+from repro.core.aggregates import (
+    CrossSnapshotAggregate,
+    make_cross_snapshot_aggregate,
+    parse_col_func_pairs,
+)
+from repro.core.rewrite import rewrite_qq, validate_qs
+from repro.retro.metrics import MetricsSink
+from repro.sql.database import Database
+from repro.sql.executor import TableAccess, TableWriter
+from repro.sql.types import SqlValue, compare
+
+
+@dataclass
+class RQLResult:
+    """Outcome of one RQL mechanism run."""
+
+    table: str
+    snapshots: List[int]
+    metrics: MetricsSink
+    result_rows: int = 0
+    result_table_bytes: int = 0
+    result_index_bytes: int = 0
+    #: visible result columns (hidden AVG helper columns excluded)
+    columns: List[str] = field(default_factory=list)
+
+    @property
+    def iterations(self) -> int:
+        return len(self.snapshots)
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', '""') + '"'
+
+
+class _LoopBody:
+    """Common driver: Qs evaluation, iteration metering, result stats."""
+
+    #: set by subclasses that create an index on the result table
+    index_name: Optional[str] = None
+
+    def __init__(self, db: Database, qq: str, table: str,
+                 persistent: bool = False) -> None:
+        self.db = db
+        self.qq = qq
+        self.table = table
+        self.persistent = persistent
+        self.sink = MetricsSink()
+        self._first_done = False
+
+    # -- public ------------------------------------------------------------
+
+    def run(self, qs: str) -> RQLResult:
+        validate_qs(qs)
+        snapshot_ids = [int(row[0]) for row in self.db.execute(qs).rows]
+        previous = self.db.metrics
+        self.db.attach_metrics(self.sink)
+        try:
+            for snapshot_id in snapshot_ids:
+                self.iteration(snapshot_id)
+            self.finalize()
+        finally:
+            self.db.attach_metrics(previous)
+        return self._build_result(snapshot_ids)
+
+    def iteration(self, snapshot_id: int) -> None:
+        """One loop-body invocation (also the UDF entry point)."""
+        self.sink.begin_iteration(snapshot_id)
+        try:
+            self._iteration(snapshot_id, first=not self._first_done)
+            self._first_done = True
+        finally:
+            self.sink.end_iteration()
+
+    def finalize(self) -> None:
+        """Post-loop work (only AggregateDataInVariable needs any)."""
+
+    # -- subclass protocol ------------------------------------------------------
+
+    def _iteration(self, snapshot_id: int, first: bool) -> None:
+        raise NotImplementedError
+
+    def visible_columns(self, all_columns: List[str]) -> List[str]:
+        return [c for c in all_columns if not c.startswith("__")]
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _create_result_table(self, columns: Sequence[str]) -> None:
+        temp = "" if self.persistent else "TEMP "
+        cols = ", ".join(_quote(c) for c in columns)
+        self.db.execute(
+            f"CREATE {temp}TABLE {_quote(self.table)} ({cols})"
+        )
+
+    def _run_qq(self, snapshot_id: int, on_row,
+                need_columns: bool = False) -> Optional[List[str]]:
+        """Run rewritten Qq, timing Qq evaluation vs callback (UDF) work.
+
+        Returns the Qq output column names when ``need_columns``.
+        """
+        rewritten = rewrite_qq(self.qq, snapshot_id)
+        current = self.sink.current
+        index_before = current.index_creation_seconds
+        started = time.perf_counter()
+        udf_seconds = 0.0
+        columns, rows = self.db.execute_cursor(rewritten)
+        for row in rows:
+            cb_start = time.perf_counter()
+            on_row(row)
+            udf_seconds += time.perf_counter() - cb_start
+        total = time.perf_counter() - started
+        # Auto covering-index builds inside Qq are metered separately
+        # (index_creation); keep them out of query evaluation.
+        index_delta = current.index_creation_seconds - index_before
+        current.udf_seconds += udf_seconds
+        current.query_eval_seconds += max(
+            total - udf_seconds - index_delta, 0.0,
+        )
+        return columns if need_columns else None
+
+    def _timed_udf(self, seconds: float) -> None:
+        self.sink.current.udf_seconds += seconds
+
+    def _build_result(self, snapshot_ids: List[int]) -> RQLResult:
+        result = RQLResult(
+            table=self.table, snapshots=snapshot_ids, metrics=self.sink,
+        )
+        stats = _result_table_stats(self.db, self.table, self.index_name)
+        if stats is not None:
+            (result.result_rows, result.result_table_bytes,
+             result.result_index_bytes, all_columns) = stats
+            result.columns = self.visible_columns(all_columns)
+        return result
+
+
+def _result_table_stats(db: Database, table: str,
+                        index_name: Optional[str]):
+    """(rows, table_bytes, index_bytes, columns) for a result table."""
+    from repro.sql.catalog import Catalog
+    from repro.storage.btree import BTree
+
+    for engine in (db.aux_engine, db.engine):
+        read_ctx = engine.begin_read()
+        try:
+            source = engine.read_source(read_ctx)
+            catalog = Catalog(source, engine.pager.get_root("catalog"))
+            info = catalog.get_table(table)
+            if info is None:
+                continue
+            tree = BTree(source, info.root_id)
+            rows = tree.count()
+            table_bytes = len(tree.page_ids()) * engine.page_size
+            index_bytes = 0
+            if index_name is not None:
+                index_info = catalog.get_index(index_name)
+                if index_info is not None:
+                    index_tree = BTree(source, index_info.root_id)
+                    index_bytes = (len(index_tree.page_ids())
+                                   * engine.page_size)
+            return rows, table_bytes, index_bytes, info.column_names()
+        finally:
+            read_ctx.close()
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Collate Data
+# ---------------------------------------------------------------------------
+
+class CollateDataRun(_LoopBody):
+    """Collect Qq records from every snapshot into one table.
+
+    First iteration: ``CREATE TABLE T AS Qq`` (within the snapshot);
+    subsequent: ``INSERT INTO T Qq``.  The result table has no primary
+    key and no index — Figure 12's cheap-insert explanation.
+    """
+
+    def _iteration(self, snapshot_id: int, first: bool) -> None:
+        self.db.execute("BEGIN")
+        try:
+            rewritten = rewrite_qq(self.qq, snapshot_id)
+            current = self.sink.current
+            index_before = current.index_creation_seconds
+            started = time.perf_counter()
+            columns, rows = self.db.execute_cursor(rewritten)
+            if first:
+                self._create_result_table(columns)
+            _, writer = self.db.table_writer(self.table)
+            udf_seconds = 0.0
+            for row in rows:
+                cb = time.perf_counter()
+                writer.insert(row)
+                udf_seconds += time.perf_counter() - cb
+            total = time.perf_counter() - started
+            index_delta = current.index_creation_seconds - index_before
+            current.udf_seconds += udf_seconds
+            current.query_eval_seconds += max(
+                total - udf_seconds - index_delta, 0.0,
+            )
+            self.db.execute("COMMIT")
+        except Exception:
+            self.db.execute("ROLLBACK")
+            raise
+
+
+# ---------------------------------------------------------------------------
+# Aggregate Data In Variable
+# ---------------------------------------------------------------------------
+
+class AggregateDataInVariableRun(_LoopBody):
+    """Fold a single scalar across snapshots with a monoid aggregate.
+
+    Qq must return a single column and at most one row per snapshot (a
+    snapshot contributing no rows is skipped).  The folded value lands
+    in table T at the end.
+    """
+
+    def __init__(self, db: Database, qq: str, table: str, agg_func: str,
+                 persistent: bool = False) -> None:
+        super().__init__(db, qq, table, persistent)
+        self.state: CrossSnapshotAggregate = \
+            make_cross_snapshot_aggregate(agg_func)
+        self._column: Optional[str] = None
+
+    def _iteration(self, snapshot_id: int, first: bool) -> None:
+        collected: List[Sequence[SqlValue]] = []
+        columns = self._run_qq(snapshot_id, collected.append,
+                               need_columns=True)
+        assert columns is not None
+        if len(columns) != 1:
+            raise MechanismError(
+                "AggregateDataInVariable requires a single-column Qq"
+            )
+        if first:
+            self._column = columns[0]
+        if len(collected) > 1:
+            raise MechanismError(
+                "AggregateDataInVariable requires Qq to return a single "
+                f"row; snapshot {snapshot_id} returned {len(collected)}"
+            )
+        started = time.perf_counter()
+        if collected:
+            self.state.absorb(collected[0][0])
+        self._timed_udf(time.perf_counter() - started)
+
+    def finalize(self) -> None:
+        if self._column is None:
+            return
+        self.db.execute("BEGIN")
+        try:
+            self._create_result_table([self._column])
+            _, writer = self.db.table_writer(self.table)
+            writer.insert((self.state.result(),))
+            self.db.execute("COMMIT")
+        except Exception:
+            self.db.execute("ROLLBACK")
+            raise
+
+
+# ---------------------------------------------------------------------------
+# Aggregate Data In Table
+# ---------------------------------------------------------------------------
+
+class AggregateDataInTableRun(_LoopBody):
+    """Across-time GROUP BY (paper Section 2.3).
+
+    Grouping columns are the Qq output columns *not* listed in
+    ListOfColFuncPairs.  The first iteration creates T, inserts the Qq
+    output, and builds an index on the grouping columns; subsequent
+    iterations probe the index per Qq record and update or insert.
+
+    AVG columns keep hidden ``__avg_sum_i`` / ``__avg_cnt_i`` helper
+    columns in T (the paper's "simple extension" for the non-monoid
+    AVG); the visible column always holds the current average.
+    """
+
+    def __init__(self, db: Database, qq: str, table: str, col_func_pairs,
+                 persistent: bool = False) -> None:
+        super().__init__(db, qq, table, persistent)
+        self.pairs = parse_col_func_pairs(col_func_pairs)
+        self.index_name = f"__rqlidx_{table.lower()}"
+        self._group_positions: List[int] = []
+        self._agg_specs: List[Tuple[int, str, Optional[int], Optional[int]]] = []
+        self._columns: List[str] = []
+        self._table_access: Optional[TableAccess] = None
+        #: operation counters (Figure 13 contrasts SUM's ~1M updates
+        #: with MAX's ~22K)
+        self.probes = 0
+        self.updates_applied = 0
+        self.rows_inserted = 0
+
+    # -- schema binding -----------------------------------------------------
+
+    def _bind_columns(self, columns: List[str]) -> None:
+        lowered = [c.lower() for c in columns]
+        agg_columns = {}
+        for column, func in self.pairs:
+            if column.lower() not in lowered:
+                raise MechanismError(
+                    f"aggregation column {column!r} not in Qq output "
+                    f"{columns}"
+                )
+            agg_columns[lowered.index(column.lower())] = func
+        self._group_positions = [
+            i for i in range(len(columns)) if i not in agg_columns
+        ]
+        if not self._group_positions:
+            raise MechanismError(
+                "AggregateDataInTable needs at least one grouping column; "
+                "use AggregateDataInVariable for scalar aggregation"
+            )
+        stored = list(columns)
+        self._agg_specs = []
+        for position, func in sorted(agg_columns.items()):
+            if func == "avg":
+                sum_pos = len(stored)
+                stored.append(f"__avg_sum_{position}")
+                cnt_pos = len(stored)
+                stored.append(f"__avg_cnt_{position}")
+                self._agg_specs.append((position, func, sum_pos, cnt_pos))
+            else:
+                self._agg_specs.append((position, func, None, None))
+        self._columns = stored
+
+    # -- iteration -----------------------------------------------------------
+
+    def _iteration(self, snapshot_id: int, first: bool) -> None:
+        self.db.execute("BEGIN")
+        try:
+            rewritten = rewrite_qq(self.qq, snapshot_id)
+            current = self.sink.current
+            index_before = current.index_creation_seconds
+            started = time.perf_counter()
+            columns, rows = self.db.execute_cursor(rewritten)
+            if first:
+                self._bind_columns(columns)
+                self._create_result_table(self._columns)
+            table, writer = self.db.table_writer(self.table)
+            if first:
+                udf = self._first_pass(rows, writer)
+                # Build the grouping-column index at the end of the
+                # first iteration (paper Section 3).  Its cost belongs
+                # to the UDF (Figure 12), not to Qq index creation, so
+                # neutralize the CREATE INDEX statement's own metering.
+                index_cols = ", ".join(
+                    _quote(self._columns[p]) for p in self._group_positions
+                )
+                idx_start = time.perf_counter()
+                self.db.execute(
+                    f"CREATE INDEX {_quote(self.index_name)} ON "
+                    f"{_quote(self.table)} ({index_cols})"
+                )
+                udf += time.perf_counter() - idx_start
+                current.index_creation_seconds = index_before
+            else:
+                udf = self._probe_pass(rows, table, writer)
+            total = time.perf_counter() - started
+            index_delta = current.index_creation_seconds - index_before
+            current.udf_seconds += udf
+            current.query_eval_seconds += max(
+                total - udf - index_delta, 0.0,
+            )
+            self.db.execute("COMMIT")
+        except Exception:
+            self.db.execute("ROLLBACK")
+            raise
+
+    def _first_pass(self, rows, writer: TableWriter) -> float:
+        udf = 0.0
+        for row in rows:
+            cb = time.perf_counter()
+            writer.insert(self._widen(row))
+            self.rows_inserted += 1
+            udf += time.perf_counter() - cb
+        return udf
+
+    def _widen(self, row: Sequence[SqlValue]) -> Tuple[SqlValue, ...]:
+        """Prepare a fresh group row: initialize aggregate columns and
+        append hidden AVG helper values.
+
+        COUNT starts at 1 per occurrence (the stored column counts the
+        snapshots a group appears in, not the group's first Qq value);
+        MIN/MAX/SUM start at the observed value; AVG starts at the value
+        with (sum, count) helpers.
+        """
+        out = list(row)
+        for position, func, sum_pos, cnt_pos in self._agg_specs:
+            value = row[position]
+            if func == "count":
+                out[position] = 1 if value is not None else 0
+            elif func == "avg":
+                out.append(float(value) if value is not None else 0.0)
+                out.append(1 if value is not None else 0)
+        return tuple(out)
+
+    def _probe_pass(self, rows, table: TableAccess,
+                    writer: TableWriter) -> float:
+        index = next(
+            (ix for ix in writer.indexes
+             if ix.info.name.lower() == self.index_name.lower()),
+            None,
+        )
+        if index is None:
+            raise MechanismError("result-table index vanished")
+        udf = 0.0
+        for row in rows:
+            cb = time.perf_counter()
+            group_values = [row[p] for p in self._group_positions]
+            rowid = next(iter(index.lookup_equal(group_values)), None)
+            self.probes += 1
+            if rowid is None:
+                writer.insert(self._widen(row))
+                self.rows_inserted += 1
+            else:
+                existing = table.get(rowid)
+                updated = self._apply_aggregates(existing, row)
+                if updated is not None:
+                    writer.update(rowid, updated)
+                    self.updates_applied += 1
+            udf += time.perf_counter() - cb
+        return udf
+
+    def _apply_aggregates(self, existing, row):
+        """Merge one Qq record into the stored group row.
+
+        Returns the new stored row, or None when nothing changed (MAX/
+        MIN often don't — the paper's Figure 13 contrast with SUM).
+        """
+        out = list(existing)
+        changed = False
+        for position, func, sum_pos, cnt_pos in self._agg_specs:
+            new_value = row[position]
+            if func == "avg":
+                if new_value is None:
+                    continue
+                out[sum_pos] = (out[sum_pos] or 0.0) + float(new_value)
+                out[cnt_pos] = (out[cnt_pos] or 0) + 1
+                out[position] = out[sum_pos] / out[cnt_pos]
+                changed = True
+                continue
+            old_value = out[position]
+            if new_value is None:
+                continue
+            if func == "sum":
+                out[position] = (0 if old_value is None else old_value) \
+                    + new_value
+                changed = True
+            elif func == "count":
+                out[position] = (0 if old_value is None else old_value) + 1
+                changed = True
+            elif func == "min":
+                if old_value is None or compare(new_value, old_value) == -1:
+                    out[position] = new_value
+                    changed = True
+            elif func == "max":
+                if old_value is None or compare(new_value, old_value) == 1:
+                    out[position] = new_value
+                    changed = True
+        return tuple(out) if changed else None
+
+
+# ---------------------------------------------------------------------------
+# Collate Data Into Intervals
+# ---------------------------------------------------------------------------
+
+class CollateDataIntoIntervalsRun(_LoopBody):
+    """Compress per-snapshot records into lifetime intervals.
+
+    T holds the Qq columns plus ``start_snapshot`` / ``end_snapshot``.
+    A record present in consecutive snapshots extends its interval; a
+    gap (record absent then reappearing) opens a new interval — the
+    record-lifetime representation of temporal databases (Section 2.4).
+    """
+
+    START_COLUMN = "start_snapshot"
+    END_COLUMN = "end_snapshot"
+
+    def __init__(self, db: Database, qq: str, table: str,
+                 persistent: bool = False) -> None:
+        super().__init__(db, qq, table, persistent)
+        self.index_name = f"__rqlidx_{table.lower()}"
+        self._qq_width = 0
+        self._previous_snapshot: Optional[int] = None
+
+    def visible_columns(self, all_columns: List[str]) -> List[str]:
+        return all_columns
+
+    def _iteration(self, snapshot_id: int, first: bool) -> None:
+        self.db.execute("BEGIN")
+        try:
+            rewritten = rewrite_qq(self.qq, snapshot_id)
+            current = self.sink.current
+            index_before = current.index_creation_seconds
+            started = time.perf_counter()
+            columns, rows = self.db.execute_cursor(rewritten)
+            if first:
+                self._qq_width = len(columns)
+                self._create_result_table(
+                    list(columns) + [self.START_COLUMN, self.END_COLUMN]
+                )
+            table, writer = self.db.table_writer(self.table)
+            udf = 0.0
+            if first:
+                for row in rows:
+                    cb = time.perf_counter()
+                    writer.insert(tuple(row) + (snapshot_id, snapshot_id))
+                    udf += time.perf_counter() - cb
+                index_cols = ", ".join(_quote(c) for c in columns)
+                idx_start = time.perf_counter()
+                self.db.execute(
+                    f"CREATE INDEX {_quote(self.index_name)} ON "
+                    f"{_quote(self.table)} ({index_cols})"
+                )
+                udf += time.perf_counter() - idx_start
+                current.index_creation_seconds = index_before
+            else:
+                udf = self._extend_pass(rows, table, writer, snapshot_id)
+            total = time.perf_counter() - started
+            index_delta = current.index_creation_seconds - index_before
+            current.udf_seconds += udf
+            current.query_eval_seconds += max(
+                total - udf - index_delta, 0.0,
+            )
+            self.db.execute("COMMIT")
+            self._previous_snapshot = snapshot_id
+        except Exception:
+            self.db.execute("ROLLBACK")
+            raise
+
+    def _extend_pass(self, rows, table: TableAccess, writer: TableWriter,
+                     snapshot_id: int) -> float:
+        index = next(
+            (ix for ix in writer.indexes
+             if ix.info.name.lower() == self.index_name.lower()),
+            None,
+        )
+        if index is None:
+            raise MechanismError("result-table index vanished")
+        end_position = self._qq_width + 1
+        previous = self._previous_snapshot
+        udf = 0.0
+        for row in rows:
+            cb = time.perf_counter()
+            values = list(row)
+            extended = False
+            for rowid in index.lookup_equal(values):
+                stored = table.get(rowid)
+                if stored is not None and stored[end_position] == previous:
+                    new_row = list(stored)
+                    new_row[end_position] = snapshot_id
+                    writer.update(rowid, tuple(new_row))
+                    extended = True
+                    break
+            if not extended:
+                writer.insert(tuple(values) + (snapshot_id, snapshot_id))
+            udf += time.perf_counter() - cb
+        return udf
+
+
+# ---------------------------------------------------------------------------
+# Convenience entry points (the paper's Section 2 call forms)
+# ---------------------------------------------------------------------------
+
+def collate_data(db: Database, qs: str, qq: str, table: str,
+                 persistent: bool = False) -> RQLResult:
+    """CollateData(Qs, Qq, T)."""
+    return CollateDataRun(db, qq, table, persistent).run(qs)
+
+
+def aggregate_data_in_variable(db: Database, qs: str, qq: str, table: str,
+                               agg_func: str,
+                               persistent: bool = False) -> RQLResult:
+    """AggregateDataInVariable(Qs, Qq, T, AggFunc)."""
+    return AggregateDataInVariableRun(
+        db, qq, table, agg_func, persistent,
+    ).run(qs)
+
+
+def aggregate_data_in_table(db: Database, qs: str, qq: str, table: str,
+                            col_func_pairs,
+                            persistent: bool = False) -> RQLResult:
+    """AggregateDataInTable(Qs, Qq, T, ListOfColFuncPairs)."""
+    return AggregateDataInTableRun(
+        db, qq, table, col_func_pairs, persistent,
+    ).run(qs)
+
+
+def collate_data_into_intervals(db: Database, qs: str, qq: str, table: str,
+                                persistent: bool = False) -> RQLResult:
+    """CollateDataIntoIntervals(Qs, Qq, T)."""
+    return CollateDataIntoIntervalsRun(db, qq, table, persistent).run(qs)

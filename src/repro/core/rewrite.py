@@ -1,0 +1,134 @@
+"""Qq rewriting — the RQL loop body's first step (paper Section 3).
+
+For the iteration on snapshot ``Si``, the programmer's Qq::
+
+    SELECT DISTINCT current_snapshot() FROM LoggedIn
+    WHERE l_userid = 'UserB';
+
+is rewritten to::
+
+    SELECT AS OF Si DISTINCT Si FROM LoggedIn
+    WHERE l_userid = 'UserB';
+
+i.e. (1) ``AS OF Si`` is injected after the first top-level SELECT, and
+(2) every ``current_snapshot()`` call becomes the literal ``Si``.  The
+rewrite is token-based (not regex) so string literals containing
+``select`` or ``current_snapshot`` are never touched.
+
+``wrap_qs`` builds the Section 3 implementation form: the Qs query with
+its select list wrapped in the mechanism UDF, e.g.
+``SELECT rql_udf(snap_id, ...) FROM SnapIds WHERE ...``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import MechanismError
+from repro.sql.lexer import EOF, IDENT, KEYWORD, OPERATOR, Token, tokenize
+
+CURRENT_SNAPSHOT = "current_snapshot"
+
+
+def rewrite_qq(qq: str, snapshot_id: int) -> str:
+    """Bind Qq to one snapshot: inject AS OF, inline current_snapshot()."""
+    sql = qq.strip().rstrip(";")
+    tokens = tokenize(sql)
+    edits: List[Tuple[int, int, str]] = []  # (start, end, replacement)
+
+    select_seen = False
+    for position, token in enumerate(tokens):
+        if token.kind == EOF:
+            break
+        if token.kind == KEYWORD and token.value == "SELECT":
+            if not select_seen:
+                select_seen = True
+                if _already_as_of(tokens, position):
+                    raise MechanismError(
+                        "Qq must not contain AS OF; RQL binds snapshots"
+                    )
+                end = token.position + len("SELECT")
+                edits.append((end, end, f" AS OF {snapshot_id}"))
+            continue
+        if token.kind == IDENT and \
+                str(token.value).lower() == CURRENT_SNAPSHOT:
+            call_end = _call_end(tokens, position, sql)
+            edits.append((token.position, call_end, str(snapshot_id)))
+
+    if not select_seen:
+        raise MechanismError("Qq must be a SELECT statement")
+
+    return _apply_edits(sql, edits)
+
+
+def _already_as_of(tokens: List[Token], select_pos: int) -> bool:
+    nxt = tokens[select_pos + 1] if select_pos + 1 < len(tokens) else None
+    nxt2 = tokens[select_pos + 2] if select_pos + 2 < len(tokens) else None
+    return (nxt is not None and nxt.matches(KEYWORD, "AS")
+            and nxt2 is not None and nxt2.matches(KEYWORD, "OF"))
+
+
+def _call_end(tokens: List[Token], ident_pos: int, sql: str) -> int:
+    """End offset of ``current_snapshot()`` (the closing paren)."""
+    open_tok = tokens[ident_pos + 1] if ident_pos + 1 < len(tokens) else None
+    close_tok = tokens[ident_pos + 2] if ident_pos + 2 < len(tokens) else None
+    if open_tok is None or not open_tok.matches(OPERATOR, "(") or \
+            close_tok is None or not close_tok.matches(OPERATOR, ")"):
+        raise MechanismError(
+            "current_snapshot must be called with no arguments"
+        )
+    return close_tok.position + 1
+
+
+def _apply_edits(sql: str, edits: List[Tuple[int, int, str]]) -> str:
+    out = sql
+    for start, end, replacement in sorted(edits, reverse=True):
+        out = out[:start] + replacement + out[end:]
+    return out
+
+
+def wrap_qs(qs: str, udf_call: str) -> str:
+    """Wrap Qs's (single-column) select list in a UDF invocation.
+
+    ``wrap_qs("SELECT snap_id FROM SnapIds WHERE x", "rql(%s)")`` yields
+    ``SELECT rql(snap_id) FROM SnapIds WHERE x`` — the implementation
+    syntax of paper Figure 5.  ``udf_call`` must contain one ``%s``.
+    """
+    sql = qs.strip().rstrip(";")
+    tokens = tokenize(sql)
+    select_tok = None
+    from_tok = None
+    depth = 0
+    for token in tokens:
+        if token.kind == OPERATOR and token.value == "(":
+            depth += 1
+        elif token.kind == OPERATOR and token.value == ")":
+            depth -= 1
+        elif token.kind == KEYWORD and depth == 0:
+            if token.value == "SELECT" and select_tok is None:
+                select_tok = token
+            elif token.value == "FROM" and select_tok is not None \
+                    and from_tok is None:
+                from_tok = token
+    if select_tok is None or from_tok is None:
+        raise MechanismError("Qs must be a SELECT ... FROM ... query")
+    head = sql[:select_tok.position + len("SELECT")]
+    select_list = sql[select_tok.position + len("SELECT"):
+                      from_tok.position].strip()
+    tail = sql[from_tok.position:]
+    if "," in select_list:
+        raise MechanismError(
+            "Qs must return a single snapshot-id column"
+        )
+    return f"{head} {udf_call % select_list} {tail}"
+
+
+def validate_qs(qs: str) -> None:
+    """Light validation: Qs is a single-column SELECT (no AS OF)."""
+    sql = qs.strip().rstrip(";")
+    tokens = tokenize(sql)
+    first = tokens[0] if tokens else None
+    if first is None or not first.matches(KEYWORD, "SELECT"):
+        raise MechanismError("Qs must be a SELECT statement")
+    if _already_as_of(tokens, 0):
+        raise MechanismError("Qs runs on the SnapIds table, not a snapshot")

@@ -1,0 +1,208 @@
+"""RQLSession: the top-level public API.
+
+Binds an application :class:`~repro.sql.database.Database` (with its
+integrated Retro snapshot system) to the SnapIds table and the four RQL
+mechanisms.  Both call forms from the paper work:
+
+* the Section 2 declarative form::
+
+      session.collate_data("SELECT snap_id FROM SnapIds",
+                           "SELECT DISTINCT l_userid, current_snapshot()"
+                           " FROM LoggedIn", "Result")
+
+* the Section 3 UDF form, via plain SQL::
+
+      SELECT CollateData(snap_id,
+          'SELECT DISTINCT l_userid, current_snapshot() FROM LoggedIn',
+          'Result') FROM SnapIds;
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.mechanisms import (
+    AggregateDataInTableRun,
+    AggregateDataInVariableRun,
+    CollateDataIntoIntervalsRun,
+    CollateDataRun,
+    RQLResult,
+)
+from repro.core.snapids import SnapIds
+from repro.retro.metrics import MetricsSink
+from repro.sql.database import Database
+from repro.sql.executor import ResultSet
+from repro.storage.disk import SimulatedDisk
+
+
+class RQLSession:
+    """An application database plus RQL machinery."""
+
+    def __init__(self, db: Optional[Database] = None,
+                 disk: Optional[SimulatedDisk] = None,
+                 page_size: int = 4096,
+                 clock: Optional[Callable[[], str]] = None) -> None:
+        self.db = db or Database(disk=disk, page_size=page_size)
+        self.snapids = SnapIds(self.db, clock=clock)
+        self._udf_runs: Dict[Tuple[str, str, str], object] = {}
+        self._register_udfs()
+        # Named snapshots inside SQL: SELECT AS OF snapshot_id('tag') ...
+        self.db.register_function(
+            "snapshot_id", lambda name: self.snapids.id_for_name(str(name)),
+        )
+
+    # ------------------------------------------------------------------
+    # SQL passthrough + snapshot declaration
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: str) -> ResultSet:
+        return self.db.execute(sql)
+
+    def executescript(self, sql: str) -> Optional[ResultSet]:
+        return self.db.executescript(sql)
+
+    def declare_snapshot(self, name: Optional[str] = None,
+                         timestamp: Optional[str] = None) -> int:
+        """BEGIN; COMMIT WITH SNAPSHOT; plus the SnapIds bookkeeping."""
+        snapshot_id = self.db.declare_snapshot()
+        self.snapids.record(snapshot_id, name=name, timestamp=timestamp)
+        return snapshot_id
+
+    def commit_with_snapshot(self, name: Optional[str] = None,
+                             timestamp: Optional[str] = None) -> int:
+        """COMMIT WITH SNAPSHOT for an already-open transaction."""
+        snapshot_id = int(
+            self.db.execute("COMMIT WITH SNAPSHOT").scalar()
+        )
+        self.snapids.record(snapshot_id, name=name, timestamp=timestamp)
+        return snapshot_id
+
+    @property
+    def latest_snapshot_id(self) -> int:
+        return self.db.latest_snapshot_id
+
+    def checkpoint(self) -> None:
+        self.db.checkpoint()
+
+    def close(self) -> None:
+        self.db.close()
+
+    # ------------------------------------------------------------------
+    # The four mechanisms (Section 2 call forms)
+    # ------------------------------------------------------------------
+
+    def collate_data(self, qs: str, qq: str, table: str,
+                     persistent: bool = False) -> RQLResult:
+        """CollateData(Qs, Qq, T)."""
+        self._drop_result_table(table)
+        return CollateDataRun(self.db, qq, table, persistent).run(qs)
+
+    def aggregate_data_in_variable(self, qs: str, qq: str, table: str,
+                                   agg_func: str,
+                                   persistent: bool = False) -> RQLResult:
+        """AggregateDataInVariable(Qs, Qq, T, AggFunc)."""
+        self._drop_result_table(table)
+        return AggregateDataInVariableRun(
+            self.db, qq, table, agg_func, persistent,
+        ).run(qs)
+
+    def aggregate_data_in_table(self, qs: str, qq: str, table: str,
+                                col_func_pairs,
+                                persistent: bool = False) -> RQLResult:
+        """AggregateDataInTable(Qs, Qq, T, ListOfColFuncPairs)."""
+        self._drop_result_table(table)
+        return AggregateDataInTableRun(
+            self.db, qq, table, col_func_pairs, persistent,
+        ).run(qs)
+
+    def collate_data_into_intervals(self, qs: str, qq: str, table: str,
+                                    persistent: bool = False) -> RQLResult:
+        """CollateDataIntoIntervals(Qs, Qq, T)."""
+        self._drop_result_table(table)
+        return CollateDataIntoIntervalsRun(
+            self.db, qq, table, persistent,
+        ).run(qs)
+
+    def _drop_result_table(self, table: str) -> None:
+        self.db.execute(f'DROP TABLE IF EXISTS "{table}"')
+
+    # ------------------------------------------------------------------
+    # The Section 3 UDF forms
+    # ------------------------------------------------------------------
+
+    def _register_udfs(self) -> None:
+        """Expose the mechanisms as scalar UDFs over SnapIds rows.
+
+        Each invocation runs one loop-body iteration for the snapshot id
+        in its first argument.  State is keyed by (mechanism, Qq, T) and
+        reset whenever the result table is absent, so consecutive
+        queries reusing the same table name start fresh.
+        """
+        self.db.register_function("CollateData", self._udf_collate)
+        self.db.register_function("AggregateDataInVariable",
+                                  self._udf_agg_variable)
+        self.db.register_function("AggregateDataInTable",
+                                  self._udf_agg_table)
+        self.db.register_function("CollateDataIntoIntervals",
+                                  self._udf_intervals)
+
+    def _udf_run(self, key: Tuple[str, str, str], factory):
+        run = self._udf_runs.get(key)
+        if run is None:
+            run = factory()
+            prior = self.db.metrics
+            if prior is None:
+                self.db.attach_metrics(run.sink)
+            self._udf_runs[key] = run
+        return run
+
+    def reset_udf_state(self) -> None:
+        """Forget per-(mechanism, Qq, T) UDF loop state."""
+        self._udf_runs.clear()
+
+    def udf_metrics(self, mechanism: str, qq: str,
+                    table: str) -> Optional[MetricsSink]:
+        run = self._udf_runs.get((mechanism, qq, table))
+        return run.sink if run is not None else None  # type: ignore[union-attr]
+
+    def _udf_collate(self, snap_id, qq, table):
+        run = self._udf_run(
+            ("CollateData", str(qq), str(table)),
+            lambda: CollateDataRun(self.db, str(qq), str(table)),
+        )
+        run.iteration(int(snap_id))
+        return snap_id
+
+    def _udf_agg_variable(self, snap_id, qq, table, agg_func):
+        run = self._udf_run(
+            ("AggregateDataInVariable", str(qq), str(table)),
+            lambda: AggregateDataInVariableRun(
+                self.db, str(qq), str(table), str(agg_func),
+            ),
+        )
+        run.iteration(int(snap_id))
+        # The UDF form cannot observe end-of-query, so refresh the
+        # result table after every iteration (idempotent).
+        self.db.execute(f'DROP TABLE IF EXISTS "{table}"')
+        run.finalize()
+        return snap_id
+
+    def _udf_agg_table(self, snap_id, qq, table, col_func_pairs):
+        run = self._udf_run(
+            ("AggregateDataInTable", str(qq), str(table)),
+            lambda: AggregateDataInTableRun(
+                self.db, str(qq), str(table), col_func_pairs,
+            ),
+        )
+        run.iteration(int(snap_id))
+        return snap_id
+
+    def _udf_intervals(self, snap_id, qq, table):
+        run = self._udf_run(
+            ("CollateDataIntoIntervals", str(qq), str(table)),
+            lambda: CollateDataIntoIntervalsRun(
+                self.db, str(qq), str(table),
+            ),
+        )
+        run.iteration(int(snap_id))
+        return snap_id

@@ -1,0 +1,103 @@
+"""Exception hierarchy for the repro package.
+
+Every layer raises a subclass of :class:`ReproError` so callers can catch
+library failures without also swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-engine failures."""
+
+
+class PageError(StorageError):
+    """A page is malformed, out of range, or otherwise unusable."""
+
+
+class BufferPoolError(StorageError):
+    """The buffer pool cannot satisfy a request (e.g. all pages pinned)."""
+
+
+class TransactionError(StorageError):
+    """Illegal transaction lifecycle transition or conflict."""
+
+
+class RecoveryError(StorageError):
+    """The write-ahead log cannot be replayed."""
+
+
+class RecordCodecError(StorageError):
+    """A record cannot be encoded or decoded."""
+
+
+class BTreeError(StorageError):
+    """B+tree structural invariant violation."""
+
+
+class SnapshotError(ReproError):
+    """Base class for Retro snapshot-system failures."""
+
+
+class UnknownSnapshotError(SnapshotError):
+    """A query referenced a snapshot id that was never declared."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end failures."""
+
+
+class LexerError(SqlError):
+    """The SQL text contains an unrecognized token."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class ParseError(SqlError):
+    """The SQL text does not match the grammar."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class PlanError(SqlError):
+    """A statement cannot be planned (unknown table/column, etc.)."""
+
+
+class ExecutionError(SqlError):
+    """A runtime failure while executing a planned statement."""
+
+
+class CatalogError(SqlError):
+    """Schema-object lookup or mutation failed."""
+
+
+class TypeMismatchError(ExecutionError):
+    """An operator or function was applied to incompatible SQL types."""
+
+
+class UdfError(SqlError):
+    """A user-defined function misbehaved or was misused."""
+
+
+class RqlError(ReproError):
+    """Base class for RQL mechanism failures."""
+
+
+class AggregateError(RqlError):
+    """An aggregate function is unknown or not monoid-compatible."""
+
+
+class MechanismError(RqlError):
+    """An RQL mechanism was invoked with invalid parameters."""
+
+
+class WorkloadError(ReproError):
+    """Workload generation failure (bad scale factor, exhausted keys...)."""

@@ -1,0 +1,21 @@
+"""The Retro page-level copy-on-write snapshot system."""
+
+from repro.retro.maplog import MapEntry, Maplog, SptBuildResult
+from repro.retro.manager import RetroManager, SnapshotPageSource
+from repro.retro.metrics import IoCharges, IterationMetrics, MetricsSink, Timer
+from repro.retro.pagelog import Pagelog
+from repro.retro.snapshot_cache import SnapshotPageCache
+
+__all__ = [
+    "IoCharges",
+    "IterationMetrics",
+    "MapEntry",
+    "Maplog",
+    "MetricsSink",
+    "Pagelog",
+    "RetroManager",
+    "SnapshotPageCache",
+    "SnapshotPageSource",
+    "SptBuildResult",
+    "Timer",
+]

@@ -1,0 +1,234 @@
+"""The Retro snapshot manager.
+
+Ties together COW pre-state capture, the Pagelog, the Maplog/Skippy index,
+and snapshot readers.  The storage engine interposes this manager on its
+commit, flush, fetch and recovery paths, mirroring how Retro extends the
+Berkeley DB storage manager (paper Section 4):
+
+* **commit** — :meth:`capture_if_needed` archives the pre-state of every
+  page modified for the first time since the last snapshot declaration;
+* **flush** — :meth:`on_flush` drains pending pre-states to the Pagelog
+  before the database overwrites current pages;
+* **fetch** — :meth:`snapshot_source` returns a page source that resolves
+  reads through SPT -> snapshot cache -> Pagelog, falling back to the
+  current database for shared pages;
+* **recovery** — :meth:`recover` rebuilds epoch + capture state from the
+  durable Maplog so WAL replay can re-capture lost pre-states.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+from repro.errors import SnapshotError, UnknownSnapshotError
+from repro.retro.maplog import MapEntry, Maplog, SptBuildResult
+from repro.retro.metrics import IterationMetrics, MetricsSink
+from repro.retro.pagelog import Pagelog
+from repro.retro.snapshot_cache import SnapshotPageCache
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import Page
+from repro.storage.pager import PageSource
+
+PAGELOG_FILE = "pagelog"
+MAPLOG_FILE = "maplog"
+
+#: Default snapshot cache size: large enough to hold the pages one RQL
+#: query requests, per the paper's experimental assumption (Section 5).
+DEFAULT_CACHE_PAGES = 65536
+
+
+class RetroManager:
+    """COW capture + snapshot query machinery for one database."""
+
+    def __init__(self, disk: SimulatedDisk,
+                 cache_pages: int = DEFAULT_CACHE_PAGES,
+                 share_cache_by_slot: bool = True) -> None:
+        self.pagelog = Pagelog(disk.open_file(PAGELOG_FILE, append_only=True))
+        self.maplog = Maplog(disk.open_file(MAPLOG_FILE, append_only=True))
+        self.cache = SnapshotPageCache(cache_pages)
+        #: page_id -> last epoch whose pre-state has been captured
+        self._cap: Dict[int, int] = {}
+        #: ablation switch: False keys the cache by (snapshot, page),
+        #: destroying cross-snapshot sharing (see DESIGN.md §6).
+        self.share_cache_by_slot = share_cache_by_slot
+        #: where snapshot reads account their costs (set per RQL query)
+        self.metrics: Optional[MetricsSink] = None
+        #: opt-in future-work optimization (paper Section 7): derive the
+        #: SPT of snapshot S+1 incrementally from S's instead of a fresh
+        #: Skippy scan.  Cost becomes proportional to diff(S, S+1).
+        self.incremental_spt = False
+        self._spt_cache: Optional[tuple] = None  # (sid, result, version)
+
+    # -- snapshot declaration ------------------------------------------------
+
+    @property
+    def latest_snapshot_id(self) -> int:
+        return self.maplog.current_epoch
+
+    def declare_snapshot(self) -> int:
+        """Declare a snapshot of the committed state; returns its id."""
+        return self.maplog.declare_snapshot()
+
+    # -- COW capture (commit interposition) ---------------------------------------
+
+    def capture_if_needed(self, page_id: int,
+                          read_pre_state: Callable[[], bytes]) -> bool:
+        """Archive ``page_id``'s pre-state if this is its first
+        modification since the latest snapshot declaration.
+
+        Returns True when a pre-state was captured.  ``read_pre_state`` is
+        only invoked when needed (it reads the committed image).
+        """
+        epoch = self.maplog.current_epoch
+        if epoch == 0:
+            return False
+        last = self._cap.get(page_id, 0)
+        if last >= epoch:
+            return False
+        slot = self.pagelog.append(read_pre_state())
+        self.maplog.record(MapEntry(
+            page_id=page_id, from_snap=last + 1, to_snap=epoch, slot=slot,
+        ))
+        self._cap[page_id] = epoch
+        return True
+
+    def captured_epoch(self, page_id: int) -> int:
+        """Last epoch for which ``page_id``'s pre-state exists (0 = none)."""
+        return self._cap.get(page_id, 0)
+
+    # -- flush interposition --------------------------------------------------------
+
+    def on_flush(self) -> None:
+        """Drain pending pre-states + mappings to disk (checkpoint path)."""
+        self.pagelog.flush()
+        self.maplog.flush()
+
+    # -- snapshot reads ---------------------------------------------------------
+
+    def build_spt(self, snapshot_id: int,
+                  use_skippy: bool = True) -> SptBuildResult:
+        start = time.perf_counter()
+        result = self._build_spt_cached(snapshot_id, use_skippy)
+        if self.metrics is not None:
+            current = self.metrics.current
+            current.spt_entries_scanned += result.entries_scanned
+            current.spt_build_seconds += time.perf_counter() - start
+        return result
+
+    def _build_spt_cached(self, snapshot_id: int,
+                          use_skippy: bool) -> SptBuildResult:
+        if not self.incremental_spt:
+            return self.maplog.build_spt(snapshot_id, use_skippy=use_skippy)
+        version = self.maplog.entries_recorded
+        cached = self._spt_cache
+        if cached is not None and cached[2] == version:
+            cached_sid, cached_result = cached[0], cached[1]
+            if cached_sid == snapshot_id:
+                return cached_result
+            if cached_sid < snapshot_id:
+                result = self.maplog.advance_spt(
+                    cached_result, cached_sid, snapshot_id,
+                )
+                self._spt_cache = (snapshot_id, result, version)
+                return result
+        result = self.maplog.build_spt(snapshot_id, use_skippy=use_skippy)
+        self._spt_cache = (snapshot_id, result, version)
+        return result
+
+    def snapshot_source(self, snapshot_id: int,
+                        read_current: Callable[[int], Page],
+                        page_size: int,
+                        use_skippy: bool = True) -> "SnapshotPageSource":
+        """Page source serving reads as of ``snapshot_id``.
+
+        ``read_current`` returns the committed current-state page; it is
+        used for pages the snapshot shares with the database.
+        """
+        if snapshot_id < 1 or snapshot_id > self.latest_snapshot_id:
+            raise UnknownSnapshotError(
+                f"snapshot {snapshot_id} has not been declared"
+            )
+        result = self.build_spt(snapshot_id, use_skippy=use_skippy)
+        return SnapshotPageSource(self, snapshot_id, result.spt,
+                                  read_current, page_size)
+
+    def diff_size(self, older: int, newer: int) -> int:
+        """Pages not shared between two snapshots (paper's diff(S1,S2))."""
+        return self.maplog.diff_size(older, newer)
+
+    # -- recovery interposition ----------------------------------------------------
+
+    def recover(self, disk: SimulatedDisk) -> None:
+        """Rebuild epoch + capture state from the durable Maplog."""
+        maplog, cap = Maplog.recover(disk.open_file(MAPLOG_FILE,
+                                                    append_only=True))
+        self.maplog = maplog
+        self._cap = cap
+
+
+class SnapshotPageSource(PageSource):
+    """Resolves page fetches as of one snapshot.
+
+    Fetch order mirrors the paper: SPT lookup -> snapshot page cache ->
+    Pagelog read (archived pre-state), or the current database for pages
+    the snapshot still shares with it.  Every outcome is metered.
+    """
+
+    def __init__(self, manager: RetroManager, snapshot_id: int,
+                 spt: Dict[int, int],
+                 read_current: Callable[[int], bytes],
+                 page_size: int) -> None:
+        self._manager = manager
+        self.snapshot_id = snapshot_id
+        self.spt = spt
+        self._read_current = read_current
+        self._page_size = page_size
+
+    def _metrics(self) -> Optional[IterationMetrics]:
+        sink = self._manager.metrics
+        return sink.current if sink is not None else None
+
+    def fetch(self, page_id: int) -> Page:
+        slot = self.spt.get(page_id)
+        metrics = self._metrics()
+        if slot is None:
+            # Shared with the current database: a memory-resident read.
+            if metrics is not None:
+                metrics.db_reads += 1
+            return self._read_current(page_id)
+        if self._manager.share_cache_by_slot:
+            key = slot
+        else:
+            key = (self.snapshot_id, page_id)
+        cached = self._manager.cache.get(key)
+        if cached is not None:
+            if metrics is not None:
+                metrics.cache_hits += 1
+            return cached
+        image = self._manager.pagelog.read(slot)
+        # Cache the Page object itself: snapshot pages are immutable, and
+        # keeping the object preserves its decoded-node cache across
+        # iterations (the cross-snapshot sharing the paper measures).
+        page = Page(page_id, bytearray(image), self._page_size)
+        self._manager.cache.put(key, page)
+        if metrics is not None:
+            metrics.pagelog_reads += 1
+        return page
+
+    def release(self, page: Page) -> None:
+        """Snapshot pages are private copies; nothing to unpin."""
+
+    # Mutations are structurally impossible on a snapshot.
+
+    def allocate_page(self) -> Page:
+        raise SnapshotError("snapshots are immutable")
+
+    def free_page(self, page_id: int) -> None:
+        raise SnapshotError("snapshots are immutable")
+
+    def mark_dirty(self, page: Page) -> None:
+        raise SnapshotError("snapshots are immutable")
+
+    def make_writable(self, page: Page) -> Page:
+        raise SnapshotError("snapshots are immutable")

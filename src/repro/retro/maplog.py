@@ -1,0 +1,350 @@
+"""Maplog: the snapshot page-table index, with Skippy skip levels.
+
+Every archived pre-state produces a mapping ``(page_id, from_snap,
+to_snap, pagelog_slot)``: the pre-state serves snapshot ids in
+``[from_snap, to_snap]`` (to_snap is the snapshot after whose declaration
+the page was first modified; from_snap extends back to just after the
+previous capture, because the page was unmodified throughout).
+
+Building the snapshot page table SPT(S) requires, for every page, the
+*first* mapping at capture-epoch >= S.  A linear Maplog scan is O(history
+length); Skippy [Shaull et al., SIGMOD'08] turns this into ~n log n by
+maintaining skip levels.  We implement a binary-buddy variant:
+
+* level 0 node *j* holds the mappings captured during epoch ``j+1``
+  (each page appears at most once per epoch — COW captures once);
+* node at level ``l+1`` merges two buddy nodes of level ``l``, keeping
+  the *earliest* mapping per page;
+* ``build_spt`` decomposes the epoch range ``[S, E]`` into O(log) aligned
+  complete nodes (ascending), so every page's first qualifying mapping is
+  found while scanning each page id at most once per node.
+
+The mapping stream is also appended durably to a block log so recovery
+can rebuild the in-memory structure (see :meth:`recover`).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import SnapshotError, UnknownSnapshotError
+from repro.storage.disk import DiskFile
+from repro.storage.logfile import BlockLogReader, BlockLogWriter
+
+_ENTRY = struct.Struct("<BQQQQ")
+_KIND_MAPPING = 1
+_KIND_DECLARE = 2
+
+
+@dataclass(frozen=True)
+class MapEntry:
+    """One Maplog mapping."""
+
+    page_id: int
+    from_snap: int
+    to_snap: int
+    slot: int
+
+
+@dataclass
+class SptBuildResult:
+    """SPT plus the scan-cost accounting the benchmarks need.
+
+    ``spt`` maps page id -> Pagelog slot (what readers consume);
+    ``entries`` keeps the full mappings so a consecutive snapshot's SPT
+    can be derived incrementally (see :meth:`Maplog.advance_spt`).
+    """
+
+    spt: Dict[int, int]
+    entries_scanned: int
+    nodes_visited: int
+    entries: Dict[int, MapEntry] = None  # type: ignore[assignment]
+
+
+class Maplog:
+    """In-memory Skippy structure + durable mapping log."""
+
+    def __init__(self, log_file: DiskFile) -> None:
+        self._writer = BlockLogWriter(log_file)
+        self._file = log_file
+        #: current epoch == id of the most recently declared snapshot
+        self.current_epoch = 0
+        # Completed per-epoch nodes at each level.  _levels[0][j] covers
+        # epoch j+1; _levels[l][j] covers epochs [j*2^l+1, (j+1)*2^l].
+        self._levels: List[List[Dict[int, MapEntry]]] = [[]]
+        # Mappings captured during the current (incomplete) epoch.
+        self._open_batch: Dict[int, MapEntry] = {}
+        #: lifetime mapping count (for stats/tests)
+        self.entries_recorded = 0
+
+    # -- writes --------------------------------------------------------------
+
+    def declare_snapshot(self) -> int:
+        """Close the current epoch and open the next; returns the new id."""
+        self._seal_open_batch()
+        self.current_epoch += 1
+        self._writer.append(_ENTRY.pack(_KIND_DECLARE, self.current_epoch,
+                                        0, 0, 0))
+        return self.current_epoch
+
+    def record(self, entry: MapEntry) -> None:
+        """Record a mapping captured during the current epoch."""
+        if self.current_epoch == 0:
+            raise SnapshotError("no snapshot declared; nothing to map")
+        if entry.to_snap != self.current_epoch:
+            raise SnapshotError(
+                f"mapping to_snap {entry.to_snap} != epoch "
+                f"{self.current_epoch}"
+            )
+        if entry.page_id in self._open_batch:
+            raise SnapshotError(
+                f"page {entry.page_id} captured twice in epoch "
+                f"{self.current_epoch}"
+            )
+        self._open_batch[entry.page_id] = entry
+        self.entries_recorded += 1
+        self._writer.append(_ENTRY.pack(
+            _KIND_MAPPING, entry.page_id, entry.from_snap,
+            entry.to_snap, entry.slot,
+        ))
+
+    def flush(self) -> None:
+        """Make the durable log catch up (checkpoint)."""
+        self._writer.flush()
+
+    # -- Skippy maintenance ------------------------------------------------------
+
+    def _seal_open_batch(self) -> None:
+        if self.current_epoch == 0:
+            # Mappings cannot exist before the first declaration.
+            return
+        node = dict(self._open_batch)
+        self._open_batch = {}
+        self._levels[0].append(node)
+        # Binary-buddy merge upwards, like carrying in a binary counter:
+        # whenever a level's node count turns even, its last two nodes are
+        # aligned buddies — merge them (keeping the EARLIEST mapping per
+        # page) into the next level.  Invariant: len(levels[l+1]) ==
+        # len(levels[l]) // 2.
+        level = 0
+        while self._levels[level] and len(self._levels[level]) % 2 == 0:
+            left, right = self._levels[level][-2], self._levels[level][-1]
+            merged = dict(left)
+            for page_id, entry in right.items():
+                if page_id not in merged:
+                    merged[page_id] = entry
+            if level + 1 >= len(self._levels):
+                self._levels.append([])
+            self._levels[level + 1].append(merged)
+            level += 1
+
+    def _node_exists(self, level: int, index: int) -> bool:
+        return level < len(self._levels) and index < len(self._levels[level])
+
+    # -- SPT construction ----------------------------------------------------------
+
+    def build_spt(self, snapshot_id: int,
+                  use_skippy: bool = True) -> SptBuildResult:
+        """Map every captured page of ``snapshot_id`` to its Pagelog slot.
+
+        Pages absent from the result are shared with the current database.
+        """
+        if snapshot_id < 1 or snapshot_id > self.current_epoch:
+            raise UnknownSnapshotError(
+                f"snapshot {snapshot_id} not declared (epoch "
+                f"{self.current_epoch})"
+            )
+        if use_skippy:
+            return self._build_spt_skippy(snapshot_id)
+        return self._build_spt_linear(snapshot_id)
+
+    def _build_spt_skippy(self, snapshot_id: int) -> SptBuildResult:
+        entries: Dict[int, MapEntry] = {}
+        scanned = 0
+        visited = 0
+        sealed_epochs = len(self._levels[0])
+        epoch = snapshot_id  # first epoch whose captures can serve S
+        while epoch <= sealed_epochs:
+            level = self._largest_aligned_level(epoch, sealed_epochs)
+            node = self._levels[level][(epoch - 1) >> level]
+            visited += 1
+            for page_id, entry in node.items():
+                scanned += 1
+                if page_id not in entries \
+                        and entry.from_snap <= snapshot_id:
+                    entries[page_id] = entry
+            epoch += 1 << level
+        # The still-open batch also serves S (captures at current epoch).
+        if self._open_batch:
+            visited += 1
+            for page_id, entry in self._open_batch.items():
+                scanned += 1
+                if page_id not in entries \
+                        and entry.from_snap <= snapshot_id:
+                    entries[page_id] = entry
+        spt = {page: entry.slot for page, entry in entries.items()}
+        return SptBuildResult(spt, scanned, visited, entries)
+
+    def _largest_aligned_level(self, epoch: int, last: int) -> int:
+        """Largest complete, aligned node starting at ``epoch``."""
+        level = 0
+        while True:
+            nxt = level + 1
+            span = 1 << nxt
+            aligned = (epoch - 1) % span == 0
+            fits = epoch - 1 + span <= last
+            if aligned and fits and self._node_exists(nxt, (epoch - 1) >> nxt):
+                level = nxt
+            else:
+                return level
+
+    def _build_spt_linear(self, snapshot_id: int) -> SptBuildResult:
+        """Reference implementation: plain forward scan (no skip levels)."""
+        entries: Dict[int, MapEntry] = {}
+        scanned = 0
+        visited = 0
+        for index in range(snapshot_id - 1, len(self._levels[0])):
+            node = self._levels[0][index]
+            visited += 1
+            for page_id, entry in node.items():
+                scanned += 1
+                if page_id not in entries \
+                        and entry.from_snap <= snapshot_id:
+                    entries[page_id] = entry
+        if self._open_batch:
+            visited += 1
+            for page_id, entry in self._open_batch.items():
+                scanned += 1
+                if page_id not in entries \
+                        and entry.from_snap <= snapshot_id:
+                    entries[page_id] = entry
+        spt = {page: entry.slot for page, entry in entries.items()}
+        return SptBuildResult(spt, scanned, visited, entries)
+
+    # -- incremental SPT (future-work extension; DESIGN.md §6) -------------------
+
+    def first_capture_at_or_after(self, page_id: int,
+                                  snapshot_id: int):
+        """First mapping of ``page_id`` captured at epoch >= snapshot_id.
+
+        Returns (entry_or_None, entries_scanned).  Uses the skip levels
+        to touch O(log n) nodes.
+        """
+        scanned = 0
+        sealed_epochs = len(self._levels[0])
+        epoch = snapshot_id
+        while epoch <= sealed_epochs:
+            level = self._largest_aligned_level(epoch, sealed_epochs)
+            node = self._levels[level][(epoch - 1) >> level]
+            scanned += 1
+            entry = node.get(page_id)
+            if entry is not None and entry.to_snap >= snapshot_id:
+                return entry, scanned
+            epoch += 1 << level
+        if self._open_batch:
+            scanned += 1
+            entry = self._open_batch.get(page_id)
+            if entry is not None and entry.to_snap >= snapshot_id:
+                return entry, scanned
+        return None, scanned
+
+    def advance_spt(self, previous: SptBuildResult,
+                    from_snapshot: int,
+                    to_snapshot: int) -> SptBuildResult:
+        """Derive SPT(to) from SPT(from) for to > from.
+
+        Only the entries whose validity range ends before ``to`` need a
+        fresh lookup — the incremental form of SPT construction for RQL
+        queries iterating consecutive snapshots (the paper's future-work
+        "sharing computations across snapshots").  Cost is proportional
+        to diff(from, to), not to the snapshot size.
+        """
+        if to_snapshot <= from_snapshot:
+            raise SnapshotError("advance_spt requires to > from")
+        if to_snapshot > self.current_epoch:
+            raise UnknownSnapshotError(
+                f"snapshot {to_snapshot} not declared"
+            )
+        if previous.entries is None:
+            raise SnapshotError("previous SPT lacks entry metadata")
+        entries: Dict[int, MapEntry] = {}
+        scanned = 0
+        visited = 0
+        for page_id, entry in previous.entries.items():
+            scanned += 1
+            if entry.to_snap >= to_snapshot:
+                # Still valid: the page is unmodified through `to`.
+                entries[page_id] = entry
+                continue
+            replacement, nodes = self.first_capture_at_or_after(
+                page_id, to_snapshot,
+            )
+            visited += nodes
+            if replacement is not None and                     replacement.from_snap <= to_snapshot:
+                entries[page_id] = replacement
+            # else: shared with the current database now.
+        spt = {page: entry.slot for page, entry in entries.items()}
+        return SptBuildResult(spt, scanned, visited, entries)
+
+    # -- inter-snapshot sharing stats (diff sizes, used by tests/benches) ------------
+
+    def diff_size(self, older: int, newer: int) -> int:
+        """Number of pages NOT shared between two snapshots.
+
+        Pages captured in epochs (older, newer] differ between the two
+        snapshots; everything else is shared.
+        """
+        if older > newer:
+            older, newer = newer, older
+        pages = set()
+        for epoch in range(older, newer):
+            if epoch - 1 < len(self._levels[0]):
+                pages.update(self._levels[0][epoch - 1].keys())
+        return len(pages)
+
+    def captures_in_epoch(self, epoch: int) -> int:
+        if epoch - 1 < len(self._levels[0]):
+            return len(self._levels[0][epoch - 1])
+        if epoch == self.current_epoch:
+            return len(self._open_batch)
+        return 0
+
+    # -- recovery ------------------------------------------------------------
+
+    @classmethod
+    def recover(cls, log_file: DiskFile) -> Tuple["Maplog", Dict[int, int]]:
+        """Rebuild from the durable log.
+
+        Returns the Maplog plus the COW capture map (page_id -> last epoch
+        whose pre-state was captured) needed by the COW tracker.
+        """
+        entries: List[Tuple[int, int, int, int, int]] = []
+        reader = BlockLogReader(log_file)
+        for raw in reader.records(0):
+            entries.append(_ENTRY.unpack(raw))
+        # Rebuild by replaying through a fresh Maplog writing to a scratch
+        # file, then swap in the real durable file untouched.
+        maplog = cls.__new__(cls)
+        maplog._writer = BlockLogWriter(log_file)
+        maplog._file = log_file
+        maplog.current_epoch = 0
+        maplog._levels = [[]]
+        maplog._open_batch = {}
+        maplog.entries_recorded = 0
+        cap: Dict[int, int] = {}
+        for kind, a, b, c, d in entries:
+            if kind == _KIND_DECLARE:
+                maplog._seal_open_batch()
+                maplog.current_epoch += 1
+                if maplog.current_epoch != a:
+                    raise SnapshotError("Maplog declaration ids out of order")
+            elif kind == _KIND_MAPPING:
+                entry = MapEntry(page_id=a, from_snap=b, to_snap=c, slot=d)
+                maplog._open_batch[entry.page_id] = entry
+                maplog.entries_recorded += 1
+                cap[entry.page_id] = entry.to_snap
+            else:
+                raise SnapshotError(f"unknown Maplog record kind {kind}")
+        return maplog, cap

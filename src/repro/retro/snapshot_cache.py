@@ -1,0 +1,70 @@
+"""Snapshot page cache.
+
+Snapshot pages are cached **by Pagelog slot**, not by (snapshot, page).
+Because consecutive snapshots share pre-states — a page unmodified between
+S1 and S2 occupies a single Pagelog slot serving both — a query iterating
+over S1 then S2 hits the cache for every shared page.  This keying is what
+turns the paper's ``shared(S1, S2)`` into cache hits and ``diff(S1, S2)``
+into Pagelog I/O (Section 4).
+
+An alternative keying by ``(snapshot_id, page_id)`` is provided for the
+ablation bench: it deliberately destroys cross-snapshot sharing, isolating
+how much of RQL's hot-iteration speedup comes from COW slot identity.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+from repro.errors import SnapshotError
+
+
+class SnapshotPageCache:
+    """LRU cache of snapshot page images keyed by an arbitrary identity."""
+
+    def __init__(self, capacity_pages: int) -> None:
+        if capacity_pages < 0:
+            raise SnapshotError("cache capacity must be >= 0")
+        self.capacity = capacity_pages
+        self._entries: "OrderedDict[Hashable, bytes]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable) -> Optional[bytes]:
+        image = self._entries.get(key)
+        if image is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return image
+
+    def put(self, key: Hashable, image: bytes) -> None:
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = image
+            return
+        while len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[key] = image
+
+    def clear(self) -> None:
+        """Empty the cache (used to model 'snapshot not accessed recently')."""
+        self._entries.clear()
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

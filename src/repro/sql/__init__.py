@@ -1,0 +1,18 @@
+"""SQLite-like SQL engine with Retro AS OF support and UDFs."""
+
+from repro.sql.catalog import Catalog, Column, IndexInfo, TableInfo
+from repro.sql.database import Database
+from repro.sql.executor import ResultSet
+from repro.sql.parser import parse_expression, parse_one, parse_sql
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "Database",
+    "IndexInfo",
+    "ResultSet",
+    "TableInfo",
+    "parse_expression",
+    "parse_one",
+    "parse_sql",
+]

@@ -1,0 +1,181 @@
+"""The system catalog.
+
+Tables and indexes are described by rows in a dedicated catalog B+tree
+whose root page id is pinned in the pager meta.  Because the catalog
+lives in ordinary pages, it is captured by Retro snapshots like any other
+data: an ``AS OF`` query resolves schema *as of the snapshot*, so indexes
+created later are invisible and dropped tables are still there — exactly
+the behaviour the paper relies on (a snapshot "includes the state of the
+entire database (e.g., tables, indexes, system catalogs)").
+
+Catalog rows (record-codec encoded):
+
+* key ``("T", lowercase_name)`` ->
+  ``(name, root_id, "col1,col2", "TYPE1,TYPE2", "pkcol1,pkcol2")``
+* key ``("I", lowercase_name)`` ->
+  ``(name, table_name, root_id, unique_flag, "col1,col2")``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import CatalogError
+from repro.storage.btree import BTree
+from repro.storage.record import decode_record, encode_key, encode_record
+
+_SEP = "\x1f"
+
+
+@dataclass(frozen=True)
+class Column:
+    name: str
+    type_name: str
+
+
+@dataclass
+class TableInfo:
+    name: str
+    root_id: int
+    columns: List[Column]
+    primary_key: List[str] = field(default_factory=list)
+    #: True when the table lives in the auxiliary (non-snapshotable) DB.
+    temporary: bool = False
+
+    def column_names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    def column_index(self, name: str) -> int:
+        lowered = name.lower()
+        for i, column in enumerate(self.columns):
+            if column.name.lower() == lowered:
+                return i
+        raise CatalogError(f"table {self.name} has no column {name}")
+
+    def has_column(self, name: str) -> bool:
+        lowered = name.lower()
+        return any(c.name.lower() == lowered for c in self.columns)
+
+
+@dataclass
+class IndexInfo:
+    name: str
+    table: str
+    root_id: int
+    columns: List[str]
+    unique: bool = False
+    temporary: bool = False
+
+
+class Catalog:
+    """Catalog accessor bound to one page source (current or snapshot)."""
+
+    def __init__(self, source, root_id: int) -> None:
+        self._tree = BTree(source, root_id)
+
+    # -- keys -----------------------------------------------------------
+
+    @staticmethod
+    def _table_key(name: str) -> bytes:
+        return encode_key(("T", name.lower()))
+
+    @staticmethod
+    def _index_key(name: str) -> bytes:
+        return encode_key(("I", name.lower()))
+
+    # -- tables -----------------------------------------------------------
+
+    def create_table(self, info: TableInfo) -> None:
+        key = self._table_key(info.name)
+        if self._tree.get(key) is not None:
+            raise CatalogError(f"table {info.name} already exists")
+        value = encode_record((
+            info.name,
+            info.root_id,
+            _SEP.join(c.name for c in info.columns),
+            _SEP.join(c.type_name for c in info.columns),
+            _SEP.join(info.primary_key),
+        ))
+        self._tree.insert(key, value)
+
+    def drop_table(self, name: str) -> TableInfo:
+        info = self.get_table(name)
+        if info is None:
+            raise CatalogError(f"no such table: {name}")
+        self._tree.delete(self._table_key(name))
+        return info
+
+    def get_table(self, name: str) -> Optional[TableInfo]:
+        raw = self._tree.get(self._table_key(name))
+        if raw is None:
+            return None
+        return self._decode_table(raw)
+
+    def list_tables(self) -> List[TableInfo]:
+        prefix = encode_key(("T",))
+        return [self._decode_table(v)
+                for _, v in self._tree.scan_prefix(prefix)]
+
+    @staticmethod
+    def _decode_table(raw: bytes) -> TableInfo:
+        name, root_id, cols, types, pk = decode_record(raw)
+        col_names = str(cols).split(_SEP) if cols else []
+        # Types may all be empty strings (no affinity); split by column
+        # count, never by truthiness of the joined string.
+        col_types = str(types).split(_SEP) if col_names else []
+        while len(col_types) < len(col_names):
+            col_types.append("")
+        columns = [Column(n, t) for n, t in zip(col_names, col_types)]
+        primary_key = str(pk).split(_SEP) if pk else []
+        return TableInfo(
+            name=str(name), root_id=int(root_id), columns=columns,
+            primary_key=primary_key,
+        )
+
+    # -- indexes -----------------------------------------------------------
+
+    def create_index(self, info: IndexInfo) -> None:
+        key = self._index_key(info.name)
+        if self._tree.get(key) is not None:
+            raise CatalogError(f"index {info.name} already exists")
+        value = encode_record((
+            info.name,
+            info.table,
+            info.root_id,
+            1 if info.unique else 0,
+            _SEP.join(info.columns),
+        ))
+        self._tree.insert(key, value)
+
+    def drop_index(self, name: str) -> IndexInfo:
+        info = self.get_index(name)
+        if info is None:
+            raise CatalogError(f"no such index: {name}")
+        self._tree.delete(self._index_key(name))
+        return info
+
+    def get_index(self, name: str) -> Optional[IndexInfo]:
+        raw = self._tree.get(self._index_key(name))
+        if raw is None:
+            return None
+        return self._decode_index(raw)
+
+    def list_indexes(self) -> List[IndexInfo]:
+        prefix = encode_key(("I",))
+        return [self._decode_index(v)
+                for _, v in self._tree.scan_prefix(prefix)]
+
+    def indexes_for(self, table: str) -> List[IndexInfo]:
+        lowered = table.lower()
+        return [ix for ix in self.list_indexes()
+                if ix.table.lower() == lowered]
+
+    @staticmethod
+    def _decode_index(raw: bytes) -> IndexInfo:
+        name, table, root_id, unique, cols = decode_record(raw)
+        return IndexInfo(
+            name=str(name), table=str(table), root_id=int(root_id),
+            columns=str(cols).split(_SEP) if cols else [],
+            unique=bool(unique),
+        )

@@ -1,0 +1,735 @@
+"""The Database facade: SQLite-like API over the storage engine + Retro.
+
+A :class:`Database` owns **two** storage engines, mirroring the paper's
+deployment:
+
+* the **main** engine holds application data and is snapshotable —
+  ``COMMIT WITH SNAPSHOT`` declares Retro snapshots of it, and
+  ``SELECT AS OF <sid> ...`` queries them;
+* the **aux** engine holds non-snapshotable state: temporary tables
+  (RQL result tables default here) and, at the RQL layer, the SnapIds
+  table, which the paper stores "in a separate SQLite database than
+  application data because it is a non-snapshotable persistent table".
+
+API sketch::
+
+    db = Database()
+    db.execute("CREATE TABLE t (a INTEGER, b TEXT)")
+    db.execute("BEGIN")
+    db.execute("INSERT INTO t VALUES (1, 'x')")
+    sid = db.execute("COMMIT WITH SNAPSHOT").scalar()
+    db.execute(f"SELECT AS OF {sid} * FROM t")
+    db.register_function("my_udf", lambda v: ...)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import (
+    CatalogError,
+    ExecutionError,
+    PlanError,
+    SqlError,
+    TransactionError,
+)
+from repro.retro.metrics import MetricsSink
+from repro.sql import ast
+from repro.sql.catalog import Catalog, Column, IndexInfo, TableInfo
+from repro.sql.executor import (
+    IndexAccess,
+    ResultSet,
+    TableAccess,
+    TableWriter,
+)
+from repro.sql.expressions import ExpressionCompiler, Scope
+from repro.sql.functions import FunctionRegistry
+from repro.sql.parser import parse_one, parse_sql
+from repro.sql.planner import (
+    ExecutionContext,
+    run_select,
+    run_select_streaming,
+)
+from repro.sql.types import SqlValue
+from repro.storage.btree import BTree
+from repro.storage.disk import SimulatedDisk
+from repro.storage.engine import StorageEngine
+from repro.storage.page import DEFAULT_PAGE_SIZE
+
+_CATALOG_ROOT = "catalog"
+
+
+class _EngineSession:
+    """Per-engine transaction state (main and aux each get one)."""
+
+    def __init__(self, engine: StorageEngine) -> None:
+        self.engine = engine
+        self.txn = None
+        self.declare_on_commit = False
+
+    def ensure_txn(self):
+        if self.txn is None:
+            self.txn = self.engine.begin()
+        return self.txn
+
+    def source(self):
+        return self.engine.page_source(self.ensure_txn())
+
+    def commit(self, declare_snapshot: bool = False) -> Optional[int]:
+        if self.txn is None:
+            if declare_snapshot:
+                # Empty declaring transaction: still declares a snapshot.
+                self.txn = self.engine.begin()
+            else:
+                return None
+        snapshot_id = self.engine.commit(self.txn,
+                                         declare_snapshot=declare_snapshot)
+        self.txn = None
+        return snapshot_id
+
+    def rollback(self) -> None:
+        if self.txn is not None:
+            self.engine.rollback(self.txn)
+            self.txn = None
+
+
+class Database:
+    """A SQL database with Retro snapshots and UDF support."""
+
+    def __init__(self, disk: Optional[SimulatedDisk] = None,
+                 aux_disk: Optional[SimulatedDisk] = None,
+                 page_size: int = DEFAULT_PAGE_SIZE,
+                 auto_checkpoint_on_snapshot: bool = True) -> None:
+        self.engine = StorageEngine(disk, page_size=page_size)
+        self.aux_engine = StorageEngine(aux_disk, page_size=page_size)
+        self.functions = FunctionRegistry()
+        self.metrics: Optional[MetricsSink] = None
+        self.auto_checkpoint_on_snapshot = auto_checkpoint_on_snapshot
+        self._main = _EngineSession(self.engine)
+        self._aux = _EngineSession(self.aux_engine)
+        self._in_explicit_txn = False
+        self._bootstrap_catalog(self.engine)
+        self._bootstrap_catalog(self.aux_engine)
+
+    # ------------------------------------------------------------------
+    # Bootstrap
+    # ------------------------------------------------------------------
+
+    def _bootstrap_catalog(self, engine: StorageEngine) -> None:
+        if engine.pager.get_root(_CATALOG_ROOT) is not None:
+            return
+        txn = engine.begin()
+        source = engine.page_source(txn)
+        tree = BTree.create(source)
+        engine.pager.set_root(_CATALOG_ROOT, tree.root_id)
+        engine.commit(txn)
+        engine.checkpoint()
+
+    def _catalog_root(self, engine: StorageEngine) -> int:
+        root = engine.pager.get_root(_CATALOG_ROOT)
+        if root is None:
+            raise CatalogError("catalog missing (corrupt database)")
+        return root
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def register_function(self, name: str,
+                          fn: Callable[..., SqlValue]) -> None:
+        """Register a scalar UDF (the SQLite-UDF analogue RQL uses)."""
+        self.functions.register(name, fn)
+
+    def execute(self, sql: str) -> ResultSet:
+        """Parse and execute a single SQL statement."""
+        return self._execute_statement(parse_one(sql))
+
+    def executescript(self, sql: str) -> Optional[ResultSet]:
+        """Execute ;-separated statements; returns the last result."""
+        result: Optional[ResultSet] = None
+        for statement in parse_sql(sql):
+            result = self._execute_statement(statement)
+        return result
+
+    def declare_snapshot(self) -> int:
+        """Declare a snapshot outside any explicit transaction."""
+        if self._in_explicit_txn:
+            raise TransactionError(
+                "declare_snapshot() cannot run inside an explicit "
+                "transaction; use COMMIT WITH SNAPSHOT"
+            )
+        result = self.executescript("BEGIN; COMMIT WITH SNAPSHOT;")
+        assert result is not None
+        return int(result.scalar())
+
+    @property
+    def latest_snapshot_id(self) -> int:
+        return self.engine.retro.latest_snapshot_id
+
+    def checkpoint(self) -> None:
+        """Flush both engines (drains Retro pre-states to the Pagelog)."""
+        self.engine.checkpoint()
+        self.aux_engine.checkpoint()
+
+    def attach_metrics(self, sink: Optional[MetricsSink]) -> None:
+        """Route snapshot-read and planner costs into ``sink``."""
+        self.metrics = sink
+        self.engine.retro.metrics = sink
+
+    def close(self) -> None:
+        if self._in_explicit_txn:
+            self._main.rollback()
+            self._aux.rollback()
+            self._in_explicit_txn = False
+        self.checkpoint()
+
+    # -- streaming (sqlite3_exec-style) --------------------------------------------
+
+    def execute_streaming(self, sql: str,
+                          on_row: Callable[..., None]) -> List[str]:
+        """Run a SELECT, invoking ``on_row`` for every result row.
+
+        This is the ``sqlite3_exec`` callback protocol the RQL loop body
+        uses to process Qq results without materializing them.
+        """
+        statement = parse_one(sql)
+        if not isinstance(statement, ast.Select):
+            raise SqlError("execute_streaming requires a SELECT")
+        ctx, cleanup = self._context_for_select(statement)
+        try:
+            return run_select_streaming(statement, ctx, on_row)
+        finally:
+            cleanup()
+
+    def execute_cursor(self, sql: str):
+        """Run a SELECT lazily: returns (columns, row_iterator).
+
+        The column list is available before any row is consumed — the
+        shape RQL's loop body needs to create its result table from the
+        first iteration's Qq output.  The iterator owns the read
+        context; it is released when the iterator is exhausted or
+        closed.
+        """
+        statement = parse_one(sql)
+        if not isinstance(statement, ast.Select):
+            raise SqlError("execute_cursor requires a SELECT")
+        ctx, cleanup = self._context_for_select(statement)
+        from repro.sql.planner import _SelectPlanner
+
+        planner = _SelectPlanner(statement, ctx)
+        columns, rows = planner.columns_and_rows()
+
+        def guarded():
+            try:
+                yield from rows
+            finally:
+                cleanup()
+        return columns, guarded()
+
+    def table_writer(self, name: str) -> Tuple[TableAccess, TableWriter]:
+        """Engine-level write access to a table in the current txn.
+
+        This is the analogue of SQLite's internal b-tree API that UDF
+        loop bodies use for per-record result processing (index probes +
+        inserts/updates) without going through SQL parsing per record.
+        Requires/creates the statement or explicit transaction; the
+        caller commits via ``COMMIT`` (explicit txn) — mechanisms wrap
+        each iteration in BEGIN/COMMIT.
+        """
+        ctx = self._write_context()
+        table = ctx.open_table(name)
+        return table, TableWriter(table, ctx.open_indexes(table))
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _execute_statement(self, statement) -> ResultSet:
+        if isinstance(statement, ast.Explain):
+            return self._execute_explain(statement)
+        if isinstance(statement, ast.Select):
+            return self._execute_select(statement)
+        if isinstance(statement, ast.Insert):
+            return self._execute_insert(statement)
+        if isinstance(statement, ast.Delete):
+            return self._execute_delete(statement)
+        if isinstance(statement, ast.Update):
+            return self._execute_update(statement)
+        if isinstance(statement, ast.CreateTable):
+            return self._execute_create_table(statement)
+        if isinstance(statement, ast.DropTable):
+            return self._execute_drop_table(statement)
+        if isinstance(statement, ast.CreateIndex):
+            return self._execute_create_index(statement)
+        if isinstance(statement, ast.DropIndex):
+            return self._execute_drop_index(statement)
+        if isinstance(statement, ast.Begin):
+            return self._execute_begin()
+        if isinstance(statement, ast.Commit):
+            return self._execute_commit(statement)
+        if isinstance(statement, ast.Rollback):
+            return self._execute_rollback()
+        raise SqlError(f"unsupported statement {type(statement).__name__}")
+
+    # -- transactions -----------------------------------------------------------
+
+    def _execute_begin(self) -> ResultSet:
+        if self._in_explicit_txn:
+            raise TransactionError("already inside a transaction")
+        self._in_explicit_txn = True
+        return _status()
+
+    def _execute_commit(self, statement: ast.Commit) -> ResultSet:
+        if not self._in_explicit_txn:
+            raise TransactionError("no transaction is active")
+        snapshot_id = self._main.commit(
+            declare_snapshot=statement.with_snapshot,
+        )
+        self._aux.commit()
+        self._in_explicit_txn = False
+        if statement.with_snapshot:
+            if self.auto_checkpoint_on_snapshot:
+                self.checkpoint()
+            return ResultSet(["snapshot_id"], [(snapshot_id,)])
+        return _status()
+
+    def _execute_rollback(self) -> ResultSet:
+        if not self._in_explicit_txn:
+            raise TransactionError("no transaction is active")
+        self._main.rollback()
+        self._aux.rollback()
+        self._in_explicit_txn = False
+        return _status()
+
+    def _autocommit(self) -> None:
+        """Commit statement-local transactions when not in BEGIN...COMMIT."""
+        if not self._in_explicit_txn:
+            self._main.commit()
+            self._aux.commit()
+
+    def _autorollback(self) -> None:
+        if not self._in_explicit_txn:
+            self._main.rollback()
+            self._aux.rollback()
+
+    # -- EXPLAIN ------------------------------------------------------------------
+
+    def _execute_explain(self, statement: ast.Explain) -> ResultSet:
+        """EXPLAIN SELECT ...: access-path plan without executing."""
+        from repro.sql.planner import explain_select
+
+        inner = statement.statement
+        if not isinstance(inner, ast.Select):
+            raise SqlError("EXPLAIN supports SELECT statements")
+        ctx, cleanup = self._context_for_select(inner)
+        try:
+            notes = explain_select(inner, ctx)
+        finally:
+            cleanup()
+        return ResultSet(["detail"], [(note,) for note in notes])
+
+    # -- SELECT ------------------------------------------------------------------
+
+    def _execute_select(self, statement: ast.Select) -> ResultSet:
+        ctx, cleanup = self._context_for_select(statement)
+        try:
+            return run_select(statement, ctx)
+        finally:
+            cleanup()
+
+    def _context_for_select(self, statement: ast.Select):
+        """Build an execution context + cleanup for a SELECT."""
+        as_of = None
+        if statement.as_of is not None:
+            as_of = self._constant_int(statement.as_of, "AS OF")
+        read_ctx = self.engine.begin_read()
+        aux_read_ctx = self.aux_engine.begin_read()
+        if as_of is not None:
+            main_source = self.engine.snapshot_source(as_of, read_ctx)
+        elif self._main.txn is not None:
+            main_source = self.engine.page_source(self._main.txn)
+        else:
+            main_source = self.engine.read_source(read_ctx)
+        if self._aux.txn is not None:
+            aux_source = self.aux_engine.page_source(self._aux.txn)
+        else:
+            aux_source = self.aux_engine.read_source(aux_read_ctx)
+        ctx = _Context(self, main_source, aux_source)
+
+        def cleanup() -> None:
+            read_ctx.close()
+            aux_read_ctx.close()
+        return ctx, cleanup
+
+    def _constant_int(self, expr: ast.Expr, label: str) -> int:
+        compiler = ExpressionCompiler(Scope([]), self.functions.snapshot())
+        value = compiler.compile(expr)(())
+        if value is None:
+            raise PlanError(f"{label} must be a non-NULL constant")
+        return int(value)
+
+    # -- write context ----------------------------------------------------------------
+
+    def _write_context(self) -> "_Context":
+        """Context whose sources are the open write transactions.
+
+        Reads inside DML see the transaction's own writes; the engines'
+        statement-local transactions are created lazily.
+        """
+        return _Context(
+            self,
+            self._main.source(),
+            self._aux.source(),
+            writable=True,
+        )
+
+    # -- INSERT / DELETE / UPDATE ------------------------------------------------------
+
+    def _execute_insert(self, statement: ast.Insert) -> ResultSet:
+        ctx = self._write_context()
+        try:
+            table = ctx.open_table(statement.table)
+            writer = TableWriter(table, ctx.open_indexes(table))
+            info = table.info
+            if statement.columns:
+                positions = [info.column_index(c) for c in statement.columns]
+            else:
+                positions = list(range(len(info.columns)))
+            inserted = 0
+            if statement.select is not None:
+                sub_columns, rows = self._subselect_rows(statement.select,
+                                                         ctx)
+                for row in rows:
+                    writer.insert(self._place(row, positions, info))
+                    inserted += 1
+            else:
+                compiler = ExpressionCompiler(Scope([]),
+                                              self.functions.snapshot())
+                for value_exprs in statement.rows:
+                    values = tuple(compiler.compile(e)(())
+                                   for e in value_exprs)
+                    writer.insert(self._place(values, positions, info))
+                    inserted += 1
+            self._autocommit()
+            return _status(inserted)
+        except Exception:
+            self._autorollback()
+            raise
+
+    def _subselect_rows(self, select: ast.Select, write_ctx: "_Context"):
+        """Rows of an embedded SELECT (INSERT..SELECT / CREATE..AS).
+
+        ``AS OF`` is honoured: the main database is read through the
+        snapshot while the target (usually a temp table in the aux
+        engine) stays writable — the exact shape of RQL's per-iteration
+        ``INSERT INTO T SELECT AS OF sid ...``.
+        """
+        if select.as_of is None:
+            result = run_select(select, write_ctx)
+            return result.columns, result.rows
+        sid = self._constant_int(select.as_of, "AS OF")
+        read_ctx = self.engine.begin_read()
+        try:
+            main_source = self.engine.snapshot_source(sid, read_ctx)
+            ctx = _Context(self, main_source, self._aux.source())
+            result = run_select(select, ctx)
+            return result.columns, result.rows
+        finally:
+            read_ctx.close()
+
+    @staticmethod
+    def _place(values, positions, info: TableInfo):
+        if len(values) != len(positions):
+            raise ExecutionError(
+                f"{len(positions)} columns but {len(values)} values"
+            )
+        row: List[SqlValue] = [None] * len(info.columns)
+        for value, position in zip(values, positions):
+            row[position] = value
+        return tuple(row)
+
+    def _execute_delete(self, statement: ast.Delete) -> ResultSet:
+        ctx = self._write_context()
+        try:
+            table = ctx.open_table(statement.table)
+            indexes = ctx.open_indexes(table)
+            writer = TableWriter(table, indexes)
+            from repro.sql.planner import scan_for_modify
+
+            # Materialize first: never mutate a tree mid-scan.
+            doomed = [
+                rowid for rowid, _ in scan_for_modify(
+                    table, indexes, statement.where,
+                    self.functions.snapshot(),
+                )
+            ]
+            for rowid in doomed:
+                writer.delete(rowid)
+            self._autocommit()
+            return _status(len(doomed))
+        except Exception:
+            self._autorollback()
+            raise
+
+    def _execute_update(self, statement: ast.Update) -> ResultSet:
+        ctx = self._write_context()
+        try:
+            table = ctx.open_table(statement.table)
+            indexes = ctx.open_indexes(table)
+            writer = TableWriter(table, indexes)
+            info = table.info
+            scope = _table_scope(table)
+            compiler = ExpressionCompiler(scope, self.functions.snapshot())
+            assignments = [
+                (info.column_index(column), compiler.compile(expr))
+                for column, expr in statement.assignments
+            ]
+            from repro.sql.planner import scan_for_modify
+
+            updates: List[Tuple[int, Tuple[SqlValue, ...]]] = []
+            for rowid, row in scan_for_modify(
+                    table, indexes, statement.where,
+                    self.functions.snapshot()):
+                new_row = list(row)
+                for position, evaluator in assignments:
+                    new_row[position] = evaluator(row)
+                updates.append((rowid, tuple(new_row)))
+            for rowid, new_row in updates:
+                writer.update(rowid, new_row)
+            self._autocommit()
+            return _status(len(updates))
+        except Exception:
+            self._autorollback()
+            raise
+
+    # -- DDL ------------------------------------------------------------------------
+
+    def _session_for(self, temporary: bool) -> _EngineSession:
+        return self._aux if temporary else self._main
+
+    def _catalog_for_write(self, session: _EngineSession) -> Catalog:
+        return Catalog(session.source(),
+                       self._catalog_root(session.engine))
+
+    def _execute_create_table(self, statement: ast.CreateTable) -> ResultSet:
+        session = self._session_for(statement.temporary)
+        try:
+            catalog = self._catalog_for_write(session)
+            if catalog.get_table(statement.name) is not None:
+                if statement.if_not_exists:
+                    return _status()
+                raise CatalogError(
+                    f"table {statement.name} already exists"
+                )
+            if statement.as_select is not None:
+                return self._create_table_as(statement, session, catalog)
+            columns = [Column(c.name, c.type_name) for c in statement.columns]
+            pk = statement.primary_key or [
+                c.name for c in statement.columns if c.primary_key
+            ]
+            info = self._create_table_object(
+                session, catalog, statement.name, columns, pk,
+                statement.temporary,
+            )
+            self._autocommit()
+            return _status()
+        except Exception:
+            self._autorollback()
+            raise
+
+    def _create_table_object(self, session: _EngineSession,
+                             catalog: Catalog, name: str,
+                             columns: List[Column], primary_key: List[str],
+                             temporary: bool) -> TableInfo:
+        source = session.source()
+        tree = BTree.create(source)
+        info = TableInfo(
+            name=name, root_id=tree.root_id, columns=columns,
+            primary_key=list(primary_key), temporary=temporary,
+        )
+        catalog.create_table(info)
+        if primary_key:
+            index_tree = BTree.create(source)
+            catalog.create_index(IndexInfo(
+                name=f"__pk_{name.lower()}",
+                table=name, root_id=index_tree.root_id,
+                columns=list(primary_key), unique=True,
+                temporary=temporary,
+            ))
+        return info
+
+    def _create_table_as(self, statement: ast.CreateTable,
+                         session: _EngineSession,
+                         catalog: Catalog) -> ResultSet:
+        # Evaluate the SELECT with read access everywhere, write access
+        # on the target engine.  AS OF is honoured via _subselect_rows.
+        ctx = self._write_context()
+        columns_out, rows = self._subselect_rows(statement.as_select, ctx)
+        columns = [Column(name, "") for name in columns_out]
+        info = self._create_table_object(
+            session, catalog, statement.name, columns, [],
+            statement.temporary,
+        )
+        table = TableAccess(info, session.source())
+        writer = TableWriter(table, [])
+        count = 0
+        for row in rows:
+            writer.insert(row)
+            count += 1
+        self._autocommit()
+        return _status(count)
+
+    def _execute_drop_table(self, statement: ast.DropTable) -> ResultSet:
+        session, catalog, info = self._find_table_for_ddl(statement.name)
+        if info is None:
+            if statement.if_exists:
+                return _status()
+            raise CatalogError(f"no such table: {statement.name}")
+        try:
+            source = session.source()
+            for index in catalog.indexes_for(info.name):
+                BTree(source, index.root_id).drop()
+                catalog.drop_index(index.name)
+            BTree(source, info.root_id).drop()
+            catalog.drop_table(info.name)
+            self._autocommit()
+            return _status()
+        except Exception:
+            self._autorollback()
+            raise
+
+    def _find_table_for_ddl(self, name: str):
+        """Locate a table for DDL: aux (temp) first, then main."""
+        for session in (self._aux, self._main):
+            catalog = self._catalog_for_write(session)
+            info = catalog.get_table(name)
+            if info is not None:
+                info.temporary = session is self._aux
+                return session, catalog, info
+        return self._main, self._catalog_for_write(self._main), None
+
+    def _execute_create_index(self, statement: ast.CreateIndex) -> ResultSet:
+        session, catalog, info = self._find_table_for_ddl(statement.table)
+        if info is None:
+            raise CatalogError(f"no such table: {statement.table}")
+        try:
+            if catalog.get_index(statement.name) is not None:
+                if statement.if_not_exists:
+                    return _status()
+                raise CatalogError(
+                    f"index {statement.name} already exists"
+                )
+            for column in statement.columns:
+                info.column_index(column)  # validates
+            source = session.source()
+            started = time.perf_counter()
+            tree = BTree.create(source)
+            index_info = IndexInfo(
+                name=statement.name, table=info.name,
+                root_id=tree.root_id, columns=list(statement.columns),
+                unique=statement.unique, temporary=info.temporary,
+            )
+            catalog.create_index(index_info)
+            table = TableAccess(info, source)
+            index = IndexAccess(index_info, source)
+            positions = [info.column_index(c) for c in statement.columns]
+            count = 0
+            for rowid, row in table.scan():
+                values = [row[p] for p in positions]
+                if statement.unique and index.has_prefix(values):
+                    raise ExecutionError(
+                        f"UNIQUE constraint failed while building "
+                        f"{statement.name}"
+                    )
+                index.insert_entry(values, rowid)
+                count += 1
+            if self.metrics is not None:
+                self.metrics.current.index_creation_seconds += (
+                    time.perf_counter() - started
+                )
+            self._autocommit()
+            return _status(count)
+        except Exception:
+            self._autorollback()
+            raise
+
+    def _execute_drop_index(self, statement: ast.DropIndex) -> ResultSet:
+        for session in (self._aux, self._main):
+            catalog = self._catalog_for_write(session)
+            info = catalog.get_index(statement.name)
+            if info is not None:
+                try:
+                    BTree(session.source(), info.root_id).drop()
+                    catalog.drop_index(statement.name)
+                    self._autocommit()
+                    return _status()
+                except Exception:
+                    self._autorollback()
+                    raise
+        if statement.if_exists:
+            return _status()
+        raise CatalogError(f"no such index: {statement.name}")
+
+
+# ---------------------------------------------------------------------------
+# Execution context implementation
+# ---------------------------------------------------------------------------
+
+class _Context(ExecutionContext):
+    """Binds the planner to this database's catalogs and sources."""
+
+    def __init__(self, db: Database, main_source, aux_source,
+                 writable: bool = False) -> None:
+        self._db = db
+        self._main_source = main_source
+        self._aux_source = aux_source
+        self._writable = writable
+        self._main_catalog = Catalog(
+            main_source, db._catalog_root(db.engine),
+        )
+        self._aux_catalog = Catalog(
+            aux_source, db._catalog_root(db.aux_engine),
+        )
+
+    def open_table(self, name: str) -> TableAccess:
+        info = self._aux_catalog.get_table(name)
+        if info is not None:
+            info.temporary = True
+            return TableAccess(info, self._aux_source)
+        info = self._main_catalog.get_table(name)
+        if info is not None:
+            return TableAccess(info, self._main_source)
+        raise PlanError(f"no such table: {name}")
+
+    def open_indexes(self, table: TableAccess) -> List[IndexAccess]:
+        if table.info.temporary:
+            catalog, source = self._aux_catalog, self._aux_source
+        else:
+            catalog, source = self._main_catalog, self._main_source
+        return [IndexAccess(ix, source)
+                for ix in catalog.indexes_for(table.info.name)]
+
+    @property
+    def functions(self) -> Dict[str, Callable[..., SqlValue]]:
+        return self._db.functions.snapshot()
+
+    def note_index_creation(self, seconds: float) -> None:
+        sink = self._db.metrics
+        if sink is not None:
+            sink.current.index_creation_seconds += seconds
+
+    def note_query_eval(self, seconds: float) -> None:
+        sink = self._db.metrics
+        if sink is not None:
+            sink.current.query_eval_seconds += seconds
+
+
+def _table_scope(table: TableAccess) -> Scope:
+    return Scope([(table.info.name, c) for c in table.info.column_names()])
+
+
+def _status(rowcount: int = 0) -> ResultSet:
+    result = ResultSet([], [])
+    result.rowcount = rowcount  # type: ignore[attr-defined]
+    return result

@@ -1,0 +1,310 @@
+"""Physical access paths and DML execution.
+
+:class:`TableAccess` / :class:`IndexAccess` bind catalog objects to a
+page source (current state, transaction workspace, or a Retro snapshot —
+the same code path serves all three, which is the heart of retrospection:
+a query running ``AS OF`` a snapshot executes byte-for-byte the same
+access code, only the page fetches resolve differently).
+
+Row storage: table B+tree keyed by ``encode_key((rowid,))`` with the row
+record as payload; index B+trees keyed by
+``encode_key((*column_values, rowid))`` with the rowid record as payload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError
+from repro.sql.catalog import IndexInfo, TableInfo
+from repro.sql.types import SqlValue, coerce_for_column
+from repro.storage.btree import BTree
+from repro.storage.record import decode_record, encode_key, encode_record
+
+Row = Tuple[SqlValue, ...]
+
+
+class TableAccess:
+    """Read/write access to one table through a page source."""
+
+    def __init__(self, info: TableInfo, source) -> None:
+        self.info = info
+        self.tree = BTree(source, info.root_id)
+
+    # -- reads -----------------------------------------------------------
+
+    def scan(self) -> Iterator[Tuple[int, Row]]:
+        """Yield (rowid, row) in rowid order."""
+        for key, value in self.tree.scan_all():
+            yield decode_record_key_rowid(key), decode_record(value)
+
+    def scan_rows(self) -> Iterator[Row]:
+        for _, value in self.tree.scan_all():
+            yield decode_record(value)
+
+    def get(self, rowid: int) -> Optional[Row]:
+        raw = self.tree.get(encode_key((rowid,)))
+        return decode_record(raw) if raw is not None else None
+
+    def count(self) -> int:
+        return self.tree.count()
+
+    # -- writes (index maintenance is the writer's job, see TableWriter) --------
+
+    def next_rowid(self) -> int:
+        last = self.tree.last_key()
+        if last is None:
+            return 1
+        return int(decode_record_key_rowid(last)) + 1
+
+    def insert_raw(self, rowid: int, row: Row) -> None:
+        self.tree.insert(encode_key((rowid,)), encode_record(row))
+
+    def delete_raw(self, rowid: int) -> bool:
+        return self.tree.delete(encode_key((rowid,)))
+
+
+def decode_record_key_rowid(key: bytes) -> int:
+    """Extract the rowid from a table key (single-int encoded key)."""
+    from repro.storage.record import decode_key
+
+    (rowid,) = decode_key(key)
+    return int(rowid)
+
+
+class IndexAccess:
+    """Read/write access to one secondary index."""
+
+    def __init__(self, info: IndexInfo, source) -> None:
+        self.info = info
+        self.tree = BTree(source, info.root_id)
+
+    @staticmethod
+    def key_for(values: Sequence[SqlValue], rowid: int) -> bytes:
+        return encode_key(tuple(values) + (rowid,))
+
+    # -- reads -----------------------------------------------------------
+
+    def lookup_equal(self, values: Sequence[SqlValue]) -> Iterator[int]:
+        """Rowids whose indexed columns equal ``values`` (a full prefix)."""
+        prefix = encode_key(tuple(values))
+        for _, payload in self.tree.scan_prefix(prefix):
+            (rowid,) = decode_record(payload)
+            yield int(rowid)
+
+    def lookup_range(self, lo: Optional[Sequence[SqlValue]],
+                     hi: Optional[Sequence[SqlValue]],
+                     lo_inclusive: bool = True,
+                     hi_inclusive: bool = True) -> Iterator[int]:
+        """Rowids with lo <=/< first column(s) <=/< hi."""
+        lo_key = encode_key(tuple(lo)) if lo is not None else None
+        hi_key = encode_key(tuple(hi)) if hi is not None else None
+        for key, payload in self.tree.scan_range(lo_key, hi_key,
+                                                 hi_inclusive=hi_inclusive):
+            if not lo_inclusive and lo_key is not None and \
+                    key.startswith(lo_key):
+                continue
+            (rowid,) = decode_record(payload)
+            yield int(rowid)
+
+    def scan_all(self) -> Iterator[int]:
+        for _, payload in self.tree.scan_all():
+            (rowid,) = decode_record(payload)
+            yield int(rowid)
+
+    # -- writes ------------------------------------------------------------
+
+    def insert_entry(self, values: Sequence[SqlValue], rowid: int) -> None:
+        self.tree.insert(self.key_for(values, rowid),
+                         encode_record((rowid,)))
+
+    def delete_entry(self, values: Sequence[SqlValue], rowid: int) -> bool:
+        return self.tree.delete(self.key_for(values, rowid))
+
+    def has_prefix(self, values: Sequence[SqlValue]) -> bool:
+        prefix = encode_key(tuple(values))
+        for _ in self.tree.scan_prefix(prefix):
+            return True
+        return False
+
+
+class TableWriter:
+    """Insert/delete/update with index maintenance and PK enforcement."""
+
+    def __init__(self, table: TableAccess, indexes: List[IndexAccess]) -> None:
+        self.table = table
+        self.indexes = indexes
+        self._pk_index = next(
+            (ix for ix in indexes if ix.info.unique), None,
+        )
+        # next_rowid() descends the tree; cache it across inserts (the
+        # writer is the only mutator of this table for its lifetime).
+        self._next_rowid: Optional[int] = None
+
+    def _index_values(self, index: IndexAccess, row: Row) -> List[SqlValue]:
+        info = self.table.info
+        return [row[info.column_index(c)] for c in index.info.columns]
+
+    def insert(self, row: Sequence[SqlValue]) -> int:
+        info = self.table.info
+        if len(row) != len(info.columns):
+            raise ExecutionError(
+                f"table {info.name} has {len(info.columns)} columns but "
+                f"{len(row)} values were supplied"
+            )
+        coerced = tuple(
+            coerce_for_column(v, c.type_name)
+            for v, c in zip(row, info.columns)
+        )
+        for index in self.indexes:
+            if index.info.unique:
+                values = self._index_values(index, coerced)
+                if index.has_prefix(values):
+                    raise ExecutionError(
+                        f"UNIQUE constraint failed: {info.name}"
+                        f"({', '.join(index.info.columns)})"
+                    )
+        if self._next_rowid is None:
+            self._next_rowid = self.table.next_rowid()
+        rowid = self._next_rowid
+        self._next_rowid += 1
+        self.table.insert_raw(rowid, coerced)
+        for index in self.indexes:
+            index.insert_entry(self._index_values(index, coerced), rowid)
+        return rowid
+
+    def delete(self, rowid: int) -> bool:
+        row = self.table.get(rowid)
+        if row is None:
+            return False
+        self.table.delete_raw(rowid)
+        for index in self.indexes:
+            index.delete_entry(self._index_values(index, row), rowid)
+        return True
+
+    def update(self, rowid: int, new_row: Sequence[SqlValue]) -> None:
+        info = self.table.info
+        old_row = self.table.get(rowid)
+        if old_row is None:
+            raise ExecutionError(f"rowid {rowid} vanished during UPDATE")
+        coerced = tuple(
+            coerce_for_column(v, c.type_name)
+            for v, c in zip(new_row, info.columns)
+        )
+        for index in self.indexes:
+            old_vals = self._index_values(index, old_row)
+            new_vals = self._index_values(index, coerced)
+            if old_vals != new_vals and index.info.unique and \
+                    index.has_prefix(new_vals):
+                raise ExecutionError(
+                    f"UNIQUE constraint failed: {info.name}"
+                    f"({', '.join(index.info.columns)})"
+                )
+        self.table.insert_raw(rowid, coerced)
+        for index in self.indexes:
+            old_vals = self._index_values(index, old_row)
+            new_vals = self._index_values(index, coerced)
+            if old_vals != new_vals:
+                index.delete_entry(old_vals, rowid)
+                index.insert_entry(new_vals, rowid)
+
+
+class EphemeralPageSource:
+    """In-memory page source for statement-lifetime structures.
+
+    Used for SQLite-style automatic covering indexes: the planner builds
+    a real B+tree (real page serialization costs — that is what makes
+    index creation dominate Figure 9) that vanishes with the statement.
+    """
+
+    def __init__(self, page_size: int = 4096) -> None:
+        self._page_size = page_size
+        self._pages: Dict[int, "object"] = {}
+        self._next_id = 1
+
+    def fetch(self, page_id: int):
+        return self._pages[page_id]
+
+    def release(self, page) -> None:
+        pass
+
+    def allocate_page(self):
+        from repro.storage.page import Page
+
+        page = Page(self._next_id, page_size=self._page_size)
+        self._pages[self._next_id] = page
+        self._next_id += 1
+        return page
+
+    def free_page(self, page_id: int) -> None:
+        self._pages.pop(page_id, None)
+
+    def mark_dirty(self, page) -> None:
+        pass
+
+    def make_writable(self, page):
+        return page
+
+
+class EphemeralIndex:
+    """An automatic covering index over one column of a row stream."""
+
+    def __init__(self, page_size: int = 4096) -> None:
+        from repro.storage.btree import BTree
+
+        self._source = EphemeralPageSource(page_size)
+        self._tree = BTree.create(self._source)
+        self._sequence = 0
+
+    def add(self, key_value: SqlValue, row: Row) -> None:
+        if key_value is None:
+            return
+        self._sequence += 1
+        self._tree.insert(encode_key((key_value, self._sequence)),
+                          encode_record(row))
+
+    def lookup(self, key_value: SqlValue) -> Iterator[Row]:
+        if key_value is None:
+            return
+        prefix = encode_key((key_value,))
+        for _, payload in self._tree.scan_prefix(prefix):
+            yield decode_record(payload)
+
+
+class ResultSet:
+    """Materialized query result: column names + row tuples."""
+
+    def __init__(self, columns: List[str], rows: List[Row]) -> None:
+        self.columns = columns
+        self.rows = rows
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def scalar(self) -> SqlValue:
+        """The single value of a 1x1 result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ExecutionError(
+                f"expected a 1x1 result, got {len(self.rows)} rows x "
+                f"{len(self.columns)} columns"
+            )
+        return self.rows[0][0]
+
+    def first(self) -> Optional[Row]:
+        return self.rows[0] if self.rows else None
+
+    def column(self, name: str) -> List[SqlValue]:
+        lowered = name.lower()
+        for i, col in enumerate(self.columns):
+            if col.lower() == lowered:
+                return [row[i] for row in self.rows]
+        raise ExecutionError(f"no such result column: {name}")
+
+    def to_dicts(self) -> List[Dict[str, SqlValue]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultSet(columns={self.columns}, rows={len(self.rows)})"

@@ -1,0 +1,408 @@
+"""Expression compilation.
+
+AST expression nodes are compiled once per statement into Python closures
+``row -> value`` (a row is a flat tuple of SQL values).  Column references
+are resolved to positions through a :class:`Scope`; aggregate results and
+group keys resolve through the synthetic :class:`PostAggRef` node the
+planner substitutes in.
+
+All operators implement SQL three-valued logic: comparisons with NULL
+yield NULL, ``AND``/``OR`` follow Kleene logic, arithmetic with NULL
+yields NULL.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import PlanError, TypeMismatchError
+from repro.sql import ast
+from repro.sql.types import SqlValue, compare, is_true, to_number
+
+Evaluator = Callable[[Sequence[SqlValue]], SqlValue]
+
+
+@dataclass
+class PostAggRef(ast.Expr):
+    """Planner-internal: reference into the aggregated row."""
+
+    position: int
+    display: str = ""
+
+
+class Scope:
+    """Maps (qualifier, column) to row positions.
+
+    ``bindings`` is an ordered list of (binding_name, column_name); the
+    position of an entry is its index in the joined row tuple.
+    """
+
+    def __init__(self, bindings: List[Tuple[str, str]]) -> None:
+        self.bindings = bindings
+        self._by_qualified: Dict[Tuple[str, str], int] = {}
+        self._by_name: Dict[str, List[int]] = {}
+        for pos, (binding, column) in enumerate(bindings):
+            self._by_qualified[(binding.lower(), column.lower())] = pos
+            self._by_name.setdefault(column.lower(), []).append(pos)
+
+    def resolve(self, ref: ast.ColumnRef) -> int:
+        if ref.table is not None:
+            key = (ref.table.lower(), ref.name.lower())
+            if key not in self._by_qualified:
+                raise PlanError(f"no such column: {ref.display()}")
+            return self._by_qualified[key]
+        positions = self._by_name.get(ref.name.lower(), [])
+        if not positions:
+            raise PlanError(f"no such column: {ref.name}")
+        if len(positions) > 1:
+            raise PlanError(f"ambiguous column name: {ref.name}")
+        return positions[0]
+
+    def try_resolve(self, ref: ast.ColumnRef) -> Optional[int]:
+        try:
+            return self.resolve(ref)
+        except PlanError:
+            return None
+
+    def positions_for_binding(self, binding: str) -> List[int]:
+        lowered = binding.lower()
+        return [pos for pos, (b, _) in enumerate(self.bindings)
+                if b.lower() == lowered]
+
+    def __len__(self) -> int:
+        return len(self.bindings)
+
+
+def like_to_regex(pattern: str) -> "re.Pattern[str]":
+    """Translate a SQL LIKE pattern (%, _) to a compiled regex."""
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("^" + "".join(out) + "$", re.IGNORECASE | re.DOTALL)
+
+
+class ExpressionCompiler:
+    """Compiles AST expressions against a scope + function registry."""
+
+    def __init__(self, scope: Scope,
+                 functions: Optional[Dict[str, Callable[..., SqlValue]]] = None) -> None:
+        self.scope = scope
+        self.functions = functions or {}
+
+    def compile(self, expr: ast.Expr) -> Evaluator:
+        method = getattr(self, "_compile_" + type(expr).__name__.lower(),
+                         None)
+        if method is None:
+            raise PlanError(
+                f"unsupported expression node {type(expr).__name__}"
+            )
+        return method(expr)
+
+    # -- leaves -----------------------------------------------------------
+
+    def _compile_literal(self, expr: ast.Literal) -> Evaluator:
+        value = expr.value
+        return lambda row: value
+
+    def _compile_columnref(self, expr: ast.ColumnRef) -> Evaluator:
+        position = self.scope.resolve(expr)
+        return lambda row: row[position]
+
+    def _compile_postaggref(self, expr: PostAggRef) -> Evaluator:
+        position = expr.position
+        return lambda row: row[position]
+
+    # -- unary -----------------------------------------------------------
+
+    def _compile_unaryop(self, expr: ast.UnaryOp) -> Evaluator:
+        operand = self.compile(expr.operand)
+        if expr.op == "NOT":
+            def not_eval(row: Sequence[SqlValue]) -> SqlValue:
+                value = operand(row)
+                if value is None:
+                    return None
+                return 0 if is_true(value) else 1
+            return not_eval
+        if expr.op == "-":
+            def neg_eval(row: Sequence[SqlValue]) -> SqlValue:
+                value = to_number(operand(row))
+                return None if value is None else -value
+            return neg_eval
+        if expr.op == "+":
+            def pos_eval(row: Sequence[SqlValue]) -> SqlValue:
+                return to_number(operand(row))
+            return pos_eval
+        raise PlanError(f"unknown unary operator {expr.op}")
+
+    # -- binary -----------------------------------------------------------
+
+    def _compile_binaryop(self, expr: ast.BinaryOp) -> Evaluator:
+        op = expr.op
+        if op == "AND":
+            left, right = self.compile(expr.left), self.compile(expr.right)
+
+            def and_eval(row: Sequence[SqlValue]) -> SqlValue:
+                lv = left(row)
+                if lv is not None and not is_true(lv):
+                    return 0
+                rv = right(row)
+                if rv is not None and not is_true(rv):
+                    return 0
+                if lv is None or rv is None:
+                    return None
+                return 1
+            return and_eval
+        if op == "OR":
+            left, right = self.compile(expr.left), self.compile(expr.right)
+
+            def or_eval(row: Sequence[SqlValue]) -> SqlValue:
+                lv = left(row)
+                if lv is not None and is_true(lv):
+                    return 1
+                rv = right(row)
+                if rv is not None and is_true(rv):
+                    return 1
+                if lv is None or rv is None:
+                    return None
+                return 0
+            return or_eval
+        if op in ("=", "!=", "<", "<=", ">", ">="):
+            return self._compile_comparison(expr)
+        if op == "||":
+            left, right = self.compile(expr.left), self.compile(expr.right)
+
+            def concat_eval(row: Sequence[SqlValue]) -> SqlValue:
+                lv, rv = left(row), right(row)
+                if lv is None or rv is None:
+                    return None
+                return _to_text(lv) + _to_text(rv)
+            return concat_eval
+        if op in ("+", "-", "*", "/", "%"):
+            return self._compile_arithmetic(expr)
+        raise PlanError(f"unknown binary operator {op}")
+
+    def _compile_comparison(self, expr: ast.BinaryOp) -> Evaluator:
+        left, right = self.compile(expr.left), self.compile(expr.right)
+        op = expr.op
+
+        def cmp_eval(row: Sequence[SqlValue]) -> SqlValue:
+            result = compare(left(row), right(row))
+            if result is None:
+                return None
+            if op == "=":
+                return 1 if result == 0 else 0
+            if op == "!=":
+                return 1 if result != 0 else 0
+            if op == "<":
+                return 1 if result < 0 else 0
+            if op == "<=":
+                return 1 if result <= 0 else 0
+            if op == ">":
+                return 1 if result > 0 else 0
+            return 1 if result >= 0 else 0
+        return cmp_eval
+
+    def _compile_arithmetic(self, expr: ast.BinaryOp) -> Evaluator:
+        left, right = self.compile(expr.left), self.compile(expr.right)
+        op = expr.op
+
+        def arith_eval(row: Sequence[SqlValue]) -> SqlValue:
+            lv, rv = to_number(left(row)), to_number(right(row))
+            if lv is None or rv is None:
+                return None
+            if op == "+":
+                return lv + rv
+            if op == "-":
+                return lv - rv
+            if op == "*":
+                return lv * rv
+            if op == "/":
+                if rv == 0:
+                    return None  # SQLite yields NULL on divide-by-zero
+                if isinstance(lv, int) and isinstance(rv, int):
+                    # SQLite integer division truncates toward zero.
+                    quotient = abs(lv) // abs(rv)
+                    return quotient if (lv < 0) == (rv < 0) else -quotient
+                return lv / rv
+            if rv == 0:
+                return None
+            return lv % rv
+        return arith_eval
+
+    # -- predicates ------------------------------------------------------------
+
+    def _compile_isnull(self, expr: ast.IsNull) -> Evaluator:
+        operand = self.compile(expr.operand)
+        negated = expr.negated
+
+        def isnull_eval(row: Sequence[SqlValue]) -> SqlValue:
+            is_null = operand(row) is None
+            return 1 if (is_null != negated) else 0
+        return isnull_eval
+
+    def _compile_inlist(self, expr: ast.InList) -> Evaluator:
+        operand = self.compile(expr.operand)
+        items = [self.compile(item) for item in expr.items]
+        negated = expr.negated
+
+        def in_eval(row: Sequence[SqlValue]) -> SqlValue:
+            value = operand(row)
+            if value is None:
+                return None
+            saw_null = False
+            for item in items:
+                iv = item(row)
+                if iv is None:
+                    saw_null = True
+                    continue
+                if compare(value, iv) == 0:
+                    return 0 if negated else 1
+            if saw_null:
+                return None
+            return 1 if negated else 0
+        return in_eval
+
+    def _compile_between(self, expr: ast.Between) -> Evaluator:
+        operand = self.compile(expr.operand)
+        low, high = self.compile(expr.low), self.compile(expr.high)
+        negated = expr.negated
+
+        def between_eval(row: Sequence[SqlValue]) -> SqlValue:
+            value = operand(row)
+            lo, hi = low(row), high(row)
+            c1 = compare(value, lo)
+            c2 = compare(value, hi)
+            if c1 is None or c2 is None:
+                return None
+            result = c1 >= 0 and c2 <= 0
+            return 1 if (result != negated) else 0
+        return between_eval
+
+    def _compile_like(self, expr: ast.Like) -> Evaluator:
+        operand = self.compile(expr.operand)
+        pattern = self.compile(expr.pattern)
+        negated = expr.negated
+        cache: Dict[str, "re.Pattern[str]"] = {}
+
+        def like_eval(row: Sequence[SqlValue]) -> SqlValue:
+            value = operand(row)
+            pat = pattern(row)
+            if value is None or pat is None:
+                return None
+            text = _to_text(value)
+            pat_text = _to_text(pat)
+            regex = cache.get(pat_text)
+            if regex is None:
+                regex = like_to_regex(pat_text)
+                cache[pat_text] = regex
+            matched = regex.match(text) is not None
+            return 1 if (matched != negated) else 0
+        return like_eval
+
+    # -- functions / CASE -----------------------------------------------------------
+
+    def _compile_functioncall(self, expr: ast.FunctionCall) -> Evaluator:
+        name = expr.name.lower()
+        fn = self.functions.get(name)
+        if fn is None:
+            if expr.is_aggregate_name():
+                raise PlanError(
+                    f"aggregate {expr.name}() used outside GROUP BY context"
+                )
+            raise PlanError(f"no such function: {expr.name}")
+        args = [self.compile(a) for a in expr.args]
+
+        def call_eval(row: Sequence[SqlValue]) -> SqlValue:
+            return fn(*[a(row) for a in args])
+        return call_eval
+
+    def _compile_caseexpr(self, expr: ast.CaseExpr) -> Evaluator:
+        operand = self.compile(expr.operand) if expr.operand else None
+        branches = [(self.compile(c), self.compile(r))
+                    for c, r in expr.branches]
+        else_result = (self.compile(expr.else_result)
+                       if expr.else_result else None)
+
+        def case_eval(row: Sequence[SqlValue]) -> SqlValue:
+            if operand is not None:
+                target = operand(row)
+                for condition, result in branches:
+                    if compare(target, condition(row)) == 0:
+                        return result(row)
+            else:
+                for condition, result in branches:
+                    if is_true(condition(row)):
+                        return result(row)
+            return else_result(row) if else_result else None
+        return case_eval
+
+
+def _to_text(value: SqlValue) -> str:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bytes):
+        raise TypeMismatchError("cannot use a blob as text")
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+# ---------------------------------------------------------------------------
+# AST utilities shared with the planner
+# ---------------------------------------------------------------------------
+
+def walk(expr: ast.Expr):
+    """Yield every node of an expression tree (pre-order)."""
+    yield expr
+    if isinstance(expr, ast.UnaryOp):
+        yield from walk(expr.operand)
+    elif isinstance(expr, ast.BinaryOp):
+        yield from walk(expr.left)
+        yield from walk(expr.right)
+    elif isinstance(expr, ast.IsNull):
+        yield from walk(expr.operand)
+    elif isinstance(expr, ast.InList):
+        yield from walk(expr.operand)
+        for item in expr.items:
+            yield from walk(item)
+    elif isinstance(expr, ast.Between):
+        yield from walk(expr.operand)
+        yield from walk(expr.low)
+        yield from walk(expr.high)
+    elif isinstance(expr, ast.Like):
+        yield from walk(expr.operand)
+        yield from walk(expr.pattern)
+    elif isinstance(expr, ast.FunctionCall):
+        for arg in expr.args:
+            yield from walk(arg)
+    elif isinstance(expr, ast.CaseExpr):
+        if expr.operand:
+            yield from walk(expr.operand)
+        for condition, result in expr.branches:
+            yield from walk(condition)
+            yield from walk(result)
+        if expr.else_result:
+            yield from walk(expr.else_result)
+
+
+def contains_aggregate(expr: ast.Expr) -> bool:
+    return any(
+        isinstance(node, ast.FunctionCall) and node.is_aggregate_name()
+        for node in walk(expr)
+    )
+
+
+def conjuncts(expr: Optional[ast.Expr]) -> List[ast.Expr]:
+    """Split a predicate into AND-ed conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
+        return conjuncts(expr.left) + conjuncts(expr.right)
+    return [expr]

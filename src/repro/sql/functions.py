@@ -1,0 +1,290 @@
+"""Built-in scalar and aggregate functions, and the UDF registry.
+
+Scalar functions are plain callables over SQL values.  Aggregate
+functions are accumulator classes driven by the GROUP BY operator.  User
+defined functions (the RQL mechanisms) register through
+:class:`FunctionRegistry` — mirroring SQLite's ``create_function`` API
+the paper's implementation builds on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Type
+
+from repro.errors import UdfError
+from repro.sql.types import SqlValue, compare, to_number
+
+
+# ---------------------------------------------------------------------------
+# Scalar built-ins
+# ---------------------------------------------------------------------------
+
+def _abs(value: SqlValue) -> SqlValue:
+    number = to_number(value)
+    return None if number is None else abs(number)
+
+
+def _length(value: SqlValue) -> SqlValue:
+    if value is None:
+        return None
+    if isinstance(value, (str, bytes)):
+        return len(value)
+    return len(str(value))
+
+
+def _lower(value: SqlValue) -> SqlValue:
+    return None if value is None else str(value).lower()
+
+
+def _upper(value: SqlValue) -> SqlValue:
+    return None if value is None else str(value).upper()
+
+
+def _substr(value: SqlValue, start: SqlValue,
+            length: SqlValue = None) -> SqlValue:
+    if value is None or start is None:
+        return None
+    text = str(value)
+    begin = int(start) - 1 if int(start) > 0 else max(len(text) + int(start), 0)
+    if length is None:
+        return text[begin:]
+    return text[begin:begin + int(length)]
+
+
+def _coalesce(*args: SqlValue) -> SqlValue:
+    for arg in args:
+        if arg is not None:
+            return arg
+    return None
+
+
+def _nullif(a: SqlValue, b: SqlValue) -> SqlValue:
+    return None if compare(a, b) == 0 else a
+
+
+def _round(value: SqlValue, digits: SqlValue = 0) -> SqlValue:
+    number = to_number(value)
+    if number is None:
+        return None
+    return round(float(number), int(digits or 0))
+
+
+def _ifnull(a: SqlValue, b: SqlValue) -> SqlValue:
+    return a if a is not None else b
+
+
+def _min_scalar(*args: SqlValue) -> SqlValue:
+    if any(a is None for a in args):
+        return None
+    best = args[0]
+    for arg in args[1:]:
+        if compare(arg, best) == -1:
+            best = arg
+    return best
+
+
+def _max_scalar(*args: SqlValue) -> SqlValue:
+    if any(a is None for a in args):
+        return None
+    best = args[0]
+    for arg in args[1:]:
+        if compare(arg, best) == 1:
+            best = arg
+    return best
+
+
+def _sqrt(value: SqlValue) -> SqlValue:
+    number = to_number(value)
+    if number is None or number < 0:
+        return None
+    return math.sqrt(number)
+
+
+BUILTIN_SCALARS: Dict[str, Callable[..., SqlValue]] = {
+    "abs": _abs,
+    "length": _length,
+    "lower": _lower,
+    "upper": _upper,
+    "substr": _substr,
+    "substring": _substr,
+    "coalesce": _coalesce,
+    "nullif": _nullif,
+    "ifnull": _ifnull,
+    "round": _round,
+    "sqrt": _sqrt,
+}
+
+
+# ---------------------------------------------------------------------------
+# Aggregates
+# ---------------------------------------------------------------------------
+
+class Aggregate:
+    """Accumulator protocol for GROUP BY aggregates."""
+
+    def step(self, value: SqlValue) -> None:
+        raise NotImplementedError
+
+    def result(self) -> SqlValue:
+        raise NotImplementedError
+
+
+class CountAggregate(Aggregate):
+    """COUNT(expr) — counts non-NULL inputs; COUNT(*) feeds a constant."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def step(self, value: SqlValue) -> None:
+        if value is not None:
+            self.count += 1
+
+    def result(self) -> SqlValue:
+        return self.count
+
+
+class SumAggregate(Aggregate):
+    def __init__(self) -> None:
+        self.total: Optional[float] = None
+
+    def step(self, value: SqlValue) -> None:
+        if value is None:
+            return
+        number = to_number(value)
+        self.total = number if self.total is None else self.total + number
+
+    def result(self) -> SqlValue:
+        return self.total
+
+
+class AvgAggregate(Aggregate):
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.count = 0
+
+    def step(self, value: SqlValue) -> None:
+        if value is None:
+            return
+        self.total += float(to_number(value))
+        self.count += 1
+
+    def result(self) -> SqlValue:
+        return self.total / self.count if self.count else None
+
+
+class MinAggregate(Aggregate):
+    def __init__(self) -> None:
+        self.best: SqlValue = None
+
+    def step(self, value: SqlValue) -> None:
+        if value is None:
+            return
+        if self.best is None or compare(value, self.best) == -1:
+            self.best = value
+
+    def result(self) -> SqlValue:
+        return self.best
+
+
+class MaxAggregate(Aggregate):
+    def __init__(self) -> None:
+        self.best: SqlValue = None
+
+    def step(self, value: SqlValue) -> None:
+        if value is None:
+            return
+        if self.best is None or compare(value, self.best) == 1:
+            self.best = value
+
+    def result(self) -> SqlValue:
+        return self.best
+
+
+class GroupConcatAggregate(Aggregate):
+    def __init__(self) -> None:
+        self.parts: List[str] = []
+
+    def step(self, value: SqlValue) -> None:
+        if value is not None:
+            self.parts.append(str(value))
+
+    def result(self) -> SqlValue:
+        return ",".join(self.parts) if self.parts else None
+
+
+class DistinctAggregate(Aggregate):
+    """Wrapper implementing DISTINCT for any inner aggregate."""
+
+    def __init__(self, inner: Aggregate) -> None:
+        self.inner = inner
+        self.seen: set = set()
+
+    def step(self, value: SqlValue) -> None:
+        if value is None:
+            return
+        marker = (type(value).__name__, value)
+        if marker in self.seen:
+            return
+        self.seen.add(marker)
+        self.inner.step(value)
+
+    def result(self) -> SqlValue:
+        return self.inner.result()
+
+
+AGGREGATES: Dict[str, Type[Aggregate]] = {
+    "count": CountAggregate,
+    "sum": SumAggregate,
+    "total": SumAggregate,
+    "avg": AvgAggregate,
+    "min": MinAggregate,
+    "max": MaxAggregate,
+    "group_concat": GroupConcatAggregate,
+}
+
+
+def make_aggregate(name: str, distinct: bool) -> Aggregate:
+    cls = AGGREGATES.get(name.lower())
+    if cls is None:
+        raise UdfError(f"no such aggregate: {name}")
+    agg = cls()
+    return DistinctAggregate(agg) if distinct else agg
+
+
+def is_aggregate(name: str) -> bool:
+    return name.lower() in AGGREGATES
+
+
+# ---------------------------------------------------------------------------
+# UDF registry
+# ---------------------------------------------------------------------------
+
+class FunctionRegistry:
+    """Scalar function registry: built-ins + user defined functions.
+
+    This is the SQLite-UDF analogue RQL plugs into: a registered function
+    is invoked once per row produced by the enclosing SELECT, which is
+    exactly how the RQL "loop body" iterates over the snapshot set
+    (paper Section 3).
+    """
+
+    def __init__(self) -> None:
+        self._functions: Dict[str, Callable[..., SqlValue]] = dict(
+            BUILTIN_SCALARS
+        )
+
+    def register(self, name: str, fn: Callable[..., SqlValue]) -> None:
+        if not callable(fn):
+            raise UdfError(f"UDF {name} is not callable")
+        self._functions[name.lower()] = fn
+
+    def unregister(self, name: str) -> None:
+        self._functions.pop(name.lower(), None)
+
+    def get(self, name: str) -> Optional[Callable[..., SqlValue]]:
+        return self._functions.get(name.lower())
+
+    def snapshot(self) -> Dict[str, Callable[..., SqlValue]]:
+        """A copy handed to the expression compiler per statement."""
+        return dict(self._functions)

@@ -1,0 +1,997 @@
+"""Query planning and SELECT execution.
+
+Planning follows SQLite's spirit at a smaller scale:
+
+* single-table access picks a native index when an equality or range
+  conjunct matches the index's leading column, else a sequential scan;
+* joins are left-deep nested loops; the inner side uses a native index
+  when one matches the join column, otherwise the planner builds an
+  **automatic covering index** (an ephemeral hash index) on the inner
+  join column — SQLite's "automatic index" that Figure 9 of the paper
+  shows dominating ad-hoc snapshot query cost.  Its build time is
+  metered as ``index_creation_seconds``;
+* GROUP BY is a hash aggregate; DISTINCT a hash dedupe; ORDER BY a sort
+  on mixed-type-safe keys.
+
+The planner is source-agnostic: the execution context supplies page
+sources, so the same plan logic runs on the current state, inside a
+write transaction, or ``AS OF`` a Retro snapshot.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import PlanError
+from repro.sql import ast
+from repro.sql.executor import IndexAccess, ResultSet, Row, TableAccess
+from repro.sql.expressions import (
+    ExpressionCompiler,
+    PostAggRef,
+    Scope,
+    conjuncts,
+    contains_aggregate,
+    walk,
+)
+from repro.sql.functions import is_aggregate, make_aggregate
+from repro.sql.types import SqlValue, is_true
+
+
+@dataclass
+class BoundTable:
+    binding: str
+    access: TableAccess
+    indexes: List[IndexAccess]
+
+    @property
+    def column_names(self) -> List[str]:
+        return self.access.info.column_names()
+
+
+class ExecutionContext:
+    """What the planner needs from the database layer, per statement."""
+
+    def open_table(self, name: str) -> TableAccess:
+        raise NotImplementedError
+
+    def open_indexes(self, table: TableAccess) -> List[IndexAccess]:
+        raise NotImplementedError
+
+    @property
+    def functions(self) -> Dict[str, Callable[..., SqlValue]]:
+        raise NotImplementedError
+
+    def note_index_creation(self, seconds: float) -> None:
+        """Report ephemeral (automatic) index build time."""
+
+    def note_query_eval(self, seconds: float) -> None:
+        """Report query evaluation time (excl. auto-index builds)."""
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+def run_select(select: ast.Select, ctx: ExecutionContext) -> ResultSet:
+    """Plan and execute a SELECT, returning a materialized result."""
+    started = time.perf_counter()
+    planner = _SelectPlanner(select, ctx)
+    result = planner.run()
+    ctx.note_query_eval(time.perf_counter() - started
+                        - planner.index_build_seconds)
+    return result
+
+
+def explain_select(select: ast.Select, ctx: ExecutionContext) -> List[str]:
+    """Access-path decisions for a SELECT, without executing it.
+
+    Mirrors SQLite's EXPLAIN QUERY PLAN at a coarse grain: one line per
+    table access (scan / index search / automatic covering index) plus
+    pipeline stages (aggregate, distinct, sort, limit).
+    """
+    planner = _SelectPlanner(select, ctx)
+    # Building the pipeline records the notes; the generators are never
+    # consumed, so nothing executes (auto-index builds happen lazily).
+    planner.columns_and_rows()
+    notes = list(planner.plan_notes)
+    if select.as_of is not None:
+        notes.insert(0, "AS OF snapshot (Retro SPT + snapshot cache)")
+    if select.group_by or any(
+            item.expr is not None and contains_aggregate(item.expr)
+            for item in select.items if not item.is_star):
+        notes.append("AGGREGATE (hash group-by)")
+    if select.distinct:
+        notes.append("DISTINCT (hash)")
+    if select.order_by:
+        notes.append("ORDER BY (sort)")
+    if select.limit is not None or select.offset is not None:
+        notes.append("LIMIT/OFFSET")
+    return notes
+
+
+def run_select_streaming(select: ast.Select, ctx: ExecutionContext,
+                         on_row: Callable[[Sequence[SqlValue]], None]) -> List[str]:
+    """Execute a SELECT, invoking ``on_row`` per row (UDF callback path).
+
+    Returns the output column names.  This mirrors ``sqlite3_exec``'s
+    row-callback protocol the RQL implementation builds on.
+    """
+    planner = _SelectPlanner(select, ctx)
+    columns, rows = planner.columns_and_rows()
+    for row in rows:
+        on_row(row)
+    return columns
+
+
+# ---------------------------------------------------------------------------
+# The planner proper
+# ---------------------------------------------------------------------------
+
+class _SelectPlanner:
+    def __init__(self, select: ast.Select, ctx: ExecutionContext) -> None:
+        self.select = select
+        self.ctx = ctx
+        self.index_build_seconds = 0.0
+        #: human-readable access-path decisions (EXPLAIN output)
+        self.plan_notes: List[str] = []
+
+    # -- public -----------------------------------------------------------
+
+    def run(self) -> ResultSet:
+        columns, rows = self.columns_and_rows()
+        return ResultSet(columns, list(rows))
+
+    def columns_and_rows(self) -> Tuple[List[str], Iterator[Row]]:
+        select = self.select
+        tables, join_filters = self._resolve_from(select.source)
+        predicates = conjuncts(select.where) + join_filters
+
+        if tables:
+            ordered, source_rows, remaining = self._plan_access(
+                tables, predicates,
+            )
+            scope = _scope_for(ordered)
+        else:
+            ordered = []
+            source_rows = iter([()])
+            remaining = predicates
+            scope = Scope([])
+
+        compiler = ExpressionCompiler(scope, self.ctx.functions)
+
+        if remaining:
+            filters = [compiler.compile(p) for p in remaining]
+            source_rows = _filtered(source_rows, filters)
+
+        items = self._expand_stars(select.items, scope)
+        aggregated = bool(select.group_by) or any(
+            item.expr is not None and contains_aggregate(item.expr)
+            for item in items
+        ) or (select.having is not None
+              and contains_aggregate(select.having))
+
+        if aggregated:
+            columns, rows = self._run_aggregate(items, source_rows,
+                                                scope, compiler)
+        else:
+            columns, rows = self._run_plain(items, source_rows, compiler)
+
+        rows = self._apply_limit(rows)
+        return columns, rows
+
+    # -- FROM resolution -----------------------------------------------------------
+
+    def _resolve_from(self, source) -> Tuple[List[BoundTable], List[ast.Expr]]:
+        tables: List[BoundTable] = []
+        filters: List[ast.Expr] = []
+        self._flatten_from(source, tables, filters)
+        seen: Dict[str, bool] = {}
+        for table in tables:
+            key = table.binding.lower()
+            if key in seen:
+                raise PlanError(f"duplicate table binding: {table.binding}")
+            seen[key] = True
+        return tables, filters
+
+    def _flatten_from(self, node, tables: List[BoundTable],
+                      filters: List[ast.Expr]) -> None:
+        if node is None:
+            return
+        if isinstance(node, ast.Join):
+            self._flatten_from(node.left, tables, filters)
+            self._flatten_from(node.right, tables, filters)
+            if node.condition is not None:
+                filters.extend(conjuncts(node.condition))
+            return
+        if isinstance(node, ast.TableRef):
+            access = self.ctx.open_table(node.name)
+            indexes = self.ctx.open_indexes(access)
+            tables.append(BoundTable(
+                binding=node.binding, access=access, indexes=indexes,
+            ))
+            return
+        raise PlanError(f"unsupported FROM node {type(node).__name__}")
+
+    # -- access planning ----------------------------------------------------------
+
+    def _plan_access(self, tables: List[BoundTable],
+                     predicates: List[ast.Expr]):
+        """Choose join order + access paths.
+
+        Returns (ordered_tables, row_iterator, leftover_predicates); rows
+        are concatenations of the ordered tables' columns.
+        """
+        remaining = list(predicates)
+        ordered: List[BoundTable] = []
+        pending = list(tables)
+
+        # Outer table choice: prefer one constrained by a single-table
+        # predicate (SQLite filters the selective side first), else the
+        # first listed.
+        def single_table_preds(table: BoundTable) -> List[ast.Expr]:
+            scope = _scope_for([table])
+            return [p for p in remaining if _predicate_uses_only(p, scope)]
+
+        outer = None
+        for table in pending:
+            if single_table_preds(table):
+                outer = table
+                break
+        if outer is None:
+            outer = pending[0]
+        pending.remove(outer)
+        ordered.append(outer)
+
+        rows, remaining = self._single_table_rows(outer, remaining)
+        rows, remaining = self._push_down(ordered, rows, remaining)
+
+        while pending:
+            # Prefer a table joinable to the current prefix via an
+            # equi-conjunct (with a native index if available).
+            chosen = None
+            chosen_join = None
+            chosen_join_native = None
+            for table in pending:
+                join = self._find_equi_join(ordered, table, remaining)
+                if join is not None:
+                    native = self._native_index_for(table, join[1])
+                    if chosen is None or (native is not None
+                                          and chosen_join_native is None):
+                        chosen, chosen_join = table, join
+                        chosen_join_native = native
+            if chosen is None:
+                chosen = pending[0]
+                chosen_join = None
+                chosen_join_native = None
+            pending.remove(chosen)
+            rows, remaining = self._join_step(
+                ordered, chosen, chosen_join, rows, remaining,
+            )
+            ordered.append(chosen)
+            rows, remaining = self._push_down(ordered, rows, remaining)
+        return ordered, rows, remaining
+
+    def _push_down(self, ordered: List[BoundTable], rows,
+                   predicates: List[ast.Expr]):
+        """Filter with every predicate resolvable in the current prefix
+        (classic predicate pushdown: filter before joining further)."""
+        scope = _scope_for(ordered)
+        applicable = [p for p in predicates
+                      if _predicate_uses_only(p, scope)]
+        if not applicable:
+            return rows, predicates
+        applicable_ids = {id(p) for p in applicable}
+        remaining = [p for p in predicates if id(p) not in applicable_ids]
+        compiler = ExpressionCompiler(scope, self.ctx.functions)
+        filters = [compiler.compile(p) for p in applicable]
+        return _filtered(rows, filters), remaining
+
+    def _single_table_rows(self, table: BoundTable,
+                           predicates: List[ast.Expr]):
+        """Pick index/seq access for the outer table."""
+        scope = _scope_for([table])
+        compiler = ExpressionCompiler(scope, self.ctx.functions)
+        # Equality on a native index's leading column?
+        for pred in predicates:
+            match = _match_index_equality(pred, table, scope)
+            if match is not None:
+                index, value = match
+                remaining = [p for p in predicates if p is not pred]
+                self.plan_notes.append(
+                    f"SEARCH {table.binding} USING INDEX "
+                    f"{index.info.name} (=)"
+                )
+
+                def rows_eq(index=index, value=value):
+                    for rowid in index.lookup_equal([value]):
+                        row = table.access.get(rowid)
+                        if row is not None:
+                            yield row
+                return rows_eq(), remaining
+        for pred in predicates:
+            match = _match_index_range(pred, table, scope)
+            if match is not None:
+                index, lo, hi, lo_inc, hi_inc = match
+                remaining = [p for p in predicates if p is not pred]
+                self.plan_notes.append(
+                    f"SEARCH {table.binding} USING INDEX "
+                    f"{index.info.name} (range)"
+                )
+
+                def rows_range(index=index, lo=lo, hi=hi,
+                               lo_inc=lo_inc, hi_inc=hi_inc):
+                    for rowid in index.lookup_range(
+                            lo, hi, lo_inclusive=lo_inc,
+                            hi_inclusive=hi_inc):
+                        row = table.access.get(rowid)
+                        if row is not None:
+                            yield row
+                return rows_range(), remaining
+        self.plan_notes.append(f"SCAN {table.binding}")
+        return (row for _, row in table.access.scan()), list(predicates)
+
+    def _find_equi_join(self, prefix: List[BoundTable], table: BoundTable,
+                        predicates: List[ast.Expr]):
+        """An equi-conjunct linking ``table`` to the joined prefix.
+
+        Returns (predicate, inner_column, outer_expr_ast) or None.
+        """
+        prefix_scope = _scope_for(prefix)
+        table_scope = _scope_for([table])
+        for pred in predicates:
+            if not (isinstance(pred, ast.BinaryOp) and pred.op == "="):
+                continue
+            for inner_side, outer_side in ((pred.left, pred.right),
+                                           (pred.right, pred.left)):
+                if not isinstance(inner_side, ast.ColumnRef):
+                    continue
+                if table_scope.try_resolve(inner_side) is None:
+                    continue
+                if not _predicate_uses_only(outer_side, prefix_scope):
+                    continue
+                return pred, inner_side, outer_side
+        return None
+
+    def _native_index_for(self, table: BoundTable,
+                          column_ref: ast.ColumnRef) -> Optional[IndexAccess]:
+        name = column_ref.name.lower()
+        for index in table.indexes:
+            if index.info.columns and index.info.columns[0].lower() == name:
+                return index
+        return None
+
+    def _join_step(self, prefix: List[BoundTable], table: BoundTable,
+                   join, prefix_rows, predicates: List[ast.Expr]):
+        """Join one more table onto the prefix rows."""
+        if join is None:
+            # Cross join; predicates filter afterwards.
+            self.plan_notes.append(f"CROSS JOIN {table.binding}")
+
+            def cross():
+                inner_rows = [row for _, row in table.access.scan()]
+                for left in prefix_rows:
+                    for right in inner_rows:
+                        yield left + right
+            return cross(), predicates
+
+        pred, inner_col, outer_expr = join
+        remaining = [p for p in predicates if p is not pred]
+        prefix_scope = _scope_for(prefix)
+        outer_eval = ExpressionCompiler(
+            prefix_scope, self.ctx.functions,
+        ).compile(outer_expr)
+        native = self._native_index_for(table, inner_col)
+        if native is not None:
+            self.plan_notes.append(
+                f"SEARCH {table.binding} USING INDEX "
+                f"{native.info.name} ({inner_col.name}=?)"
+            )
+
+            def indexed():
+                for left in prefix_rows:
+                    key = outer_eval(left)
+                    if key is None:
+                        continue
+                    for rowid in native.lookup_equal([key]):
+                        row = table.access.get(rowid)
+                        if row is not None:
+                            yield left + row
+            return indexed(), remaining
+
+        # Automatic (ephemeral covering) index on the inner join column —
+        # a real B+tree, as SQLite builds, so its creation cost carries
+        # the realistic serialization work (Figure 9's dominant cost).
+        from repro.sql.executor import EphemeralIndex
+
+        self.plan_notes.append(
+            f"SEARCH {table.binding} USING AUTOMATIC COVERING INDEX "
+            f"({inner_col.name}=?)"
+        )
+        column_pos = table.access.info.column_index(inner_col.name)
+
+        def auto_indexed():
+            started = time.perf_counter()
+            auto_index = EphemeralIndex()
+            for _, row in table.access.scan():
+                auto_index.add(row[column_pos], row)
+            elapsed = time.perf_counter() - started
+            self.index_build_seconds += elapsed
+            self.ctx.note_index_creation(elapsed)
+            for left in prefix_rows:
+                key = outer_eval(left)
+                if key is None:
+                    continue
+                for row in auto_index.lookup(key):
+                    yield left + row
+        return auto_indexed(), remaining
+
+    # -- star expansion ------------------------------------------------------------
+
+    def _expand_stars(self, items: List[ast.SelectItem],
+                      scope: Scope) -> List[ast.SelectItem]:
+        out: List[ast.SelectItem] = []
+        for item in items:
+            if not item.is_star:
+                out.append(item)
+                continue
+            if item.star_table is not None:
+                positions = scope.positions_for_binding(item.star_table)
+                if not positions:
+                    raise PlanError(f"no such table: {item.star_table}")
+            else:
+                positions = list(range(len(scope)))
+            for pos in positions:
+                binding, column = scope.bindings[pos]
+                out.append(ast.SelectItem(
+                    expr=ast.ColumnRef(table=binding, name=column),
+                    alias=column,
+                ))
+        if not out:
+            raise PlanError("SELECT list is empty after star expansion")
+        return out
+
+    # -- plain (non-aggregate) pipeline ------------------------------------------------
+
+    def _run_plain(self, items: List[ast.SelectItem], source_rows,
+                   compiler: ExpressionCompiler):
+        select = self.select
+        evaluators = [compiler.compile(item.expr) for item in items]
+        columns = [_column_name(item, i) for i, item in enumerate(items)]
+
+        order_evals = self._order_evaluators(items, compiler)
+
+        def produce() -> Iterator[Row]:
+            if order_evals is None:
+                if select.distinct:
+                    seen = set()
+                    for src in source_rows:
+                        row = tuple(e(src) for e in evaluators)
+                        if row in seen:
+                            continue
+                        seen.add(row)
+                        yield row
+                else:
+                    for src in source_rows:
+                        yield tuple(e(src) for e in evaluators)
+                return
+            keyed: List[Tuple[tuple, Row]] = []
+            seen = set()
+            for src in source_rows:
+                row = tuple(e(src) for e in evaluators)
+                if select.distinct:
+                    if row in seen:
+                        continue
+                    seen.add(row)
+                keys = tuple(e(src) for e, _ in order_evals)
+                keyed.append((keys, row))
+            yield from _sorted_rows(keyed, order_evals)
+        return columns, produce()
+
+    def _order_evaluators(self, items: List[ast.SelectItem],
+                          compiler: ExpressionCompiler):
+        """Compile ORDER BY items (against the same scope as ``compiler``).
+
+        Returns a list of (evaluator, descending) or None when no ORDER
+        BY.  Aliases and 1-based positions resolve to select item exprs.
+        """
+        select = self.select
+        if not select.order_by:
+            return None
+        out = []
+        for order in select.order_by:
+            expr = self._resolve_order_expr(order.expr, items)
+            out.append((compiler.compile(expr), order.descending))
+        return out
+
+    def _resolve_order_expr(self, expr: ast.Expr,
+                            items: List[ast.SelectItem]) -> ast.Expr:
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+            position = expr.value
+            if not 1 <= position <= len(items):
+                raise PlanError(f"ORDER BY position {position} out of range")
+            return items[position - 1].expr  # type: ignore[return-value]
+        if isinstance(expr, ast.ColumnRef) and expr.table is None:
+            for item in items:
+                if item.alias and item.alias.lower() == expr.name.lower():
+                    return item.expr  # type: ignore[return-value]
+        return expr
+
+    # -- aggregate pipeline -----------------------------------------------------------
+
+    def _run_aggregate(self, items: List[ast.SelectItem], source_rows,
+                       scope: Scope, compiler: ExpressionCompiler):
+        select = self.select
+        group_exprs = list(select.group_by)
+        # Collect aggregate calls from every post-aggregation expression.
+        agg_calls: List[ast.FunctionCall] = []
+
+        def collect(expr: Optional[ast.Expr]) -> None:
+            if expr is None:
+                return
+            for node in walk(expr):
+                if isinstance(node, ast.FunctionCall) \
+                        and node.is_aggregate_name() \
+                        and node not in agg_calls:
+                    agg_calls.append(node)
+
+        having = select.having
+        if having is not None:
+            # HAVING may reference select-list aliases (SQLite allows it).
+            having = _resolve_alias_refs(having, items)
+
+        for item in items:
+            collect(item.expr)
+        collect(having)
+        for order in select.order_by:
+            collect(_resolve_alias_refs(order.expr, items))
+
+        for call in agg_calls:
+            if not is_aggregate(call.name):
+                raise PlanError(f"no such aggregate: {call.name}")
+
+        group_evals = [compiler.compile(g) for g in group_exprs]
+        agg_arg_evals = []
+        for call in agg_calls:
+            if call.star:
+                agg_arg_evals.append(lambda row: 1)
+            elif len(call.args) == 1:
+                agg_arg_evals.append(compiler.compile(call.args[0]))
+            else:
+                raise PlanError(
+                    f"aggregate {call.name}() takes exactly one argument"
+                )
+
+        # Substitution mapping into the aggregated row:
+        # positions [0, len(group)) are group keys, then aggregates.
+        mapping: List[Tuple[ast.Expr, PostAggRef]] = []
+        for i, g in enumerate(group_exprs):
+            display = g.name if isinstance(g, ast.ColumnRef) else ""
+            mapping.append((g, PostAggRef(i, display)))
+        for j, call in enumerate(agg_calls):
+            display = f"{call.name.upper()}(*)" if call.star \
+                else f"{call.name.upper()}()"
+            mapping.append((call, PostAggRef(len(group_exprs) + j, display)))
+
+        post_items = [
+            ast.SelectItem(expr=_substitute(item.expr, mapping),
+                           alias=item.alias)
+            for item in items
+        ]
+        post_scope = Scope([("", f"#{i}") for i in range(len(mapping))])
+        post_compiler = ExpressionCompiler(post_scope, self.ctx.functions)
+        self._check_grouped(post_items, group_exprs)
+
+        evaluators = [post_compiler.compile(item.expr)
+                      for item in post_items]
+        columns = [_column_name(item, i)
+                   for i, item in enumerate(post_items)]
+
+        having_eval = None
+        if having is not None:
+            having_eval = post_compiler.compile(
+                _substitute(having, mapping)
+            )
+        order_evals = None
+        if select.order_by:
+            order_evals = []
+            for order in select.order_by:
+                expr = self._resolve_order_expr(order.expr, post_items)
+                expr = _substitute(expr, mapping)
+                order_evals.append(
+                    (post_compiler.compile(expr), order.descending)
+                )
+
+        def produce() -> Iterator[Row]:
+            groups: Dict[tuple, list] = {}
+            for src in source_rows:
+                key = tuple(g(src) for g in group_evals)
+                aggs = groups.get(key)
+                if aggs is None:
+                    aggs = [make_aggregate(c.name, c.distinct)
+                            for c in agg_calls]
+                    groups[key] = aggs
+                for agg, arg in zip(aggs, agg_arg_evals):
+                    agg.step(arg(src))
+            if not groups and not group_exprs:
+                groups[()] = [make_aggregate(c.name, c.distinct)
+                              for c in agg_calls]
+            out: List[Tuple[tuple, Row]] = []
+            seen = set()
+            for key, aggs in groups.items():
+                agg_row = tuple(key) + tuple(a.result() for a in aggs)
+                if having_eval is not None and \
+                        not is_true(having_eval(agg_row)):
+                    continue
+                row = tuple(e(agg_row) for e in evaluators)
+                if select.distinct:
+                    if row in seen:
+                        continue
+                    seen.add(row)
+                if order_evals is None:
+                    out.append(((), row))
+                else:
+                    keys = tuple(e(agg_row) for e, _ in order_evals)
+                    out.append((keys, row))
+            if order_evals is None:
+                for _, row in out:
+                    yield row
+            else:
+                yield from _sorted_rows(out, order_evals)
+        return columns, produce()
+
+    def _check_grouped(self, post_items: List[ast.SelectItem],
+                       group_exprs: List[ast.Expr]) -> None:
+        for item in post_items:
+            for node in walk(item.expr):
+                if isinstance(node, ast.ColumnRef):
+                    raise PlanError(
+                        f"column {node.display()} is neither grouped "
+                        f"nor aggregated"
+                    )
+
+    # -- limit --------------------------------------------------------------------
+
+    def _apply_limit(self, rows: Iterator[Row]) -> Iterator[Row]:
+        select = self.select
+        if select.limit is None and select.offset is None:
+            return rows
+        limit = _constant_int(select.limit, "LIMIT")
+        offset = _constant_int(select.offset, "OFFSET") or 0
+
+        def limited() -> Iterator[Row]:
+            skipped = 0
+            produced = 0
+            for row in rows:
+                if skipped < offset:
+                    skipped += 1
+                    continue
+                if limit is not None and produced >= limit:
+                    return
+                produced += 1
+                yield row
+        return limited()
+
+
+# ---------------------------------------------------------------------------
+# DML access planning (index-assisted row location for DELETE/UPDATE)
+# ---------------------------------------------------------------------------
+
+def scan_for_modify(table: TableAccess, indexes: List[IndexAccess],
+                    where: Optional[ast.Expr],
+                    functions: Dict[str, Callable[..., SqlValue]]):
+    """Yield (rowid, row) pairs matching ``where``, via an index when one
+    fits.  Used by DELETE and UPDATE, which must not mutate mid-scan —
+    callers materialize before writing."""
+    bound = BoundTable(binding=table.info.name, access=table,
+                       indexes=indexes)
+    scope = _scope_for([bound])
+    compiler = ExpressionCompiler(scope, functions)
+    predicates = conjuncts(where)
+    for pred in predicates:
+        match = _match_index_equality(pred, bound, scope)
+        if match is not None:
+            index, value = match
+            rest = [compiler.compile(p) for p in predicates if p is not pred]
+
+            def rows_eq():
+                for rowid in index.lookup_equal([value]):
+                    row = table.get(rowid)
+                    if row is not None and \
+                            all(is_true(f(row)) for f in rest):
+                        yield rowid, row
+            return rows_eq()
+    for pred in predicates:
+        match = _match_index_range(pred, bound, scope)
+        if match is not None:
+            index, lo, hi, lo_inc, hi_inc = match
+            rest = [compiler.compile(p) for p in predicates if p is not pred]
+
+            def rows_range():
+                for rowid in index.lookup_range(lo, hi, lo_inclusive=lo_inc,
+                                                hi_inclusive=hi_inc):
+                    row = table.get(rowid)
+                    if row is not None and \
+                            all(is_true(f(row)) for f in rest):
+                        yield rowid, row
+            return rows_range()
+    filters = [compiler.compile(p) for p in predicates]
+
+    def rows_scan():
+        for rowid, row in table.scan():
+            if all(is_true(f(row)) for f in filters):
+                yield rowid, row
+    return rows_scan()
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+def _scope_for(tables: List[BoundTable]) -> Scope:
+    bindings: List[Tuple[str, str]] = []
+    for table in tables:
+        for column in table.column_names:
+            bindings.append((table.binding, column))
+    return Scope(bindings)
+
+
+def _predicate_uses_only(expr: ast.Expr, scope: Scope) -> bool:
+    for node in walk(expr):
+        if isinstance(node, ast.ColumnRef):
+            if scope.try_resolve(node) is None:
+                return False
+    return True
+
+
+def _is_constant(expr: ast.Expr) -> bool:
+    return not any(isinstance(node, (ast.ColumnRef, PostAggRef))
+                   for node in walk(expr))
+
+
+def _constant_value(expr: ast.Expr,
+                    functions: Optional[Dict] = None) -> SqlValue:
+    compiler = ExpressionCompiler(Scope([]), functions or {})
+    return compiler.compile(expr)(())
+
+
+def _constant_int(expr: Optional[ast.Expr], label: str) -> Optional[int]:
+    if expr is None:
+        return None
+    if not _is_constant(expr):
+        raise PlanError(f"{label} must be a constant")
+    value = _constant_value(expr)
+    if value is None:
+        return None
+    return int(value)
+
+
+def _match_index_equality(pred: ast.Expr, table: BoundTable, scope: Scope):
+    """index, constant for predicates like col = <constant>."""
+    if not (isinstance(pred, ast.BinaryOp) and pred.op == "="):
+        return None
+    for col_side, val_side in ((pred.left, pred.right),
+                               (pred.right, pred.left)):
+        if isinstance(col_side, ast.ColumnRef) \
+                and scope.try_resolve(col_side) is not None \
+                and _is_constant(val_side):
+            name = col_side.name.lower()
+            for index in table.indexes:
+                if index.info.columns and \
+                        index.info.columns[0].lower() == name:
+                    return index, _constant_value(val_side)
+    return None
+
+
+def _match_index_range(pred: ast.Expr, table: BoundTable, scope: Scope):
+    """index, lo, hi, lo_inc, hi_inc for range predicates on an index."""
+    ops = {"<": (None, True), "<=": (None, True),
+           ">": (True, None), ">=": (True, None)}
+    if isinstance(pred, ast.Between) and not pred.negated:
+        col = pred.operand
+        if isinstance(col, ast.ColumnRef) \
+                and scope.try_resolve(col) is not None \
+                and _is_constant(pred.low) and _is_constant(pred.high):
+            index = _leading_index(table, col.name)
+            if index is not None:
+                return (index, [_constant_value(pred.low)],
+                        [_constant_value(pred.high)], True, True)
+        return None
+    if not (isinstance(pred, ast.BinaryOp) and pred.op in ops):
+        return None
+    for col_side, val_side, op in (
+            (pred.left, pred.right, pred.op),
+            (pred.right, pred.left, _flip(pred.op))):
+        if isinstance(col_side, ast.ColumnRef) \
+                and scope.try_resolve(col_side) is not None \
+                and _is_constant(val_side):
+            index = _leading_index(table, col_side.name)
+            if index is None:
+                return None
+            value = [_constant_value(val_side)]
+            if op == "<":
+                return index, None, value, True, False
+            if op == "<=":
+                return index, None, value, True, True
+            if op == ">":
+                return index, value, None, False, True
+            return index, value, None, True, True
+    return None
+
+
+def _flip(op: str) -> str:
+    return {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
+
+
+def _leading_index(table: BoundTable, column: str) -> Optional[IndexAccess]:
+    lowered = column.lower()
+    for index in table.indexes:
+        if index.info.columns and index.info.columns[0].lower() == lowered:
+            return index
+    return None
+
+
+def _filtered(rows: Iterator[Row], filters) -> Iterator[Row]:
+    for row in rows:
+        if all(is_true(f(row)) for f in filters):
+            yield row
+
+
+def _sorted_rows(keyed: List[Tuple[tuple, Row]], order_evals) -> Iterator[Row]:
+    descending = [d for _, d in order_evals]
+
+    def sort_key(entry: Tuple[tuple, Row]):
+        keys = entry[0]
+        out = []
+        for value, desc in zip(keys, descending):
+            rank, val = _negatable_key(value)
+            if desc:
+                out.append((-rank, _Reversed(val)))
+            else:
+                out.append((rank, val))
+        return tuple(out)
+
+    keyed.sort(key=sort_key)
+    for _, row in keyed:
+        yield row
+
+
+def _negatable_key(value: SqlValue):
+    from repro.sql.types import sort_key as base_key
+
+    rank, val = base_key(value)
+    return rank, val
+
+
+class _Reversed:
+    """Wrapper inverting comparisons, for DESC sort of mixed types."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: SqlValue) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        if self.value == other.value:
+            return False
+        try:
+            return other.value < self.value
+        except TypeError:
+            return False
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and self.value == other.value
+
+
+def _resolve_alias_refs(expr: ast.Expr,
+                        items: List[ast.SelectItem]) -> ast.Expr:
+    """Replace bare column refs matching select aliases with their expr
+    (SQLite allows aliases in HAVING and ORDER BY)."""
+    aliases = {
+        item.alias.lower(): item.expr
+        for item in items
+        if item.alias and item.expr is not None
+    }
+    if not aliases:
+        return expr
+
+    def mapper(node: ast.Expr) -> ast.Expr:
+        if isinstance(node, ast.ColumnRef) and node.table is None:
+            replacement = aliases.get(node.name.lower())
+            if replacement is not None:
+                return replacement
+        return node
+
+    return _rewrite(expr, mapper)
+
+
+def _rewrite(expr: ast.Expr, mapper) -> ast.Expr:
+    """Bottom-up rewrite: apply ``mapper`` to every node."""
+    replaced = mapper(expr)
+    if replaced is not expr:
+        return replaced
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(expr.op, _rewrite(expr.operand, mapper))
+    if isinstance(expr, ast.BinaryOp):
+        return ast.BinaryOp(expr.op, _rewrite(expr.left, mapper),
+                            _rewrite(expr.right, mapper))
+    if isinstance(expr, ast.IsNull):
+        return ast.IsNull(_rewrite(expr.operand, mapper), expr.negated)
+    if isinstance(expr, ast.InList):
+        return ast.InList(_rewrite(expr.operand, mapper),
+                          [_rewrite(i, mapper) for i in expr.items],
+                          expr.negated)
+    if isinstance(expr, ast.Between):
+        return ast.Between(_rewrite(expr.operand, mapper),
+                           _rewrite(expr.low, mapper),
+                           _rewrite(expr.high, mapper), expr.negated)
+    if isinstance(expr, ast.Like):
+        return ast.Like(_rewrite(expr.operand, mapper),
+                        _rewrite(expr.pattern, mapper), expr.negated)
+    if isinstance(expr, ast.FunctionCall):
+        return ast.FunctionCall(expr.name,
+                                [_rewrite(a, mapper) for a in expr.args],
+                                expr.distinct, expr.star)
+    if isinstance(expr, ast.CaseExpr):
+        return ast.CaseExpr(
+            _rewrite(expr.operand, mapper) if expr.operand else None,
+            [(_rewrite(c, mapper), _rewrite(r, mapper))
+             for c, r in expr.branches],
+            _rewrite(expr.else_result, mapper)
+            if expr.else_result else None,
+        )
+    return expr
+
+
+def _substitute(expr: ast.Expr, mapping) -> ast.Expr:
+    """Replace any node equal to a mapping key with its PostAggRef."""
+    for original, replacement in mapping:
+        if expr == original:
+            return replacement
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(expr.op, _substitute(expr.operand, mapping))
+    if isinstance(expr, ast.BinaryOp):
+        return ast.BinaryOp(expr.op, _substitute(expr.left, mapping),
+                            _substitute(expr.right, mapping))
+    if isinstance(expr, ast.IsNull):
+        return ast.IsNull(_substitute(expr.operand, mapping), expr.negated)
+    if isinstance(expr, ast.InList):
+        return ast.InList(_substitute(expr.operand, mapping),
+                          [_substitute(i, mapping) for i in expr.items],
+                          expr.negated)
+    if isinstance(expr, ast.Between):
+        return ast.Between(_substitute(expr.operand, mapping),
+                           _substitute(expr.low, mapping),
+                           _substitute(expr.high, mapping), expr.negated)
+    if isinstance(expr, ast.Like):
+        return ast.Like(_substitute(expr.operand, mapping),
+                        _substitute(expr.pattern, mapping), expr.negated)
+    if isinstance(expr, ast.FunctionCall):
+        return ast.FunctionCall(expr.name,
+                                [_substitute(a, mapping) for a in expr.args],
+                                expr.distinct, expr.star)
+    if isinstance(expr, ast.CaseExpr):
+        return ast.CaseExpr(
+            _substitute(expr.operand, mapping) if expr.operand else None,
+            [(_substitute(c, mapping), _substitute(r, mapping))
+             for c, r in expr.branches],
+            _substitute(expr.else_result, mapping)
+            if expr.else_result else None,
+        )
+    return expr
+
+
+def _column_name(item: ast.SelectItem, position: int) -> str:
+    if item.alias:
+        return item.alias
+    expr = item.expr
+    if isinstance(expr, ast.ColumnRef):
+        return expr.name
+    if isinstance(expr, PostAggRef) and expr.display:
+        return expr.display
+    if isinstance(expr, ast.FunctionCall):
+        if expr.star:
+            return f"{expr.name.upper()}(*)"
+        return f"{expr.name.upper()}()"
+    return f"column{position + 1}"

@@ -1,0 +1,28 @@
+"""Transactional page store: the Berkeley DB substrate."""
+
+from repro.storage.btree import BTree, MutablePageSource
+from repro.storage.disk import CostModel, DeviceStats, SimulatedDisk
+from repro.storage.engine import ReadContext, StorageEngine
+from repro.storage.page import DEFAULT_PAGE_SIZE, Page
+from repro.storage.record import (
+    decode_key,
+    decode_record,
+    encode_key,
+    encode_record,
+)
+
+__all__ = [
+    "BTree",
+    "CostModel",
+    "DEFAULT_PAGE_SIZE",
+    "DeviceStats",
+    "MutablePageSource",
+    "Page",
+    "ReadContext",
+    "SimulatedDisk",
+    "StorageEngine",
+    "decode_key",
+    "decode_record",
+    "encode_key",
+    "encode_record",
+]

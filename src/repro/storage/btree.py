@@ -1,0 +1,614 @@
+"""B+trees over fixed-size pages.
+
+Tables are B+trees keyed by rowid, secondary indexes are B+trees keyed by
+memcomparable key bytes — the same design as SQLite/BDB, which matters
+here because the Retro snapshot system operates on *pages*: every byte the
+SQL layer stores (rows, indexes, catalog) must live in pages so snapshots
+capture the complete database state.
+
+Design notes
+------------
+* Keys and values are opaque byte strings; keys collate bytewise (see
+  :mod:`repro.storage.record` for the memcomparable key codec).
+* The root page id is **fixed** for the lifetime of the tree: root splits
+  copy the root's content into a fresh child instead of moving the root.
+  This keeps the catalog entry for a tree immutable.
+* Deletion is lazy: leaves may underflow; empty pages are unlinked and
+  freed, and a single-child internal root collapses.  The tree stays
+  correct (all invariants except minimum fill hold), which matches the
+  reproduction's needs — page-level COW behaviour is about which pages are
+  *touched*, not about perfect occupancy.
+* Iteration uses an explicit descent stack rather than sibling links, so
+  page frees never have to patch neighbour pointers.
+
+Node layouts (after the shared 16-byte page header)::
+
+    leaf:     u16 ncells | (u16 klen, u32 vlen, key, value)*
+    internal: u16 nkeys  | u64 child[nkeys+1] | (u16 klen, key)*
+"""
+
+from __future__ import annotations
+
+import bisect
+import struct
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import BTreeError
+from repro.storage.page import (
+    HEADER_SIZE,
+    PAGE_TYPE_BTREE_INTERNAL,
+    PAGE_TYPE_BTREE_LEAF,
+    Page,
+)
+
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_CELL_HDR = struct.Struct("<HI")  # u16 klen + u32 vlen, packed
+
+_LEAF_FIXED = HEADER_SIZE + _U16.size
+_LEAF_CELL_OVERHEAD = _U16.size + _U32.size
+_INT_FIXED = HEADER_SIZE + _U16.size
+_INT_KEY_OVERHEAD = _U16.size
+_INT_CHILD_SIZE = _U64.size
+
+
+class MutablePageSource:
+    """Page access protocol the B+tree needs for writes.
+
+    The current-state implementation is the transaction page workspace
+    (:mod:`repro.storage.transaction`); snapshot readers implement only
+    ``fetch``/``release`` and the tree's read paths never call the rest.
+    """
+
+    def fetch(self, page_id: int) -> Page:
+        raise NotImplementedError
+
+    def release(self, page: Page) -> None:
+        """Drop a fetch reference (no-op for workspace sources)."""
+
+    def allocate_page(self) -> Page:
+        raise NotImplementedError("read-only page source")
+
+    def free_page(self, page_id: int) -> None:
+        raise NotImplementedError("read-only page source")
+
+    def mark_dirty(self, page: Page) -> None:
+        raise NotImplementedError("read-only page source")
+
+    def make_writable(self, page: Page) -> Page:
+        """Return a transaction-private copy of ``page`` safe to mutate.
+
+        Pages returned by :meth:`fetch` may be shared (buffer pool); the
+        tree must never encode into them directly.  Workspace sources
+        return the page itself when it is already private.
+        """
+        raise NotImplementedError("read-only page source")
+
+
+# ---------------------------------------------------------------------------
+# Node codecs
+# ---------------------------------------------------------------------------
+
+class _LeafNode:
+    __slots__ = ("keys", "values")
+
+    def __init__(self, keys: List[bytes], values: List[bytes]) -> None:
+        self.keys = keys
+        self.values = values
+
+    @classmethod
+    def decode(cls, page: Page) -> "_LeafNode":
+        cached = page.decoded_node
+        if type(cached) is cls:
+            # Shallow-copy the cached node: callers mutate the returned
+            # lists, the cache copy must stay in sync with the bytes.
+            return cls(list(cached.keys), list(cached.values))
+        raw = page.data
+        (ncells,) = _U16.unpack_from(raw, HEADER_SIZE)
+        pos = HEADER_SIZE + _U16.size
+        keys: List[bytes] = []
+        values: List[bytes] = []
+        unpack_cell = _CELL_HDR.unpack_from
+        hdr = _CELL_HDR.size
+        for _ in range(ncells):
+            klen, vlen = unpack_cell(raw, pos)
+            pos += hdr
+            keys.append(bytes(raw[pos:pos + klen]))
+            pos += klen
+            values.append(bytes(raw[pos:pos + vlen]))
+            pos += vlen
+        page.decoded_node = cls(list(keys), list(values))
+        return cls(keys, values)
+
+    def encode_into(self, page: Page) -> None:
+        page.decoded_node = _LeafNode(list(self.keys), list(self.values))
+        raw = page.data
+        raw[HEADER_SIZE:] = bytes(len(raw) - HEADER_SIZE)
+        page.page_type = PAGE_TYPE_BTREE_LEAF
+        pos = HEADER_SIZE
+        _U16.pack_into(raw, pos, len(self.keys))
+        pos += _U16.size
+        hdr = _CELL_HDR.size
+        for key, value in zip(self.keys, self.values):
+            _CELL_HDR.pack_into(raw, pos, len(key), len(value))
+            pos += hdr
+            raw[pos:pos + len(key)] = key
+            pos += len(key)
+            raw[pos:pos + len(value)] = value
+            pos += len(value)
+
+    def byte_size(self) -> int:
+        return _LEAF_FIXED + sum(
+            _LEAF_CELL_OVERHEAD + len(k) + len(v)
+            for k, v in zip(self.keys, self.values)
+        )
+
+
+class _InternalNode:
+    __slots__ = ("keys", "children")
+
+    def __init__(self, keys: List[bytes], children: List[int]) -> None:
+        self.keys = keys
+        self.children = children
+
+    @classmethod
+    def decode(cls, page: Page) -> "_InternalNode":
+        cached = page.decoded_node
+        if type(cached) is cls:
+            return cls(list(cached.keys), list(cached.children))
+        raw = page.data
+        (nkeys,) = _U16.unpack_from(raw, HEADER_SIZE)
+        pos = HEADER_SIZE + _U16.size
+        span = (nkeys + 1) * _U64.size
+        children: List[int] = [
+            u[0] for u in _U64.iter_unpack(bytes(raw[pos:pos + span]))
+        ]
+        pos += span
+        keys: List[bytes] = []
+        for _ in range(nkeys):
+            (klen,) = _U16.unpack_from(raw, pos)
+            pos += _U16.size
+            keys.append(bytes(raw[pos:pos + klen]))
+            pos += klen
+        page.decoded_node = cls(list(keys), list(children))
+        return cls(keys, children)
+
+    def encode_into(self, page: Page) -> None:
+        page.decoded_node = _InternalNode(list(self.keys),
+                                          list(self.children))
+        raw = page.data
+        raw[HEADER_SIZE:] = bytes(len(raw) - HEADER_SIZE)
+        page.page_type = PAGE_TYPE_BTREE_INTERNAL
+        pos = HEADER_SIZE
+        _U16.pack_into(raw, pos, len(self.keys))
+        pos += _U16.size
+        for child in self.children:
+            _U64.pack_into(raw, pos, child)
+            pos += _U64.size
+        for key in self.keys:
+            _U16.pack_into(raw, pos, len(key))
+            pos += _U16.size
+            raw[pos:pos + len(key)] = key
+            pos += len(key)
+
+    def byte_size(self) -> int:
+        return (
+            _INT_FIXED
+            + len(self.children) * _INT_CHILD_SIZE
+            + sum(_INT_KEY_OVERHEAD + len(k) for k in self.keys)
+        )
+
+
+# ---------------------------------------------------------------------------
+# The tree
+# ---------------------------------------------------------------------------
+
+class BTree:
+    """A B+tree rooted at a fixed page id.
+
+    Read-only operations (:meth:`get`, :meth:`scan_from`, :meth:`scan_all`)
+    work against any :class:`~repro.storage.pager.PageSource`; mutating
+    operations require a :class:`MutablePageSource`.
+    """
+
+    def __init__(self, source, root_id: int) -> None:
+        self.source = source
+        self.root_id = root_id
+        self._page_size = None  # discovered lazily from the first fetch
+
+    # -- creation --------------------------------------------------------------
+
+    @classmethod
+    def create(cls, source: MutablePageSource) -> "BTree":
+        """Allocate and initialize an empty tree; returns the new tree."""
+        page = source.allocate_page()
+        _LeafNode([], []).encode_into(page)
+        source.mark_dirty(page)
+        tree = cls(source, page.page_id)
+        return tree
+
+    # -- helpers --------------------------------------------------------------
+
+    def _capacity(self, page: Page) -> int:
+        return len(page.data)
+
+    def _max_cell(self, page: Page) -> int:
+        return (len(page.data) - _LEAF_FIXED) // 2 - _LEAF_CELL_OVERHEAD
+
+    def _fetch(self, page_id: int) -> Page:
+        return self.source.fetch(page_id)
+
+    # -- point operations ----------------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Return the value stored under ``key``, or None."""
+        page = self._fetch(self.root_id)
+        try:
+            while page.page_type == PAGE_TYPE_BTREE_INTERNAL:
+                node = _InternalNode.decode(page)
+                idx = bisect.bisect_right(node.keys, key)
+                child_id = node.children[idx]
+                self.source.release(page)
+                page = self._fetch(child_id)
+            leaf = _LeafNode.decode(page)
+            idx = bisect.bisect_left(leaf.keys, key)
+            if idx < len(leaf.keys) and leaf.keys[idx] == key:
+                return leaf.values[idx]
+            return None
+        finally:
+            self.source.release(page)
+
+    def contains(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    # -- insert ---------------------------------------------------------------
+
+    def insert(self, key: bytes, value: bytes) -> bool:
+        """Insert or replace; returns True if the key was new."""
+        root = self._fetch(self.root_id)
+        max_cell = self._max_cell(root)
+        if len(key) + len(value) > max_cell:
+            self.source.release(root)
+            raise BTreeError(
+                f"cell of {len(key) + len(value)} bytes exceeds max "
+                f"{max_cell} for this page size"
+            )
+        inserted, split = self._insert(root, key, value)
+        if split is not None:
+            sep_key, right_id = split
+            # Fixed-root split: move the root's current (left-half) content
+            # into a fresh page and turn the root into a 1-key internal.
+            root_w = self.source.make_writable(root)
+            left = self.source.allocate_page()
+            left.data[:] = root_w.data
+            left.decoded_node = root_w.decoded_node
+            self.source.mark_dirty(left)
+            _InternalNode([sep_key], [left.page_id, right_id]).encode_into(root_w)
+            self.source.mark_dirty(root_w)
+        self.source.release(root)
+        return inserted
+
+    def _insert(self, page: Page, key: bytes,
+                value: bytes) -> Tuple[bool, Optional[Tuple[bytes, int]]]:
+        """Insert under ``page``; returns (was_new, optional split info).
+
+        On split, ``page`` retains the left half and the returned
+        ``(separator, right_page_id)`` must be added to the parent.
+        """
+        if page.page_type == PAGE_TYPE_BTREE_LEAF:
+            leaf = _LeafNode.decode(page)
+            idx = bisect.bisect_left(leaf.keys, key)
+            if idx < len(leaf.keys) and leaf.keys[idx] == key:
+                leaf.values[idx] = value
+                was_new = False
+            else:
+                leaf.keys.insert(idx, key)
+                leaf.values.insert(idx, value)
+                was_new = True
+            if leaf.byte_size() <= self._capacity(page):
+                writable = self.source.make_writable(page)
+                leaf.encode_into(writable)
+                self.source.mark_dirty(writable)
+                return was_new, None
+            return was_new, self._split_leaf(page, leaf)
+
+        node = _InternalNode.decode(page)
+        idx = bisect.bisect_right(node.keys, key)
+        child = self._fetch(node.children[idx])
+        was_new, split = self._insert(child, key, value)
+        self.source.release(child)
+        if split is None:
+            return was_new, None
+        sep_key, right_id = split
+        node.keys.insert(idx, sep_key)
+        node.children.insert(idx + 1, right_id)
+        if node.byte_size() <= self._capacity(page):
+            writable = self.source.make_writable(page)
+            node.encode_into(writable)
+            self.source.mark_dirty(writable)
+            return was_new, None
+        return was_new, self._split_internal(page, node)
+
+    def _split_leaf(self, page: Page,
+                    leaf: _LeafNode) -> Tuple[bytes, int]:
+        half = self._split_point(
+            [_LEAF_CELL_OVERHEAD + len(k) + len(v)
+             for k, v in zip(leaf.keys, leaf.values)]
+        )
+        right = _LeafNode(leaf.keys[half:], leaf.values[half:])
+        left = _LeafNode(leaf.keys[:half], leaf.values[:half])
+        right_page = self.source.allocate_page()
+        right.encode_into(right_page)
+        self.source.mark_dirty(right_page)
+        writable = self.source.make_writable(page)
+        left.encode_into(writable)
+        self.source.mark_dirty(writable)
+        return right.keys[0], right_page.page_id
+
+    def _split_internal(self, page: Page,
+                        node: _InternalNode) -> Tuple[bytes, int]:
+        half = max(1, len(node.keys) // 2)
+        sep = node.keys[half]
+        right = _InternalNode(node.keys[half + 1:], node.children[half + 1:])
+        left = _InternalNode(node.keys[:half], node.children[:half + 1])
+        right_page = self.source.allocate_page()
+        right.encode_into(right_page)
+        self.source.mark_dirty(right_page)
+        writable = self.source.make_writable(page)
+        left.encode_into(writable)
+        self.source.mark_dirty(writable)
+        return sep, right_page.page_id
+
+    @staticmethod
+    def _split_point(cell_sizes: List[int]) -> int:
+        """Index splitting cells into byte-balanced halves (>=1 each side)."""
+        total = sum(cell_sizes)
+        acc = 0
+        for i, size in enumerate(cell_sizes):
+            acc += size
+            if acc * 2 >= total:
+                return min(max(1, i + 1), len(cell_sizes) - 1)
+        return max(1, len(cell_sizes) - 1)
+
+    # -- delete ---------------------------------------------------------------
+
+    def delete(self, key: bytes) -> bool:
+        """Remove ``key``; returns True if it was present."""
+        root = self._fetch(self.root_id)
+        removed = self._delete(root, key)
+        # Collapse a single-child internal root to keep height honest.
+        while root.page_type == PAGE_TYPE_BTREE_INTERNAL:
+            node = _InternalNode.decode(root)
+            if node.keys:
+                break
+            child_id = node.children[0]
+            child = self._fetch(child_id)
+            root_w = self.source.make_writable(root)
+            root_w.data[:] = child.data
+            root_w.decoded_node = child.decoded_node
+            self.source.mark_dirty(root_w)
+            self.source.release(child)
+            self.source.free_page(child_id)
+            root = root_w
+        self.source.release(root)
+        return removed
+
+    def _delete(self, page: Page, key: bytes) -> bool:
+        if page.page_type == PAGE_TYPE_BTREE_LEAF:
+            leaf = _LeafNode.decode(page)
+            idx = bisect.bisect_left(leaf.keys, key)
+            if idx >= len(leaf.keys) or leaf.keys[idx] != key:
+                return False
+            del leaf.keys[idx]
+            del leaf.values[idx]
+            writable = self.source.make_writable(page)
+            leaf.encode_into(writable)
+            self.source.mark_dirty(writable)
+            return True
+
+        node = _InternalNode.decode(page)
+        idx = bisect.bisect_right(node.keys, key)
+        child = self._fetch(node.children[idx])
+        removed = self._delete(child, key)
+        child_empty = self._is_empty(child)
+        child_id = child.page_id
+        self.source.release(child)
+        if removed and child_empty and len(node.children) > 1:
+            # Unlink and free the empty child (lazy rebalancing).
+            del node.children[idx]
+            if node.keys:
+                # Child i is bounded by separators k[i-1] and k[i]; drop the
+                # nearer one (k[i-1] when it exists, else k[0]).
+                del node.keys[max(idx - 1, 0)]
+            writable = self.source.make_writable(page)
+            node.encode_into(writable)
+            self.source.mark_dirty(writable)
+            self.source.free_page(child_id)
+        return removed
+
+    @staticmethod
+    def _is_empty(page: Page) -> bool:
+        if page.page_type == PAGE_TYPE_BTREE_LEAF:
+            return len(_LeafNode.decode(page).keys) == 0
+        return False
+
+    # -- iteration ---------------------------------------------------------------
+
+    def scan_all(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Yield every (key, value) in key order."""
+        return self.scan_from(b"")
+
+    def scan_from(self, start_key: bytes) -> Iterator[Tuple[bytes, bytes]]:
+        """Yield (key, value) pairs with key >= start_key, in order."""
+        # Explicit descent stack: (internal node, next child index).
+        stack: List[Tuple[_InternalNode, int]] = []
+        page = self._fetch(self.root_id)
+        while page.page_type == PAGE_TYPE_BTREE_INTERNAL:
+            node = _InternalNode.decode(page)
+            idx = bisect.bisect_right(node.keys, start_key)
+            stack.append((node, idx + 1))
+            child_id = node.children[idx]
+            self.source.release(page)
+            page = self._fetch(child_id)
+
+        leaf = _LeafNode.decode(page)
+        self.source.release(page)
+        idx = bisect.bisect_left(leaf.keys, start_key)
+        while True:
+            for i in range(idx, len(leaf.keys)):
+                yield leaf.keys[i], leaf.values[i]
+            idx = 0
+            # Advance to the next leaf via the stack.
+            leaf = None  # type: ignore[assignment]
+            while stack:
+                node, next_idx = stack.pop()
+                if next_idx < len(node.children):
+                    stack.append((node, next_idx + 1))
+                    page = self._fetch(node.children[next_idx])
+                    while page.page_type == PAGE_TYPE_BTREE_INTERNAL:
+                        inner = _InternalNode.decode(page)
+                        stack.append((inner, 1))
+                        child_id = inner.children[0]
+                        self.source.release(page)
+                        page = self._fetch(child_id)
+                    leaf = _LeafNode.decode(page)
+                    self.source.release(page)
+                    break
+            if leaf is None:
+                return
+
+    def scan_prefix(self, prefix: bytes) -> Iterator[Tuple[bytes, bytes]]:
+        """Yield entries whose key starts with ``prefix``."""
+        for key, value in self.scan_from(prefix):
+            if not key.startswith(prefix):
+                return
+            yield key, value
+
+    def scan_range(self, lo: Optional[bytes],
+                   hi: Optional[bytes],
+                   hi_inclusive: bool = False) -> Iterator[Tuple[bytes, bytes]]:
+        """Yield entries with lo <= key < hi (or <= hi if inclusive)."""
+        start = lo if lo is not None else b""
+        for key, value in self.scan_from(start):
+            if hi is not None:
+                if hi_inclusive:
+                    # Composite index keys extend the bound with a rowid
+                    # suffix; a key that *starts with* hi still matches.
+                    if key > hi and not key.startswith(hi):
+                        return
+                elif key >= hi:
+                    return
+            yield key, value
+
+    def last_key(self) -> Optional[bytes]:
+        """The largest key in the tree, or None when empty.
+
+        Descends the rightmost spine; used for rowid assignment (new
+        rowid = max + 1, as in SQLite).
+        """
+        page = self._fetch(self.root_id)
+        while page.page_type == PAGE_TYPE_BTREE_INTERNAL:
+            node = _InternalNode.decode(page)
+            child_id = node.children[-1]
+            self.source.release(page)
+            page = self._fetch(child_id)
+        leaf = _LeafNode.decode(page)
+        self.source.release(page)
+        if not leaf.keys:
+            return None
+        return leaf.keys[-1]
+
+    # -- bulk / maintenance ----------------------------------------------------------
+
+    def count(self) -> int:
+        return sum(1 for _ in self.scan_all())
+
+    def clear(self) -> None:
+        """Remove every entry, freeing all pages except the root."""
+        self._free_subtree(self.root_id, keep=True)
+        root = self._fetch(self.root_id)
+        writable = self.source.make_writable(root)
+        _LeafNode([], []).encode_into(writable)
+        self.source.mark_dirty(writable)
+        self.source.release(root)
+
+    def drop(self) -> None:
+        """Free the whole tree including the root."""
+        self._free_subtree(self.root_id, keep=False)
+
+    def _free_subtree(self, page_id: int, keep: bool) -> None:
+        page = self._fetch(page_id)
+        if page.page_type == PAGE_TYPE_BTREE_INTERNAL:
+            node = _InternalNode.decode(page)
+            self.source.release(page)
+            for child in node.children:
+                self._free_subtree(child, keep=False)
+        else:
+            self.source.release(page)
+        if not keep:
+            self.source.free_page(page_id)
+
+    # -- introspection (used by tests and the bench harness) --------------------------
+
+    def height(self) -> int:
+        height = 1
+        page = self._fetch(self.root_id)
+        while page.page_type == PAGE_TYPE_BTREE_INTERNAL:
+            node = _InternalNode.decode(page)
+            child_id = node.children[0]
+            self.source.release(page)
+            page = self._fetch(child_id)
+            height += 1
+        self.source.release(page)
+        return height
+
+    def page_ids(self) -> List[int]:
+        """All page ids used by this tree (root first, DFS order)."""
+        out: List[int] = []
+        self._collect_pages(self.root_id, out)
+        return out
+
+    def _collect_pages(self, page_id: int, out: List[int]) -> None:
+        out.append(page_id)
+        page = self._fetch(page_id)
+        if page.page_type == PAGE_TYPE_BTREE_INTERNAL:
+            node = _InternalNode.decode(page)
+            self.source.release(page)
+            for child in node.children:
+                self._collect_pages(child, out)
+        else:
+            self.source.release(page)
+
+    def check_invariants(self) -> None:
+        """Raise BTreeError if structural invariants are violated."""
+        self._check(self.root_id, None, None, self._leaf_depth())
+
+    def _leaf_depth(self) -> int:
+        return self.height()
+
+    def _check(self, page_id: int, lo: Optional[bytes],
+               hi: Optional[bytes], depth: int) -> None:
+        page = self._fetch(page_id)
+        if page.page_type == PAGE_TYPE_BTREE_LEAF:
+            if depth != 1:
+                self.source.release(page)
+                raise BTreeError("leaves at unequal depth")
+            leaf = _LeafNode.decode(page)
+            self.source.release(page)
+            for i, key in enumerate(leaf.keys):
+                if i and leaf.keys[i - 1] >= key:
+                    raise BTreeError("leaf keys out of order")
+                if lo is not None and key < lo:
+                    raise BTreeError("leaf key below subtree bound")
+                if hi is not None and key >= hi:
+                    raise BTreeError("leaf key above subtree bound")
+            return
+        node = _InternalNode.decode(page)
+        self.source.release(page)
+        for i, key in enumerate(node.keys):
+            if i and node.keys[i - 1] >= key:
+                raise BTreeError("internal keys out of order")
+        bounds = [lo] + list(node.keys) + [hi]
+        for i, child in enumerate(node.children):
+            self._check(child, bounds[i], bounds[i + 1], depth - 1)

@@ -1,0 +1,158 @@
+"""LRU buffer pool over the database file.
+
+The pool caches :class:`~repro.storage.page.Page` objects for the current
+database.  Two interposition points matter to the Retro snapshot system
+(Section 4 of the paper):
+
+* ``on_flush`` fires before dirty pages are written back, which is where
+  Retro drains its accumulated pre-states to the Pagelog;
+* page *fetches* for snapshot queries do **not** come through this pool at
+  all — the snapshot manager redirects them to the snapshot page cache —
+  so this pool only ever holds current-state pages, mirroring the paper's
+  "database is memory resident" assumption when capacity is large enough.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.errors import BufferPoolError
+from repro.storage.disk import DiskFile
+from repro.storage.page import Page
+
+
+class BufferPoolStats:
+    """Hit/miss/eviction counters for one pool."""
+
+    __slots__ = ("hits", "misses", "evictions", "writebacks")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class BufferPool:
+    """Fixed-capacity LRU cache of database pages.
+
+    Pages are pinned while in use; only unpinned pages are evictable.
+    Dirty pages are written back to ``db_file`` on eviction and on
+    :meth:`flush_all` (checkpoint).
+    """
+
+    def __init__(self, db_file: DiskFile, capacity: int = 1024,
+                 on_flush: Optional[Callable[[], None]] = None) -> None:
+        if capacity < 1:
+            raise BufferPoolError("buffer pool capacity must be >= 1")
+        self._file = db_file
+        self._capacity = capacity
+        self._pages: "OrderedDict[int, Page]" = OrderedDict()
+        self._on_flush = on_flush
+        self.stats = BufferPoolStats()
+
+    # -- configuration ------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def set_flush_hook(self, hook: Optional[Callable[[], None]]) -> None:
+        self._on_flush = hook
+
+    # -- page access --------------------------------------------------------
+
+    def fetch(self, page_id: int, pin: bool = True) -> Page:
+        """Return the page, reading from disk on a miss."""
+        page = self._pages.get(page_id)
+        if page is not None:
+            self.stats.hits += 1
+            self._pages.move_to_end(page_id)
+        else:
+            self.stats.misses += 1
+            raw = self._file.read(page_id)
+            page = Page(page_id, bytearray(raw), self._file.page_size)
+            self._admit(page)
+        if pin:
+            page.pin_count += 1
+        return page
+
+    def create(self, page_id: int, pin: bool = True) -> Page:
+        """Materialize a brand-new zeroed page (not read from disk)."""
+        if page_id in self._pages:
+            raise BufferPoolError(f"page {page_id} already resident")
+        page = Page(page_id, page_size=self._file.page_size)
+        page.dirty = True
+        self._admit(page)
+        if pin:
+            page.pin_count += 1
+        return page
+
+    def unpin(self, page: Page) -> None:
+        if page.pin_count <= 0:
+            raise BufferPoolError(f"page {page.page_id} is not pinned")
+        page.pin_count -= 1
+
+    def put_raw(self, page_id: int, raw: bytes) -> None:
+        """Install committed bytes for ``page_id`` (commit-time install)."""
+        page = self._pages.get(page_id)
+        if page is None:
+            page = Page(page_id, bytearray(raw), self._file.page_size)
+            page.dirty = True
+            self._admit(page)
+        else:
+            page.load(raw)
+            page.dirty = True
+            self._pages.move_to_end(page_id)
+
+    def resident(self, page_id: int) -> bool:
+        return page_id in self._pages
+
+    def resident_ids(self) -> List[int]:
+        return list(self._pages)
+
+    # -- eviction / flushing --------------------------------------------------
+
+    def _admit(self, page: Page) -> None:
+        while len(self._pages) >= self._capacity:
+            self._evict_one()
+        self._pages[page.page_id] = page
+
+    def _evict_one(self) -> None:
+        for page_id, page in self._pages.items():
+            if page.pin_count == 0:
+                if page.dirty:
+                    self._writeback(page)
+                del self._pages[page_id]
+                self.stats.evictions += 1
+                return
+        raise BufferPoolError("all buffer pool pages are pinned")
+
+    def _writeback(self, page: Page) -> None:
+        self._file.write(page.page_id, bytes(page.data))
+        page.dirty = False
+        self.stats.writebacks += 1
+
+    def flush_all(self) -> None:
+        """Checkpoint: write every dirty page back to the database file.
+
+        Fires the ``on_flush`` hook first so Retro can drain pre-states to
+        the Pagelog before the corresponding current-state pages go out.
+        """
+        if self._on_flush is not None:
+            self._on_flush()
+        for page in self._pages.values():
+            if page.dirty:
+                self._writeback(page)
+
+    def drop_all(self) -> None:
+        """Discard the pool without writing back (crash simulation)."""
+        self._pages.clear()
+
+    def dirty_pages(self) -> Iterable[Page]:
+        return (p for p in self._pages.values() if p.dirty)

@@ -1,0 +1,328 @@
+"""The transactional storage engine (the paper's Berkeley DB substrate).
+
+:class:`StorageEngine` coordinates the pager/buffer pool, the write-ahead
+log, page-level MVCC, and the Retro snapshot manager.  It exposes exactly
+the interposition points Retro needs (paper Section 4): transaction
+commit, page flush, page fetch, and recovery.
+
+Concurrency model: a single writer at a time (as in BDB SQLite) with any
+number of concurrent read-only transactions served by MVCC version
+chains.  Snapshot queries run as read-only MVCC transactions so they
+never block, and are never blocked by, updates.
+
+Durability model: WAL at commit; checkpoints drain Retro pre-states to
+the Pagelog, flush dirty pages, persist the meta page, and advance the
+WAL replay start.  A crash is simulated by discarding the engine while
+keeping its :class:`~repro.storage.disk.SimulatedDisk`; reopening the
+disk runs recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import StorageError, TransactionError
+from repro.storage.disk import SimulatedDisk
+from repro.storage.mvcc import VersionStore
+from repro.storage.page import DEFAULT_PAGE_SIZE, Page
+from repro.storage.pager import Pager
+from repro.storage.transaction import (
+    ReadOnlyPageSource,
+    Transaction,
+    TransactionPageSource,
+    TxnState,
+)
+from repro.storage.wal import WriteAheadLog
+
+DB_FILE = "database"
+WAL_FILE = "wal"
+_WAL_START_ROOT = "__wal_start"
+_LAST_TS_ROOT = "__last_ts"
+
+
+class ReadContext:
+    """A registered MVCC reader: stable view at ``begin_ts`` until closed."""
+
+    def __init__(self, engine: "StorageEngine", begin_ts: int,
+                 reader_id: int) -> None:
+        self._engine = engine
+        self.begin_ts = begin_ts
+        self._reader_id = reader_id
+        self._closed = False
+
+    def close(self) -> None:
+        if not self._closed:
+            self._engine._versions.deregister_reader(self._reader_id)
+            self._closed = True
+
+    def __enter__(self) -> "ReadContext":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class StorageEngine:
+    """Transactional page store with integrated Retro snapshots."""
+
+    def __init__(self, disk: Optional[SimulatedDisk] = None,
+                 page_size: int = DEFAULT_PAGE_SIZE,
+                 pool_capacity: int = 1 << 20,
+                 snapshot_cache_pages: Optional[int] = None) -> None:
+        self.disk = disk or SimulatedDisk(page_size)
+        if self.disk.page_size != page_size and disk is not None:
+            page_size = self.disk.page_size
+        self.page_size = page_size
+        existing = self.disk.exists(DB_FILE)
+        db_file = self.disk.open_file(DB_FILE)
+        self.pager = Pager(db_file, pool_capacity)
+        self.wal = WriteAheadLog(self.disk.open_file(WAL_FILE,
+                                                     append_only=True))
+        # Imported here (not at module level) to break the package
+        # cycle storage/__init__ -> engine -> retro.manager -> maplog
+        # -> storage.disk -> storage/__init__.
+        from repro.retro.manager import RetroManager
+
+        cache_pages = snapshot_cache_pages
+        if cache_pages is None:
+            self.retro = RetroManager(self.disk)
+        else:
+            self.retro = RetroManager(self.disk, cache_pages=cache_pages)
+        self._versions = VersionStore()
+        self._next_txn_id = 1
+        self._last_commit_ts = 0
+        self._active_writer: Optional[Transaction] = None
+        if existing:
+            self._recover()
+        else:
+            self.checkpoint()
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        """Start a write transaction (single writer at a time)."""
+        if self._active_writer is not None and self._active_writer.is_active():
+            raise TransactionError("another write transaction is active")
+        txn = Transaction(
+            txn_id=self._next_txn_id,
+            begin_ts=self._last_commit_ts,
+            first_new_page_id=self.pager.next_page_id,
+        )
+        self._next_txn_id += 1
+        self._active_writer = txn
+        return txn
+
+    def page_source(self, txn: Transaction) -> TransactionPageSource:
+        """The overlay-backed page source for ``txn``."""
+        txn.ensure_active()
+        return TransactionPageSource(
+            txn,
+            read_committed=self._fetch_committed,
+            release_committed=lambda page: None,
+            allocate_id=self.pager.allocate,
+            page_size=self.page_size,
+        )
+
+    def commit(self, txn: Transaction,
+               declare_snapshot: bool = False) -> Optional[int]:
+        """Commit; returns the declared snapshot id if one was requested.
+
+        Commit order (the Retro interposition point):
+        1. COW-capture pre-states of pages first-modified since the last
+           snapshot declaration;
+        2. append after-images + commit seal to the WAL (durability);
+        3. retain MVCC versions for active readers, install after-images;
+        4. declare the snapshot (it reflects this transaction's updates).
+        """
+        txn.ensure_active()
+        commit_ts = self._last_commit_ts + 1
+        pages = txn.modified_pages()
+        snapshot_id = (self.retro.latest_snapshot_id + 1
+                       if declare_snapshot else 0)
+
+        for page_id in pages:
+            if page_id < txn.first_new_page_id:
+                self.retro.capture_if_needed(
+                    page_id,
+                    lambda pid=page_id: self._committed_bytes(pid),
+                )
+        for page_id in txn.freed:
+            # Freed pages may be reallocated and overwritten later; their
+            # pre-state must survive for older snapshots.
+            if page_id < txn.first_new_page_id:
+                self.retro.capture_if_needed(
+                    page_id,
+                    lambda pid=page_id: self._committed_bytes(pid),
+                )
+
+        self.wal.log_commit(
+            txn_id=txn.txn_id,
+            commit_ts=commit_ts,
+            pages=pages,
+            freed=list(txn.freed),
+            declared_snapshot=declare_snapshot,
+            snapshot_id=snapshot_id,
+            next_page_id=self.pager.next_page_id,
+        )
+
+        retain_needed = self._versions.active_reader_count > 0
+        for page_id, image in pages.items():
+            if retain_needed and page_id < txn.first_new_page_id:
+                old = self._committed_bytes(page_id)
+                self._versions.retain(page_id, old, commit_ts)
+            self.pager.install(page_id, image)
+        for page_id in txn.freed:
+            self.pager.free(page_id)
+
+        self._last_commit_ts = commit_ts
+        txn.state = TxnState.COMMITTED
+        self._active_writer = None
+
+        if declare_snapshot:
+            declared = self.retro.declare_snapshot()
+            if declared != snapshot_id:
+                raise StorageError("snapshot id drifted from WAL record")
+            return declared
+        return None
+
+    def rollback(self, txn: Transaction) -> None:
+        """Discard the transaction's overlay; fresh page ids are leaked
+        (never reused) so pre-state capture can assume every reusable id
+        has committed content."""
+        txn.ensure_active()
+        txn.state = TxnState.ABORTED
+        txn.overlay.clear()
+        txn.dirty.clear()
+        self._active_writer = None
+
+    # ------------------------------------------------------------------
+    # Read paths
+    # ------------------------------------------------------------------
+
+    def begin_read(self) -> ReadContext:
+        """Register an MVCC reader at the current committed timestamp."""
+        begin_ts = self._last_commit_ts
+        reader_id = self._versions.register_reader(begin_ts)
+        return ReadContext(self, begin_ts, reader_id)
+
+    def read_source(self, context: ReadContext) -> ReadOnlyPageSource:
+        """Page source with a stable view as of ``context.begin_ts``."""
+        def read_page(page_id: int) -> Page:
+            return self._mvcc_read(page_id, context.begin_ts)
+
+        return ReadOnlyPageSource(read_page, lambda page: None)
+
+    def snapshot_source(self, snapshot_id: int, context: ReadContext,
+                        use_skippy: bool = True):
+        """Page source serving reads as of a declared snapshot.
+
+        Pages shared with the current database resolve through MVCC at
+        the reader's ``begin_ts`` so concurrent updates never interfere.
+        """
+        def read_current(page_id: int):
+            return self._mvcc_read(page_id, context.begin_ts)
+
+        return self.retro.snapshot_source(
+            snapshot_id, read_current, self.page_size, use_skippy=use_skippy,
+        )
+
+    def _mvcc_read(self, page_id: int, begin_ts: int) -> Page:
+        retained = self._versions.read(page_id, begin_ts)
+        if retained is not None:
+            return Page(page_id, bytearray(retained), self.page_size)
+        return self._fetch_committed(page_id)
+
+    def _fetch_committed(self, page_id: int) -> Page:
+        return self.pager.pool.fetch(page_id, pin=False)
+
+    def _committed_bytes(self, page_id: int) -> bytes:
+        """Latest committed image of a page (pool first, then disk)."""
+        if self.pager.pool.resident(page_id):
+            return bytes(self.pager.pool.fetch(page_id, pin=False).data)
+        return self.pager.read_committed_from_disk(page_id)
+
+    # ------------------------------------------------------------------
+    # Checkpoint & recovery
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Flush Retro pre-states, dirty pages, and the meta page.
+
+        Treated as atomic by the simulation (a crash never lands mid-
+        checkpoint); the WAL replay start only advances once everything
+        the WAL covered is durable.
+        """
+        self.retro.on_flush()
+        boundary = self.wal.sync_boundary()
+        self.pager.set_root(_WAL_START_ROOT, boundary)
+        self.pager.set_root(_LAST_TS_ROOT, self._last_commit_ts)
+        self.pager.checkpoint()
+
+    def _recover(self) -> None:
+        """Replay the WAL from the last checkpoint boundary.
+
+        Retro's recovery interposition: pre-states that were pending in
+        memory at the crash are re-captured from the (checkpointed)
+        database file before replayed after-images overwrite them.
+        """
+        self.retro.recover(self.disk)
+        start_block = self.pager.get_root(_WAL_START_ROOT) or 0
+        self._last_commit_ts = self.pager.get_root(_LAST_TS_ROOT) or 0
+        running_next = self.pager.next_page_id
+        for txn in self.wal.replay(start_block):
+            for page_id in sorted(txn.pages):
+                if page_id < running_next:
+                    self.retro.capture_if_needed(
+                        page_id,
+                        lambda pid=page_id: self._committed_bytes(pid),
+                    )
+            for page_id in txn.freed:
+                if page_id < running_next:
+                    self.retro.capture_if_needed(
+                        page_id,
+                        lambda pid=page_id: self._committed_bytes(pid),
+                    )
+            for page_id, image in sorted(txn.pages.items()):
+                self.pager.install(page_id, image)
+            for page_id in txn.freed:
+                self.pager.free(page_id)
+            running_next = max(running_next, txn.next_page_id)
+            self._sync_next_page_id(running_next)
+            if txn.declared_snapshot:
+                declared = self.retro.declare_snapshot()
+                if declared != txn.snapshot_id:
+                    raise StorageError(
+                        f"recovered snapshot id {declared} != WAL "
+                        f"{txn.snapshot_id}"
+                    )
+            self._last_commit_ts = max(self._last_commit_ts, txn.commit_ts)
+            self._next_txn_id = max(self._next_txn_id, txn.txn_id + 1)
+        self.checkpoint()
+
+    def _sync_next_page_id(self, next_page_id: int) -> None:
+        state = self.pager.allocation_state()
+        if int(state["next"]) < next_page_id:  # type: ignore[arg-type]
+            state["next"] = next_page_id
+            self.pager.restore_allocation_state(state)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def last_commit_ts(self) -> int:
+        return self._last_commit_ts
+
+    def database_pages(self) -> int:
+        return self.pager.page_count
+
+    def crash(self) -> SimulatedDisk:
+        """Simulate power loss: drop all volatile state, return the disk.
+
+        The engine object must not be used afterwards; reopen the disk
+        with a fresh ``StorageEngine`` to run recovery.
+        """
+        self.pager.pool.drop_all()
+        return self.disk

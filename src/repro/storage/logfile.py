@@ -1,0 +1,124 @@
+"""Block-structured record logs.
+
+The WAL and the Retro Maplog both append variable-size records to an
+append-only :class:`~repro.storage.disk.DiskFile` whose unit is a fixed
+page-size block.  :class:`BlockLogWriter` frames records (length-prefixed,
+allowed to span blocks) and flushes full blocks; :class:`BlockLogReader`
+reassembles them.
+
+A record is ``<u32 length><payload>``.  A zero length marks end-of-log
+padding inside the final flushed block, after which parsing resumes at the
+next block boundary.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List
+
+from repro.errors import StorageError
+from repro.storage.disk import DiskFile
+
+_LEN = struct.Struct("<I")
+
+
+class BlockLogWriter:
+    """Appends length-prefixed records to a block-oriented file."""
+
+    def __init__(self, log_file: DiskFile) -> None:
+        if not log_file.append_only:
+            raise StorageError("block logs require an append-only file")
+        self._file = log_file
+        self._buffer = bytearray()
+        #: Number of records appended over the writer's lifetime.
+        self.records_written = 0
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+    def append(self, payload: bytes) -> int:
+        """Buffer one record; returns its record sequence number.
+
+        Zero-length payloads are rejected: a zero length on disk is the
+        padding sentinel.
+        """
+        if not payload:
+            raise StorageError("block-log records must be non-empty")
+        block = self._file.page_size
+        # Never let a record header straddle a block boundary: the reader
+        # treats a sub-header-size block tail as padding.  The buffer always
+        # starts block-aligned (full blocks drain immediately), so its
+        # length is the in-block offset of the next header.
+        tail_room = block - len(self._buffer)
+        if tail_room < _LEN.size:
+            self._buffer += bytes(tail_room)
+        self._buffer += _LEN.pack(len(payload))
+        self._buffer += payload
+        seq = self.records_written
+        self.records_written += 1
+        block = self._file.page_size
+        while len(self._buffer) >= block:
+            self._file.append(bytes(self._buffer[:block]))
+            del self._buffer[:block]
+        return seq
+
+    def flush(self) -> None:
+        """Force any buffered tail out as a zero-padded block.
+
+        The zero padding parses as a zero record length, which tells the
+        reader to skip to the next block boundary.
+        """
+        if self._buffer:
+            block = self._file.page_size
+            tail = bytes(self._buffer) + bytes(block - len(self._buffer))
+            self._file.append(tail)
+            self._buffer.clear()
+
+    def sync_boundary(self) -> int:
+        """Flush and return the durable block count (for checkpoints)."""
+        self.flush()
+        return len(self._file)
+
+
+class BlockLogReader:
+    """Iterates records out of a block log written by BlockLogWriter."""
+
+    def __init__(self, log_file: DiskFile) -> None:
+        self._file = log_file
+
+    def records(self, start_block: int = 0) -> Iterator[bytes]:
+        """Yield record payloads from ``start_block`` to the end.
+
+        ``start_block`` must be a block boundary at which a record starts
+        (e.g. a value previously returned by ``sync_boundary``).  The scan
+        charges one log read per block, matching the device cost model.
+        """
+        block = self._file.page_size
+        stream = bytearray()
+        for raw in self._file.scan(start_block):
+            stream += raw
+        pos = 0
+        end = len(stream)
+        while pos + _LEN.size <= end:
+            remaining_in_block = block - (pos % block)
+            if remaining_in_block < _LEN.size:
+                # Too few bytes left in this block to hold a header: the
+                # writer padded them, so skip to the next block boundary.
+                pos += remaining_in_block
+                continue
+            (length,) = _LEN.unpack_from(stream, pos)
+            if length == 0:
+                # Padding: resume at the next block boundary.
+                pos = ((pos // block) + 1) * block
+                continue
+            pos += _LEN.size
+            if pos + length > end:
+                raise StorageError("truncated record at end of log")
+            yield bytes(stream[pos:pos + length])
+            pos += length
+
+
+def read_all_records(log_file: DiskFile, start_block: int = 0) -> List[bytes]:
+    """Convenience: materialize all records from ``start_block``."""
+    return list(BlockLogReader(log_file).records(start_block))

@@ -1,0 +1,187 @@
+"""Page allocation and access for the current-state database.
+
+The pager owns page 0 (the meta page), the free list, and the buffer pool.
+It is also the *fetch interposition point* the Retro snapshot system relies
+on: every page read from the SQL layer goes through a
+:class:`PageSource`, and snapshot queries simply substitute a snapshot
+reader for the pager (see :mod:`repro.retro.manager`).
+
+Meta page layout (after the shared page header)::
+
+    magic u32 | next_page_id u64 | free_count u32 | free ids u64...
+    | root_count u32 | (name, page_id) record-encoded pairs
+
+The free list and named roots are small at our simulation scale; if they
+ever outgrow the meta page the pager raises rather than corrupting it.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import StorageError
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.disk import DiskFile
+from repro.storage.page import HEADER_SIZE, PAGE_TYPE_META, Page
+from repro.storage.record import decode_record, encode_record
+
+_MAGIC = 0x52514C21  # "RQL!"
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+META_PAGE_ID = 0
+
+
+class PageSource:
+    """Read-only page access protocol shared by pager and snapshot reader."""
+
+    def fetch(self, page_id: int) -> Page:
+        raise NotImplementedError
+
+    def release(self, page: Page) -> None:
+        """Drop a reference obtained from :meth:`fetch` (default no-op)."""
+
+
+class Pager(PageSource):
+    """Allocates, frees and fetches current-state database pages."""
+
+    def __init__(self, db_file: DiskFile, pool_capacity: int = 4096) -> None:
+        self._file = db_file
+        self.pool = BufferPool(db_file, pool_capacity)
+        self._next_page_id = 1
+        self._free: List[int] = []
+        self._roots: Dict[str, int] = {}
+        if len(db_file) > 0:
+            self._load_meta()
+        else:
+            # Fresh database: materialize the meta page.
+            self._file.write(META_PAGE_ID, self._encode_meta())
+
+    # -- meta page -----------------------------------------------------------
+
+    def _encode_meta(self) -> bytes:
+        buf = bytearray(self._file.page_size)
+        page = Page(META_PAGE_ID, buf, self._file.page_size)
+        page.page_type = PAGE_TYPE_META
+        pos = HEADER_SIZE
+        _U32.pack_into(buf, pos, _MAGIC)
+        pos += _U32.size
+        _U64.pack_into(buf, pos, self._next_page_id)
+        pos += _U64.size
+        _U32.pack_into(buf, pos, len(self._free))
+        pos += _U32.size
+        for pid in self._free:
+            _U64.pack_into(buf, pos, pid)
+            pos += _U64.size
+        roots = encode_record(
+            [v for kv in sorted(self._roots.items()) for v in kv]
+        )
+        if pos + _U32.size + len(roots) > len(buf):
+            raise StorageError("meta page overflow (free list too large)")
+        _U32.pack_into(buf, pos, len(roots))
+        pos += _U32.size
+        buf[pos:pos + len(roots)] = roots
+        return bytes(buf)
+
+    def _load_meta(self) -> None:
+        raw = self._file.read(META_PAGE_ID)
+        pos = HEADER_SIZE
+        (magic,) = _U32.unpack_from(raw, pos)
+        if magic != _MAGIC:
+            raise StorageError("database file has bad magic")
+        pos += _U32.size
+        (self._next_page_id,) = _U64.unpack_from(raw, pos)
+        pos += _U64.size
+        (nfree,) = _U32.unpack_from(raw, pos)
+        pos += _U32.size
+        self._free = []
+        for _ in range(nfree):
+            (pid,) = _U64.unpack_from(raw, pos)
+            pos += _U64.size
+            self._free.append(pid)
+        (rlen,) = _U32.unpack_from(raw, pos)
+        pos += _U32.size
+        flat = decode_record(raw[pos:pos + rlen])
+        self._roots = {
+            str(flat[i]): int(flat[i + 1]) for i in range(0, len(flat), 2)
+        }
+
+    def write_meta(self) -> None:
+        """Persist allocation state + roots (called at checkpoint)."""
+        self._file.write(META_PAGE_ID, self._encode_meta())
+
+    # -- named roots -----------------------------------------------------------
+
+    def get_root(self, name: str) -> Optional[int]:
+        return self._roots.get(name)
+
+    def set_root(self, name: str, page_id: Optional[int]) -> None:
+        if page_id is None:
+            self._roots.pop(name, None)
+        else:
+            self._roots[name] = page_id
+
+    def root_names(self) -> List[str]:
+        return sorted(self._roots)
+
+    # -- allocation --------------------------------------------------------------
+
+    @property
+    def next_page_id(self) -> int:
+        return self._next_page_id
+
+    @property
+    def page_count(self) -> int:
+        """Number of allocated pages (including meta, excluding freed)."""
+        return self._next_page_id - len(self._free)
+
+    def allocate(self) -> int:
+        if self._free:
+            return self._free.pop()
+        pid = self._next_page_id
+        self._next_page_id += 1
+        return pid
+
+    def free(self, page_id: int) -> None:
+        if page_id == META_PAGE_ID:
+            raise StorageError("cannot free the meta page")
+        self._free.append(page_id)
+
+    def allocation_state(self) -> Dict[str, object]:
+        """Allocation info recorded in WAL commit records for recovery."""
+        return {"next": self._next_page_id, "free": list(self._free)}
+
+    def restore_allocation_state(self, state: Dict[str, object]) -> None:
+        self._next_page_id = int(state["next"])  # type: ignore[arg-type]
+        self._free = [int(x) for x in state["free"]]  # type: ignore[union-attr]
+
+    # -- page access --------------------------------------------------------------
+
+    def fetch(self, page_id: int) -> Page:
+        return self.pool.fetch(page_id)
+
+    def release(self, page: Page) -> None:
+        self.pool.unpin(page)
+
+    def create_page(self, page_id: int) -> Page:
+        return self.pool.create(page_id)
+
+    def install(self, page_id: int, raw: bytes) -> None:
+        """Install committed page bytes (commit-time write path)."""
+        self.pool.put_raw(page_id, raw)
+
+    def checkpoint(self, extra_flush: Optional[Callable[[], None]] = None) -> None:
+        """Flush dirty pages + meta to the database file."""
+        if extra_flush is not None:
+            extra_flush()
+        self.pool.flush_all()
+        self.write_meta()
+
+    def read_committed_from_disk(self, page_id: int) -> bytes:
+        """Bypass the pool and read the on-disk (checkpointed) image.
+
+        Used during recovery to recapture COW pre-states that were lost
+        with the in-memory Retro buffer.
+        """
+        return self._file.read(page_id)

@@ -1,0 +1,232 @@
+"""Value and record serialization.
+
+The SQL layer stores rows as tuples of Python values drawn from the SQL
+value model: ``None`` (NULL), ``int``, ``float``, ``str`` and ``bytes``.
+This module provides a compact, order-preserving-enough binary codec used
+both for B+tree payloads (row storage) and B+tree keys (index storage).
+
+Two codecs live here:
+
+``encode_record`` / ``decode_record``
+    Length-prefixed tagged encoding for payloads.  Not comparable as bytes.
+
+``encode_key`` / ``decode_key``
+    Memcomparable encoding: for any two tuples of SQL values, comparing the
+    encodings as byte strings agrees with SQL ordering (NULL < numbers <
+    text < blob, numbers compared numerically across int/float).  The
+    B+tree compares raw key bytes, which keeps its node layout simple.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence, Tuple
+
+from repro.errors import RecordCodecError
+
+SqlValue = object  # None | int | float | str | bytes
+
+_TAG_NULL = 0
+_TAG_INT = 1
+_TAG_FLOAT = 2
+_TAG_TEXT = 3
+_TAG_BLOB = 4
+
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+_U32 = struct.Struct("<I")
+_F64_BE = struct.Struct(">d")
+
+
+# ---------------------------------------------------------------------------
+# Payload codec
+# ---------------------------------------------------------------------------
+
+def encode_record(values: Sequence[SqlValue]) -> bytes:
+    """Encode a row into bytes.  Raises RecordCodecError on bad types."""
+    out = bytearray()
+    out += _U32.pack(len(values))
+    for value in values:
+        if value is None:
+            out.append(_TAG_NULL)
+        elif isinstance(value, bool):
+            # bool is an int subclass; normalize so decode returns int.
+            out.append(_TAG_INT)
+            out += _I64.pack(int(value))
+        elif isinstance(value, int):
+            out.append(_TAG_INT)
+            try:
+                out += _I64.pack(value)
+            except struct.error as exc:
+                raise RecordCodecError(
+                    f"integer out of 64-bit range: {value}"
+                ) from exc
+        elif isinstance(value, float):
+            out.append(_TAG_FLOAT)
+            out += _F64.pack(value)
+        elif isinstance(value, str):
+            raw = value.encode("utf-8")
+            out.append(_TAG_TEXT)
+            out += _U32.pack(len(raw))
+            out += raw
+        elif isinstance(value, (bytes, bytearray)):
+            raw = bytes(value)
+            out.append(_TAG_BLOB)
+            out += _U32.pack(len(raw))
+            out += raw
+        else:
+            raise RecordCodecError(
+                f"unsupported SQL value type: {type(value).__name__}"
+            )
+    return bytes(out)
+
+
+def decode_record(raw: bytes) -> Tuple[SqlValue, ...]:
+    """Decode bytes produced by :func:`encode_record`."""
+    try:
+        (count,) = _U32.unpack_from(raw, 0)
+        pos = _U32.size
+        values: List[SqlValue] = []
+        for _ in range(count):
+            tag = raw[pos]
+            pos += 1
+            if tag == _TAG_NULL:
+                values.append(None)
+            elif tag == _TAG_INT:
+                (v,) = _I64.unpack_from(raw, pos)
+                pos += _I64.size
+                values.append(v)
+            elif tag == _TAG_FLOAT:
+                (f,) = _F64.unpack_from(raw, pos)
+                pos += _F64.size
+                values.append(f)
+            elif tag == _TAG_TEXT:
+                (n,) = _U32.unpack_from(raw, pos)
+                pos += _U32.size
+                values.append(raw[pos:pos + n].decode("utf-8"))
+                pos += n
+            elif tag == _TAG_BLOB:
+                (n,) = _U32.unpack_from(raw, pos)
+                pos += _U32.size
+                values.append(bytes(raw[pos:pos + n]))
+                pos += n
+            else:
+                raise RecordCodecError(f"unknown value tag {tag}")
+        return tuple(values)
+    except (struct.error, IndexError, UnicodeDecodeError) as exc:
+        raise RecordCodecError(f"corrupt record: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Memcomparable key codec
+# ---------------------------------------------------------------------------
+#
+# Type-class bytes establish NULL < numeric < text < blob.  Within numerics,
+# int and float collate together: both are encoded as big-endian IEEE-754
+# doubles with the sign bit flipped (and the whole word inverted for
+# negatives), which yields total order by value.  64-bit ints above 2**53
+# lose precision under this scheme; TPC-H keys stay far below that, and the
+# payload codec (used for stored rows) is always exact.
+
+_KCLASS_NULL = 0x10
+_KCLASS_NUM = 0x20
+_KCLASS_TEXT = 0x30
+_KCLASS_BLOB = 0x40
+
+_SEP = b"\x00\x00"
+_ESCAPED = b"\x00\xff"
+
+
+def _encode_num(value: float) -> bytes:
+    value = float(value) + 0.0  # normalize -0.0 so it collates as 0.0
+    raw = bytearray(_F64_BE.pack(value))
+    if raw[0] & 0x80:  # negative: invert all bits
+        for i in range(8):
+            raw[i] ^= 0xFF
+    else:  # positive: flip sign bit
+        raw[0] ^= 0x80
+    return bytes(raw)
+
+
+def _decode_num(raw: bytes) -> float:
+    buf = bytearray(raw)
+    if buf[0] & 0x80:  # was positive
+        buf[0] ^= 0x80
+    else:  # was negative
+        for i in range(8):
+            buf[i] ^= 0xFF
+    return _F64_BE.unpack(bytes(buf))[0]
+
+
+def _escape(raw: bytes) -> bytes:
+    """NUL-escape so the 0x00 0x00 separator never appears inside data."""
+    return raw.replace(b"\x00", _ESCAPED)
+
+
+def _unescape(raw: bytes) -> bytes:
+    return raw.replace(_ESCAPED, b"\x00")
+
+
+def encode_key(values: Sequence[SqlValue]) -> bytes:
+    """Encode a tuple so byte-wise comparison matches SQL ordering."""
+    out = bytearray()
+    for value in values:
+        if value is None:
+            out.append(_KCLASS_NULL)
+        elif isinstance(value, bool):
+            out.append(_KCLASS_NUM)
+            out += _encode_num(float(int(value)))
+        elif isinstance(value, (int, float)):
+            out.append(_KCLASS_NUM)
+            out += _encode_num(float(value))
+        elif isinstance(value, str):
+            out.append(_KCLASS_TEXT)
+            out += _escape(value.encode("utf-8"))
+            out += _SEP
+        elif isinstance(value, (bytes, bytearray)):
+            out.append(_KCLASS_BLOB)
+            out += _escape(bytes(value))
+            out += _SEP
+        else:
+            raise RecordCodecError(
+                f"unsupported key value type: {type(value).__name__}"
+            )
+    return bytes(out)
+
+
+def decode_key(raw: bytes) -> Tuple[SqlValue, ...]:
+    """Decode bytes produced by :func:`encode_key`.
+
+    Numeric values come back as ``float`` (ints are recovered when the
+    float is integral); callers that need exact values should store them
+    in the payload and treat the key as opaque.
+    """
+    values: List[SqlValue] = []
+    pos = 0
+    n = len(raw)
+    while pos < n:
+        kclass = raw[pos]
+        pos += 1
+        if kclass == _KCLASS_NULL:
+            values.append(None)
+        elif kclass == _KCLASS_NUM:
+            num = _decode_num(raw[pos:pos + 8])
+            pos += 8
+            values.append(int(num) if num.is_integer() else num)
+        elif kclass in (_KCLASS_TEXT, _KCLASS_BLOB):
+            end = raw.find(_SEP, pos)
+            # Skip separators that are actually escape sequences: an escape
+            # is 0x00 0xff, so a genuine separator is 0x00 0x00 that is not
+            # the tail of an escape.  Because escapes never produce 0x00
+            # 0x00, the first find() hit is always the real separator.
+            if end < 0:
+                raise RecordCodecError("unterminated string key component")
+            data = _unescape(raw[pos:end])
+            pos = end + len(_SEP)
+            if kclass == _KCLASS_TEXT:
+                values.append(data.decode("utf-8"))
+            else:
+                values.append(data)
+        else:
+            raise RecordCodecError(f"unknown key class byte {kclass:#x}")
+    return tuple(values)

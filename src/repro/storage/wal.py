@@ -1,0 +1,101 @@
+"""Write-ahead log.
+
+Commit durability: before a transaction's after-images are installed in
+the buffer pool, they are appended to the WAL together with a sealing
+commit record.  Recovery replays committed transactions from the last
+checkpoint boundary (stored in the pager meta page).
+
+Record formats (record-codec encoded tuples):
+
+* ``("P", txn_id, page_id, image)`` — after-image of one page
+* ``("F", txn_id, page_id)``        — page freed by the transaction
+* ``("C", txn_id, commit_ts, declared, snapshot_id, next_page_id)`` —
+  commit seal; ``declared`` is 1 when the transaction ended with
+  ``COMMIT WITH SNAPSHOT`` and ``snapshot_id`` is the id it produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+from repro.errors import RecoveryError
+from repro.storage.disk import DiskFile
+from repro.storage.logfile import BlockLogReader, BlockLogWriter
+from repro.storage.record import decode_record, encode_record
+
+
+@dataclass
+class CommittedTxn:
+    """One committed transaction reconstructed from the WAL."""
+
+    txn_id: int
+    commit_ts: int
+    declared_snapshot: bool
+    snapshot_id: int
+    next_page_id: int
+    pages: Dict[int, bytes] = field(default_factory=dict)
+    freed: List[int] = field(default_factory=list)
+
+
+class WriteAheadLog:
+    """Appends commit groups and replays them for recovery."""
+
+    def __init__(self, wal_file: DiskFile) -> None:
+        self._file = wal_file
+        self._writer = BlockLogWriter(wal_file)
+
+    def log_commit(self, txn_id: int, commit_ts: int,
+                   pages: Dict[int, bytes], freed: List[int],
+                   declared_snapshot: bool, snapshot_id: int,
+                   next_page_id: int) -> None:
+        """Append one transaction's after-images + commit seal, durably."""
+        for page_id, image in sorted(pages.items()):
+            self._writer.append(encode_record(["P", txn_id, page_id, image]))
+        for page_id in freed:
+            self._writer.append(encode_record(["F", txn_id, page_id]))
+        self._writer.append(encode_record([
+            "C", txn_id, commit_ts,
+            1 if declared_snapshot else 0, snapshot_id, next_page_id,
+        ]))
+        self._writer.flush()
+
+    def sync_boundary(self) -> int:
+        """Durable block count — recorded by checkpoints."""
+        return self._writer.sync_boundary()
+
+    def replay(self, start_block: int = 0) -> Iterator[CommittedTxn]:
+        """Yield committed transactions in commit order from start_block.
+
+        Page/free records belonging to transactions without a commit seal
+        (a crash mid-commit-group) are dropped, matching WAL semantics.
+        """
+        pending_pages: Dict[int, Dict[int, bytes]] = {}
+        pending_freed: Dict[int, List[int]] = {}
+        reader = BlockLogReader(self._file)
+        for raw in reader.records(start_block):
+            rec = decode_record(raw)
+            kind = rec[0]
+            if kind == "P":
+                _, txn_id, page_id, image = rec
+                pending_pages.setdefault(int(txn_id), {})[int(page_id)] = bytes(image)  # type: ignore[arg-type]
+            elif kind == "F":
+                _, txn_id, page_id = rec
+                pending_freed.setdefault(int(txn_id), []).append(int(page_id))  # type: ignore[arg-type]
+            elif kind == "C":
+                _, txn_id, commit_ts, declared, snap_id, next_pid = rec
+                txn_id = int(txn_id)  # type: ignore[arg-type]
+                yield CommittedTxn(
+                    txn_id=txn_id,
+                    commit_ts=int(commit_ts),  # type: ignore[arg-type]
+                    declared_snapshot=bool(declared),
+                    snapshot_id=int(snap_id),  # type: ignore[arg-type]
+                    next_page_id=int(next_pid),  # type: ignore[arg-type]
+                    pages=pending_pages.pop(txn_id, {}),
+                    freed=pending_freed.pop(txn_id, []),
+                )
+            else:
+                raise RecoveryError(f"unknown WAL record kind {kind!r}")
+
+    def block_count(self) -> int:
+        return len(self._file)

@@ -1,0 +1,29 @@
+"""Workloads: TPC-H dbgen/refresh and the LoggedIn example."""
+
+from repro.workloads.driver import (
+    UW7_5,
+    UW15,
+    UW30,
+    UW60,
+    WORKLOADS,
+    SnapshotHistoryBuilder,
+    UpdateWorkload,
+)
+from repro.workloads.loggedin import (
+    LOGGEDIN_DDL,
+    LoggedInSimulator,
+    setup_paper_example,
+)
+
+__all__ = [
+    "LOGGEDIN_DDL",
+    "LoggedInSimulator",
+    "SnapshotHistoryBuilder",
+    "UW15",
+    "UW30",
+    "UW60",
+    "UW7_5",
+    "UpdateWorkload",
+    "WORKLOADS",
+    "setup_paper_example",
+]

@@ -1,0 +1,23 @@
+"""TPC-H: schema, deterministic dbgen, refresh functions."""
+
+from repro.workloads.tpch.dbgen import GeneratorConfig, TpchGenerator
+from repro.workloads.tpch.refresh import RefreshFunctions
+from repro.workloads.tpch.queries import (
+    Q1_PRICING_SUMMARY,
+    q3,
+    q6,
+    retrospective,
+)
+from repro.workloads.tpch.schema import ALL_DDL, scaled_cardinality
+
+__all__ = [
+    "ALL_DDL",
+    "Q1_PRICING_SUMMARY",
+    "q3",
+    "q6",
+    "retrospective",
+    "GeneratorConfig",
+    "RefreshFunctions",
+    "TpchGenerator",
+    "scaled_cardinality",
+]

@@ -1,0 +1,228 @@
+"""dbgen: deterministic TPC-H data generation at any scale factor.
+
+The paper builds its 1.4 GB database with the official ``dbgen`` at the
+default scale (SF 1).  A pure-Python simulation cannot chew gigabytes in
+benchmark loops, so the generator is *scale-faithful* instead of
+byte-faithful: every cardinality, key range and value domain follows the
+TPC-H spec proportionally, which preserves everything the evaluation
+depends on (update-workload fractions, overwrite-cycle lengths, query
+selectivities).  See DESIGN.md §2 for the substitution argument.
+
+All randomness flows from one seeded :class:`random.Random`, so a given
+(scale_factor, seed) pair always generates the identical database.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.sql.database import Database
+from repro.workloads.tpch import text
+from repro.workloads.tpch.schema import ALL_DDL, scaled_cardinality
+
+START_DATE = (1992, 1, 1)
+END_DATE = (1998, 8, 2)
+
+
+def _date_ordinal(year: int, month: int, day: int) -> int:
+    import datetime
+
+    return datetime.date(year, month, day).toordinal()
+
+
+_START_ORD = _date_ordinal(*START_DATE)
+_END_ORD = _date_ordinal(*END_DATE)
+
+
+def random_date(rng: random.Random, max_ordinal: Optional[int] = None) -> str:
+    import datetime
+
+    hi = max_ordinal if max_ordinal is not None else _END_ORD
+    ordinal = rng.randint(_START_ORD, hi)
+    return datetime.date.fromordinal(ordinal).isoformat()
+
+
+def date_plus(date_iso: str, days: int) -> str:
+    import datetime
+
+    return (datetime.date.fromisoformat(date_iso)
+            + datetime.timedelta(days=days)).isoformat()
+
+
+@dataclass
+class GeneratorConfig:
+    scale_factor: float = 0.002
+    seed: int = 7
+    #: average lineitems per order (spec: uniform 1..7)
+    max_lines_per_order: int = 7
+
+
+class TpchGenerator:
+    """Generates and loads a TPC-H database; also used by refresh."""
+
+    def __init__(self, config: Optional[GeneratorConfig] = None) -> None:
+        self.config = config or GeneratorConfig()
+        self.rng = random.Random(self.config.seed)
+        sf = self.config.scale_factor
+        self.part_count = scaled_cardinality("part", sf)
+        self.supplier_count = scaled_cardinality("supplier", sf)
+        self.customer_count = scaled_cardinality("customer", sf)
+        self.orders_count = scaled_cardinality("orders", sf)
+        #: next orderkey for refresh inserts (monotonic, like RF1)
+        self.next_orderkey = self.orders_count + 1
+
+    # ------------------------------------------------------------------
+    # Row generators
+    # ------------------------------------------------------------------
+
+    def region_rows(self) -> Iterator[Tuple]:
+        for key, name in enumerate(text.REGIONS):
+            yield (key, name, text.random_comment(self.rng))
+
+    def nation_rows(self) -> Iterator[Tuple]:
+        for key, (name, region) in enumerate(text.NATIONS):
+            yield (key, name, region, text.random_comment(self.rng))
+
+    def supplier_rows(self) -> Iterator[Tuple]:
+        rng = self.rng
+        for key in range(1, self.supplier_count + 1):
+            nation = rng.randrange(len(text.NATIONS))
+            yield (
+                key, f"Supplier#{key:09d}",
+                text.random_comment(rng, 3),
+                nation, text.random_phone(rng, nation),
+                round(rng.uniform(-999.99, 9999.99), 2),
+                text.random_comment(rng),
+            )
+
+    def part_rows(self) -> Iterator[Tuple]:
+        rng = self.rng
+        for key in range(1, self.part_count + 1):
+            yield (
+                key, text.random_part_name(rng), rng.choice(text.MFGRS),
+                rng.choice(text.BRANDS), text.random_type(rng),
+                rng.randint(1, 50), text.random_container(rng),
+                round(90000 + (key % 200001) / 10 + 100 * (key % 1000), 2)
+                / 100,
+                text.random_comment(rng),
+            )
+
+    def customer_rows(self) -> Iterator[Tuple]:
+        rng = self.rng
+        for key in range(1, self.customer_count + 1):
+            nation = rng.randrange(len(text.NATIONS))
+            yield (
+                key, f"Customer#{key:09d}",
+                text.random_comment(rng, 3), nation,
+                text.random_phone(rng, nation),
+                round(rng.uniform(-999.99, 9999.99), 2),
+                rng.choice(text.SEGMENTS),
+                text.random_comment(rng),
+            )
+
+    def order_with_lines(self, orderkey: int) -> Tuple[Tuple, List[Tuple]]:
+        """One orders row + its lineitem rows (shared by load and RF1)."""
+        rng = self.rng
+        custkey = rng.randint(1, self.customer_count)
+        orderdate = random_date(rng, _END_ORD - 151)
+        lines: List[Tuple] = []
+        total = 0.0
+        open_lines = 0
+        line_count = rng.randint(1, self.config.max_lines_per_order)
+        for line_number in range(1, line_count + 1):
+            partkey = rng.randint(1, self.part_count)
+            suppkey = rng.randint(1, self.supplier_count)
+            quantity = float(rng.randint(1, 50))
+            extended = round(quantity * rng.uniform(900.0, 1100.0), 2)
+            discount = round(rng.uniform(0.0, 0.10), 2)
+            tax = round(rng.uniform(0.0, 0.08), 2)
+            shipdate = date_plus(orderdate, rng.randint(1, 121))
+            commitdate = date_plus(orderdate, rng.randint(30, 90))
+            receiptdate = date_plus(shipdate, rng.randint(1, 30))
+            shipped = shipdate <= "1998-08-02" and rng.random() < 0.5
+            linestatus = "F" if shipped else "O"
+            if linestatus == "O":
+                open_lines += 1
+            returnflag = (rng.choice(["R", "A"])
+                          if receiptdate <= "1995-06-17" else "N")
+            total += extended * (1 + tax) * (1 - discount)
+            lines.append((
+                orderkey, partkey, suppkey, line_number, quantity,
+                extended, discount, tax, returnflag, linestatus,
+                shipdate, commitdate, receiptdate,
+                rng.choice(text.SHIP_MODES), text.random_comment(rng, 4),
+            ))
+        if open_lines == 0:
+            status = "F"
+        elif open_lines == len(lines):
+            status = "O"
+        else:
+            status = "P"
+        order = (
+            orderkey, custkey, status, round(total, 2), orderdate,
+            rng.choice(text.PRIORITIES),
+            text.random_clerk(rng, self.config.scale_factor),
+            0, text.random_comment(rng),
+        )
+        return order, lines
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+
+    def load(self, db: Database, batch_rows: int = 2000) -> None:
+        """Create the schema and load every table (engine bulk path)."""
+        for _, ddl in ALL_DDL:
+            db.execute(ddl)
+        self._bulk_insert(db, "region", self.region_rows(), batch_rows)
+        self._bulk_insert(db, "nation", self.nation_rows(), batch_rows)
+        self._bulk_insert(db, "supplier", self.supplier_rows(), batch_rows)
+        self._bulk_insert(db, "part", self.part_rows(), batch_rows)
+        self._bulk_insert(db, "customer", self.customer_rows(), batch_rows)
+
+        def orders_and_lines():
+            for orderkey in range(1, self.orders_count + 1):
+                yield self.order_with_lines(orderkey)
+
+        order_batch: List[Tuple] = []
+        line_batch: List[Tuple] = []
+        for order, lines in orders_and_lines():
+            order_batch.append(order)
+            line_batch.extend(lines)
+            if len(order_batch) >= batch_rows:
+                self._bulk_insert(db, "orders", iter(order_batch), batch_rows)
+                self._bulk_insert(db, "lineitem", iter(line_batch),
+                                  batch_rows)
+                order_batch, line_batch = [], []
+        if order_batch:
+            self._bulk_insert(db, "orders", iter(order_batch), batch_rows)
+            self._bulk_insert(db, "lineitem", iter(line_batch), batch_rows)
+        db.checkpoint()
+
+    @staticmethod
+    def _bulk_insert(db: Database, table: str, rows: Iterator[Tuple],
+                     batch_rows: int) -> None:
+        """Load rows through the engine write path, batched per txn."""
+        batch: List[Tuple] = []
+
+        def flush() -> None:
+            if not batch:
+                return
+            db.execute("BEGIN")
+            try:
+                _, writer = db.table_writer(table)
+                for row in batch:
+                    writer.insert(row)
+                db.execute("COMMIT")
+            except Exception:
+                db.execute("ROLLBACK")
+                raise
+            batch.clear()
+
+        for row in rows:
+            batch.append(row)
+            if len(batch) >= batch_rows:
+                flush()
+        flush()

@@ -1,0 +1,81 @@
+"""Runnable TPC-H queries (the subset our SQL dialect covers).
+
+The paper's evaluation deliberately avoids full TPC-H queries ("their
+complexity makes them CPU intensive and does not allow us to stress ...
+a single RQL cost"), but a reproduction should still demonstrate that
+real decision-support queries run — both on the current state and
+retrospectively over snapshots.  Q1 (pricing summary), Q3 (shipping
+priority) and Q6 (revenue change) fit the implemented dialect.
+
+``retrospective(q, sid)`` rewrites any of them to run AS OF a snapshot,
+and each query also works as an RQL Qq (e.g. CollateData over Q6's
+revenue per snapshot).
+"""
+
+from __future__ import annotations
+
+from repro.core.rewrite import rewrite_qq
+
+#: Q1 — pricing summary report (aggregates over lineitem).
+Q1_PRICING_SUMMARY = """
+SELECT l_returnflag, l_linestatus,
+       SUM(l_quantity) AS sum_qty,
+       SUM(l_extendedprice) AS sum_base_price,
+       SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+       SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+       AVG(l_quantity) AS avg_qty,
+       AVG(l_extendedprice) AS avg_price,
+       AVG(l_discount) AS avg_disc,
+       COUNT(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= '1998-09-02'
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus
+"""
+
+#: Q3 — shipping priority (3-way join), parameterized by market segment.
+Q3_SHIPPING_PRIORITY = """
+SELECT o.o_orderkey,
+       SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue,
+       o.o_orderdate, o.o_shippriority
+FROM customer c, orders o, lineitem l
+WHERE c.c_mktsegment = '{segment}'
+  AND c.c_custkey = o.o_custkey
+  AND l.l_orderkey = o.o_orderkey
+  AND o.o_orderdate < '{date}'
+GROUP BY o.o_orderkey, o.o_orderdate, o.o_shippriority
+ORDER BY revenue DESC, o.o_orderdate
+LIMIT 10
+"""
+
+#: Q6 — forecasting revenue change (selective scan aggregate).
+Q6_REVENUE_CHANGE = """
+SELECT SUM(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= '{date}'
+  AND l_shipdate < '{date_plus_year}'
+  AND l_discount BETWEEN {discount} - 0.01 AND {discount} + 0.01
+  AND l_quantity < {quantity}
+"""
+
+
+def q3(segment: str = "BUILDING", date: str = "1995-03-15") -> str:
+    return Q3_SHIPPING_PRIORITY.format(segment=segment, date=date)
+
+
+def q6(date: str = "1994-01-01", discount: float = 0.06,
+       quantity: int = 24) -> str:
+    year = int(date[:4]) + 1
+    return Q6_REVENUE_CHANGE.format(
+        date=date, date_plus_year=f"{year}{date[4:]}",
+        discount=discount, quantity=quantity,
+    )
+
+
+def retrospective(query: str, snapshot_id: int) -> str:
+    """The query rewritten to run AS OF ``snapshot_id``.
+
+    Reuses the RQL rewrite machinery (AS OF injection on the first
+    top-level SELECT).
+    """
+    return rewrite_qq(query, snapshot_id)

@@ -1,0 +1,103 @@
+"""TPC-H refresh functions RF1 (insert) and RF2 (delete).
+
+The paper's update workload program "receives as input the TPC-H
+refresh function output, updates the database by deleting and inserting
+a certain number of Orders and their Lineitem records and creates
+snapshots" (Section 5).  These functions implement exactly that unit of
+work; :mod:`repro.workloads.driver` composes them into snapshot
+histories.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.errors import WorkloadError
+from repro.sql.database import Database
+from repro.workloads.tpch.dbgen import TpchGenerator
+
+
+class RefreshFunctions:
+    """RF1/RF2 against one loaded TPC-H database."""
+
+    def __init__(self, db: Database, generator: TpchGenerator,
+                 seed: int = 101) -> None:
+        self.db = db
+        self.generator = generator
+        self.rng = random.Random(seed)
+        self._live_orderkeys: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------
+
+    def live_orderkeys(self) -> List[int]:
+        """Orderkeys currently in the database (cached, kept in sync)."""
+        if self._live_orderkeys is None:
+            result = self.db.execute("SELECT o_orderkey FROM orders")
+            self._live_orderkeys = [int(r[0]) for r in result.rows]
+        return self._live_orderkeys
+
+    def pick_deletions(self, count: int) -> List[int]:
+        """RF2 input: the oldest live orderkeys.
+
+        TPC-H RF2 deletes sequential blocks of old orders.  Because
+        orders cluster by orderkey, deleting the oldest rows frees whole
+        pages, so a fraction f of *rows* per snapshot translates into
+        roughly a fraction f of *pages* — which is exactly what gives
+        UW30/UW15 their 50/100-snapshot overwrite cycles in the paper.
+        Random deletions would touch O(count) scattered pages instead
+        and destroy the cycle arithmetic.
+        """
+        live = self.live_orderkeys()
+        if count > len(live):
+            raise WorkloadError(
+                f"cannot delete {count} orders; only {len(live)} live"
+            )
+        live.sort()
+        return live[:count]
+
+    # ------------------------------------------------------------------
+
+    def rf1_insert(self, count: int) -> List[int]:
+        """Insert ``count`` new orders + lineitems; returns new keys.
+
+        Must run inside an open transaction (the driver brackets each
+        snapshot's work in BEGIN ... COMMIT WITH SNAPSHOT).
+        """
+        _, order_writer = self.db.table_writer("orders")
+        _, line_writer = self.db.table_writer("lineitem")
+        new_keys: List[int] = []
+        for _ in range(count):
+            orderkey = self.generator.next_orderkey
+            self.generator.next_orderkey += 1
+            order, lines = self.generator.order_with_lines(orderkey)
+            order_writer.insert(order)
+            for line in lines:
+                line_writer.insert(line)
+            new_keys.append(orderkey)
+        if self._live_orderkeys is not None:
+            self._live_orderkeys.extend(new_keys)
+        return new_keys
+
+    def rf2_delete(self, orderkeys: Sequence[int]) -> int:
+        """Delete the given orders and their lineitems (RF2)."""
+        deleted = 0
+        doomed = set(orderkeys)
+        for orderkey in orderkeys:
+            self.db.execute(
+                f"DELETE FROM lineitem WHERE l_orderkey = {int(orderkey)}"
+            )
+            result = self.db.execute(
+                f"DELETE FROM orders WHERE o_orderkey = {int(orderkey)}"
+            )
+            deleted += getattr(result, "rowcount", 0)
+        if self._live_orderkeys is not None:
+            self._live_orderkeys = [
+                k for k in self._live_orderkeys if k not in doomed
+            ]
+        return deleted
+
+    def refresh_pair(self, count: int) -> None:
+        """One delete+insert refresh unit (the paper's per-snapshot work)."""
+        self.rf2_delete(self.pick_deletions(count))
+        self.rf1_insert(count)

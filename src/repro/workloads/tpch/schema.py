@@ -1,0 +1,132 @@
+"""TPC-H schema (the subset the paper's evaluation touches, plus the
+small dimension tables for completeness).
+
+The paper creates the database "without additional indices"; primary
+keys are declared (they exist in dbgen's DDL and our refresh functions
+need them to locate rows), and the benchmarks optionally add the
+"native index" of Figure 9 separately.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+REGION_DDL = """
+CREATE TABLE region (
+    r_regionkey INTEGER PRIMARY KEY,
+    r_name      TEXT,
+    r_comment   TEXT
+)
+"""
+
+NATION_DDL = """
+CREATE TABLE nation (
+    n_nationkey INTEGER PRIMARY KEY,
+    n_name      TEXT,
+    n_regionkey INTEGER,
+    n_comment   TEXT
+)
+"""
+
+SUPPLIER_DDL = """
+CREATE TABLE supplier (
+    s_suppkey   INTEGER PRIMARY KEY,
+    s_name      TEXT,
+    s_address   TEXT,
+    s_nationkey INTEGER,
+    s_phone     TEXT,
+    s_acctbal   REAL,
+    s_comment   TEXT
+)
+"""
+
+PART_DDL = """
+CREATE TABLE part (
+    p_partkey     INTEGER PRIMARY KEY,
+    p_name        TEXT,
+    p_mfgr        TEXT,
+    p_brand       TEXT,
+    p_type        TEXT,
+    p_size        INTEGER,
+    p_container   TEXT,
+    p_retailprice REAL,
+    p_comment     TEXT
+)
+"""
+
+CUSTOMER_DDL = """
+CREATE TABLE customer (
+    c_custkey    INTEGER PRIMARY KEY,
+    c_name       TEXT,
+    c_address    TEXT,
+    c_nationkey  INTEGER,
+    c_phone      TEXT,
+    c_acctbal    REAL,
+    c_mktsegment TEXT,
+    c_comment    TEXT
+)
+"""
+
+ORDERS_DDL = """
+CREATE TABLE orders (
+    o_orderkey      INTEGER PRIMARY KEY,
+    o_custkey       INTEGER,
+    o_orderstatus   TEXT,
+    o_totalprice    REAL,
+    o_orderdate     DATE,
+    o_orderpriority TEXT,
+    o_clerk         TEXT,
+    o_shippriority  INTEGER,
+    o_comment       TEXT
+)
+"""
+
+LINEITEM_DDL = """
+CREATE TABLE lineitem (
+    l_orderkey      INTEGER,
+    l_partkey       INTEGER,
+    l_suppkey       INTEGER,
+    l_linenumber    INTEGER,
+    l_quantity      REAL,
+    l_extendedprice REAL,
+    l_discount      REAL,
+    l_tax           REAL,
+    l_returnflag    TEXT,
+    l_linestatus    TEXT,
+    l_shipdate      DATE,
+    l_commitdate    DATE,
+    l_receiptdate   DATE,
+    l_shipmode      TEXT,
+    l_comment       TEXT,
+    PRIMARY KEY (l_orderkey, l_linenumber)
+)
+"""
+
+ALL_DDL: List[Tuple[str, str]] = [
+    ("region", REGION_DDL),
+    ("nation", NATION_DDL),
+    ("supplier", SUPPLIER_DDL),
+    ("part", PART_DDL),
+    ("customer", CUSTOMER_DDL),
+    ("orders", ORDERS_DDL),
+    ("lineitem", LINEITEM_DDL),
+]
+
+#: Base cardinalities at scale factor 1.0 (TPC-H specification).
+SF1_CARDINALITIES: Dict[str, int] = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "part": 200_000,
+    "customer": 150_000,
+    "orders": 1_500_000,
+    # lineitem: 1-7 per order, ~4 average
+}
+
+
+def scaled_cardinality(table: str, scale_factor: float) -> int:
+    """Row count at the given scale factor (dimension tables are fixed)."""
+    base = SF1_CARDINALITIES[table]
+    if table in ("region", "nation"):
+        return base
+    return max(1, int(base * scale_factor))

@@ -1,0 +1,91 @@
+"""TPC-H text pools: the value domains dbgen draws from.
+
+These follow the TPC-H specification's grammar closely enough for the
+paper's queries — in particular ``p_type`` is the three-part
+``<TYPE_S1> <TYPE_S2> <TYPE_S3>`` string (150 combinations), because
+Qq_cpu filters on ``p_type = 'STANDARD POLISHED TIN'``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+TYPE_S1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPE_S2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_S3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+
+CONTAINERS_1 = ["SM", "LG", "MED", "JUMBO", "WRAP"]
+CONTAINERS_2 = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"]
+
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+
+RETURN_FLAGS = ["R", "A", "N"]
+
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+BRANDS = [f"Brand#{i}{j}" for i in range(1, 6) for j in range(1, 6)]
+
+MFGRS = [f"Manufacturer#{i}" for i in range(1, 6)]
+
+_NOUNS = [
+    "packages", "requests", "accounts", "deposits", "foxes", "ideas",
+    "theodolites", "pinto beans", "instructions", "dependencies",
+    "excuses", "platelets", "asymptotes", "courts", "dolphins",
+]
+_VERBS = [
+    "sleep", "wake", "haggle", "nag", "use", "boost", "affix", "detect",
+    "integrate", "cajole", "doze", "engage", "wake", "promise", "believe",
+]
+_ADJECTIVES = [
+    "furious", "sly", "careful", "blithe", "quick", "fluffy", "slow",
+    "quiet", "ruthless", "thin", "close", "dogged", "daring", "bold",
+]
+
+
+def random_comment(rng: random.Random, max_words: int = 6) -> str:
+    words: List[str] = []
+    for _ in range(rng.randint(2, max_words)):
+        pool = rng.choice((_NOUNS, _VERBS, _ADJECTIVES))
+        words.append(rng.choice(pool))
+    return " ".join(words)
+
+
+def random_type(rng: random.Random) -> str:
+    return " ".join((rng.choice(TYPE_S1), rng.choice(TYPE_S2),
+                     rng.choice(TYPE_S3)))
+
+
+def random_container(rng: random.Random) -> str:
+    return f"{rng.choice(CONTAINERS_1)} {rng.choice(CONTAINERS_2)}"
+
+
+def random_phone(rng: random.Random, nation_key: int) -> str:
+    return (f"{10 + nation_key}-{rng.randint(100, 999)}-"
+            f"{rng.randint(100, 999)}-{rng.randint(1000, 9999)}")
+
+
+def random_part_name(rng: random.Random) -> str:
+    colors = ["almond", "azure", "beige", "blue", "coral", "cyan",
+              "khaki", "lime", "plum", "rose", "tan", "wheat"]
+    picked = rng.sample(colors, 3)
+    return " ".join(picked)
+
+
+def random_clerk(rng: random.Random, scale_factor: float) -> str:
+    count = max(1, int(1000 * scale_factor))
+    return f"Clerk#{rng.randint(1, count):09d}"

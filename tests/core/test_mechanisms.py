@@ -1,0 +1,258 @@
+"""RQL mechanism tests against the paper's LoggedIn example and the
+mechanism-equivalence properties from DESIGN.md."""
+
+import pytest
+
+from repro.core import RQLSession
+from repro.errors import AggregateError, MechanismError
+from repro.workloads import LoggedInSimulator
+
+
+class TestCollateData:
+    def test_paper_section_21_example(self, paper_session):
+        s = paper_session
+        s.collate_data(
+            "SELECT snap_id FROM SnapIds",
+            "SELECT DISTINCT l_userid, current_snapshot() FROM LoggedIn",
+            "Result",
+        )
+        rows = sorted(s.execute('SELECT * FROM "Result"').rows)
+        assert rows == sorted([
+            ("UserA", 1), ("UserB", 1), ("UserC", 1),
+            ("UserB", 2), ("UserC", 2),
+            ("UserB", 3), ("UserC", 3), ("UserD", 3),
+        ])
+
+    def test_subset_qs(self, paper_session):
+        s = paper_session
+        s.collate_data(
+            "SELECT snap_id FROM SnapIds WHERE snap_id >= 2",
+            "SELECT l_userid FROM LoggedIn",
+            "R2",
+        )
+        assert len(s.execute('SELECT * FROM "R2"').rows) == 5
+
+    def test_qs_with_step(self, paper_session):
+        s = paper_session
+        s.collate_data(
+            "SELECT snap_id FROM SnapIds WHERE snap_id % 2 = 1",
+            "SELECT DISTINCT current_snapshot() FROM LoggedIn",
+            "R3",
+        )
+        assert sorted(r[0] for r in s.execute('SELECT * FROM "R3"').rows) \
+            == [1, 3]
+
+    def test_result_metrics_per_iteration(self, paper_session):
+        result = paper_session.collate_data(
+            "SELECT snap_id FROM SnapIds",
+            "SELECT l_userid FROM LoggedIn", "R4",
+        )
+        assert result.iterations == 3
+        assert result.snapshots == [1, 2, 3]
+        assert result.result_rows == 8
+        assert [m.snapshot_id for m in result.metrics.iterations] == [1, 2, 3]
+
+    def test_empty_snapshot_set(self, paper_session):
+        result = paper_session.collate_data(
+            "SELECT snap_id FROM SnapIds WHERE snap_id > 99",
+            "SELECT l_userid FROM LoggedIn", "R5",
+        )
+        assert result.iterations == 0
+
+
+class TestAggregateDataInVariable:
+    def test_count_snapshots_with_user(self, paper_session):
+        s = paper_session
+        s.aggregate_data_in_variable(
+            "SELECT snap_id FROM SnapIds",
+            "SELECT DISTINCT 1 FROM LoggedIn WHERE l_userid = 'UserB'",
+            "R", "sum",
+        )
+        assert s.execute('SELECT * FROM "R"').scalar() == 3
+
+    def test_first_occurrence(self, paper_session):
+        s = paper_session
+        s.aggregate_data_in_variable(
+            "SELECT snap_id FROM SnapIds",
+            "SELECT DISTINCT current_snapshot() FROM LoggedIn "
+            "WHERE l_userid = 'UserD'",
+            "R", "min",
+        )
+        assert s.execute('SELECT * FROM "R"').scalar() == 3
+
+    def test_avg_special_case(self, paper_session):
+        s = paper_session
+        s.aggregate_data_in_variable(
+            "SELECT snap_id FROM SnapIds",
+            "SELECT COUNT(*) FROM LoggedIn", "R", "avg",
+        )
+        assert s.execute('SELECT * FROM "R"').scalar() == \
+            pytest.approx((3 + 2 + 3) / 3)
+
+    def test_multi_row_qq_rejected(self, paper_session):
+        with pytest.raises(MechanismError):
+            paper_session.aggregate_data_in_variable(
+                "SELECT snap_id FROM SnapIds",
+                "SELECT l_userid FROM LoggedIn", "R", "min",
+            )
+
+    def test_multi_column_qq_rejected(self, paper_session):
+        with pytest.raises(MechanismError):
+            paper_session.aggregate_data_in_variable(
+                "SELECT snap_id FROM SnapIds",
+                "SELECT l_userid, l_time FROM LoggedIn "
+                "WHERE l_userid = 'UserB'",
+                "R", "min",
+            )
+
+    def test_non_monoid_rejected(self, paper_session):
+        with pytest.raises(AggregateError):
+            paper_session.aggregate_data_in_variable(
+                "SELECT snap_id FROM SnapIds",
+                "SELECT COUNT(*) FROM LoggedIn", "R", "count distinct",
+            )
+
+
+class TestAggregateDataInTable:
+    def test_first_login_per_user(self, paper_session):
+        s = paper_session
+        s.aggregate_data_in_table(
+            "SELECT snap_id FROM SnapIds",
+            "SELECT DISTINCT l_userid, l_time FROM LoggedIn",
+            "R", "(l_time,min)",
+        )
+        rows = dict(s.execute('SELECT l_userid, l_time FROM "R"').rows)
+        assert rows["UserA"] == "2008-11-09 13:23:44"
+        assert rows["UserD"] == "2008-11-11 10:08:04"
+        assert len(rows) == 4
+
+    def test_max_simultaneous_per_country(self, paper_session):
+        s = paper_session
+        s.aggregate_data_in_table(
+            "SELECT snap_id FROM SnapIds",
+            "SELECT l_country, COUNT(*) AS c FROM LoggedIn "
+            "GROUP BY l_country",
+            "R", "(c,max)",
+        )
+        assert sorted(s.execute('SELECT l_country, c FROM "R"').rows) == \
+            [("UK", 2), ("USA", 2)]
+
+    def test_multiple_aggregations(self, paper_session):
+        s = paper_session
+        s.aggregate_data_in_table(
+            "SELECT snap_id FROM SnapIds",
+            "SELECT l_country, COUNT(*) AS c FROM LoggedIn "
+            "GROUP BY l_country",
+            "R", "(c,max):(c2,sum)" if False else [("c", "max")],
+        )
+        assert len(s.execute('SELECT * FROM "R"').rows) == 2
+
+    def test_avg_hidden_columns_excluded_from_visible(self, paper_session):
+        s = paper_session
+        result = s.aggregate_data_in_table(
+            "SELECT snap_id FROM SnapIds",
+            "SELECT l_country, COUNT(*) AS c FROM LoggedIn "
+            "GROUP BY l_country",
+            "R", [("c", "avg")],
+        )
+        assert result.columns == ["l_country", "c"]
+        rows = dict(s.execute('SELECT l_country, c FROM "R"').rows)
+        # USA: 2, 1, 1 logins -> avg 4/3. UK: 1, 1, 2 -> 4/3.
+        assert rows["USA"] == pytest.approx(4 / 3)
+        assert rows["UK"] == pytest.approx(4 / 3)
+
+    def test_missing_aggregation_column(self, paper_session):
+        with pytest.raises(MechanismError):
+            paper_session.aggregate_data_in_table(
+                "SELECT snap_id FROM SnapIds",
+                "SELECT l_userid FROM LoggedIn", "R", [("nope", "max")],
+            )
+
+    def test_all_columns_aggregated_rejected(self, paper_session):
+        with pytest.raises(MechanismError):
+            paper_session.aggregate_data_in_table(
+                "SELECT snap_id FROM SnapIds",
+                "SELECT DISTINCT l_time FROM LoggedIn "
+                "WHERE l_userid = 'UserB'",
+                "R", [("l_time", "min")],
+            )
+
+    def test_result_index_created(self, paper_session):
+        result = paper_session.aggregate_data_in_table(
+            "SELECT snap_id FROM SnapIds",
+            "SELECT DISTINCT l_userid, l_time FROM LoggedIn",
+            "R", [("l_time", "min")],
+        )
+        assert result.result_index_bytes > 0
+
+
+class TestCollateDataIntoIntervals:
+    def test_paper_lifetimes(self, paper_session):
+        s = paper_session
+        s.collate_data_into_intervals(
+            "SELECT snap_id FROM SnapIds",
+            "SELECT l_userid FROM LoggedIn", "R",
+        )
+        rows = sorted(s.execute('SELECT * FROM "R"').rows)
+        assert rows == [
+            ("UserA", 1, 1), ("UserB", 1, 3),
+            ("UserC", 1, 3), ("UserD", 3, 3),
+        ]
+
+    def test_gap_reopens_interval(self, session):
+        sim = LoggedInSimulator(session, users=3, seed=3)
+        # User0000 logs in, out, in again across snapshots.
+        session.execute(
+            "INSERT INTO LoggedIn VALUES ('U', '2008-01-01', 'US')"
+        )
+        session.declare_snapshot()  # S1: present
+        session.execute("BEGIN")
+        session.execute("DELETE FROM LoggedIn WHERE l_userid = 'U'")
+        session.commit_with_snapshot()  # S2: absent
+        session.execute("BEGIN")
+        session.execute(
+            "INSERT INTO LoggedIn VALUES ('U', '2008-01-03', 'US')"
+        )
+        session.commit_with_snapshot()  # S3: present again
+        session.collate_data_into_intervals(
+            "SELECT snap_id FROM SnapIds",
+            "SELECT l_userid FROM LoggedIn WHERE l_userid = 'U'", "R",
+        )
+        rows = sorted(session.execute('SELECT * FROM "R"').rows)
+        assert rows == [("U", 1, 1), ("U", 3, 3)]
+
+    def test_interval_columns_present(self, paper_session):
+        result = paper_session.collate_data_into_intervals(
+            "SELECT snap_id FROM SnapIds",
+            "SELECT l_userid, l_country FROM LoggedIn", "R",
+        )
+        assert result.columns == [
+            "l_userid", "l_country", "start_snapshot", "end_snapshot",
+        ]
+
+    def test_compacter_than_collate(self, paper_session):
+        s = paper_session
+        collate = s.collate_data(
+            "SELECT snap_id FROM SnapIds",
+            "SELECT l_userid FROM LoggedIn", "RC",
+        )
+        intervals = s.collate_data_into_intervals(
+            "SELECT snap_id FROM SnapIds",
+            "SELECT l_userid FROM LoggedIn", "RI",
+        )
+        assert intervals.result_rows < collate.result_rows
+
+
+class TestPersistentResults:
+    def test_persistent_result_is_snapshotable(self, paper_session):
+        s = paper_session
+        s.collate_data(
+            "SELECT snap_id FROM SnapIds",
+            "SELECT l_userid FROM LoggedIn", "Persisted", persistent=True,
+        )
+        before = s.execute('SELECT COUNT(*) FROM "Persisted"').scalar()
+        sid = s.declare_snapshot()
+        s.execute('DELETE FROM "Persisted"')
+        assert s.execute(
+            f'SELECT AS OF {sid} COUNT(*) FROM "Persisted"'
+        ).scalar() == before

@@ -1,0 +1,154 @@
+"""Mechanism-equivalence properties (DESIGN.md §5).
+
+These are the semantic pillars of RQL:
+
+* AggregateDataInTable(Qs, Qq, (c, f)) == running plain SQL
+  ``SELECT groupcols, f(c) FROM <CollateData result> GROUP BY groupcols``
+  — the paper's own Figure 11 setup;
+* CollateDataIntoIntervals expanded back over [start, end] ==
+  the CollateData multiset;
+* AggregateDataInVariable == folding the per-snapshot scalars collected
+  by CollateData.
+
+They run on randomized LoggedIn histories, so they exercise arbitrary
+insert/delete interleavings.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RQLSession
+from repro.workloads import LoggedInSimulator
+
+
+def churned_session(seed, snapshots, logins=12, logouts=8):
+    session = RQLSession()
+    sim = LoggedInSimulator(session, users=40, seed=seed)
+    for _ in range(snapshots):
+        sim.churn_and_snapshot(logins, logouts)
+    return session
+
+
+@pytest.fixture(scope="module")
+def churned():
+    return churned_session(seed=5, snapshots=8)
+
+
+QS = "SELECT snap_id FROM SnapIds"
+
+
+class TestAggTableEqualsSqlOverCollate:
+    @pytest.mark.parametrize("func,sql_func", [
+        ("max", "MAX"), ("min", "MIN"), ("sum", "SUM"), ("avg", "AVG"),
+    ])
+    def test_count_per_country(self, churned, func, sql_func):
+        s = churned
+        qq = ("SELECT l_country, COUNT(*) AS c FROM LoggedIn "
+              "GROUP BY l_country")
+        s.aggregate_data_in_table(QS, qq, "AggT", [("c", func)])
+        s.collate_data(QS, qq, "Coll")
+        expected = dict(s.execute(
+            f'SELECT l_country, {sql_func}(c) FROM "Coll" '
+            f"GROUP BY l_country"
+        ).rows)
+        got = dict(s.execute('SELECT l_country, c FROM "AggT"').rows)
+        assert set(got) == set(expected)
+        for country in expected:
+            assert got[country] == pytest.approx(expected[country])
+
+    def test_count_aggregation_counts_snapshots(self, churned):
+        s = churned
+        qq = ("SELECT l_country, COUNT(*) AS c FROM LoggedIn "
+              "GROUP BY l_country")
+        s.aggregate_data_in_table(QS, qq, "AggC", [("c", "count")])
+        s.collate_data(QS, qq, "CollC")
+        expected = dict(s.execute(
+            'SELECT l_country, COUNT(c) FROM "CollC" GROUP BY l_country'
+        ).rows)
+        got = dict(s.execute('SELECT l_country, c FROM "AggC"').rows)
+        assert got == expected
+
+
+class TestIntervalsExpandToCollate:
+    def test_expansion_equals_multiset(self, churned):
+        s = churned
+        qq = "SELECT l_userid, l_country FROM LoggedIn"
+        s.collate_data(
+            QS,
+            "SELECT l_userid, l_country, current_snapshot() FROM LoggedIn",
+            "CollFull",
+        )
+        s.collate_data_into_intervals(QS, qq, "Ivl")
+        collated = Counter(s.execute('SELECT * FROM "CollFull"').rows)
+        expanded = Counter()
+        for user, country, start, end in \
+                s.execute('SELECT * FROM "Ivl"').rows:
+            for sid in range(start, end + 1):
+                expanded[(user, country, sid)] += 1
+        assert expanded == collated
+
+    def test_intervals_are_disjoint_per_record(self, churned):
+        s = churned
+        s.collate_data_into_intervals(
+            QS, "SELECT l_userid FROM LoggedIn", "Ivl2",
+        )
+        by_user = {}
+        for user, start, end in s.execute('SELECT * FROM "Ivl2"').rows:
+            assert start <= end
+            by_user.setdefault(user, []).append((start, end))
+        for user, intervals in by_user.items():
+            intervals.sort()
+            for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+                # Non-overlapping AND non-adjacent (adjacent would have
+                # been merged into one interval).
+                assert e1 + 1 < s2, f"{user}: {intervals}"
+
+
+class TestAggVariableEqualsFoldOverCollate:
+    @pytest.mark.parametrize("func", ["min", "max", "sum", "count", "avg"])
+    def test_scalar_fold(self, churned, func):
+        s = churned
+        qq = "SELECT COUNT(*) FROM LoggedIn"
+        s.aggregate_data_in_variable(QS, qq, "V", func)
+        got = s.execute('SELECT * FROM "V"').scalar()
+        s.collate_data(
+            QS, "SELECT COUNT(*) AS n FROM LoggedIn", "CollV",
+        )
+        sql_func = {"min": "MIN", "max": "MAX", "sum": "SUM",
+                    "count": "COUNT", "avg": "AVG"}[func]
+        expected = s.execute(
+            f'SELECT {sql_func}(n) FROM "CollV"'
+        ).scalar()
+        assert got == pytest.approx(expected)
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6),
+       st.integers(min_value=2, max_value=6))
+def test_equivalences_hold_on_random_histories(seed, snapshots):
+    """Property form over random churn histories."""
+    s = churned_session(seed=seed, snapshots=snapshots,
+                        logins=6, logouts=4)
+    qq = ("SELECT l_country, COUNT(*) AS c FROM LoggedIn "
+          "GROUP BY l_country")
+    s.aggregate_data_in_table(QS, qq, "A", [("c", "max")])
+    s.collate_data(QS, qq, "C")
+    expected = dict(s.execute(
+        'SELECT l_country, MAX(c) FROM "C" GROUP BY l_country'
+    ).rows)
+    got = dict(s.execute('SELECT l_country, c FROM "A"').rows)
+    assert got == expected
+
+    s.collate_data_into_intervals(QS, "SELECT l_userid FROM LoggedIn", "I")
+    s.collate_data(
+        QS, "SELECT l_userid, current_snapshot() FROM LoggedIn", "CF",
+    )
+    collated = Counter(s.execute('SELECT * FROM "CF"').rows)
+    expanded = Counter()
+    for user, start, end in s.execute('SELECT * FROM "I"').rows:
+        for sid in range(start, end + 1):
+            expanded[(user, sid)] += 1
+    assert expanded == collated

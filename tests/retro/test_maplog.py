@@ -1,0 +1,192 @@
+"""Maplog / Skippy tests: SPT correctness, skip-level equivalence."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SnapshotError, UnknownSnapshotError
+from repro.retro.maplog import MapEntry, Maplog
+from repro.storage.disk import SimulatedDisk
+
+
+def fresh_maplog():
+    disk = SimulatedDisk(512)
+    return Maplog(disk.open_file("maplog", append_only=True)), disk
+
+
+class TestBasics:
+    def test_declare_increments_epoch(self):
+        maplog, _ = fresh_maplog()
+        assert maplog.declare_snapshot() == 1
+        assert maplog.declare_snapshot() == 2
+        assert maplog.current_epoch == 2
+
+    def test_record_requires_declaration(self):
+        maplog, _ = fresh_maplog()
+        with pytest.raises(SnapshotError):
+            maplog.record(MapEntry(1, 1, 0, 0))
+
+    def test_record_epoch_mismatch(self):
+        maplog, _ = fresh_maplog()
+        maplog.declare_snapshot()
+        with pytest.raises(SnapshotError):
+            maplog.record(MapEntry(1, 1, 5, 0))
+
+    def test_double_capture_same_epoch_rejected(self):
+        maplog, _ = fresh_maplog()
+        maplog.declare_snapshot()
+        maplog.record(MapEntry(1, 1, 1, 0))
+        with pytest.raises(SnapshotError):
+            maplog.record(MapEntry(1, 1, 1, 1))
+
+    def test_unknown_snapshot(self):
+        maplog, _ = fresh_maplog()
+        maplog.declare_snapshot()
+        with pytest.raises(UnknownSnapshotError):
+            maplog.build_spt(2)
+        with pytest.raises(UnknownSnapshotError):
+            maplog.build_spt(0)
+
+
+class TestSptSemantics:
+    def test_first_capture_serves_snapshot(self):
+        maplog, _ = fresh_maplog()
+        maplog.declare_snapshot()  # S1
+        maplog.record(MapEntry(7, 1, 1, 100))
+        result = maplog.build_spt(1)
+        assert result.spt == {7: 100}
+
+    def test_page_not_captured_is_shared_with_db(self):
+        maplog, _ = fresh_maplog()
+        maplog.declare_snapshot()
+        maplog.record(MapEntry(7, 1, 1, 100))
+        assert 8 not in maplog.build_spt(1).spt
+
+    def test_capture_range_spans_multiple_snapshots(self):
+        """A page unmodified over S1..S3 then modified once: the single
+        pre-state serves all three snapshots (from_snap extends back)."""
+        maplog, _ = fresh_maplog()
+        for _ in range(3):
+            maplog.declare_snapshot()
+        maplog.record(MapEntry(9, 1, 3, 55))  # first mod after S3
+        for sid in (1, 2, 3):
+            assert maplog.build_spt(sid).spt == {9: 55}
+
+    def test_later_capture_does_not_shadow_earlier(self):
+        maplog, _ = fresh_maplog()
+        maplog.declare_snapshot()  # S1
+        maplog.record(MapEntry(9, 1, 1, 10))
+        maplog.declare_snapshot()  # S2
+        maplog.record(MapEntry(9, 2, 2, 20))
+        assert maplog.build_spt(1).spt == {9: 10}
+        assert maplog.build_spt(2).spt == {9: 20}
+
+    def test_shared_slot_between_consecutive_snapshots(self):
+        """Pages unmodified between S1 and S2 map to the SAME Pagelog
+        slot in both SPTs — the sharing invariant behind the paper's
+        cache behaviour."""
+        maplog, _ = fresh_maplog()
+        maplog.declare_snapshot()  # S1
+        maplog.declare_snapshot()  # S2
+        # First modification of page 5 after S2: serves S1 and S2.
+        maplog.record(MapEntry(5, 1, 2, 77))
+        assert maplog.build_spt(1).spt[5] == 77
+        assert maplog.build_spt(2).spt[5] == 77
+
+    def test_diff_size(self):
+        maplog, _ = fresh_maplog()
+        maplog.declare_snapshot()  # S1
+        maplog.record(MapEntry(1, 1, 1, 0))
+        maplog.record(MapEntry(2, 1, 1, 1))
+        maplog.declare_snapshot()  # S2
+        maplog.record(MapEntry(3, 2, 2, 2))
+        maplog.declare_snapshot()  # S3
+        assert maplog.diff_size(1, 2) == 2
+        assert maplog.diff_size(2, 3) == 1
+        assert maplog.diff_size(1, 3) == 3
+
+
+def random_history(seed, epochs, pages, mods_per_epoch):
+    """Simulate a COW capture stream; returns (maplog, model).
+
+    model[sid][page] = slot expected in SPT(sid) (pages absent are
+    shared with the current database).
+    """
+    rng = random.Random(seed)
+    maplog, disk = fresh_maplog()
+    cap = {}
+    next_slot = 0
+    expected = {}
+    for epoch in range(1, epochs + 1):
+        maplog.declare_snapshot()
+        for page in rng.sample(range(pages), min(mods_per_epoch, pages)):
+            last = cap.get(page, 0)
+            if last >= epoch:
+                continue
+            entry = MapEntry(page, last + 1, epoch, next_slot)
+            maplog.record(entry)
+            cap[page] = epoch
+            next_slot += 1
+    # Build the reference model by linear reasoning.
+    for sid in range(1, epochs + 1):
+        expected[sid] = maplog.build_spt(sid, use_skippy=False).spt
+    return maplog, expected
+
+
+class TestSkippyEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_skippy_equals_linear(self, seed):
+        maplog, expected = random_history(seed, epochs=23, pages=40,
+                                          mods_per_epoch=9)
+        for sid, model in expected.items():
+            assert maplog.build_spt(sid, use_skippy=True).spt == model
+
+    def test_skippy_scans_fewer_entries_for_old_snapshots(self):
+        maplog, _ = random_history(99, epochs=64, pages=400,
+                                   mods_per_epoch=120)
+        skippy = maplog.build_spt(1, use_skippy=True)
+        linear = maplog.build_spt(1, use_skippy=False)
+        assert skippy.spt == linear.spt
+        assert skippy.entries_scanned < linear.entries_scanned
+        assert skippy.nodes_visited < linear.nodes_visited
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=1, max_value=17),
+           st.integers(min_value=1, max_value=25))
+    def test_skippy_equivalence_property(self, seed, epochs, pages):
+        maplog, expected = random_history(seed, epochs=epochs, pages=pages,
+                                          mods_per_epoch=max(1, pages // 3))
+        for sid, model in expected.items():
+            assert maplog.build_spt(sid, use_skippy=True).spt == model
+
+
+class TestRecovery:
+    def test_recover_rebuilds_state(self):
+        disk = SimulatedDisk(512)
+        maplog = Maplog(disk.open_file("maplog", append_only=True))
+        maplog.declare_snapshot()
+        maplog.record(MapEntry(3, 1, 1, 0))
+        maplog.declare_snapshot()
+        maplog.record(MapEntry(4, 1, 2, 1))
+        maplog.flush()
+        recovered, cap = Maplog.recover(
+            disk.open_file("maplog", append_only=True)
+        )
+        assert recovered.current_epoch == 2
+        assert cap == {3: 1, 4: 2}
+        assert recovered.build_spt(1).spt == maplog.build_spt(1).spt
+        assert recovered.build_spt(2).spt == maplog.build_spt(2).spt
+
+    def test_recover_ignores_unflushed_tail(self):
+        disk = SimulatedDisk(512)
+        maplog = Maplog(disk.open_file("maplog", append_only=True))
+        maplog.declare_snapshot()
+        maplog.flush()
+        maplog.declare_snapshot()  # never flushed
+        recovered, _ = Maplog.recover(
+            disk.open_file("maplog", append_only=True)
+        )
+        assert recovered.current_epoch == 1

@@ -1,0 +1,104 @@
+"""IterationMetrics / MetricsSink / Timer unit tests."""
+
+import time
+
+from repro.retro.metrics import IoCharges, IterationMetrics, MetricsSink, Timer
+
+
+class TestIterationMetrics:
+    def test_io_and_total_seconds(self):
+        charges = IoCharges(pagelog_read_seconds=1.0, db_read_seconds=0.1,
+                            spt_entry_seconds=0.01, cache_hit_seconds=0.001)
+        metrics = IterationMetrics(
+            pagelog_reads=3, db_reads=10, cache_hits=100,
+            spt_entries_scanned=50, query_eval_seconds=2.0,
+            udf_seconds=1.0, index_creation_seconds=0.5,
+            spt_build_seconds=0.25,
+        )
+        assert metrics.io_seconds(charges) == 3 * 1.0 + 10 * 0.1 + 100 * 0.001
+        assert metrics.spt_seconds(charges) == 0.25 + 50 * 0.01
+        expected_total = (metrics.io_seconds(charges)
+                          + metrics.spt_seconds(charges) + 2.0 + 1.0 + 0.5)
+        assert metrics.total_seconds(charges) == expected_total
+
+    def test_breakdown_parts_sum_to_total(self):
+        charges = IoCharges()
+        metrics = IterationMetrics(pagelog_reads=7, query_eval_seconds=0.5,
+                                   udf_seconds=0.25)
+        breakdown = metrics.breakdown(charges)
+        assert set(breakdown) == {
+            "io", "spt_build", "index_creation", "query_eval", "rql_udf",
+        }
+        assert abs(sum(breakdown.values())
+                   - metrics.total_seconds(charges)) < 1e-12
+
+
+class TestMetricsSink:
+    def test_iteration_lifecycle(self):
+        sink = MetricsSink()
+        first = sink.begin_iteration(1)
+        first.pagelog_reads = 5
+        sink.end_iteration()
+        second = sink.begin_iteration(2)
+        second.pagelog_reads = 1
+        sink.end_iteration()
+        assert sink.total_pagelog_reads() == 6
+        assert sink.cold() is first
+        assert sink.hot() == [second]
+        assert [m.snapshot_id for m in sink] == [1, 2]
+
+    def test_current_creates_stray_iteration(self):
+        sink = MetricsSink()
+        sink.current.db_reads += 1
+        assert len(sink.iterations) == 1
+
+    def test_mean_hot(self):
+        charges = IoCharges(pagelog_read_seconds=1.0)
+        sink = MetricsSink(charges)
+        for reads in (10, 2, 4):
+            metrics = sink.begin_iteration(0)
+            metrics.pagelog_reads = reads
+            sink.end_iteration()
+        assert sink.mean_hot_seconds() == (2 + 4) / 2 * 1.0
+
+    def test_empty_sink(self):
+        sink = MetricsSink()
+        assert sink.cold() is None
+        assert sink.hot() == []
+        assert sink.mean_hot_seconds() == 0.0
+        assert sink.total_seconds() == 0.0
+
+    def test_summary(self):
+        sink = MetricsSink()
+        metrics = sink.begin_iteration(3)
+        metrics.pagelog_reads = 2
+        metrics.cache_hits = 5
+        metrics.db_reads = 1
+        sink.end_iteration()
+        summary = sink.summary()
+        assert summary["iterations"] == 1.0
+        assert summary["pagelog_reads"] == 2.0
+        assert summary["cache_hits"] == 5.0
+        assert summary["db_reads"] == 1.0
+
+
+class TestTimer:
+    def test_accumulates(self):
+        metrics = IterationMetrics()
+        with Timer(metrics, "query_eval_seconds"):
+            time.sleep(0.01)
+        first = metrics.query_eval_seconds
+        assert first >= 0.009
+        with Timer(metrics, "query_eval_seconds"):
+            time.sleep(0.01)
+        assert metrics.query_eval_seconds > first
+
+    def test_records_on_exception(self):
+        metrics = IterationMetrics()
+        try:
+            with Timer(metrics, "udf_seconds"):
+                time.sleep(0.005)
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert metrics.udf_seconds >= 0.004

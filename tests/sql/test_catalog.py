@@ -1,0 +1,127 @@
+"""Catalog unit tests: schema persistence inside pages."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.sql.catalog import Catalog, Column, IndexInfo, TableInfo
+from repro.storage.btree import BTree
+from repro.storage.disk import SimulatedDisk
+from repro.storage.engine import StorageEngine
+
+
+@pytest.fixture
+def catalog_env():
+    engine = StorageEngine(SimulatedDisk(4096))
+    txn = engine.begin()
+    source = engine.page_source(txn)
+    tree = BTree.create(source)
+    return engine, txn, Catalog(source, tree.root_id), tree.root_id
+
+
+def table_info(name="t", root=5):
+    return TableInfo(
+        name=name, root_id=root,
+        columns=[Column("a", "INTEGER"), Column("b", "")],
+        primary_key=["a"],
+    )
+
+
+class TestTables:
+    def test_create_get_round_trip(self, catalog_env):
+        _, _, catalog, _ = catalog_env
+        catalog.create_table(table_info())
+        info = catalog.get_table("t")
+        assert info is not None
+        assert info.name == "t"
+        assert info.root_id == 5
+        assert info.column_names() == ["a", "b"]
+        assert info.columns[0].type_name == "INTEGER"
+        assert info.columns[1].type_name == ""
+        assert info.primary_key == ["a"]
+
+    def test_case_insensitive_lookup(self, catalog_env):
+        _, _, catalog, _ = catalog_env
+        catalog.create_table(table_info("MixedCase"))
+        assert catalog.get_table("mixedcase") is not None
+        assert catalog.get_table("MIXEDCASE").name == "MixedCase"
+
+    def test_duplicate_rejected(self, catalog_env):
+        _, _, catalog, _ = catalog_env
+        catalog.create_table(table_info())
+        with pytest.raises(CatalogError):
+            catalog.create_table(table_info())
+
+    def test_drop(self, catalog_env):
+        _, _, catalog, _ = catalog_env
+        catalog.create_table(table_info())
+        dropped = catalog.drop_table("T")
+        assert dropped.name == "t"
+        assert catalog.get_table("t") is None
+        with pytest.raises(CatalogError):
+            catalog.drop_table("t")
+
+    def test_list_tables(self, catalog_env):
+        _, _, catalog, _ = catalog_env
+        for name in ("zeta", "alpha", "mid"):
+            catalog.create_table(table_info(name))
+        assert sorted(t.name for t in catalog.list_tables()) == \
+            ["alpha", "mid", "zeta"]
+
+    def test_column_index(self, catalog_env):
+        _, _, catalog, _ = catalog_env
+        catalog.create_table(table_info())
+        info = catalog.get_table("t")
+        assert info.column_index("B") == 1
+        assert info.has_column("a")
+        assert not info.has_column("zz")
+        with pytest.raises(CatalogError):
+            info.column_index("zz")
+
+    def test_zero_column_table(self, catalog_env):
+        _, _, catalog, _ = catalog_env
+        catalog.create_table(TableInfo(name="empty", root_id=9, columns=[]))
+        info = catalog.get_table("empty")
+        assert info.columns == []
+
+
+class TestIndexes:
+    def test_create_get_drop(self, catalog_env):
+        _, _, catalog, _ = catalog_env
+        catalog.create_index(IndexInfo(
+            name="ix", table="t", root_id=7, columns=["a", "b"],
+            unique=True,
+        ))
+        info = catalog.get_index("IX")
+        assert info.columns == ["a", "b"]
+        assert info.unique
+        catalog.drop_index("ix")
+        assert catalog.get_index("ix") is None
+        with pytest.raises(CatalogError):
+            catalog.drop_index("ix")
+
+    def test_indexes_for_table(self, catalog_env):
+        _, _, catalog, _ = catalog_env
+        catalog.create_index(IndexInfo("i1", "t", 7, ["a"]))
+        catalog.create_index(IndexInfo("i2", "T", 8, ["b"]))
+        catalog.create_index(IndexInfo("other", "u", 9, ["x"]))
+        found = catalog.indexes_for("t")
+        assert sorted(i.name for i in found) == ["i1", "i2"]
+
+    def test_duplicate_index_rejected(self, catalog_env):
+        _, _, catalog, _ = catalog_env
+        catalog.create_index(IndexInfo("ix", "t", 7, ["a"]))
+        with pytest.raises(CatalogError):
+            catalog.create_index(IndexInfo("ix", "u", 8, ["b"]))
+
+
+class TestPersistence:
+    def test_catalog_survives_commit_and_reread(self, catalog_env):
+        engine, txn, catalog, root = catalog_env
+        catalog.create_table(table_info())
+        catalog.create_index(IndexInfo("ix", "t", 7, ["a"]))
+        engine.commit(txn)
+        ctx = engine.begin_read()
+        reread = Catalog(engine.read_source(ctx), root)
+        assert reread.get_table("t") is not None
+        assert reread.get_index("ix") is not None
+        ctx.close()

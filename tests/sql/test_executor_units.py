@@ -1,0 +1,140 @@
+"""Executor-layer unit tests: ResultSet, EphemeralIndex, IndexAccess."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.sql.catalog import Column, IndexInfo, TableInfo
+from repro.sql.executor import (
+    EphemeralIndex,
+    IndexAccess,
+    ResultSet,
+    TableAccess,
+    TableWriter,
+)
+from repro.storage.btree import BTree
+from repro.storage.disk import SimulatedDisk
+from repro.storage.engine import StorageEngine
+
+
+class TestResultSet:
+    def test_scalar(self):
+        assert ResultSet(["n"], [(5,)]).scalar() == 5
+
+    def test_scalar_rejects_shapes(self):
+        with pytest.raises(ExecutionError):
+            ResultSet(["n"], []).scalar()
+        with pytest.raises(ExecutionError):
+            ResultSet(["a", "b"], [(1, 2)]).scalar()
+        with pytest.raises(ExecutionError):
+            ResultSet(["n"], [(1,), (2,)]).scalar()
+
+    def test_first_and_len(self):
+        result = ResultSet(["a"], [(1,), (2,)])
+        assert result.first() == (1,)
+        assert len(result) == 2
+        assert ResultSet(["a"], []).first() is None
+
+    def test_column_access(self):
+        result = ResultSet(["a", "B"], [(1, "x"), (2, "y")])
+        assert result.column("b") == ["x", "y"]
+        with pytest.raises(ExecutionError):
+            result.column("nope")
+
+    def test_to_dicts(self):
+        result = ResultSet(["a", "b"], [(1, "x")])
+        assert result.to_dicts() == [{"a": 1, "b": "x"}]
+
+    def test_iteration(self):
+        assert list(ResultSet(["a"], [(1,), (2,)])) == [(1,), (2,)]
+
+
+class TestEphemeralIndex:
+    def test_add_lookup(self):
+        index = EphemeralIndex()
+        index.add(5, (5, "a"))
+        index.add(5, (5, "b"))
+        index.add(7, (7, "c"))
+        assert sorted(index.lookup(5)) == [(5, "a"), (5, "b")]
+        assert list(index.lookup(7)) == [(7, "c")]
+        assert list(index.lookup(99)) == []
+
+    def test_null_keys_skipped(self):
+        index = EphemeralIndex()
+        index.add(None, (None, "x"))
+        assert list(index.lookup(None)) == []
+
+    def test_mixed_value_types(self):
+        index = EphemeralIndex()
+        index.add("key", ("key", 1))
+        index.add(2.5, (2.5, 2))
+        assert list(index.lookup("key")) == [("key", 1)]
+        assert list(index.lookup(2.5)) == [(2.5, 2)]
+
+    def test_many_entries(self):
+        index = EphemeralIndex()
+        for i in range(2000):
+            index.add(i % 50, (i,))
+        assert len(list(index.lookup(7))) == 40
+
+
+@pytest.fixture
+def bound_table():
+    engine = StorageEngine(SimulatedDisk(4096))
+    txn = engine.begin()
+    source = engine.page_source(txn)
+    table_tree = BTree.create(source)
+    index_tree = BTree.create(source)
+    info = TableInfo(
+        name="t", root_id=table_tree.root_id,
+        columns=[Column("a", "INTEGER"), Column("b", "TEXT")],
+    )
+    index_info = IndexInfo(
+        name="t_a", table="t", root_id=index_tree.root_id, columns=["a"],
+    )
+    table = TableAccess(info, source)
+    index = IndexAccess(index_info, source)
+    return table, index, TableWriter(table, [index])
+
+
+class TestTableWriterUnits:
+    def test_rowids_monotonic(self, bound_table):
+        table, _, writer = bound_table
+        first = writer.insert((1, "x"))
+        second = writer.insert((2, "y"))
+        assert second == first + 1
+        assert table.get(first) == (1, "x")
+
+    def test_delete_maintains_index(self, bound_table):
+        table, index, writer = bound_table
+        rowid = writer.insert((5, "z"))
+        writer.insert((5, "other"))
+        assert len(list(index.lookup_equal([5]))) == 2
+        writer.delete(rowid)
+        remaining = list(index.lookup_equal([5]))
+        assert len(remaining) == 1
+        assert table.get(remaining[0]) == (5, "other")
+
+    def test_delete_missing_returns_false(self, bound_table):
+        _, _, writer = bound_table
+        assert writer.delete(999) is False
+
+    def test_update_moves_index_entry(self, bound_table):
+        table, index, writer = bound_table
+        rowid = writer.insert((1, "x"))
+        writer.update(rowid, (2, "x"))
+        assert list(index.lookup_equal([1])) == []
+        assert list(index.lookup_equal([2])) == [rowid]
+
+    def test_index_range_lookup(self, bound_table):
+        _, index, writer = bound_table
+        for i in range(10):
+            writer.insert((i, "v"))
+        between = list(index.lookup_range([3], [6]))
+        assert len(between) == 4  # 3, 4, 5, 6 inclusive
+        below = list(index.lookup_range(None, [2]))
+        assert len(below) == 3
+
+    def test_arity_check(self, bound_table):
+        _, _, writer = bound_table
+        with pytest.raises(ExecutionError):
+            writer.insert((1,))

@@ -1,0 +1,76 @@
+"""EXPLAIN: access-path plan reporting."""
+
+import pytest
+
+from repro.errors import SqlError
+
+
+@pytest.fixture
+def planned(db):
+    db.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, grp TEXT, n INTEGER)")
+    db.execute("CREATE TABLE u (k INTEGER, label TEXT)")
+    db.execute("INSERT INTO t VALUES (1, 'a', 10), (2, 'b', 20)")
+    db.execute("INSERT INTO u VALUES (1, 'one'), (2, 'two')")
+    return db
+
+
+def plan(db, sql):
+    return [row[0] for row in db.execute("EXPLAIN " + sql).rows]
+
+
+class TestExplain:
+    def test_seq_scan(self, planned):
+        notes = plan(planned, "SELECT * FROM t")
+        assert notes == ["SCAN t"]
+
+    def test_pk_equality_search(self, planned):
+        notes = plan(planned, "SELECT * FROM t WHERE k = 1")
+        assert any("USING INDEX __pk_t (=)" in n for n in notes)
+
+    def test_pk_range_search(self, planned):
+        notes = plan(planned, "SELECT * FROM t WHERE k > 1")
+        assert any("(range)" in n for n in notes)
+
+    def test_secondary_index_preferred(self, planned):
+        planned.execute("CREATE INDEX t_grp ON t (grp)")
+        notes = plan(planned, "SELECT * FROM t WHERE grp = 'a'")
+        assert any("t_grp" in n for n in notes)
+
+    def test_join_with_native_index(self, planned):
+        notes = plan(planned,
+                     "SELECT * FROM u, t WHERE u.k = t.k")
+        joined = " | ".join(notes)
+        assert "SCAN u" in joined
+        assert "USING INDEX __pk_t" in joined
+
+    def test_join_without_index_uses_auto_index(self, planned):
+        notes = plan(planned,
+                     "SELECT * FROM t, u WHERE t.grp = 'a' "
+                     "AND t.n = u.k")
+        joined = " | ".join(notes)
+        assert "AUTOMATIC COVERING INDEX" in joined
+
+    def test_pipeline_stages(self, planned):
+        notes = plan(planned,
+                     "SELECT DISTINCT grp, COUNT(*) FROM t GROUP BY grp "
+                     "ORDER BY grp LIMIT 1")
+        joined = " | ".join(notes)
+        assert "AGGREGATE" in joined
+        assert "DISTINCT" in joined
+        assert "ORDER BY" in joined
+        assert "LIMIT" in joined
+
+    def test_as_of_noted(self, planned):
+        planned.executescript("BEGIN; COMMIT WITH SNAPSHOT;")
+        notes = plan(planned, "SELECT AS OF 1 * FROM t")
+        assert notes[0].startswith("AS OF snapshot")
+
+    def test_explain_does_not_execute(self, planned):
+        calls = []
+        planned.register_function("probe", lambda v: calls.append(v) or v)
+        planned.execute("EXPLAIN SELECT probe(k) FROM t")
+        assert calls == []
+
+    def test_explain_non_select_rejected(self, planned):
+        with pytest.raises(SqlError):
+            planned.execute("EXPLAIN DELETE FROM t")

@@ -1,0 +1,155 @@
+"""SQL value semantics: three-valued logic, coercion, mixed-type order."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TypeMismatchError
+from repro.sql.database import Database
+from repro.sql.expressions import like_to_regex
+from repro.sql.types import (
+    coerce_for_column,
+    compare,
+    is_true,
+    row_sort_key,
+    sort_key,
+    to_number,
+    value_repr,
+)
+
+
+class TestCompare:
+    def test_null_comparisons_are_null(self):
+        assert compare(None, 1) is None
+        assert compare("x", None) is None
+        assert compare(None, None) is None
+
+    def test_numeric_cross_type(self):
+        assert compare(1, 1.0) == 0
+        assert compare(1, 1.5) == -1
+        assert compare(2.5, 2) == 1
+
+    def test_cross_class(self):
+        assert compare(10**9, "a") == -1   # numeric < text
+        assert compare("zzz", b"") == -1   # text < blob
+
+    def test_text(self):
+        assert compare("abc", "abd") == -1
+        assert compare("b", "ab") == 1
+
+
+class TestTruthiness:
+    @pytest.mark.parametrize("value,expected", [
+        (None, False), (0, False), (1, True), (-1, True),
+        (0.0, False), (0.1, True), ("0", False), ("1", True),
+        ("abc", False), (b"x", True),
+    ])
+    def test_is_true(self, value, expected):
+        assert is_true(value) == expected
+
+
+class TestCoercion:
+    def test_to_number(self):
+        assert to_number("12") == 12
+        assert to_number("1.5") == 1.5
+        assert to_number(None) is None
+        with pytest.raises(TypeMismatchError):
+            to_number("abc")
+
+    def test_column_affinity(self):
+        assert coerce_for_column("5", "INTEGER") == 5
+        assert coerce_for_column(5.0, "INTEGER") == 5
+        assert coerce_for_column(5, "REAL") == 5.0
+        assert coerce_for_column(5, "TEXT") == "5"
+        assert coerce_for_column("keep", "INTEGER") == "keep"
+        assert coerce_for_column(None, "INTEGER") is None
+        assert coerce_for_column(b"raw", "") == b"raw"
+
+
+class TestSorting:
+    def test_mixed_type_sort(self):
+        values = ["b", None, 2, b"z", 1.5, "a", None]
+        ordered = sorted(values, key=sort_key)
+        assert ordered == [None, None, 1.5, 2, "a", "b", b"z"]
+
+    def test_row_sort_key(self):
+        rows = [(1, "b"), (None, "a"), (1, "a")]
+        ordered = sorted(rows, key=row_sort_key)
+        assert ordered == [(None, "a"), (1, "a"), (1, "b")]
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.one_of(st.none(), st.integers(), st.text(max_size=5)),
+                    max_size=10))
+    def test_sort_total_order(self, values):
+        ordered = sorted(values, key=sort_key)
+        for left, right in zip(ordered, ordered[1:]):
+            if left is None:
+                continue
+            assert right is not None
+            assert compare(left, right) in (-1, 0)
+
+
+class TestLike:
+    @pytest.mark.parametrize("pattern,text,matches", [
+        ("abc", "abc", True),
+        ("abc", "ABC", True),  # SQLite LIKE is case-insensitive
+        ("a%", "abcdef", True),
+        ("%c", "abc", True),
+        ("a_c", "abc", True),
+        ("a_c", "abxc", False),
+        ("%", "", True),
+        ("a.c", "abc", False),  # regex metachars are literal
+        ("50%", "50% off", True),  # % is the wildcard, not a literal
+    ])
+    def test_patterns(self, pattern, text, matches):
+        assert bool(like_to_regex(pattern).match(text)) == matches
+
+
+class TestValueRepr:
+    def test_reprs(self):
+        assert value_repr(None) == "NULL"
+        assert value_repr(1) == "1"
+        assert value_repr(1.25) == "1.25"
+        assert value_repr(b"\xff") == "x'ff'"
+        assert value_repr("x") == "x"
+
+
+class TestThreeValuedLogicInSql:
+    """Kleene logic through the full engine."""
+
+    @pytest.fixture
+    def tvl(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("INSERT INTO t VALUES (NULL), (0), (1)")
+        return db
+
+    def test_and_or_with_null(self, tvl):
+        # NULL AND 0 = 0 (false short-circuits), so NOT(...) is true.
+        assert tvl.execute(
+            "SELECT COUNT(*) FROM t WHERE NOT (a AND 0)").scalar() == 3
+        # NULL OR 1 = 1.
+        assert tvl.execute(
+            "SELECT COUNT(*) FROM t WHERE a OR 1").scalar() == 3
+        # NULL AND 1 = NULL -> filtered out.
+        assert tvl.execute(
+            "SELECT COUNT(*) FROM t WHERE a AND 1").scalar() == 1
+
+    def test_not_null_is_null(self, tvl):
+        assert tvl.execute(
+            "SELECT COUNT(*) FROM t WHERE NOT a").scalar() == 1
+
+    def test_in_with_null_member(self, tvl):
+        # 0 IN (1, NULL) is NULL -> excluded; 1 IN (1, NULL) is true.
+        assert tvl.execute(
+            "SELECT COUNT(*) FROM t WHERE a IN (1, NULL)").scalar() == 1
+
+    def test_arithmetic_null(self, tvl):
+        rows = tvl.execute("SELECT a + 1 FROM t ORDER BY a").rows
+        assert rows == [(None,), (1,), (2,)]
+
+    def test_division(self, db):
+        assert db.execute("SELECT 7 / 2").scalar() == 3
+        assert db.execute("SELECT -7 / 2").scalar() == -3  # trunc to zero
+        assert db.execute("SELECT 7.0 / 2").scalar() == 3.5
+        assert db.execute("SELECT 1 / 0").scalar() is None
+        assert db.execute("SELECT 5 % 3").scalar() == 2

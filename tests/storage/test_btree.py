@@ -1,0 +1,225 @@
+"""B+tree tests: structure, ordering, splits, deletes, iteration, and a
+model-based property test against a Python dict."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BTreeError
+from repro.storage.btree import BTree
+from repro.storage.disk import SimulatedDisk
+from repro.storage.engine import StorageEngine
+
+
+def fresh_tree():
+    engine = StorageEngine(SimulatedDisk(4096))
+    txn = engine.begin()
+    source = engine.page_source(txn)
+    tree = BTree.create(source)
+    return engine, txn, tree
+
+
+def key(i):
+    return f"{i:012d}".encode()
+
+
+class TestBasicOperations:
+    def test_empty_tree(self):
+        _, _, tree = fresh_tree()
+        assert tree.get(b"x") is None
+        assert list(tree.scan_all()) == []
+        assert tree.count() == 0
+        assert tree.height() == 1
+        assert tree.last_key() is None
+
+    def test_insert_get(self):
+        _, _, tree = fresh_tree()
+        assert tree.insert(b"a", b"1") is True
+        assert tree.insert(b"b", b"2") is True
+        assert tree.get(b"a") == b"1"
+        assert tree.get(b"b") == b"2"
+        assert tree.get(b"c") is None
+
+    def test_insert_replace(self):
+        _, _, tree = fresh_tree()
+        assert tree.insert(b"a", b"1") is True
+        assert tree.insert(b"a", b"2") is False
+        assert tree.get(b"a") == b"2"
+        assert tree.count() == 1
+
+    def test_delete(self):
+        _, _, tree = fresh_tree()
+        tree.insert(b"a", b"1")
+        assert tree.delete(b"a") is True
+        assert tree.delete(b"a") is False
+        assert tree.get(b"a") is None
+
+    def test_last_key(self):
+        _, _, tree = fresh_tree()
+        for i in (5, 1, 9, 3):
+            tree.insert(key(i), b"v")
+        assert tree.last_key() == key(9)
+
+    def test_oversized_cell_rejected(self):
+        _, _, tree = fresh_tree()
+        with pytest.raises(BTreeError):
+            tree.insert(b"k", b"x" * 4096)
+
+
+class TestSplitsAndStructure:
+    def test_many_inserts_sorted_iteration(self):
+        _, _, tree = fresh_tree()
+        rng = random.Random(42)
+        items = {}
+        for i in rng.sample(range(10000), 3000):
+            items[key(i)] = str(i).encode()
+            tree.insert(key(i), str(i).encode())
+        assert tree.height() > 1
+        got = list(tree.scan_all())
+        assert got == sorted(items.items())
+        tree.check_invariants()
+
+    def test_root_id_stable_across_splits(self):
+        _, _, tree = fresh_tree()
+        root = tree.root_id
+        for i in range(2000):
+            tree.insert(key(i), b"payload" * 10)
+        assert tree.root_id == root
+        assert tree.get(key(1999)) == b"payload" * 10
+
+    def test_large_values_split_by_bytes(self):
+        _, _, tree = fresh_tree()
+        for i in range(100):
+            tree.insert(key(i), bytes(1500))
+        tree.check_invariants()
+        assert tree.count() == 100
+
+    def test_sequential_and_reverse_inserts(self):
+        for order in (range(1000), reversed(range(1000))):
+            _, _, tree = fresh_tree()
+            for i in order:
+                tree.insert(key(i), b"v")
+            assert [k for k, _ in tree.scan_all()] == [
+                key(i) for i in range(1000)
+            ]
+            tree.check_invariants()
+
+
+class TestDeletes:
+    def test_delete_all_collapses(self):
+        _, _, tree = fresh_tree()
+        for i in range(1500):
+            tree.insert(key(i), b"v" * 20)
+        assert tree.height() > 1
+        for i in range(1500):
+            assert tree.delete(key(i))
+        assert tree.count() == 0
+        assert tree.height() == 1
+        tree.check_invariants()
+
+    def test_delete_front_pages_freed(self):
+        engine, txn, tree = fresh_tree()
+        for i in range(2000):
+            tree.insert(key(i), b"v" * 30)
+        pages_before = len(tree.page_ids())
+        for i in range(1000):
+            tree.delete(key(i))
+        pages_after = len(tree.page_ids())
+        assert pages_after < pages_before
+        tree.check_invariants()
+        assert tree.count() == 1000
+
+    def test_interleaved_insert_delete(self):
+        _, _, tree = fresh_tree()
+        rng = random.Random(7)
+        model = {}
+        for step in range(5000):
+            i = rng.randrange(800)
+            if rng.random() < 0.5:
+                model[key(i)] = str(step).encode()
+                tree.insert(key(i), str(step).encode())
+            else:
+                expected = key(i) in model
+                model.pop(key(i), None)
+                assert tree.delete(key(i)) == expected
+        assert dict(tree.scan_all()) == model
+        tree.check_invariants()
+
+
+class TestScans:
+    def test_scan_from(self):
+        _, _, tree = fresh_tree()
+        for i in range(0, 100, 2):
+            tree.insert(key(i), b"v")
+        got = [k for k, _ in tree.scan_from(key(31))]
+        assert got == [key(i) for i in range(32, 100, 2)]
+
+    def test_scan_prefix(self):
+        _, _, tree = fresh_tree()
+        for prefix in (b"aa", b"ab", b"b"):
+            for i in range(10):
+                tree.insert(prefix + str(i).encode(), b"v")
+        got = [k for k, _ in tree.scan_prefix(b"ab")]
+        assert got == [b"ab" + str(i).encode() for i in range(10)]
+
+    def test_scan_range_exclusive_inclusive(self):
+        _, _, tree = fresh_tree()
+        for i in range(20):
+            tree.insert(key(i), b"v")
+        exclusive = [k for k, _ in tree.scan_range(key(5), key(10))]
+        assert exclusive == [key(i) for i in range(5, 10)]
+        inclusive = [k for k, _ in tree.scan_range(key(5), key(10),
+                                                   hi_inclusive=True)]
+        assert inclusive == [key(i) for i in range(5, 11)]
+
+    def test_scan_during_split_boundaries(self):
+        _, _, tree = fresh_tree()
+        for i in range(3000):
+            tree.insert(key(i), b"w" * 50)
+        assert sum(1 for _ in tree.scan_from(key(1500))) == 1500
+
+
+class TestClearDrop:
+    def test_clear(self):
+        _, _, tree = fresh_tree()
+        for i in range(500):
+            tree.insert(key(i), b"v" * 40)
+        tree.clear()
+        assert tree.count() == 0
+        tree.insert(b"x", b"y")
+        assert tree.get(b"x") == b"y"
+
+    def test_drop_frees_pages(self):
+        engine, txn, tree = fresh_tree()
+        for i in range(500):
+            tree.insert(key(i), b"v" * 40)
+        n_pages = len(tree.page_ids())
+        assert n_pages > 1
+        freed_before = len(txn.freed)
+        tree.drop()
+        assert len(txn.freed) == freed_before + n_pages
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(
+    st.tuples(st.sampled_from(["insert", "delete"]),
+              st.integers(min_value=0, max_value=200),
+              st.binary(min_size=0, max_size=40)),
+    max_size=300,
+))
+def test_btree_matches_dict_model(operations):
+    """Model-based: any op sequence leaves the tree equal to a dict."""
+    _, _, tree = fresh_tree()
+    model = {}
+    for op, i, value in operations:
+        k = key(i)
+        if op == "insert":
+            assert tree.insert(k, value) == (k not in model)
+            model[k] = value
+        else:
+            assert tree.delete(k) == (k in model)
+            model.pop(k, None)
+    assert dict(tree.scan_all()) == model
+    tree.check_invariants()

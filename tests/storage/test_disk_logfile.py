@@ -1,0 +1,152 @@
+"""Simulated disk, cost accounting, and block-log framing tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.disk import CostModel, DeviceStats, SimulatedDisk
+from repro.storage.logfile import (
+    BlockLogReader,
+    BlockLogWriter,
+    read_all_records,
+)
+
+PAGE = 512
+
+
+class TestDiskFile:
+    def test_append_and_read(self):
+        disk = SimulatedDisk(PAGE)
+        f = disk.open_file("log", append_only=True)
+        slot = f.append(b"a" * PAGE)
+        assert slot == 0
+        assert f.read(0) == b"a" * PAGE
+        assert disk.stats.log_writes == 1
+        assert disk.stats.log_reads == 1
+
+    def test_random_write_extends(self):
+        disk = SimulatedDisk(PAGE)
+        f = disk.open_file("db")
+        f.write(5, b"x" * PAGE)
+        assert len(f) == 6
+        assert f.read(5) == b"x" * PAGE
+        assert f.read(0) == bytes(PAGE)
+
+    def test_append_only_rejects_random_write(self):
+        disk = SimulatedDisk(PAGE)
+        f = disk.open_file("log", append_only=True)
+        with pytest.raises(StorageError):
+            f.write(0, b"x" * PAGE)
+
+    def test_wrong_size_rejected(self):
+        disk = SimulatedDisk(PAGE)
+        f = disk.open_file("db")
+        with pytest.raises(StorageError):
+            f.write(0, b"short")
+
+    def test_out_of_range_read(self):
+        disk = SimulatedDisk(PAGE)
+        f = disk.open_file("db")
+        with pytest.raises(StorageError):
+            f.read(3)
+
+    def test_reopen_same_file(self):
+        disk = SimulatedDisk(PAGE)
+        f1 = disk.open_file("db")
+        f1.write(0, b"y" * PAGE)
+        f2 = disk.open_file("db")
+        assert f2 is f1
+
+    def test_reopen_flag_mismatch(self):
+        disk = SimulatedDisk(PAGE)
+        disk.open_file("db")
+        with pytest.raises(StorageError):
+            disk.open_file("db", append_only=True)
+
+    def test_scan_charges_reads(self):
+        disk = SimulatedDisk(PAGE)
+        f = disk.open_file("log", append_only=True)
+        for i in range(4):
+            f.append(bytes([i]) * PAGE)
+        before = disk.stats.log_reads
+        assert len(list(f.scan())) == 4
+        assert disk.stats.log_reads == before + 4
+
+
+class TestCostModel:
+    def test_charge(self):
+        stats = DeviceStats(random_reads=10, log_reads=5,
+                            random_writes=2, log_writes=3)
+        model = CostModel(db_read_seconds=1.0, log_read_seconds=10.0,
+                          write_seconds=0.5)
+        assert model.charge(stats) == 10 * 1.0 + 5 * 10.0 + 5 * 0.5
+
+    def test_delta(self):
+        stats = DeviceStats(random_reads=10)
+        earlier = stats.snapshot()
+        stats.random_reads += 7
+        assert stats.delta(earlier).random_reads == 7
+
+
+class TestBlockLog:
+    def _roundtrip(self, payloads, flush_points=()):
+        disk = SimulatedDisk(PAGE)
+        f = disk.open_file("log", append_only=True)
+        writer = BlockLogWriter(f)
+        for i, payload in enumerate(payloads):
+            writer.append(payload)
+            if i in flush_points:
+                writer.flush()
+        writer.flush()
+        assert read_all_records(f) == list(payloads)
+
+    def test_small_records(self):
+        self._roundtrip([b"a", b"bb", b"ccc"])
+
+    def test_record_spanning_blocks(self):
+        self._roundtrip([b"x" * (PAGE * 3 + 17), b"tail"])
+
+    def test_flush_padding_mid_stream(self):
+        self._roundtrip([b"a" * 100, b"b" * 100, b"c" * 100],
+                        flush_points=(0, 1))
+
+    def test_header_never_straddles(self):
+        # Payload sized so the next header would start < 4 bytes from a
+        # block boundary.
+        first = b"z" * (PAGE - 4 - 2)
+        self._roundtrip([first, b"second"])
+
+    def test_start_block_boundary(self):
+        disk = SimulatedDisk(PAGE)
+        f = disk.open_file("log", append_only=True)
+        writer = BlockLogWriter(f)
+        writer.append(b"first")
+        boundary = writer.sync_boundary()
+        writer.append(b"second")
+        writer.flush()
+        reader = BlockLogReader(f)
+        assert list(reader.records(boundary)) == [b"second"]
+
+    def test_empty_record_rejected(self):
+        disk = SimulatedDisk(PAGE)
+        f = disk.open_file("log", append_only=True)
+        with pytest.raises(StorageError):
+            BlockLogWriter(f).append(b"")
+
+    def test_empty_log(self):
+        disk = SimulatedDisk(PAGE)
+        f = disk.open_file("log", append_only=True)
+        assert read_all_records(f) == []
+
+    def test_requires_append_only(self):
+        disk = SimulatedDisk(PAGE)
+        f = disk.open_file("db")
+        with pytest.raises(StorageError):
+            BlockLogWriter(f)
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=PAGE * 2), max_size=20),
+           st.sets(st.integers(min_value=0, max_value=19)))
+    def test_roundtrip_property(self, payloads, flush_points):
+        self._roundtrip(payloads, flush_points)

@@ -1,0 +1,251 @@
+"""Storage engine tests: transactions, MVCC, snapshots, recovery."""
+
+import pytest
+
+from repro.errors import TransactionError
+from repro.storage.btree import BTree
+from repro.storage.disk import SimulatedDisk
+from repro.storage.engine import StorageEngine
+from repro.storage.record import encode_key, encode_record
+
+
+def put(tree, i, payload="v"):
+    tree.insert(encode_key((i,)), encode_record((i, payload)))
+
+
+def make_table(engine, n=100):
+    txn = engine.begin()
+    source = engine.page_source(txn)
+    tree = BTree.create(source)
+    for i in range(n):
+        put(tree, i)
+    engine.pager.set_root("t", tree.root_id)
+    engine.commit(txn)
+    return tree.root_id
+
+
+class TestTransactions:
+    def test_commit_visible(self, engine):
+        root = make_table(engine, 10)
+        ctx = engine.begin_read()
+        tree = BTree(engine.read_source(ctx), root)
+        assert tree.count() == 10
+        ctx.close()
+
+    def test_rollback_invisible(self, engine):
+        root = make_table(engine, 10)
+        txn = engine.begin()
+        tree = BTree(engine.page_source(txn), root)
+        put(tree, 99)
+        engine.rollback(txn)
+        ctx = engine.begin_read()
+        assert BTree(engine.read_source(ctx), root).count() == 10
+        ctx.close()
+
+    def test_single_writer(self, engine):
+        engine.begin()
+        with pytest.raises(TransactionError):
+            engine.begin()
+
+    def test_read_your_writes(self, engine):
+        root = make_table(engine, 5)
+        txn = engine.begin()
+        source = engine.page_source(txn)
+        tree = BTree(source, root)
+        put(tree, 50)
+        assert tree.get(encode_key((50,))) is not None
+        engine.commit(txn)
+
+    def test_writes_invisible_until_commit(self, engine):
+        root = make_table(engine, 5)
+        txn = engine.begin()
+        tree = BTree(engine.page_source(txn), root)
+        put(tree, 50)
+        ctx = engine.begin_read()
+        reader = BTree(engine.read_source(ctx), root)
+        assert reader.get(encode_key((50,))) is None
+        ctx.close()
+        engine.commit(txn)
+
+
+class TestMvcc:
+    def test_reader_sees_stable_state(self, engine):
+        root = make_table(engine, 20)
+        ctx = engine.begin_read()
+        # Concurrent writer deletes half.
+        txn = engine.begin()
+        tree = BTree(engine.page_source(txn), root)
+        for i in range(10):
+            tree.delete(encode_key((i,)))
+        engine.commit(txn)
+        # The registered reader still sees the old state.
+        old = BTree(engine.read_source(ctx), root)
+        assert old.count() == 20
+        ctx.close()
+        # A fresh reader sees the new state.
+        ctx2 = engine.begin_read()
+        assert BTree(engine.read_source(ctx2), root).count() == 10
+        ctx2.close()
+
+    def test_two_readers_different_epochs(self, engine):
+        root = make_table(engine, 10)
+        ctx_old = engine.begin_read()
+        txn = engine.begin()
+        put(BTree(engine.page_source(txn), root), 100)
+        engine.commit(txn)
+        ctx_new = engine.begin_read()
+        txn = engine.begin()
+        put(BTree(engine.page_source(txn), root), 101)
+        engine.commit(txn)
+        assert BTree(engine.read_source(ctx_old), root).count() == 10
+        assert BTree(engine.read_source(ctx_new), root).count() == 11
+        ctx_old.close()
+        ctx_new.close()
+
+    def test_version_pruning(self, engine):
+        root = make_table(engine, 10)
+        ctx = engine.begin_read()
+        for round_no in range(3):
+            txn = engine.begin()
+            put(BTree(engine.page_source(txn), root), 200 + round_no)
+            engine.commit(txn)
+        assert engine._versions.retained_versions > 0
+        ctx.close()
+        assert engine._versions.retained_versions == 0
+
+
+class TestSnapshots:
+    def test_declaration_reflects_declaring_txn(self, engine):
+        root = make_table(engine, 10)
+        txn = engine.begin()
+        put(BTree(engine.page_source(txn), root), 42)
+        sid = engine.commit(txn, declare_snapshot=True)
+        ctx = engine.begin_read()
+        snap = BTree(engine.snapshot_source(sid, ctx), root)
+        assert snap.get(encode_key((42,))) is not None
+        ctx.close()
+
+    def test_snapshot_immune_to_later_updates(self, engine):
+        root = make_table(engine, 10)
+        txn = engine.begin()
+        sid = engine.commit(txn, declare_snapshot=True)
+        txn = engine.begin()
+        tree = BTree(engine.page_source(txn), root)
+        for i in range(10):
+            tree.delete(encode_key((i,)))
+        engine.commit(txn)
+        ctx = engine.begin_read()
+        assert BTree(engine.snapshot_source(sid, ctx), root).count() == 10
+        assert BTree(engine.read_source(ctx), root).count() == 0
+        ctx.close()
+
+    def test_many_snapshots_each_consistent(self, engine):
+        root = make_table(engine, 0)
+        sids = []
+        for i in range(12):
+            txn = engine.begin()
+            put(BTree(engine.page_source(txn), root), i)
+            sids.append(engine.commit(txn, declare_snapshot=True))
+        ctx = engine.begin_read()
+        for count, sid in enumerate(sids, start=1):
+            tree = BTree(engine.snapshot_source(sid, ctx), root)
+            assert tree.count() == count
+        ctx.close()
+
+    def test_snapshot_query_concurrent_with_update(self, engine):
+        """Paper Section 4: snapshot queries run as read-only MVCC txns."""
+        root = make_table(engine, 30)
+        txn = engine.begin()
+        sid = engine.commit(txn, declare_snapshot=True)
+        ctx = engine.begin_read()
+        snap_source = engine.snapshot_source(sid, ctx)
+        # A concurrent update commits while the snapshot query is open.
+        txn = engine.begin()
+        tree = BTree(engine.page_source(txn), root)
+        for i in range(30):
+            tree.delete(encode_key((i,)))
+        engine.commit(txn)
+        # The snapshot query still sees every page as of declaration.
+        assert BTree(snap_source, root).count() == 30
+        ctx.close()
+
+
+class TestRecovery:
+    def test_committed_survive_crash(self, disk):
+        engine = StorageEngine(disk)
+        root = make_table(engine, 50)
+        engine.crash()
+        engine2 = StorageEngine(disk)
+        ctx = engine2.begin_read()
+        assert BTree(engine2.read_source(ctx), root).count() == 50
+        ctx.close()
+
+    def test_uncommitted_lost_after_crash(self, disk):
+        engine = StorageEngine(disk)
+        root = make_table(engine, 10)
+        txn = engine.begin()
+        put(BTree(engine.page_source(txn), root), 999)
+        # No commit: crash.
+        engine.crash()
+        engine2 = StorageEngine(disk)
+        ctx = engine2.begin_read()
+        assert BTree(engine2.read_source(ctx), root).count() == 10
+        ctx.close()
+
+    def test_snapshots_survive_crash_without_checkpoint(self, disk):
+        engine = StorageEngine(disk)
+        root = make_table(engine, 20)
+        txn = engine.begin()
+        sid = engine.commit(txn, declare_snapshot=True)
+        txn = engine.begin()
+        tree = BTree(engine.page_source(txn), root)
+        for i in range(20):
+            tree.delete(encode_key((i,)))
+        engine.commit(txn)
+        # Crash with pre-states still pending in memory.
+        engine.crash()
+        engine2 = StorageEngine(disk)
+        ctx = engine2.begin_read()
+        assert BTree(engine2.snapshot_source(sid, ctx), root).count() == 20
+        assert BTree(engine2.read_source(ctx), root).count() == 0
+        ctx.close()
+
+    def test_crash_after_checkpoint(self, disk):
+        engine = StorageEngine(disk)
+        root = make_table(engine, 20)
+        txn = engine.begin()
+        sid = engine.commit(txn, declare_snapshot=True)
+        engine.checkpoint()
+        txn = engine.begin()
+        put(BTree(engine.page_source(txn), root), 777)
+        engine.commit(txn)
+        engine.crash()
+        engine2 = StorageEngine(disk)
+        ctx = engine2.begin_read()
+        assert BTree(engine2.read_source(ctx), root).count() == 21
+        assert BTree(engine2.snapshot_source(sid, ctx), root).count() == 20
+        ctx.close()
+
+    def test_repeated_crashes(self, disk):
+        engine = StorageEngine(disk)
+        root = make_table(engine, 5)
+        for round_no in range(4):
+            txn = engine.begin()
+            put(BTree(engine.page_source(txn), root), 100 + round_no)
+            engine.commit(txn, declare_snapshot=True)
+            engine.crash()
+            engine = StorageEngine(disk)
+        ctx = engine.begin_read()
+        assert BTree(engine.read_source(ctx), root).count() == 9
+        for sid, expected in ((1, 6), (2, 7), (3, 8), (4, 9)):
+            tree = BTree(engine.snapshot_source(sid, ctx), root)
+            assert tree.count() == expected
+        ctx.close()
+
+    def test_timestamps_and_txn_ids_resume(self, disk):
+        engine = StorageEngine(disk)
+        make_table(engine, 5)
+        ts = engine.last_commit_ts
+        engine.crash()
+        engine2 = StorageEngine(disk)
+        assert engine2.last_commit_ts >= ts

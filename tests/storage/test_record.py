@@ -1,0 +1,129 @@
+"""Record and key codec tests, including order-preservation properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RecordCodecError
+from repro.sql.types import compare
+from repro.storage.record import (
+    decode_key,
+    decode_record,
+    encode_key,
+    encode_record,
+)
+
+SIMPLE_ROWS = [
+    (),
+    (None,),
+    (0,),
+    (-1, 1, 2**40),
+    (1.5, -2.25, 0.0),
+    ("", "hello", "naïve ünïcode"),
+    (b"", b"\x00\x01\xff"),
+    (None, 1, 2.5, "x", b"y"),
+]
+
+
+@pytest.mark.parametrize("row", SIMPLE_ROWS)
+def test_record_round_trip(row):
+    assert decode_record(encode_record(row)) == row
+
+
+def test_record_bool_normalizes_to_int():
+    assert decode_record(encode_record((True, False))) == (1, 0)
+
+
+def test_record_rejects_unsupported_type():
+    with pytest.raises(RecordCodecError):
+        encode_record(([1, 2],))
+
+
+def test_record_rejects_out_of_range_int():
+    with pytest.raises(RecordCodecError):
+        encode_record((2**70,))
+
+
+def test_record_corrupt_raises():
+    raw = encode_record((1, "x"))
+    with pytest.raises(RecordCodecError):
+        decode_record(raw[:-2])
+
+
+def test_key_round_trip_strings_with_nuls():
+    values = ("a\x00b", "a\x00", "\x00", "")
+    assert decode_key(encode_key(values)) == values
+
+
+def test_key_round_trip_mixed():
+    values = (None, 3, "abc", b"\x00\xff")
+    decoded = decode_key(encode_key(values))
+    assert decoded == values
+
+
+def test_key_class_ordering():
+    # NULL < numeric < text < blob
+    assert encode_key((None,)) < encode_key((0,))
+    assert encode_key((10**9,)) < encode_key(("",))
+    assert encode_key(("zzz",)) < encode_key((b"",))
+
+
+sql_scalars = st.one_of(
+    st.none(),
+    st.integers(min_value=-(2**52), max_value=2**52),
+    st.floats(allow_nan=False, allow_infinity=False,
+              min_value=-1e15, max_value=1e15),
+    st.text(max_size=30),
+    st.binary(max_size=30),
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.tuples(sql_scalars, sql_scalars), st.tuples(sql_scalars, sql_scalars))
+def test_key_encoding_preserves_sql_order(left, right):
+    """Bytewise key comparison must agree with SQL value ordering."""
+    lk, rk = encode_key(left), encode_key(right)
+    # Compare tuples element-wise with SQL semantics (None first).
+    expected = 0
+    for lv, rv in zip(left, right):
+        c = _sql_total_compare(lv, rv)
+        if c != 0:
+            expected = c
+            break
+    if expected < 0:
+        assert lk < rk
+    elif expected > 0:
+        assert lk > rk
+    else:
+        assert lk == rk
+
+
+def _sql_total_compare(a, b):
+    if a is None and b is None:
+        return 0
+    if a is None:
+        return -1
+    if b is None:
+        return 1
+    result = compare(a, b)
+    assert result is not None
+    return result
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(sql_scalars, max_size=5))
+def test_record_round_trip_property(values):
+    row = tuple(values)
+    assert decode_record(encode_record(row)) == row
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.one_of(st.none(),
+                          st.integers(min_value=-(2**31), max_value=2**31),
+                          st.text(max_size=20),
+                          st.binary(max_size=20)),
+                max_size=4))
+def test_key_round_trip_property(values):
+    """Keys over ints/text/blobs/None decode exactly."""
+    row = tuple(values)
+    assert decode_key(encode_key(row)) == row

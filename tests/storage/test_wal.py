@@ -1,0 +1,88 @@
+"""WAL record framing and replay semantics."""
+
+from repro.storage.disk import SimulatedDisk
+from repro.storage.wal import WriteAheadLog
+
+PAGE = 512
+
+
+def fresh_wal():
+    disk = SimulatedDisk(PAGE)
+    return WriteAheadLog(disk.open_file("wal", append_only=True)), disk
+
+
+def image(byte):
+    return bytes([byte]) * PAGE
+
+
+class TestReplay:
+    def test_commit_group_round_trip(self):
+        wal, _ = fresh_wal()
+        wal.log_commit(
+            txn_id=1, commit_ts=10, pages={3: image(3), 5: image(5)},
+            freed=[7], declared_snapshot=True, snapshot_id=2,
+            next_page_id=9,
+        )
+        (txn,) = wal.replay()
+        assert txn.txn_id == 1
+        assert txn.commit_ts == 10
+        assert txn.pages == {3: image(3), 5: image(5)}
+        assert txn.freed == [7]
+        assert txn.declared_snapshot
+        assert txn.snapshot_id == 2
+        assert txn.next_page_id == 9
+
+    def test_multiple_commits_in_order(self):
+        wal, _ = fresh_wal()
+        for i in range(1, 4):
+            wal.log_commit(
+                txn_id=i, commit_ts=i, pages={i: image(i)}, freed=[],
+                declared_snapshot=False, snapshot_id=0, next_page_id=i + 1,
+            )
+        replayed = list(wal.replay())
+        assert [t.txn_id for t in replayed] == [1, 2, 3]
+        assert [t.commit_ts for t in replayed] == [1, 2, 3]
+
+    def test_replay_from_boundary(self):
+        wal, _ = fresh_wal()
+        wal.log_commit(txn_id=1, commit_ts=1, pages={1: image(1)},
+                       freed=[], declared_snapshot=False, snapshot_id=0,
+                       next_page_id=2)
+        boundary = wal.sync_boundary()
+        wal.log_commit(txn_id=2, commit_ts=2, pages={2: image(2)},
+                       freed=[], declared_snapshot=False, snapshot_id=0,
+                       next_page_id=3)
+        replayed = list(wal.replay(boundary))
+        assert [t.txn_id for t in replayed] == [2]
+
+    def test_torn_commit_group_dropped(self):
+        """Page records without a commit seal (a crash mid-group) are
+        discarded by replay — WAL atomicity."""
+        from repro.storage.logfile import BlockLogWriter
+        from repro.storage.record import encode_record
+
+        disk = SimulatedDisk(PAGE)
+        wal_file = disk.open_file("wal", append_only=True)
+        wal = WriteAheadLog(wal_file)
+        wal.log_commit(txn_id=1, commit_ts=1, pages={1: image(1)},
+                       freed=[], declared_snapshot=False, snapshot_id=0,
+                       next_page_id=2)
+        # Simulate a crash after a page record but before the seal.
+        writer = BlockLogWriter(wal_file)
+        writer.append(encode_record(["P", 2, 9, image(9)]))
+        writer.flush()
+        replayed = list(WriteAheadLog(wal_file).replay())
+        assert [t.txn_id for t in replayed] == [1]
+
+    def test_empty_wal(self):
+        wal, _ = fresh_wal()
+        assert list(wal.replay()) == []
+
+    def test_large_page_images_span_blocks(self):
+        wal, _ = fresh_wal()
+        big = {i: image(i) for i in range(10)}
+        wal.log_commit(txn_id=1, commit_ts=1, pages=big, freed=[],
+                       declared_snapshot=False, snapshot_id=0,
+                       next_page_id=11)
+        (txn,) = wal.replay()
+        assert txn.pages == big

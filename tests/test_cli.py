@@ -1,0 +1,146 @@
+"""CLI shell tests (driven through in-memory streams)."""
+
+import io
+
+from repro.cli import Shell, format_table, main
+from repro.sql.executor import ResultSet
+
+
+def run_shell(script: str) -> str:
+    out = io.StringIO()
+    shell = Shell(out=out)
+    shell.run(io.StringIO(script))
+    return out.getvalue()
+
+
+class TestFormatTable:
+    def test_alignment_and_count(self):
+        result = ResultSet(["a", "long_column"], [(1, "x"), (22, None)])
+        text = format_table(result)
+        assert "a   long_column" in text
+        assert "22  NULL" in text
+        assert "(2 rows)" in text
+
+    def test_single_row(self):
+        text = format_table(ResultSet(["n"], [(5,)]))
+        assert "(1 row)" in text
+
+    def test_status_result(self):
+        result = ResultSet([], [])
+        result.rowcount = 3
+        assert "3 rows affected" in format_table(result)
+
+    def test_clipping(self):
+        result = ResultSet(["t"], [("x" * 100,)])
+        text = format_table(result, max_width=10)
+        assert "…" in text
+
+
+class TestShell:
+    def test_sql_round_trip(self):
+        output = run_shell(
+            "CREATE TABLE t (a INTEGER);\n"
+            "INSERT INTO t VALUES (1), (2);\n"
+            "SELECT SUM(a) AS total FROM t;\n"
+        )
+        assert "total" in output
+        assert "3" in output
+
+    def test_multiline_statement(self):
+        output = run_shell(
+            "CREATE TABLE t (a INTEGER);\n"
+            "SELECT a\n"
+            "FROM t;\n"
+        )
+        assert "(0 rows)" in output
+
+    def test_error_reported_not_fatal(self):
+        output = run_shell(
+            "SELECT * FROM missing;\n"
+            "SELECT 1 AS ok;\n"
+        )
+        assert "error:" in output
+        assert "ok" in output
+
+    def test_dot_snapshot_and_snapshots(self):
+        output = run_shell(
+            "CREATE TABLE t (a INTEGER);\n"
+            ".snapshot tagged\n"
+            ".snapshots\n"
+        )
+        assert "declared snapshot 1 (tagged)" in output
+        assert "tagged" in output
+
+    def test_dot_tables_and_schema(self):
+        output = run_shell(
+            "CREATE TABLE people (name TEXT, age INTEGER PRIMARY KEY);\n"
+            ".tables\n"
+            ".schema people\n"
+        )
+        assert "people  [main]" in output
+        assert "PRIMARY KEY (age)" in output
+
+    def test_dot_indexes(self):
+        output = run_shell(
+            "CREATE TABLE t (a INTEGER);\n"
+            "CREATE INDEX t_a ON t (a);\n"
+            ".indexes t\n"
+        )
+        assert "INDEX t_a ON t (a)" in output
+
+    def test_dot_stats_and_checkpoint(self):
+        output = run_shell(
+            "CREATE TABLE t (a INTEGER);\n"
+            ".checkpoint\n"
+            ".stats\n"
+        )
+        assert "checkpointed" in output
+        assert "database pages:" in output
+
+    def test_unknown_dot_command(self):
+        output = run_shell(".nope\n")
+        assert "unknown command" in output
+
+    def test_quit_stops(self):
+        output = run_shell(".quit\nSELECT 1;\n")
+        assert "(1 row)" not in output
+
+    def test_as_of_through_shell(self):
+        output = run_shell(
+            "CREATE TABLE t (a INTEGER);\n"
+            "INSERT INTO t VALUES (1);\n"
+            ".snapshot\n"
+            "DELETE FROM t;\n"
+            "SELECT AS OF 1 COUNT(*) AS was FROM t;\n"
+            "SELECT COUNT(*) AS now FROM t;\n"
+        )
+        assert "was" in output and "now" in output
+
+    def test_rql_udf_through_shell(self):
+        output = run_shell(
+            "CREATE TABLE t (a INTEGER);\n"
+            "INSERT INTO t VALUES (7);\n"
+            ".snapshot\n"
+            "SELECT AggregateDataInVariable(snap_id, "
+            "'SELECT COUNT(*) FROM t', 'R', 'sum') FROM SnapIds;\n"
+            'SELECT * FROM "R";\n'
+        )
+        assert "(1 row)" in output
+
+
+class TestMainScriptMode:
+    def test_script_file(self, tmp_path):
+        script = tmp_path / "run.sql"
+        script.write_text(
+            "CREATE TABLE t (a INTEGER);\n"
+            "INSERT INTO t VALUES (42);\n"
+            "SELECT a FROM t;\n"
+        )
+        import contextlib
+        import io as _io
+
+        buffer = _io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            code = main([str(script)])
+        assert code == 0
+        assert "42" in buffer.getvalue()

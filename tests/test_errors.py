@@ -1,0 +1,59 @@
+"""Exception-hierarchy contract tests.
+
+Library users catch ``ReproError`` subclasses by layer; these tests pin
+the hierarchy so refactors cannot silently break error handling.
+"""
+
+import pytest
+
+from repro import errors
+
+
+LAYERS = {
+    errors.StorageError: [
+        errors.PageError, errors.BufferPoolError, errors.TransactionError,
+        errors.RecoveryError, errors.RecordCodecError, errors.BTreeError,
+    ],
+    errors.SnapshotError: [errors.UnknownSnapshotError],
+    errors.SqlError: [
+        errors.LexerError, errors.ParseError, errors.PlanError,
+        errors.ExecutionError, errors.CatalogError, errors.UdfError,
+    ],
+    errors.RqlError: [errors.AggregateError, errors.MechanismError],
+}
+
+
+def test_every_layer_is_a_repro_error():
+    for base, children in LAYERS.items():
+        assert issubclass(base, errors.ReproError)
+        for child in children:
+            assert issubclass(child, base), child
+
+
+def test_type_mismatch_is_an_execution_error():
+    assert issubclass(errors.TypeMismatchError, errors.ExecutionError)
+
+
+def test_workload_error():
+    assert issubclass(errors.WorkloadError, errors.ReproError)
+
+
+def test_positional_errors_carry_positions():
+    assert errors.LexerError("x", 5).position == 5
+    assert errors.ParseError("x", 7).position == 7
+    assert errors.ParseError("x").position == -1
+
+
+@pytest.mark.parametrize("operation,expected", [
+    (lambda db: db.execute("SELECT * FROM nope"), errors.PlanError),
+    (lambda db: db.execute("SELEC 1"), errors.ParseError),
+    (lambda db: db.execute("SELECT @"), errors.LexerError),
+    (lambda db: db.execute("COMMIT"), errors.TransactionError),
+])
+def test_user_facing_errors_are_catchable_as_sql_or_repro(db, operation,
+                                                          expected):
+    with pytest.raises(expected):
+        operation(db)
+    # And always catchable at the root.
+    with pytest.raises(errors.ReproError):
+        operation(db)

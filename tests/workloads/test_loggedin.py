@@ -1,0 +1,67 @@
+"""LoggedIn example + simulator tests."""
+
+from repro.core import RQLSession
+from repro.workloads import LoggedInSimulator, setup_paper_example
+from repro.workloads.loggedin import PAPER_SNAPSHOTS
+
+
+class TestPaperSetup:
+    def test_snapshot_ids(self, session):
+        assert setup_paper_example(session) == [1, 2, 3]
+
+    def test_snapids_timestamps_match_figure2(self, paper_session):
+        rows = paper_session.execute(
+            "SELECT snap_ts FROM SnapIds ORDER BY snap_id").rows
+        assert [r[0] for r in rows] == [ts for ts, _ in PAPER_SNAPSHOTS]
+
+    def test_current_state_after_setup(self, paper_session):
+        users = sorted(r[0] for r in paper_session.execute(
+            "SELECT l_userid FROM LoggedIn").rows)
+        assert users == ["UserB", "UserC", "UserD"]
+
+
+class TestSimulator:
+    def test_online_set_matches_table(self, session):
+        sim = LoggedInSimulator(session, users=20, seed=9)
+        for _ in range(5):
+            sim.churn_and_snapshot(logins=6, logouts=3)
+        table_users = sorted(r[0] for r in session.execute(
+            "SELECT l_userid FROM LoggedIn").rows)
+        assert table_users == sorted(sim.online_users)
+
+    def test_snapshots_capture_progression(self, session):
+        sim = LoggedInSimulator(session, users=20, seed=9)
+        sizes = []
+        for _ in range(4):
+            sim.churn_and_snapshot(logins=5, logouts=2)
+            sizes.append(len(sim.online_users))
+        for sid, expected in enumerate(sizes, start=1):
+            got = session.execute(
+                f"SELECT AS OF {sid} COUNT(*) FROM LoggedIn").scalar()
+            assert got == expected
+
+    def test_determinism(self):
+        snapshots_a = []
+        snapshots_b = []
+        for sink in (snapshots_a, snapshots_b):
+            rql = RQLSession()
+            sim = LoggedInSimulator(rql, users=15, seed=33)
+            for _ in range(3):
+                sim.churn_and_snapshot(logins=4, logouts=2)
+            sink.append(sorted(rql.execute(
+                "SELECT l_userid, l_time FROM LoggedIn").rows))
+        assert snapshots_a == snapshots_b
+
+    def test_named_snapshot(self, session):
+        sim = LoggedInSimulator(session, users=10, seed=2)
+        sid = sim.churn_and_snapshot(logins=3, logouts=0, name="tagged")
+        assert session.snapids.id_for_name("tagged") == sid
+
+    def test_logout_cap(self, session):
+        """More logouts than online users never goes negative."""
+        sim = LoggedInSimulator(session, users=5, seed=4)
+        sim.churn_and_snapshot(logins=2, logouts=0)
+        sim.churn_and_snapshot(logins=0, logouts=50)
+        assert len(sim.online_users) == 0
+        assert session.execute(
+            "SELECT COUNT(*) FROM LoggedIn").scalar() == 0

@@ -1,0 +1,166 @@
+"""TPC-H generator, refresh, and snapshot-history driver tests."""
+
+import pytest
+
+from repro.core import RQLSession
+from repro.errors import WorkloadError
+from repro.workloads import (
+    SnapshotHistoryBuilder,
+    UW15,
+    UW30,
+    UW60,
+    UW7_5,
+    WORKLOADS,
+    UpdateWorkload,
+)
+from repro.workloads.tpch import GeneratorConfig, TpchGenerator
+
+
+class TestGenerator:
+    def test_determinism(self):
+        g1 = TpchGenerator(GeneratorConfig(scale_factor=0.0005, seed=3))
+        g2 = TpchGenerator(GeneratorConfig(scale_factor=0.0005, seed=3))
+        assert list(g1.part_rows()) == list(g2.part_rows())
+        o1, l1 = g1.order_with_lines(1)
+        o2, l2 = g2.order_with_lines(1)
+        assert o1 == o2 and l1 == l2
+
+    def test_different_seeds_differ(self):
+        g1 = TpchGenerator(GeneratorConfig(scale_factor=0.0005, seed=3))
+        g2 = TpchGenerator(GeneratorConfig(scale_factor=0.0005, seed=4))
+        assert list(g1.part_rows()) != list(g2.part_rows())
+
+    def test_cardinalities_scale(self):
+        g = TpchGenerator(GeneratorConfig(scale_factor=0.001))
+        assert g.orders_count == 1500
+        assert g.part_count == 200
+        assert g.customer_count == 150
+
+    def test_order_status_consistent_with_lines(self):
+        g = TpchGenerator(GeneratorConfig(scale_factor=0.0005, seed=9))
+        for orderkey in range(1, 40):
+            order, lines = g.order_with_lines(orderkey)
+            statuses = {line[9] for line in lines}
+            if statuses == {"O"}:
+                assert order[2] == "O"
+            elif statuses == {"F"}:
+                assert order[2] == "F"
+            else:
+                assert order[2] == "P"
+
+    def test_p_type_domain(self):
+        from repro.workloads.tpch.text import TYPE_S1, TYPE_S2, TYPE_S3
+
+        g = TpchGenerator(GeneratorConfig(scale_factor=0.0005, seed=1))
+        for row in g.part_rows():
+            s1, s2, s3 = row[4].split(" ", 2)
+            assert s1 in TYPE_S1 and s2 in TYPE_S2 and s3 in TYPE_S3
+
+
+class TestLoadedDatabase:
+    def test_loaded_counts(self, tpch_small):
+        session, builder, _ = tpch_small
+        gen = builder.generator
+        assert session.execute(
+            "SELECT COUNT(*) FROM orders").scalar() == gen.orders_count
+        assert session.execute(
+            "SELECT COUNT(*) FROM part").scalar() == gen.part_count
+        lineitems = session.execute(
+            "SELECT COUNT(*) FROM lineitem").scalar()
+        assert gen.orders_count <= lineitems <= gen.orders_count * 7
+
+    def test_referential_integrity(self, tpch_small):
+        session, _, _ = tpch_small
+        orphans = session.execute(
+            "SELECT COUNT(*) FROM lineitem l, orders o "
+            "WHERE l.l_orderkey = o.o_orderkey"
+        ).scalar()
+        total = session.execute("SELECT COUNT(*) FROM lineitem").scalar()
+        assert orphans == total
+
+    def test_dates_in_range(self, tpch_small):
+        session, _, _ = tpch_small
+        low = session.execute(
+            "SELECT MIN(o_orderdate) FROM orders").scalar()
+        high = session.execute(
+            "SELECT MAX(o_orderdate) FROM orders").scalar()
+        assert low >= "1992-01-01"
+        assert high <= "1998-08-02"
+
+
+class TestWorkloads:
+    def test_paper_fractions(self):
+        assert UW15.orders_per_snapshot(1_500_000) == 15_000
+        assert UW30.orders_per_snapshot(1_500_000) == 30_000
+        assert UW7_5.orders_per_snapshot(1_500_000) == 7_500
+        assert UW60.orders_per_snapshot(1_500_000) == 60_000
+
+    def test_overwrite_cycles(self):
+        assert UW30.overwrite_cycle == 50
+        assert UW15.overwrite_cycle == 100
+        assert UW7_5.overwrite_cycle == 200
+        assert UW60.overwrite_cycle == 25
+
+    def test_registry(self):
+        assert set(WORKLOADS) == {"UW7.5", "UW15", "UW30", "UW60"}
+
+
+class TestHistoryBuilder:
+    def test_history_constant_size(self, tpch_small):
+        """Delete+insert keeps the orders cardinality constant — the
+        paper's 'constant number of orders between declarations'."""
+        session, builder, ids = tpch_small
+        assert session.execute(
+            "SELECT COUNT(*) FROM orders"
+        ).scalar() == builder.generator.orders_count
+        assert ids == list(range(1, 16))
+
+    def test_snapids_match_retro(self, tpch_small):
+        session, _, ids = tpch_small
+        assert session.snapids.all_ids() == ids
+        assert session.latest_snapshot_id == ids[-1]
+
+    def test_snapshots_show_sliding_window(self, tpch_small):
+        """Older snapshots contain older orderkeys (RF2 deletes oldest)."""
+        session, _, ids = tpch_small
+        first_min = session.execute(
+            f"SELECT AS OF {ids[0]} MIN(o_orderkey) FROM orders"
+        ).scalar()
+        last_min = session.execute(
+            f"SELECT AS OF {ids[-1]} MIN(o_orderkey) FROM orders"
+        ).scalar()
+        assert first_min < last_min
+
+    def test_diff_scales_with_workload(self, tpch_small):
+        """UW30's diff(S1,S2) should be roughly 2x UW15's (paper §4).
+
+        Compared across two separately built histories at equal scale.
+        """
+        diffs = {}
+        for workload in (UW15, UW30):
+            rql = RQLSession()
+            builder = SnapshotHistoryBuilder(rql, scale_factor=0.001,
+                                             seed=11)
+            builder.load_initial()
+            builder.build_history(workload, 8)
+            retro = rql.db.engine.retro
+            diffs[workload.name] = sum(
+                retro.diff_size(i, i + 1) for i in range(3, 7)
+            ) / 4
+        ratio = diffs["UW30"] / diffs["UW15"]
+        assert 1.3 < ratio < 3.0, diffs
+
+    def test_load_twice_rejected(self, tpch_small):
+        _, builder, _ = tpch_small
+        with pytest.raises(WorkloadError):
+            builder.load_initial()
+
+    def test_build_before_load_rejected(self, session):
+        builder = SnapshotHistoryBuilder(session, scale_factor=0.001)
+        with pytest.raises(WorkloadError):
+            builder.build_history(UW30, 1)
+
+    def test_custom_workload(self):
+        custom = UpdateWorkload("UWx", 0.05)
+        assert custom.overwrite_cycle == 20
+        assert custom.orders_per_snapshot(1000) == 50
