@@ -1,0 +1,26 @@
+"""replint — AST-based invariant checks for the repro tree.
+
+The storage/SQL/RQL layers rest on protocol discipline the type system
+cannot express: pins must be released, WAL appends must precede flushes,
+aggregates must be complete monoids, exceptions must fit the taxonomy,
+snapshot ids must not be hard-coded.  This package parses the whole
+source tree with :mod:`ast` and enforces those invariants statically —
+see README "Static analysis" for the rule catalogue and escape hatches.
+"""
+
+from repro.analysis.driver import (
+    analyze_paths,
+    analyze_source,
+    main,
+    package_root,
+)
+from repro.analysis.findings import AnalysisReport, Finding
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "analyze_paths",
+    "analyze_source",
+    "main",
+    "package_root",
+]

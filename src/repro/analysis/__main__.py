@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` — run replint over the repro tree."""
+
+from repro.analysis.driver import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

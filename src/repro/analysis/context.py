@@ -1,0 +1,209 @@
+"""Per-module analysis context: AST, parents, pragmas, qualnames.
+
+Pragmas
+-------
+replint pragmas live in ``#`` comments and **must** carry a justification
+after ``--`` (an escape hatch without a reason is itself a violation,
+reported as RPL000)::
+
+    page = pool.fetch(pid)  # replint: ignore[RPL001] -- handed to caller
+    def _evict_one(self):   # replint: wal-exempt -- images already logged
+
+Forms:
+
+* ``ignore[RPL001]`` / ``ignore[RPL001,RPL003]`` — suppress those rules;
+* named aliases (``wal-exempt``, ``pin-exempt``, ``snapid-exempt``,
+  ``taxonomy-exempt``) — readable synonyms for single rules.
+
+A pragma suppresses findings anchored to its own line; checkers that
+exempt whole functions also honour a pragma on the ``def`` line or the
+line directly above it (decorators included).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import ERROR, Finding
+
+PRAGMA_ALIASES = {
+    "wal-exempt": "RPL003",
+    "pin-exempt": "RPL001",
+    "taxonomy-exempt": "RPL002",
+    "monoid-exempt": "RPL004",
+    "snapid-exempt": "RPL005",
+}
+
+_PRAGMA_RE = re.compile(r"#\s*replint:\s*(?P<body>.+)$")
+_IGNORE_RE = re.compile(r"ignore\[(?P<rules>[A-Za-z0-9_,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Pragma:
+    line: int
+    rules: Tuple[str, ...]
+    justification: str
+
+    @property
+    def justified(self) -> bool:
+        return bool(self.justification.strip())
+
+
+def _comment_tokens(source: str) -> Iterator[Tuple[int, str]]:
+    """(line, text) for every real comment (docstrings don't count)."""
+    readline = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(readline):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, IndentationError):
+        return  # a syntax error elsewhere reports as RPL000
+
+
+def parse_pragmas(source: str) -> Dict[int, Pragma]:
+    """Extract replint pragmas, keyed by 1-based line number."""
+    pragmas: Dict[int, Pragma] = {}
+    for lineno, text in _comment_tokens(source):
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        body = match.group("body").strip()
+        directive, _, justification = body.partition("--")
+        directive = directive.strip()
+        rules: Set[str] = set()
+        ignore = _IGNORE_RE.search(directive)
+        if ignore is not None:
+            rules.update(
+                r.strip().upper() for r in ignore.group("rules").split(",")
+                if r.strip()
+            )
+        for alias, rule in PRAGMA_ALIASES.items():
+            if alias in directive:
+                rules.add(rule)
+        pragmas[lineno] = Pragma(
+            line=lineno,
+            rules=tuple(sorted(rules)),
+            justification=justification.strip(),
+        )
+    return pragmas
+
+
+@dataclass
+class ModuleContext:
+    """Everything a checker needs to know about one source module."""
+
+    path: Path           #: filesystem path (for display)
+    relpath: str         #: package-relative posix path, e.g. "storage/wal.py"
+    tree: ast.Module
+    lines: List[str]
+    pragmas: Dict[int, Pragma] = field(default_factory=dict)
+    _parents: Dict[ast.AST, ast.AST] = field(default_factory=dict)
+    _qualnames: Dict[ast.AST, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(cls, source: str, relpath: str,
+                    path: Optional[Path] = None) -> "ModuleContext":
+        tree = ast.parse(source)
+        lines = source.splitlines()
+        ctx = cls(path=path or Path(relpath), relpath=relpath,
+                  tree=tree, lines=lines, pragmas=parse_pragmas(source))
+        ctx._index()
+        return ctx
+
+    # -- indexing ----------------------------------------------------------
+
+    def _index(self) -> None:
+        def walk(node: ast.AST, qualname: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                self._parents[child] = node
+                name = getattr(child, "name", None)
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                      ast.ClassDef)):
+                    child_qual = f"{qualname}.{name}" if qualname else name
+                    self._qualnames[child] = child_qual
+                    walk(child, child_qual)
+                else:
+                    walk(child, qualname)
+        walk(self.tree, "")
+
+    # -- navigation --------------------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def qualname(self, node: ast.AST) -> str:
+        """Qualname of the function/class enclosing ``node`` ("" if none)."""
+        if node in self._qualnames:
+            return self._qualnames[node]
+        for ancestor in self.ancestors(node):
+            if ancestor in self._qualnames:
+                return self._qualnames[ancestor]
+        return ""
+
+    def functions(self) -> Iterator[ast.FunctionDef]:
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    # -- pragma queries ----------------------------------------------------
+
+    def pragma_lines_for(self, node: ast.AST,
+                         include_function: bool = True) -> List[int]:
+        """Lines whose pragmas may cover a finding anchored at ``node``."""
+        lines = [getattr(node, "lineno", 0)]
+        if include_function:
+            func = node if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ) else self.enclosing_function(node)
+            if func is not None:
+                first = min(
+                    [func.lineno] + [d.lineno for d in func.decorator_list]
+                )
+                lines.extend([func.lineno, first - 1])
+        return lines
+
+    def suppressed(self, rule: str, node: ast.AST,
+                   include_function: bool = True) -> bool:
+        for lineno in self.pragma_lines_for(node, include_function):
+            pragma = self.pragmas.get(lineno)
+            if pragma is not None and rule in pragma.rules \
+                    and pragma.justified:
+                return True
+        return False
+
+    def unjustified_pragmas(self) -> Iterator[Finding]:
+        """RPL000: every pragma must explain itself."""
+        for pragma in self.pragmas.values():
+            if not pragma.rules:
+                yield Finding(
+                    file=self.relpath, line=pragma.line, rule="RPL000",
+                    severity=ERROR,
+                    message="unrecognized replint pragma",
+                    hint="use 'replint: ignore[RPLnnn] -- reason' or a "
+                         "named alias (wal-exempt, pin-exempt, ...)",
+                )
+            elif not pragma.justified:
+                yield Finding(
+                    file=self.relpath, line=pragma.line, rule="RPL000",
+                    severity=ERROR,
+                    message="replint pragma without a justification",
+                    hint="append ' -- <why this is safe>' to the pragma",
+                )

@@ -1,0 +1,163 @@
+"""replint driver: walk a source tree, run every rule, report.
+
+Entry points::
+
+    python -m repro.analysis              # lint the installed repro tree
+    python -m repro.cli lint [args...]    # same, via the main CLI
+    analyze_paths([...]) / analyze_source(...)  # programmatic / tests
+
+Exit status is 0 when no error-severity findings remain after pragma and
+baseline filtering, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import (
+    ERROR,
+    AnalysisReport,
+    Finding,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.rules import all_checkers
+from repro.errors import AnalysisError
+
+DEFAULT_BASELINE = "replint.baseline"
+
+
+def package_root() -> Path:
+    """The repro package directory (the default lint target)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def iter_source_files(root: Path) -> Iterable[Tuple[Path, str]]:
+    """Yield (path, package-relative posix path) for every .py module."""
+    if root.is_file():
+        yield root, root.name
+        return
+    for path in sorted(root.rglob("*.py")):
+        yield path, path.relative_to(root).as_posix()
+
+
+def analyze_source(source: str, relpath: str,
+                   path: Optional[Path] = None) -> List[Finding]:
+    """Run every rule over one module's source text (test entry point)."""
+    try:
+        ctx = ModuleContext.from_source(source, relpath, path)
+    except SyntaxError as exc:
+        return [Finding(
+            file=relpath, line=exc.lineno or 0, rule="RPL000",
+            severity=ERROR, message=f"syntax error: {exc.msg}",
+        )]
+    findings: List[Finding] = list(ctx.unjustified_pragmas())
+    for checker in all_checkers():
+        findings.extend(checker.check(ctx))
+    return findings
+
+
+def analyze_paths(paths: Sequence[Path],
+                  baseline: Optional[Set[str]] = None) -> AnalysisReport:
+    report = AnalysisReport()
+    baseline = baseline or set()
+    for root in paths:
+        for path, relpath in iter_source_files(root):
+            report.files_scanned += 1
+            source = path.read_text(encoding="utf-8")
+            for finding in analyze_source(source, relpath, path):
+                if finding.baseline_key in baseline:
+                    report.baselined.append(finding)
+                else:
+                    report.findings.append(finding)
+    report.findings.sort()
+    report.baselined.sort()
+    return report
+
+
+def _render_text(report: AnalysisReport, out) -> None:
+    for finding in report.findings:
+        print(finding.render(), file=out)
+    summary = (
+        f"replint: {report.files_scanned} files, "
+        f"{len(report.errors)} errors, "
+        f"{len(report.findings) - len(report.errors)} warnings"
+    )
+    if report.baselined:
+        summary += f", {len(report.baselined)} baselined"
+    print(summary, file=out)
+
+
+def _render_json(report: AnalysisReport, out) -> None:
+    payload = {
+        "files_scanned": report.files_scanned,
+        "findings": [vars(f) for f in report.findings],
+        "baselined": [f.baseline_key for f in report.baselined],
+    }
+    print(json.dumps(payload, indent=2), file=out)
+
+
+def _list_rules(out) -> None:
+    print("RPL000 pragma-hygiene: replint pragmas must parse and carry "
+          "a justification", file=out)
+    for checker in all_checkers():
+        print(f"{checker.rule_id} {checker.name}: {checker.description}",
+              file=out)
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description="replint: AST invariant checks for the repro tree",
+    )
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files/directories to lint "
+                             "(default: the repro package)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help=f"baseline file (default: ./{DEFAULT_BASELINE} "
+                             f"when present)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="accept all current findings into the baseline")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable output")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="describe every rule and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _list_rules(out)
+        return 0
+
+    paths = list(args.paths) or [package_root()]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        # A typo'd path must not read as "0 findings" in CI.
+        for path in missing:
+            print(f"replint: no such path: {path}", file=out)
+        return 2
+    baseline_path = args.baseline or Path(DEFAULT_BASELINE)
+    try:
+        baseline = load_baseline(baseline_path)
+    except AnalysisError as exc:
+        print(f"replint: {exc}", file=out)
+        return 2
+    report = analyze_paths(paths, baseline)
+
+    if args.write_baseline:
+        save_baseline(baseline_path, report.findings + report.baselined)
+        print(f"replint: wrote {baseline_path} "
+              f"({len(report.findings) + len(report.baselined)} entries)",
+              file=out)
+        return 0
+
+    if args.as_json:
+        _render_json(report, out)
+    else:
+        _render_text(report, out)
+    return 0 if report.ok else 1

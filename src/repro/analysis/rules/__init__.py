@@ -1,0 +1,66 @@
+"""replint rule registry.
+
+Each checker is a subclass of :class:`Checker` with a unique ``rule_id``.
+Adding a rule = write a module here, subclass ``Checker``, decorate with
+:func:`register`.  The driver instantiates every registered checker and
+runs it over every module; checkers decide themselves which modules are
+in scope (e.g. the WAL rule only looks under ``storage/``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Type
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import ERROR, Finding
+
+_REGISTRY: Dict[str, Type["Checker"]] = {}
+
+
+def register(cls: Type["Checker"]) -> Type["Checker"]:
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_checkers() -> List["Checker"]:
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+class Checker:
+    """Base class: one rule, run once per module."""
+
+    rule_id: str = "RPL000"
+    name: str = ""
+    description: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # -- emission helper ---------------------------------------------------
+
+    def finding(self, ctx: ModuleContext, node: ast.AST, message: str,
+                hint: str = "", severity: str = ERROR,
+                include_function: bool = True) -> Optional[Finding]:
+        """Build a finding unless a pragma suppresses it."""
+        if ctx.suppressed(self.rule_id, node, include_function):
+            return None
+        return Finding(
+            file=ctx.relpath,
+            line=getattr(node, "lineno", 0),
+            rule=self.rule_id,
+            severity=severity,
+            message=message,
+            hint=hint,
+            symbol=ctx.qualname(node),
+        )
+
+
+# Import rule modules for their registration side effect.
+from repro.analysis.rules import (  # noqa: E402,F401
+    exceptions,
+    monoids,
+    pins,
+    snapshots,
+    wal,
+)

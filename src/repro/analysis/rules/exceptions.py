@@ -1,0 +1,191 @@
+"""RPL002 — exception taxonomy and no silent swallowing.
+
+Callers catch ``ReproError`` subclasses by layer (see ``repro/errors.py``
+and ``tests/test_errors.py``); a ``raise ValueError(...)`` deep in the
+storage engine escapes every layered handler and surfaces as a
+programming error.  Two sub-checks:
+
+* every ``raise SomeClass(...)`` must use a class imported from
+  ``repro.errors`` (directly or as ``errors.X``), a class locally derived
+  from one, or a small stdlib allowlist (``NotImplementedError``,
+  ``SystemExit``, ``AssertionError``, ...).  Bare ``raise`` and
+  re-raising a captured exception variable are always fine.
+* a broad handler (``except:``, ``except Exception:``,
+  ``except BaseException:``) must re-raise on some path or hand the
+  error to a logger — silently swallowing hides protocol bugs (a failed
+  ROLLBACK, a half-applied refresh) behind "it kept running".
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Checker, register
+
+_STDLIB_ALLOWED = {
+    "NotImplementedError", "SystemExit", "KeyboardInterrupt",
+    "StopIteration", "GeneratorExit", "AssertionError",
+}
+_BROAD_TYPES = {"Exception", "BaseException"}
+_LOGGING_NAMES = {"warning", "warn", "error", "exception", "critical",
+                  "log", "print"}
+
+
+def _taxonomy_names(tree: ast.Module):
+    """(class names, errors-module aliases) this module may raise from.
+
+    Class names come from ``from repro.errors import X`` plus the stdlib
+    allowlist plus local subclasses of either; module aliases are names
+    bound to the errors module itself (``from repro import errors``,
+    ``import repro.errors as rerr``) so ``raise errors.X(...)`` resolves.
+    """
+    allowed: Set[str] = set(_STDLIB_ALLOWED)
+    module_aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module in (
+                "repro.errors", "errors"):
+            allowed.update(alias.asname or alias.name
+                           for alias in node.names)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro.errors":
+                    module_aliases.add(alias.asname or "repro.errors")
+        elif isinstance(node, ast.ImportFrom) and node.module == "repro":
+            for alias in node.names:
+                if alias.name == "errors":
+                    module_aliases.add(alias.asname or "errors")
+    # Locally defined subclasses of an allowed class are allowed too
+    # (fixed point over the module's class definitions).
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef) or node.name in allowed:
+                continue
+            for base in node.bases:
+                base_name = base.id if isinstance(base, ast.Name) else (
+                    base.attr if isinstance(base, ast.Attribute) else None)
+                if base_name in allowed:
+                    allowed.add(node.name)
+                    changed = True
+                    break
+    return allowed, module_aliases
+
+
+def _raised_class(node: ast.Raise) -> Optional[ast.expr]:
+    """The expression naming the raised class, or None for re-raises."""
+    exc = node.exc
+    if exc is None:
+        return None
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        # Lowercase names are captured-exception variables (re-raise).
+        return exc if exc.id[:1].isupper() else None
+    if isinstance(exc, ast.Attribute):
+        return exc
+    return None
+
+
+def _class_label(expr: ast.expr) -> str:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        base = _class_label(expr.value) if isinstance(
+            expr.value, (ast.Name, ast.Attribute)) else "?"
+        return f"{base}.{expr.attr}"
+    return "?"
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = handler.type.elts if isinstance(handler.type, ast.Tuple) \
+        else [handler.type]
+    return any(isinstance(t, ast.Name) and t.id in _BROAD_TYPES
+               for t in types)
+
+
+def _handler_recovers(handler: ast.ExceptHandler) -> bool:
+    """Does the handler body re-raise or log (ignoring nested defs)?"""
+    def scan(nodes) -> bool:
+        for node in nodes:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call):
+                func = node.func
+                name = func.attr if isinstance(func, ast.Attribute) else (
+                    func.id if isinstance(func, ast.Name) else None)
+                if name in _LOGGING_NAMES:
+                    return True
+            if scan(ast.iter_child_nodes(node)):
+                return True
+        return False
+    return scan(handler.body)
+
+
+@register
+class ExceptionTaxonomyChecker(Checker):
+    rule_id = "RPL002"
+    name = "exception-taxonomy"
+    description = (
+        "raise only repro.errors classes; broad except blocks must "
+        "re-raise or log"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        allowed, module_aliases = _taxonomy_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Raise):
+                finding = self._check_raise(ctx, node, allowed,
+                                            module_aliases)
+                if finding is not None:
+                    yield finding
+            elif isinstance(node, ast.ExceptHandler):
+                finding = self._check_handler(ctx, node)
+                if finding is not None:
+                    yield finding
+
+    def _check_raise(self, ctx: ModuleContext, node: ast.Raise,
+                     allowed: Set[str],
+                     module_aliases: Set[str]) -> Optional[Finding]:
+        cls = _raised_class(node)
+        if cls is None:
+            return None
+        label = _class_label(cls)
+        if isinstance(cls, ast.Name) and cls.id in allowed:
+            return None
+        if isinstance(cls, ast.Attribute):
+            base = _class_label(cls.value) if isinstance(
+                cls.value, (ast.Name, ast.Attribute)) else ""
+            if base in module_aliases:
+                return None
+            # method call like exc.with_traceback(...) — re-raise shape
+            if cls.attr == "with_traceback":
+                return None
+        return self.finding(
+            ctx, node,
+            f"raise of {label} is outside the repro.errors taxonomy",
+            hint="raise a repro.errors class (add one if no layer fits) "
+                 "so callers can catch by layer",
+        )
+
+    def _check_handler(self, ctx: ModuleContext,
+                       node: ast.ExceptHandler) -> Optional[Finding]:
+        if not _is_broad(node) or _handler_recovers(node):
+            return None
+        caught = "bare except" if node.type is None else \
+            f"except {_class_label(node.type)}" if not isinstance(
+                node.type, ast.Tuple) else "broad except"
+        return self.finding(
+            ctx, node,
+            f"{caught} swallows the error without re-raising or logging",
+            hint="narrow the exception type, or re-raise wrapped in the "
+                 "matching repro.errors class",
+        )

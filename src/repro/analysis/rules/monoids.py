@@ -1,0 +1,209 @@
+"""RPL004 — aggregate registrations must be complete monoids.
+
+Paper Section 2.3: aggregates folded across snapshots must be abelian
+monoids ``(X, op, e)``.  The code encodes that as a registry
+(``_FACTORIES``) of state classes plus two witness functions
+(``binary_op`` → the operation, ``identity_element`` → the identity).
+A registration that skips any leg breaks incremental folding in ways no
+unit test catches until a workload exercises that aggregate.
+
+Checked on any module that defines ``_FACTORIES``:
+
+* every registered state class implements ``absorb``, ``merge`` and
+  ``result`` itself or via a local base class — a ``raise
+  NotImplementedError`` stub does not count;
+* every state class's ``name`` attribute matches its registry key;
+* every name listed in ``MONOID_AGGREGATES`` has a factory and is
+  handled (appears as a string constant) in both ``binary_op`` and
+  ``identity_element``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Checker, register
+
+_REGISTRY_NAME = "_FACTORIES"
+_MONOID_TUPLE = "MONOID_AGGREGATES"
+_WITNESSES = ("binary_op", "identity_element")
+_PROTOCOL = ("absorb", "merge", "result")
+
+
+def _module_assign(tree: ast.Module, name: str) -> Optional[ast.Assign]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets
+                       if isinstance(t, ast.Name)]
+            if name in targets:
+                return node
+        if isinstance(node, ast.AnnAssign) \
+                and isinstance(node.target, ast.Name) \
+                and node.target.id == name and node.value is not None:
+            assign = ast.Assign(targets=[node.target], value=node.value)
+            ast.copy_location(assign, node)
+            return assign
+    return None
+
+
+def _is_stub(fn: ast.FunctionDef) -> bool:
+    body = [stmt for stmt in fn.body
+            if not (isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Constant))]
+    if len(body) != 1 or not isinstance(body[0], ast.Raise):
+        return False
+    exc = body[0].exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    return isinstance(exc, ast.Name) and exc.id == "NotImplementedError"
+
+
+def _implemented_methods(classes: Dict[str, ast.ClassDef],
+                         name: str, seen: Set[str]) -> Set[str]:
+    """Non-stub methods of ``name``, walking local base classes."""
+    if name not in classes or name in seen:
+        return set()
+    seen.add(name)
+    cls = classes[name]
+    methods = {
+        stmt.name for stmt in cls.body
+        if isinstance(stmt, ast.FunctionDef) and not _is_stub(stmt)
+    }
+    for base in cls.bases:
+        if isinstance(base, ast.Name):
+            methods |= _implemented_methods(classes, base.id, seen)
+    return methods
+
+
+def _class_name_attr(cls: ast.ClassDef) -> Optional[str]:
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "name" \
+                        and isinstance(stmt.value, ast.Constant):
+                    return str(stmt.value.value)
+    return None
+
+
+def _string_constants(node: ast.AST) -> Set[str]:
+    return {
+        n.value for n in ast.walk(node)
+        if isinstance(n, ast.Constant) and isinstance(n.value, str)
+    }
+
+
+@register
+class MonoidRegistryChecker(Checker):
+    rule_id = "RPL004"
+    name = "monoid-registration"
+    description = (
+        "registered aggregates must implement absorb/merge/result and "
+        "declare identity + binary op for every monoid name"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        registry = _module_assign(ctx.tree, _REGISTRY_NAME)
+        if registry is None or not isinstance(registry.value, ast.Dict):
+            return
+        classes = {
+            node.name: node for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.ClassDef)
+        }
+        functions = {
+            node.name: node for node in ctx.tree.body
+            if isinstance(node, ast.FunctionDef)
+        }
+        entries: List[tuple] = []
+        for key, value in zip(registry.value.keys, registry.value.values):
+            if isinstance(key, ast.Constant) and isinstance(key.value, str) \
+                    and isinstance(value, ast.Name):
+                entries.append((key.value, value))
+        yield from self._check_classes(ctx, entries, classes)
+        yield from self._check_witnesses(ctx, registry, entries, functions)
+
+    def _check_classes(self, ctx: ModuleContext, entries,
+                       classes: Dict[str, ast.ClassDef]
+                       ) -> Iterator[Finding]:
+        for key, value in entries:
+            cls = classes.get(value.id)
+            if cls is None:
+                finding = self.finding(
+                    ctx, value,
+                    f"aggregate {key!r} registers {value.id}, which is "
+                    f"not a class defined in this module",
+                    hint="register the state class itself so the checker "
+                         "can verify its fold protocol",
+                )
+                if finding is not None:
+                    yield finding
+                continue
+            implemented = _implemented_methods(classes, value.id, set())
+            for method in _PROTOCOL:
+                if method not in implemented:
+                    finding = self.finding(
+                        ctx, value,
+                        f"aggregate {key!r} ({value.id}) does not "
+                        f"implement {method}()",
+                        hint="an incremental fold needs absorb (one "
+                             "value), merge (partial states) and result",
+                    )
+                    if finding is not None:
+                        yield finding
+            declared = _class_name_attr(cls)
+            if declared is not None and declared != key:
+                finding = self.finding(
+                    ctx, value,
+                    f"aggregate {key!r} registers {value.id} whose "
+                    f"name attribute is {declared!r}",
+                    hint="keep registry key and state-class name in sync",
+                )
+                if finding is not None:
+                    yield finding
+
+    def _check_witnesses(self, ctx: ModuleContext, registry: ast.Assign,
+                         entries, functions) -> Iterator[Finding]:
+        monoids = _module_assign(ctx.tree, _MONOID_TUPLE)
+        if monoids is None:
+            return
+        monoid_names = [
+            elt.value for elt in getattr(monoids.value, "elts", [])
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+        ]
+        registered = {key for key, _ in entries}
+        missing_witnesses = [w for w in _WITNESSES if w not in functions]
+        for witness in missing_witnesses:
+            finding = self.finding(
+                ctx, registry,
+                f"module registers monoid aggregates but defines no "
+                f"{witness}()",
+                hint="declare the monoid witnesses next to the registry",
+            )
+            if finding is not None:
+                yield finding
+        for name in monoid_names:
+            if name not in registered:
+                finding = self.finding(
+                    ctx, monoids,
+                    f"monoid aggregate {name!r} has no factory in "
+                    f"{_REGISTRY_NAME}",
+                    hint="register a state class for it",
+                )
+                if finding is not None:
+                    yield finding
+            for witness in _WITNESSES:
+                fn = functions.get(witness)
+                if fn is None:
+                    continue
+                if name not in _string_constants(fn):
+                    finding = self.finding(
+                        ctx, fn,
+                        f"monoid aggregate {name!r} is not handled in "
+                        f"{witness}()",
+                        hint=f"add the {name!r} case so the monoid "
+                             f"declaration is complete (identity + op)",
+                    )
+                    if finding is not None:
+                        yield finding

@@ -1,0 +1,171 @@
+"""RPL001 — buffer-pool pin/release discipline.
+
+Snapshot-sharing accounting (paper Section 5) is only truthful if every
+pin taken on a buffer-pool page is dropped again: a leaked pin makes the
+page unevictable forever and silently inflates the pool's working set
+until ``BufferPoolError: all buffer pool pages are pinned``.
+
+The rule: any call to ``<pool>.fetch(...)`` / ``<pool>.create(...)``
+(receiver named ``pool`` / ``_pool`` / ``buffer_pool``) that takes a pin
+(no ``pin=False``) must do one of:
+
+* transfer ownership by being returned (the caller releases through the
+  owning object's ``release``/``unpin``);
+* assign to a variable that is unpinned/released in a ``finally`` block
+  enclosing the use, or returned later in the same function;
+* opt out explicitly with ``pin=False``.
+
+Direct writes to ``page.pin_count`` outside the buffer pool module are
+also flagged: pin accounting must go through ``BufferPool`` so the
+counters the eviction loop trusts stay consistent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Checker, register
+
+_POOL_NAMES = {"pool", "_pool", "buffer_pool"}
+_FETCH_LIKE = {"fetch", "create"}
+_RELEASE_LIKE = {"unpin", "release"}
+
+#: modules that own pin accounting (exempt from the pin_count check):
+#: the pool does the counting, the page defines/initializes the field
+_PIN_OWNERS = {"storage/buffer_pool.py", "storage/page.py"}
+
+
+def _receiver_name(node: ast.expr) -> Optional[str]:
+    """Final name of a receiver chain: ``self.pager.pool`` -> "pool"."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_pool_fetch(call: ast.Call) -> bool:
+    func = call.func
+    if not isinstance(func, ast.Attribute) or func.attr not in _FETCH_LIKE:
+        return False
+    return _receiver_name(func.value) in _POOL_NAMES
+
+
+def _pin_disabled(call: ast.Call) -> bool:
+    for keyword in call.keywords:
+        if keyword.arg == "pin" and isinstance(keyword.value, ast.Constant) \
+                and keyword.value.value is False:
+            return True
+    return False
+
+
+def _released_in_finally(ctx: ModuleContext, call: ast.Call,
+                         var: Optional[str]) -> bool:
+    """Is there an enclosing try whose finally unpins/releases ``var``?"""
+    for ancestor in ctx.ancestors(call):
+        if not isinstance(ancestor, ast.Try) or not ancestor.finalbody:
+            continue
+        for node in ast.walk(ast.Module(body=list(ancestor.finalbody),
+                                        type_ignores=[])):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            attr = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None)
+            if attr not in _RELEASE_LIKE:
+                continue
+            if var is None:
+                return True
+            if any(isinstance(arg, ast.Name) and arg.id == var
+                   for arg in node.args):
+                return True
+    return False
+
+
+def _assigned_name(ctx: ModuleContext, call: ast.Call) -> Optional[str]:
+    parent = ctx.parent(call)
+    if isinstance(parent, ast.Assign) and len(parent.targets) == 1 \
+            and isinstance(parent.targets[0], ast.Name):
+        return parent.targets[0].id
+    if isinstance(parent, ast.AnnAssign) and isinstance(parent.target,
+                                                        ast.Name):
+        return parent.target.id
+    return None
+
+
+def _is_returned(ctx: ModuleContext, call: ast.Call,
+                 var: Optional[str]) -> bool:
+    parent = ctx.parent(call)
+    if isinstance(parent, ast.Return):
+        return True
+    if var is None:
+        return False
+    func = ctx.enclosing_function(call)
+    if func is None:
+        return False
+    for node in ast.walk(func):
+        if isinstance(node, ast.Return) and isinstance(node.value, ast.Name) \
+                and node.value.id == var:
+            return True
+    return False
+
+
+@register
+class PinDisciplineChecker(Checker):
+    rule_id = "RPL001"
+    name = "pin-discipline"
+    description = (
+        "buffer-pool pins must be released on all paths (try/finally), "
+        "returned to the caller, or avoided with pin=False"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and _is_pool_fetch(node):
+                finding = self._check_fetch(ctx, node)
+                if finding is not None:
+                    yield finding
+        if ctx.relpath not in _PIN_OWNERS:
+            yield from self._check_pin_count_writes(ctx)
+
+    def _check_fetch(self, ctx: ModuleContext,
+                     call: ast.Call) -> Optional[Finding]:
+        if _pin_disabled(call):
+            return None
+        var = _assigned_name(ctx, call)
+        if _is_returned(ctx, call, var):
+            return None
+        if _released_in_finally(ctx, call, var):
+            return None
+        func = call.func
+        assert isinstance(func, ast.Attribute)
+        what = f"pinned page from {func.attr}()" + (
+            f" bound to {var!r}" if var else "")
+        return self.finding(
+            ctx, call,
+            f"{what} is never unpinned on this path",
+            hint="release in a finally block, return the page to transfer "
+                 "ownership, or fetch with pin=False",
+        )
+
+    def _check_pin_count_writes(self,
+                                ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            target = None
+            if isinstance(node, ast.Assign):
+                target = node.targets[0] if node.targets else None
+            elif isinstance(node, ast.AugAssign):
+                target = node.target
+            if isinstance(target, ast.Attribute) \
+                    and target.attr == "pin_count":
+                finding = self.finding(
+                    ctx, node,
+                    "pin_count mutated outside the buffer pool",
+                    hint="go through BufferPool.fetch/unpin so eviction "
+                         "accounting stays truthful",
+                )
+                if finding is not None:
+                    yield finding

@@ -1,0 +1,116 @@
+"""RPL005 — snapshot-id hygiene in ``core/`` and ``retro/``.
+
+Snapshot ids are declared by the engine and catalogued in the SnapIds
+table; code above the storage layer receives them from Qs results,
+``latest_snapshot_id``, or the :mod:`repro.core.snapids` helpers.  A raw
+integer literal smuggled into a snapshot-id position ("query snapshot 3")
+bakes one history's shape into the code — it dangles after recovery,
+replays, or any re-run with a different snapshot count.
+
+The rule: in ``core/`` and ``retro/`` modules (except ``core/snapids.py``
+itself, which *owns* snapshot-id arithmetic), an ``int`` literal must not
+be passed
+
+* as a keyword argument named like a snapshot id (``snapshot_id``,
+  ``snap_id``, ``from_snap``, ``to_snap``, ``as_of``), or
+* positionally into a parameter with such a name, resolved against
+  functions and methods defined in the same module.
+
+Pass a declared id, a Qs result, or a named constant instead; genuinely
+structural literals (e.g. "epoch 0 = before any snapshot") get a named
+constant or a justified ``# replint: snapid-exempt`` pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Checker, register
+
+_SNAP_PARAMS = {"snapshot_id", "snap_id", "from_snap", "to_snap", "as_of"}
+_BLESSED = "core/snapids.py"
+
+
+def _int_literal(node: ast.expr) -> Optional[int]:
+    if isinstance(node, ast.Constant) and type(node.value) is int:
+        return node.value
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _int_literal(node.operand)
+        return -inner if inner is not None else None
+    return None
+
+
+def _local_signatures(tree: ast.Module) -> Dict[str, List[str]]:
+    """Map function/method name -> positional parameter names.
+
+    Methods drop their leading ``self``/``cls`` so positional indices
+    line up with call sites (``obj.meth(a, b)``).
+    """
+    signatures: Dict[str, List[str]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        params = [a.arg for a in node.args.posonlyargs + node.args.args]
+        if params and params[0] in ("self", "cls"):
+            params = params[1:]
+        signatures[node.name] = params
+    return signatures
+
+
+@register
+class SnapshotIdHygieneChecker(Checker):
+    rule_id = "RPL005"
+    name = "snapshot-id-hygiene"
+    description = (
+        "core/ and retro/ must not pass raw int literals as snapshot "
+        "ids; use declared ids, snapids helpers, or named constants"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not (ctx.relpath.startswith("core/")
+                or ctx.relpath.startswith("retro/")):
+            return
+        if ctx.relpath == _BLESSED:
+            return
+        signatures = _local_signatures(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node, signatures)
+
+    def _check_call(self, ctx: ModuleContext, call: ast.Call,
+                    signatures: Dict[str, List[str]]) -> Iterator[Finding]:
+        for param, value in self._snap_arguments(call, signatures):
+            literal = _int_literal(value)
+            if literal is None:
+                continue
+            finding = self.finding(
+                ctx, value,
+                f"raw int literal {literal} passed as {param}",
+                hint="use a declared snapshot id, a snapids helper, or a "
+                     "named constant ('# replint: snapid-exempt -- why' "
+                     "if the literal is structural)",
+            )
+            if finding is not None:
+                yield finding
+
+    @staticmethod
+    def _snap_arguments(call: ast.Call,
+                        signatures: Dict[str, List[str]]
+                        ) -> Iterator[Tuple[str, ast.expr]]:
+        for keyword in call.keywords:
+            if keyword.arg in _SNAP_PARAMS:
+                yield keyword.arg, keyword.value
+        func = call.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None)
+        params = signatures.get(name or "")
+        if not params:
+            return
+        for index, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                break
+            if index < len(params) and params[index] in _SNAP_PARAMS:
+                yield params[index], arg

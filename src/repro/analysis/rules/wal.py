@@ -1,0 +1,99 @@
+"""RPL003 — WAL writes must precede page flushes in ``storage/``.
+
+Crash-recovery correctness hinges on write ordering: a page image that
+reaches the database file before its after-image reaches the WAL cannot
+be replayed, so the crash tests would pass for the wrong reason.  The
+commit protocol in :mod:`repro.storage.engine` appends to the WAL *then*
+installs/flushes; this rule keeps every future path honest.
+
+Concretely, inside any function in a ``storage/`` module, a flush-like
+call (``install``, ``put_raw``, ``flush_all``, ``_writeback``,
+``checkpoint``) must be preceded — earlier in the same function — by a
+WAL interaction: a call through a receiver named ``wal``/``_wal``, or a
+call named ``log_*``/``sync_boundary``/``replay``.  Pass-through
+wrappers (functions themselves named like a flush primitive, e.g.
+``Pager.install`` wrapping ``pool.put_raw``) are exempt: ordering is
+their *caller's* contract.  Paths where flushing without a WAL append is
+genuinely correct carry ``# replint: wal-exempt -- <why>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Checker, register
+
+_FLUSH_CALLS = {"install", "put_raw", "flush_all", "_writeback",
+                "checkpoint"}
+_WRAPPER_NAMES = _FLUSH_CALLS | {"write_meta"}
+_WAL_RECEIVERS = {"wal", "_wal"}
+_WAL_CALL_NAMES = {"sync_boundary", "replay"}
+
+
+def _call_name(call: ast.Call) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _touches_wal(call: ast.Call) -> bool:
+    name = _call_name(call)
+    if name is None:
+        return False
+    if name in _WAL_CALL_NAMES or name.startswith("log_"):
+        return True
+    func = call.func
+    node = func.value if isinstance(func, ast.Attribute) else None
+    while isinstance(node, ast.Attribute):
+        if node.attr in _WAL_RECEIVERS:
+            return True
+        node = node.value
+    return isinstance(node, ast.Name) and node.id in _WAL_RECEIVERS
+
+
+@register
+class WalOrderingChecker(Checker):
+    rule_id = "RPL003"
+    name = "wal-ordering"
+    description = (
+        "in storage/, page flushes must follow a WAL append in the same "
+        "function (or carry '# replint: wal-exempt -- reason')"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.relpath.startswith("storage/"):
+            return
+        for func in ctx.functions():
+            if func.name in _WRAPPER_NAMES:
+                continue  # pass-through wrapper: caller owns the ordering
+            yield from self._check_function(ctx, func)
+
+    def _check_function(self, ctx: ModuleContext,
+                        func: ast.FunctionDef) -> Iterator[Finding]:
+        calls = [
+            node for node in ast.walk(func)
+            if isinstance(node, ast.Call)
+            and ctx.enclosing_function(node) is func
+        ]
+        wal_lines = [c.lineno for c in calls if _touches_wal(c)]
+        for call in calls:
+            name = _call_name(call)
+            if name not in _FLUSH_CALLS:
+                continue
+            if any(line <= call.lineno for line in wal_lines):
+                continue
+            finding = self.finding(
+                ctx, call,
+                f"{name}() flushes pages with no preceding WAL append "
+                f"in {func.name}()",
+                hint="append to the WAL first, or justify with "
+                     "'# replint: wal-exempt -- <why>' on the def line",
+            )
+            if finding is not None:
+                yield finding

@@ -211,6 +211,12 @@ class Shell:
 
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "lint":
+        # Static analysis entry point: `python -m repro.cli lint [...]`
+        # is equivalent to `python -m repro.analysis [...]`.
+        from repro.analysis import main as lint_main
+
+        return lint_main(argv[1:])
     shell = Shell()
     if argv:
         for path in argv:

@@ -203,8 +203,7 @@ class CollateDataRun(_LoopBody):
     """
 
     def _iteration(self, snapshot_id: int, first: bool) -> None:
-        self.db.execute("BEGIN")
-        try:
+        with self.db.transaction():
             rewritten = rewrite_qq(self.qq, snapshot_id)
             current = self.sink.current
             index_before = current.index_creation_seconds
@@ -224,10 +223,6 @@ class CollateDataRun(_LoopBody):
             current.query_eval_seconds += max(
                 total - udf_seconds - index_delta, 0.0,
             )
-            self.db.execute("COMMIT")
-        except Exception:
-            self.db.execute("ROLLBACK")
-            raise
 
 
 # ---------------------------------------------------------------------------
@@ -273,15 +268,10 @@ class AggregateDataInVariableRun(_LoopBody):
     def finalize(self) -> None:
         if self._column is None:
             return
-        self.db.execute("BEGIN")
-        try:
+        with self.db.transaction():
             self._create_result_table([self._column])
             _, writer = self.db.table_writer(self.table)
             writer.insert((self.state.result(),))
-            self.db.execute("COMMIT")
-        except Exception:
-            self.db.execute("ROLLBACK")
-            raise
 
 
 # ---------------------------------------------------------------------------
@@ -352,8 +342,7 @@ class AggregateDataInTableRun(_LoopBody):
     # -- iteration -----------------------------------------------------------
 
     def _iteration(self, snapshot_id: int, first: bool) -> None:
-        self.db.execute("BEGIN")
-        try:
+        with self.db.transaction():
             rewritten = rewrite_qq(self.qq, snapshot_id)
             current = self.sink.current
             index_before = current.index_creation_seconds
@@ -387,10 +376,6 @@ class AggregateDataInTableRun(_LoopBody):
             current.query_eval_seconds += max(
                 total - udf - index_delta, 0.0,
             )
-            self.db.execute("COMMIT")
-        except Exception:
-            self.db.execute("ROLLBACK")
-            raise
 
     def _first_pass(self, rows, writer: TableWriter) -> float:
         udf = 0.0
@@ -513,8 +498,7 @@ class CollateDataIntoIntervalsRun(_LoopBody):
         return all_columns
 
     def _iteration(self, snapshot_id: int, first: bool) -> None:
-        self.db.execute("BEGIN")
-        try:
+        with self.db.transaction():
             rewritten = rewrite_qq(self.qq, snapshot_id)
             current = self.sink.current
             index_before = current.index_creation_seconds
@@ -548,11 +532,7 @@ class CollateDataIntoIntervalsRun(_LoopBody):
             current.query_eval_seconds += max(
                 total - udf - index_delta, 0.0,
             )
-            self.db.execute("COMMIT")
-            self._previous_snapshot = snapshot_id
-        except Exception:
-            self.db.execute("ROLLBACK")
-            raise
+        self._previous_snapshot = snapshot_id
 
     def _extend_pass(self, rows, table: TableAccess, writer: TableWriter,
                      snapshot_id: int) -> float:

@@ -19,7 +19,8 @@ mechanisms.  Both call forms from the paper work:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from repro.core.mechanisms import (
     AggregateDataInTableRun,
@@ -33,6 +34,19 @@ from repro.retro.metrics import MetricsSink
 from repro.sql.database import Database
 from repro.sql.executor import ResultSet
 from repro.storage.disk import SimulatedDisk
+
+
+class TransactionHandle:
+    """Result of a :meth:`RQLSession.transaction` scope.
+
+    ``snapshot_id`` is populated on a successful ``with_snapshot=True``
+    exit and stays ``None`` otherwise.
+    """
+
+    __slots__ = ("snapshot_id",)
+
+    def __init__(self) -> None:
+        self.snapshot_id: Optional[int] = None
 
 
 class RQLSession:
@@ -76,6 +90,35 @@ class RQLSession:
         )
         self.snapids.record(snapshot_id, name=name, timestamp=timestamp)
         return snapshot_id
+
+    @contextmanager
+    def transaction(self, with_snapshot: bool = False,
+                    name: Optional[str] = None,
+                    timestamp: Optional[str] = None
+                    ) -> Iterator[TransactionHandle]:
+        """``BEGIN`` ... ``COMMIT [WITH SNAPSHOT]``, rollback on error.
+
+        With ``with_snapshot=True`` the commit declares a snapshot and
+        records it in SnapIds; read the id off the yielded handle after
+        the block exits::
+
+            with session.transaction(with_snapshot=True) as txn:
+                session.execute("UPDATE ...")
+            snap = txn.snapshot_id
+        """
+        handle = TransactionHandle()
+        self.db.execute("BEGIN")
+        try:
+            yield handle
+        except BaseException:
+            self.db.execute("ROLLBACK")
+            raise
+        if with_snapshot:
+            handle.snapshot_id = self.commit_with_snapshot(
+                name=name, timestamp=timestamp,
+            )
+        else:
+            self.db.execute("COMMIT")
 
     @property
     def latest_snapshot_id(self) -> int:

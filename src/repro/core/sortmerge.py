@@ -43,8 +43,7 @@ class SortMergeAggregateDataInTableRun(AggregateDataInTableRun):
     def _first_iteration_no_index(self, snapshot_id: int) -> None:
         from repro.core.rewrite import rewrite_qq
 
-        self.db.execute("BEGIN")
-        try:
+        with self.db.transaction():
             rewritten = rewrite_qq(self.qq, snapshot_id)
             current = self.sink.current
             started = time.perf_counter()
@@ -61,16 +60,11 @@ class SortMergeAggregateDataInTableRun(AggregateDataInTableRun):
             total = time.perf_counter() - started
             current.udf_seconds += udf
             current.query_eval_seconds += max(total - udf, 0.0)
-            self.db.execute("COMMIT")
-        except Exception:
-            self.db.execute("ROLLBACK")
-            raise
 
     def _merge_iteration(self, snapshot_id: int) -> None:
         from repro.core.rewrite import rewrite_qq
 
-        self.db.execute("BEGIN")
-        try:
+        with self.db.transaction():
             rewritten = rewrite_qq(self.qq, snapshot_id)
             current = self.sink.current
             started = time.perf_counter()
@@ -128,10 +122,6 @@ class SortMergeAggregateDataInTableRun(AggregateDataInTableRun):
             udf = time.perf_counter() - merge_started
             current.udf_seconds += udf
             current.query_eval_seconds += query_seconds
-            self.db.execute("COMMIT")
-        except Exception:
-            self.db.execute("ROLLBACK")
-            raise
 
 
 def sort_merge_aggregate_data_in_table(db, qs: str, qq: str, table: str,

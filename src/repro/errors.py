@@ -101,3 +101,7 @@ class MechanismError(RqlError):
 
 class WorkloadError(ReproError):
     """Workload generation failure (bad scale factor, exhausted keys...)."""
+
+
+class AnalysisError(ReproError):
+    """replint (static analysis) misuse: bad baseline, unknown rule..."""

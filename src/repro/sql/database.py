@@ -25,7 +25,8 @@ API sketch::
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import (
     CatalogError,
@@ -151,6 +152,22 @@ class Database:
         for statement in parse_sql(sql):
             result = self._execute_statement(statement)
         return result
+
+    @contextmanager
+    def transaction(self) -> Iterator["Database"]:
+        """``BEGIN`` ... ``COMMIT``, rolling back on any error.
+
+        The blessed idiom for multi-statement transactional scopes (RQL
+        loop-body iterations, bulk loads): replaces hand-written
+        ``BEGIN``/``COMMIT``/``except: ROLLBACK`` blocks.
+        """
+        self.execute("BEGIN")
+        try:
+            yield self
+        except BaseException:
+            self.execute("ROLLBACK")
+            raise
+        self.execute("COMMIT")
 
     def declare_snapshot(self) -> int:
         """Declare a snapshot outside any explicit transaction."""
@@ -313,6 +330,21 @@ class Database:
             self._main.rollback()
             self._aux.rollback()
 
+    @contextmanager
+    def _statement(self) -> Iterator[None]:
+        """Statement-local transaction scope for DML/DDL executors.
+
+        Autocommits on success, autorollbacks on any error — both no-ops
+        inside an explicit BEGIN...COMMIT, where the user owns the
+        transaction boundary.
+        """
+        try:
+            yield
+            self._autocommit()
+        except BaseException:
+            self._autorollback()
+            raise
+
     # -- EXPLAIN ------------------------------------------------------------------
 
     def _execute_explain(self, statement: ast.Explain) -> ResultSet:
@@ -388,7 +420,7 @@ class Database:
 
     def _execute_insert(self, statement: ast.Insert) -> ResultSet:
         ctx = self._write_context()
-        try:
+        with self._statement():
             table = ctx.open_table(statement.table)
             writer = TableWriter(table, ctx.open_indexes(table))
             info = table.info
@@ -411,11 +443,7 @@ class Database:
                                    for e in value_exprs)
                     writer.insert(self._place(values, positions, info))
                     inserted += 1
-            self._autocommit()
             return _status(inserted)
-        except Exception:
-            self._autorollback()
-            raise
 
     def _subselect_rows(self, select: ast.Select, write_ctx: "_Context"):
         """Rows of an embedded SELECT (INSERT..SELECT / CREATE..AS).
@@ -451,7 +479,7 @@ class Database:
 
     def _execute_delete(self, statement: ast.Delete) -> ResultSet:
         ctx = self._write_context()
-        try:
+        with self._statement():
             table = ctx.open_table(statement.table)
             indexes = ctx.open_indexes(table)
             writer = TableWriter(table, indexes)
@@ -466,15 +494,11 @@ class Database:
             ]
             for rowid in doomed:
                 writer.delete(rowid)
-            self._autocommit()
             return _status(len(doomed))
-        except Exception:
-            self._autorollback()
-            raise
 
     def _execute_update(self, statement: ast.Update) -> ResultSet:
         ctx = self._write_context()
-        try:
+        with self._statement():
             table = ctx.open_table(statement.table)
             indexes = ctx.open_indexes(table)
             writer = TableWriter(table, indexes)
@@ -497,11 +521,7 @@ class Database:
                 updates.append((rowid, tuple(new_row)))
             for rowid, new_row in updates:
                 writer.update(rowid, new_row)
-            self._autocommit()
             return _status(len(updates))
-        except Exception:
-            self._autorollback()
-            raise
 
     # -- DDL ------------------------------------------------------------------------
 
@@ -514,7 +534,7 @@ class Database:
 
     def _execute_create_table(self, statement: ast.CreateTable) -> ResultSet:
         session = self._session_for(statement.temporary)
-        try:
+        with self._statement():
             catalog = self._catalog_for_write(session)
             if catalog.get_table(statement.name) is not None:
                 if statement.if_not_exists:
@@ -532,11 +552,7 @@ class Database:
                 session, catalog, statement.name, columns, pk,
                 statement.temporary,
             )
-            self._autocommit()
             return _status()
-        except Exception:
-            self._autorollback()
-            raise
 
     def _create_table_object(self, session: _EngineSession,
                              catalog: Catalog, name: str,
@@ -577,7 +593,7 @@ class Database:
         for row in rows:
             writer.insert(row)
             count += 1
-        self._autocommit()
+        # The enclosing _execute_create_table _statement() scope commits.
         return _status(count)
 
     def _execute_drop_table(self, statement: ast.DropTable) -> ResultSet:
@@ -586,18 +602,14 @@ class Database:
             if statement.if_exists:
                 return _status()
             raise CatalogError(f"no such table: {statement.name}")
-        try:
+        with self._statement():
             source = session.source()
             for index in catalog.indexes_for(info.name):
                 BTree(source, index.root_id).drop()
                 catalog.drop_index(index.name)
             BTree(source, info.root_id).drop()
             catalog.drop_table(info.name)
-            self._autocommit()
             return _status()
-        except Exception:
-            self._autorollback()
-            raise
 
     def _find_table_for_ddl(self, name: str):
         """Locate a table for DDL: aux (temp) first, then main."""
@@ -613,7 +625,7 @@ class Database:
         session, catalog, info = self._find_table_for_ddl(statement.table)
         if info is None:
             raise CatalogError(f"no such table: {statement.table}")
-        try:
+        with self._statement():
             if catalog.get_index(statement.name) is not None:
                 if statement.if_not_exists:
                     return _status()
@@ -648,25 +660,17 @@ class Database:
                 self.metrics.current.index_creation_seconds += (
                     time.perf_counter() - started
                 )
-            self._autocommit()
             return _status(count)
-        except Exception:
-            self._autorollback()
-            raise
 
     def _execute_drop_index(self, statement: ast.DropIndex) -> ResultSet:
         for session in (self._aux, self._main):
             catalog = self._catalog_for_write(session)
             info = catalog.get_index(statement.name)
             if info is not None:
-                try:
+                with self._statement():
                     BTree(session.source(), info.root_id).drop()
                     catalog.drop_index(statement.name)
-                    self._autocommit()
                     return _status()
-                except Exception:
-                    self._autorollback()
-                    raise
         if statement.if_exists:
             return _status()
         raise CatalogError(f"no such index: {statement.name}")

@@ -123,6 +123,7 @@ class BufferPool:
             self._evict_one()
         self._pages[page.page_id] = page
 
+    # replint: wal-exempt -- evicted pages only became dirty via install()/put_raw, after commit already WAL-logged their images
     def _evict_one(self) -> None:
         for page_id, page in self._pages.items():
             if page.pin_count == 0:

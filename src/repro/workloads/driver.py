@@ -89,14 +89,9 @@ class SnapshotHistoryBuilder:
         )
         declared: List[int] = []
         for _ in range(snapshots):
-            self.session.execute("BEGIN")
-            try:
+            with self.session.transaction(with_snapshot=True) as txn:
                 self.refresh.refresh_pair(per_snapshot)
-            except Exception:
-                self.session.execute("ROLLBACK")
-                raise
-            snapshot_id = self.session.commit_with_snapshot()
-            declared.append(snapshot_id)
+            declared.append(txn.snapshot_id)
         return declared
 
     # -- stats used by benches/tests -----------------------------------------------

@@ -210,15 +210,10 @@ class TpchGenerator:
         def flush() -> None:
             if not batch:
                 return
-            db.execute("BEGIN")
-            try:
+            with db.transaction():
                 _, writer = db.table_writer(table)
                 for row in batch:
                     writer.insert(row)
-                db.execute("COMMIT")
-            except Exception:
-                db.execute("ROLLBACK")
-                raise
             batch.clear()
 
         for row in rows:

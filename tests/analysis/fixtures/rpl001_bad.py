@@ -1,0 +1,13 @@
+"""Known-bad RPL001 fixture: leaked pin + out-of-pool pin accounting."""
+
+
+def peek_header(pool, page_id):
+    # Pinned fetch bound to a variable that is neither returned nor
+    # released in a finally block: the pin leaks.
+    page = pool.fetch(page_id)
+    return page.data[0]
+
+
+def steal_pin(page):
+    # Pin accounting outside the buffer pool module.
+    page.pin_count += 1

@@ -1,0 +1,30 @@
+"""Known-good RPL001 fixture: every sanctioned pin pattern."""
+
+
+def checksum(pool, page_id):
+    # Pin taken inside a try whose finally releases it.
+    page = None
+    try:
+        page = pool.fetch(page_id)
+        return sum(page.data)
+    finally:
+        if page is not None:
+            pool.unpin(page)
+
+
+def borrow(pool, page_id):
+    # Ownership transfer: the caller releases.
+    return pool.fetch(page_id)
+
+
+def materialize(pool, page_id):
+    # Assigned then returned: still an ownership transfer.
+    page = pool.create(page_id)
+    page.dirty = True
+    return page
+
+
+def peek(pool, page_id):
+    # Opted out of pinning.
+    page = pool.fetch(page_id, pin=False)
+    return page.data[0]

@@ -1,0 +1,17 @@
+"""Known-bad RPL002 fixture: foreign raise + silent broad except."""
+
+
+def parse_scale(text):
+    if not text:
+        # ValueError is outside the repro.errors taxonomy.
+        raise ValueError("empty scale factor")
+    return float(text)
+
+
+def read_optional(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+    except Exception:
+        # Swallowed: no re-raise, no logging.
+        return None

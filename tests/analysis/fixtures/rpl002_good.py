@@ -1,0 +1,32 @@
+"""Known-good RPL002 fixture: taxonomy raises, honest broad handlers."""
+
+from repro.errors import ReproError, WorkloadError
+
+
+class ScaleError(WorkloadError):
+    """Local subclass of a taxonomy class: also allowed."""
+
+
+def parse_scale(text):
+    if not text:
+        raise ScaleError("empty scale factor")
+    return float(text)
+
+
+def read_required(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+    except Exception:
+        # Broad, but re-raises wrapped in the taxonomy.
+        raise ReproError(f"cannot read {path}")
+
+
+def read_logged(path, log):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+    except Exception as exc:
+        # Broad, but hands the error to a logger.
+        log.warning("read failed: %s", exc)
+        return None

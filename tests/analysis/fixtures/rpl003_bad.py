@@ -1,0 +1,13 @@
+"""Known-bad RPL003 fixture: flush with no preceding WAL append.
+
+Only meaningful when analyzed under a ``storage/`` relpath.
+"""
+
+
+class Engine:
+    def commit(self, txn):
+        # After-images reach the database file without ever touching
+        # the WAL: unreplayable after a crash.
+        for page_id, image in txn.pages.items():
+            self.pager.install(page_id, image)
+        self.pager.flush_all()

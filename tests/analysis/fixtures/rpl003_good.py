@@ -1,0 +1,17 @@
+"""Known-good RPL003 fixture: WAL append precedes every flush."""
+
+
+class Engine:
+    def commit(self, txn):
+        self.wal.log_commit(txn.txn_id, txn.pages)
+        for page_id, image in txn.pages.items():
+            self.pager.install(page_id, image)
+
+    def recover(self):
+        for txn in self.wal.replay(0):
+            for page_id, image in txn.pages.items():
+                self.pager.install(page_id, image)
+
+    def install(self, page_id, image):
+        # Pass-through wrapper: ordering is the caller's contract.
+        self.pool.put_raw(page_id, image)

@@ -1,0 +1,47 @@
+"""Known-bad RPL004 fixture: incomplete monoid registrations."""
+
+
+class SumState:
+    name = "sum"
+
+    def __init__(self):
+        self.total = 0
+
+    def absorb(self, value):
+        self.total += value
+
+    def merge(self, other):
+        # A stub does not count as an implementation.
+        raise NotImplementedError
+
+    def result(self):
+        return self.total
+
+
+class MaxState:
+    # Registry key is "max" but the declared name disagrees, and the
+    # class implements neither merge nor result.
+    name = "maximum"
+
+    def absorb(self, value):
+        self.best = value
+
+
+MONOID_AGGREGATES = ("sum", "max", "avg")
+
+_FACTORIES = {
+    "sum": SumState,
+    "max": MaxState,
+}
+
+
+def binary_op(name):
+    if name == "sum":
+        return lambda a, b: a + b
+    return None
+
+
+def identity_element(name):
+    if name == "sum":
+        return 0
+    return None

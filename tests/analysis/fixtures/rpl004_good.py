@@ -1,0 +1,53 @@
+"""Known-good RPL004 fixture: a complete monoid registration."""
+
+
+class _BaseState:
+    def result(self):
+        return self.value
+
+
+class SumState(_BaseState):
+    name = "sum"
+
+    def __init__(self):
+        self.value = 0
+
+    def absorb(self, item):
+        self.value += item
+
+    def merge(self, other):
+        self.value += other.value
+
+
+class CountState(_BaseState):
+    name = "count"
+
+    def __init__(self):
+        self.value = 0
+
+    def absorb(self, item):
+        if item is not None:
+            self.value += 1
+
+    def merge(self, other):
+        self.value += other.value
+
+
+MONOID_AGGREGATES = ("sum", "count")
+
+_FACTORIES = {
+    "sum": SumState,
+    "count": CountState,
+}
+
+
+def binary_op(name):
+    if name in ("sum", "count"):
+        return lambda a, b: a + b
+    return None
+
+
+def identity_element(name):
+    if name in ("sum", "count"):
+        return 0
+    return None

@@ -1,0 +1,18 @@
+"""Known-bad RPL005 fixture: raw int literals in snapshot-id positions.
+
+Only meaningful when analyzed under a ``core/`` or ``retro/`` relpath.
+"""
+
+
+def rows_at(db, snapshot_id):
+    return db.query("SELECT * FROM t", as_of=snapshot_id)
+
+
+def logins_at_three(db):
+    # Keyword form: bakes one history's shape into the code.
+    return db.query("SELECT * FROM LoggedIn", as_of=3)
+
+
+def warm_cache(db):
+    # Positional form, resolved against the local signature of rows_at.
+    return rows_at(db, 7)

@@ -1,0 +1,23 @@
+"""Known-good RPL005 fixture: snapshot ids always flow from data."""
+
+FIRST_SNAPSHOT = 1
+
+
+def rows_at(db, snapshot_id):
+    return db.query("SELECT * FROM t", as_of=snapshot_id)
+
+
+def latest_logins(db, session):
+    return rows_at(db, session.latest_snapshot_id)
+
+
+def earliest_logins(db):
+    # A named constant is fine — the literal has a home and a meaning.
+    return rows_at(db, FIRST_SNAPSHOT)
+
+
+def all_snapshots(db, session):
+    return [
+        rows_at(db, sid)
+        for (sid,) in session.execute("SELECT snap_id FROM SnapIds").rows
+    ]

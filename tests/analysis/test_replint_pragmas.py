@@ -1,0 +1,118 @@
+"""Pragma and baseline escape hatches: suppression must be explicit,
+justified, and keyed stably."""
+
+import pytest
+
+from repro.analysis import analyze_source
+from repro.analysis.findings import (
+    Finding,
+    load_baseline,
+    save_baseline,
+)
+from repro.errors import AnalysisError, ReproError
+
+LEAKY = (
+    "def peek(pool, pid):\n"
+    "    page = pool.fetch(pid){pragma}\n"
+    "    return page.data[0]\n"
+)
+
+
+def test_justified_inline_pragma_suppresses():
+    source = LEAKY.format(
+        pragma="  # replint: ignore[RPL001] -- pin owned by C extension")
+    assert analyze_source(source, "sql/x.py") == []
+
+
+def test_unjustified_pragma_is_itself_a_finding():
+    source = LEAKY.format(pragma="  # replint: ignore[RPL001]")
+    rules = sorted(f.rule for f in analyze_source(source, "sql/x.py"))
+    # The suppression does not take effect AND the pragma is flagged.
+    assert rules == ["RPL000", "RPL001"]
+
+
+def test_unknown_pragma_directive_is_flagged():
+    source = "x = 1  # replint: snooze-everything -- please\n"
+    findings = analyze_source(source, "sql/x.py")
+    assert [f.rule for f in findings] == ["RPL000"]
+    assert "unrecognized" in findings[0].message
+
+
+def test_named_alias_on_def_line_exempts_the_function():
+    source = (
+        "def drop_cache(pager):  # replint: wal-exempt -- clean pages\n"
+        "    pager.flush_all()\n"
+    )
+    assert analyze_source(source, "storage/x.py") == []
+
+
+def test_pragma_text_inside_a_docstring_is_inert():
+    source = (
+        '"""Docs may mention # replint: wal-exempt without effect."""\n'
+        "x = 1\n"
+    )
+    assert analyze_source(source, "sql/x.py") == []
+
+
+def test_pragma_only_covers_the_named_rule():
+    source = LEAKY.format(
+        pragma="  # replint: ignore[RPL003] -- wrong rule entirely")
+    assert [f.rule for f in analyze_source(source, "sql/x.py")] == ["RPL001"]
+
+
+def test_syntax_error_reports_as_rpl000():
+    findings = analyze_source("def broken(:\n", "sql/x.py")
+    assert [f.rule for f in findings] == ["RPL000"]
+    assert "syntax error" in findings[0].message
+
+
+# -- baselines --------------------------------------------------------------
+
+
+def _finding(symbol="peek"):
+    return Finding(file="sql/x.py", line=2, rule="RPL001",
+                   severity="error", message="m", symbol=symbol)
+
+
+def test_baseline_round_trip(tmp_path):
+    path = tmp_path / "replint.baseline"
+    save_baseline(path, [_finding(), _finding()])
+    assert load_baseline(path) == {"RPL001:sql/x.py:peek"}
+
+
+def test_baseline_key_ignores_line_numbers():
+    early = _finding()
+    late = Finding(file="sql/x.py", line=99, rule="RPL001",
+                   severity="error", message="m", symbol="peek")
+    assert early.baseline_key == late.baseline_key
+
+
+def test_missing_baseline_is_empty():
+    from pathlib import Path
+
+    assert load_baseline(Path("/nonexistent/replint.baseline")) == set()
+
+
+def test_malformed_baseline_raises_analysis_error(tmp_path):
+    path = tmp_path / "replint.baseline"
+    path.write_text('{"not": "a list"}', encoding="utf-8")
+    with pytest.raises(AnalysisError):
+        load_baseline(path)
+    # Catchable at the taxonomy root, like every repro failure.
+    with pytest.raises(ReproError):
+        load_baseline(path)
+
+
+def test_baselined_findings_do_not_fail_the_run(tmp_path):
+    from repro.analysis import analyze_paths
+
+    bad = tmp_path / "leaky.py"
+    bad.write_text(LEAKY.format(pragma=""), encoding="utf-8")
+    report = analyze_paths([bad])
+    assert not report.ok and len(report.errors) == 1
+
+    baseline = {f.baseline_key for f in report.findings}
+    accepted = analyze_paths([bad], baseline)
+    assert accepted.ok
+    assert not accepted.findings
+    assert [f.rule for f in accepted.baselined] == ["RPL001"]

@@ -1,0 +1,89 @@
+"""Fixture-corpus contract: every rule fires on its known-bad fixture
+and stays silent on the known-good one.
+
+The fixtures under ``fixtures/`` are analyzed as source text with an
+explicit package-relative path, so scoped rules (RPL003 in ``storage/``,
+RPL005 in ``core/``/``retro/``) see the layer they police.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.analysis import analyze_source
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+#: rule -> the package-relative path its fixtures are analyzed under
+SCOPES = {
+    "RPL001": "sql/pins_fixture.py",
+    "RPL002": "sql/errors_fixture.py",
+    "RPL003": "storage/engine_fixture.py",
+    "RPL004": "core/aggregates_fixture.py",
+    "RPL005": "core/retroquery_fixture.py",
+}
+
+
+def run_fixture(rule: str, flavor: str):
+    source = (FIXTURES / f"{rule.lower()}_{flavor}.py").read_text(
+        encoding="utf-8")
+    return analyze_source(source, SCOPES[rule])
+
+
+@pytest.mark.parametrize("rule", sorted(SCOPES))
+def test_bad_fixture_fires(rule):
+    findings = run_fixture(rule, "bad")
+    assert findings, f"{rule} known-bad fixture produced no findings"
+    # And nothing else fires: each fixture isolates exactly one rule.
+    assert {f.rule for f in findings} == {rule}
+
+
+@pytest.mark.parametrize("rule", sorted(SCOPES))
+def test_good_fixture_is_clean(rule):
+    assert run_fixture(rule, "good") == []
+
+
+def test_pin_leak_names_the_variable():
+    messages = [f.message for f in run_fixture("RPL001", "bad")]
+    assert any("'page'" in m for m in messages)
+    assert any("pin_count" in m for m in messages)
+
+
+def test_swallowed_exception_is_called_out():
+    messages = [f.message for f in run_fixture("RPL002", "bad")]
+    assert any("swallows" in m for m in messages)
+    assert any("ValueError" in m for m in messages)
+
+
+def test_wal_findings_anchor_to_the_flush_calls():
+    findings = run_fixture("RPL003", "bad")
+    assert {f.line for f in findings} == {12, 13}
+    assert all(f.symbol == "Engine.commit" for f in findings)
+
+
+def test_monoid_findings_cover_every_leg():
+    messages = " | ".join(f.message for f in run_fixture("RPL004", "bad"))
+    assert "does not implement merge()" in messages      # stub in SumState
+    assert "does not implement result()" in messages     # missing in MaxState
+    assert "name attribute is 'maximum'" in messages     # key/name mismatch
+    assert "'avg' has no factory" in messages            # unregistered monoid
+    assert "'max' is not handled in binary_op()" in messages
+    assert "'avg' is not handled in identity_element()" in messages
+
+
+def test_snapshot_literals_found_in_both_forms():
+    findings = run_fixture("RPL005", "bad")
+    assert len(findings) == 2
+    assert {f.message for f in findings} == {
+        "raw int literal 3 passed as as_of",
+        "raw int literal 7 passed as snapshot_id",
+    }
+
+
+def test_scoped_rules_stay_quiet_outside_their_layer():
+    # The same bad sources are fine when they live outside the scoped
+    # layers: workloads/ may flush without a WAL and use literal ids.
+    for rule in ("RPL003", "RPL005"):
+        source = (FIXTURES / f"{rule.lower()}_bad.py").read_text(
+            encoding="utf-8")
+        assert analyze_source(source, "workloads/fixture.py") == []

@@ -1,0 +1,92 @@
+"""replint dogfood: the shipped tree must be clean, and the CLI entry
+points must report honestly."""
+
+import io
+import json
+import pathlib
+
+from repro.analysis import analyze_paths, main, package_root
+from repro.cli import main as cli_main
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def test_shipped_tree_is_clean_with_empty_baseline():
+    """The acceptance bar: zero non-baselined findings over src/repro."""
+    report = analyze_paths([package_root()])
+    assert report.files_scanned > 50
+    rendered = "\n".join(f.render() for f in report.findings)
+    assert report.findings == [], f"replint found:\n{rendered}"
+    assert report.ok
+
+
+def test_cli_exit_one_on_findings(tmp_path):
+    out = io.StringIO()
+    bad = FIXTURES / "rpl001_bad.py"
+    code = main([str(bad), "--baseline", str(tmp_path / "none")], out=out)
+    assert code == 1
+    assert "RPL001" in out.getvalue()
+    assert "hint:" in out.getvalue()
+
+
+def test_cli_exit_zero_on_clean_input(tmp_path):
+    out = io.StringIO()
+    good = FIXTURES / "rpl001_good.py"
+    code = main([str(good), "--baseline", str(tmp_path / "none")], out=out)
+    assert code == 0
+    assert "0 errors" in out.getvalue()
+
+
+def test_cli_json_output(tmp_path):
+    out = io.StringIO()
+    main([str(FIXTURES / "rpl001_bad.py"), "--json",
+          "--baseline", str(tmp_path / "none")], out=out)
+    payload = json.loads(out.getvalue())
+    assert payload["files_scanned"] == 1
+    assert {f["rule"] for f in payload["findings"]} == {"RPL001"}
+
+
+def test_cli_list_rules():
+    out = io.StringIO()
+    assert main(["--list-rules"], out=out) == 0
+    listed = out.getvalue()
+    for rule in ("RPL000", "RPL001", "RPL002", "RPL003", "RPL004",
+                 "RPL005"):
+        assert rule in listed
+
+
+def test_cli_write_baseline_then_accept(tmp_path):
+    baseline = tmp_path / "replint.baseline"
+    bad = str(FIXTURES / "rpl001_bad.py")
+    out = io.StringIO()
+    assert main([bad, "--baseline", str(baseline),
+                 "--write-baseline"], out=out) == 0
+    assert baseline.exists()
+    # With the findings accepted, the same input now passes.
+    out = io.StringIO()
+    assert main([bad, "--baseline", str(baseline)], out=out) == 0
+    assert "baselined" in out.getvalue()
+
+
+def test_cli_missing_path_is_an_error(tmp_path):
+    # A typo'd path must not read as "0 findings, exit 0" in CI.
+    out = io.StringIO()
+    code = main([str(tmp_path / "nope"), "--baseline",
+                 str(tmp_path / "none")], out=out)
+    assert code == 2
+    assert "no such path" in out.getvalue()
+
+
+def test_cli_malformed_baseline_is_a_clean_error(tmp_path):
+    baseline = tmp_path / "replint.baseline"
+    baseline.write_text('{"not": "a list"}', encoding="utf-8")
+    out = io.StringIO()
+    code = main([str(FIXTURES / "rpl001_good.py"),
+                 "--baseline", str(baseline)], out=out)
+    assert code == 2
+    assert "JSON list of strings" in out.getvalue()
+
+
+def test_repro_cli_lint_subcommand(capsys):
+    assert cli_main(["lint", "--list-rules"]) == 0
+    assert "RPL003 wal-ordering" in capsys.readouterr().out

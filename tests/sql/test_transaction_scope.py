@@ -1,0 +1,68 @@
+"""Transaction context managers: Database.transaction() and
+RQLSession.transaction() must commit on success, roll back on error, and
+surface snapshot ids through the handle."""
+
+import pytest
+
+from repro.core import RQLSession
+from repro.errors import ReproError, SqlError
+
+
+def _count(db, table="t"):
+    return db.execute(f"SELECT COUNT(*) FROM {table}").scalar()
+
+
+def test_database_transaction_commits(db):
+    db.execute("CREATE TABLE t (a INTEGER)")
+    with db.transaction():
+        db.execute("INSERT INTO t VALUES (1)")
+        db.execute("INSERT INTO t VALUES (2)")
+    assert _count(db) == 2
+
+
+def test_database_transaction_rolls_back_and_reraises(db):
+    db.execute("CREATE TABLE t (a INTEGER)")
+    with pytest.raises(SqlError):
+        with db.transaction():
+            db.execute("INSERT INTO t VALUES (1)")
+            db.execute("INSERT INTO nope VALUES (1)")
+    assert _count(db) == 0
+    # The failed scope left no transaction open.
+    db.execute("INSERT INTO t VALUES (3)")
+    assert _count(db) == 1
+
+
+def test_session_transaction_plain_commit():
+    session = RQLSession()
+    session.execute("CREATE TABLE t (a INTEGER)")
+    with session.transaction() as txn:
+        session.execute("INSERT INTO t VALUES (1)")
+    assert txn.snapshot_id is None
+    assert _count(session.db) == 1
+
+
+def test_session_transaction_with_snapshot():
+    session = RQLSession()
+    session.execute("CREATE TABLE t (a INTEGER)")
+    with session.transaction(with_snapshot=True, name="first") as txn:
+        session.execute("INSERT INTO t VALUES (1)")
+    assert txn.snapshot_id == 1
+    assert session.latest_snapshot_id == 1
+    assert session.snapids.id_for_name("first") == txn.snapshot_id
+    # The snapshot really reflects the scope's writes.
+    rows = session.execute(
+        f"SELECT AS OF {txn.snapshot_id} COUNT(*) FROM t"
+    ).scalar()
+    assert rows == 1
+
+
+def test_session_transaction_rollback_declares_nothing():
+    session = RQLSession()
+    session.execute("CREATE TABLE t (a INTEGER)")
+    with pytest.raises(ReproError):
+        with session.transaction(with_snapshot=True) as txn:
+            session.execute("INSERT INTO t VALUES (1)")
+            raise ReproError("abort the scope")
+    assert txn.snapshot_id is None
+    assert session.latest_snapshot_id == 0
+    assert _count(session.db) == 0

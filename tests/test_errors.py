@@ -4,6 +4,8 @@ Library users catch ``ReproError`` subclasses by layer; these tests pin
 the hierarchy so refactors cannot silently break error handling.
 """
 
+import inspect
+
 import pytest
 
 from repro import errors
@@ -22,6 +24,12 @@ LAYERS = {
     errors.RqlError: [errors.AggregateError, errors.MechanismError],
 }
 
+#: every public error class, including the ones outside LAYERS
+ALL_ERRORS = [
+    cls for _, cls in sorted(vars(errors).items())
+    if inspect.isclass(cls) and issubclass(cls, errors.ReproError)
+]
+
 
 def test_every_layer_is_a_repro_error():
     for base, children in LAYERS.items():
@@ -38,10 +46,58 @@ def test_workload_error():
     assert issubclass(errors.WorkloadError, errors.ReproError)
 
 
+def test_analysis_error():
+    assert issubclass(errors.AnalysisError, errors.ReproError)
+
+
 def test_positional_errors_carry_positions():
     assert errors.LexerError("x", 5).position == 5
     assert errors.ParseError("x", 7).position == 7
     assert errors.ParseError("x").position == -1
+
+
+def test_all_errors_enumerates_the_whole_module():
+    # Guard against a new class slipping in without hierarchy coverage:
+    # everything public in repro.errors must be a ReproError subclass.
+    public = [
+        cls for name, cls in vars(errors).items()
+        if inspect.isclass(cls) and not name.startswith("_")
+    ]
+    assert public and all(issubclass(c, errors.ReproError) for c in public)
+    assert len(ALL_ERRORS) >= 23  # the seed hierarchy plus AnalysisError
+
+
+@pytest.mark.parametrize("cls", ALL_ERRORS, ids=lambda c: c.__name__)
+def test_every_error_is_constructible_and_documented(cls):
+    exc = cls("boom")
+    assert str(exc) == "boom"
+    assert isinstance(exc, errors.ReproError)
+    assert isinstance(exc, Exception)
+    assert cls.__doc__, f"{cls.__name__} has no docstring"
+
+
+@pytest.mark.parametrize("cls", ALL_ERRORS, ids=lambda c: c.__name__)
+def test_every_error_is_raisable_and_layer_catchable(cls):
+    # Raising and catching through each base in the MRO must work: this
+    # is the layered-handler contract the RPL002 lint rule enforces.
+    bases = [b for b in cls.__mro__ if issubclass(b, errors.ReproError)]
+    for base in bases:
+        with pytest.raises(base):
+            raise cls("boom")
+
+
+def test_hierarchy_is_exhaustive():
+    # Every concrete class reaches ReproError through a documented layer
+    # (or is itself a direct child, like WorkloadError/AnalysisError).
+    layer_children = {c for kids in LAYERS.values() for c in kids}
+    direct = {
+        errors.ReproError, errors.StorageError, errors.SnapshotError,
+        errors.SqlError, errors.RqlError, errors.WorkloadError,
+        errors.AnalysisError,
+    }
+    extra = {errors.TypeMismatchError}
+    unaccounted = set(ALL_ERRORS) - layer_children - direct - extra
+    assert not unaccounted, unaccounted
 
 
 @pytest.mark.parametrize("operation,expected", [
