@@ -6,13 +6,14 @@ replint pragmas live in ``#`` comments and **must** carry a justification
 after ``--`` (an escape hatch without a reason is itself a violation,
 reported as RPL000)::
 
-    page = pool.fetch(pid)  # replint: ignore[RPL001] -- handed to caller
+    page = pool.fetch(pid)  # replint: ignore[RPL010] -- handed to caller
     def _evict_one(self):   # replint: wal-exempt -- images already logged
 
 Forms:
 
-* ``ignore[RPL001]`` / ``ignore[RPL001,RPL003]`` — suppress those rules;
-* named aliases (``wal-exempt``, ``pin-exempt``, ``snapid-exempt``,
+* ``ignore[RPL010]`` / ``ignore[RPL010,RPL003]`` — suppress those rules;
+* named aliases (``wal-exempt``, ``lifecycle-exempt``, ``pin-exempt``,
+  ``lockorder-exempt``, ``taint-exempt``, ``snapid-exempt``,
   ``taxonomy-exempt``) — readable synonyms for single rules.
 
 A pragma suppresses findings anchored to its own line; checkers that
@@ -23,6 +24,7 @@ line directly above it (decorators included).
 from __future__ import annotations
 
 import ast
+import hashlib
 import io
 import re
 import tokenize
@@ -34,10 +36,13 @@ from repro.analysis.findings import ERROR, Finding
 
 PRAGMA_ALIASES = {
     "wal-exempt": "RPL003",
-    "pin-exempt": "RPL001",
+    "pin-exempt": "RPL010",   # RPL001 was folded into RPL010 (replint v2)
     "taxonomy-exempt": "RPL002",
     "monoid-exempt": "RPL004",
     "snapid-exempt": "RPL005",
+    "lifecycle-exempt": "RPL010",
+    "lockorder-exempt": "RPL011",
+    "taint-exempt": "RPL012",
 }
 
 _PRAGMA_RE = re.compile(r"#\s*replint:\s*(?P<body>.+)$")
@@ -162,6 +167,28 @@ class ModuleContext:
         for node in ast.walk(self.tree):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 yield node
+
+    def function_hash(self, node: Optional[ast.AST]) -> str:
+        """Short content hash of the function enclosing ``node``.
+
+        Used for line-stable baseline keys: the hash covers exactly the
+        enclosing function's source lines, so edits elsewhere in the
+        file don't invalidate a baselined entry, while any change to
+        the function itself does.  Module-level findings hash the whole
+        file.
+        """
+        func = None
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            func = node
+        elif node is not None:
+            func = self.enclosing_function(node)
+        if func is not None:
+            first = min(
+                [func.lineno] + [d.lineno for d in func.decorator_list])
+            text = "\n".join(self.lines[first - 1:func.end_lineno])
+        else:
+            text = "\n".join(self.lines)
+        return hashlib.sha256(text.encode()).hexdigest()[:12]
 
     # -- pragma queries ----------------------------------------------------
 

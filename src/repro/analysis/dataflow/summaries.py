@@ -1,0 +1,948 @@
+"""Per-function escape/alias summaries and the analyses that build them.
+
+A :class:`FunctionSummary` is the interprocedural interface of one
+function: which parameters it releases or lets escape, whether its
+return value is a still-open resource or snapshot-tainted data, which
+latches it may acquire.  Summaries are computed by running the three
+intraprocedural analyses below with the *callees'* summaries plugged
+in, and iterating to a fixpoint over the whole program (see
+:mod:`repro.analysis.dataflow.program`).  All summary domains are
+finite sets that only ever grow, so the fixpoint terminates.
+
+The same analyses, re-run once summaries have converged, also yield the
+per-function *evidence* (leaks, lock-order edges, taint flows) the
+RPL010–RPL012 rules report.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.dataflow.callgraph import (
+    EXTERNAL_TYPE, CallGraph, CallSite, FunctionInfo, RESOLVED, UNRESOLVED,
+)
+from repro.analysis.dataflow.cfg import CFG, CFGNode, exec_parts
+from repro.analysis.dataflow.lattice import ForwardAnalysis, solve
+
+# -- domain knowledge: the resource & lock vocabulary of this codebase ------
+
+#: attribute-call names that acquire a resource, with a human kind
+ACQUIRE_ATTRS = {
+    "fetch": "pinned page",
+    "create": "pinned page",
+    "begin": "transaction",
+    "begin_read": "read context",
+}
+
+#: receivers we trust to hand out resources even when the call site
+#: cannot be resolved to a program function
+_ACQUIRE_RECEIVER_HINTS = {
+    "pool", "_pool", "buffer_pool", "pager", "_pager", "source", "_source",
+    "src", "page_source", "engine", "_engine", "aux_engine",
+}
+
+#: attribute-call names that release: first data argument if present,
+#: otherwise the receiver
+RELEASE_ATTRS = {"release", "unpin", "close", "commit", "abort", "rollback"}
+
+#: the root acquisition primitives: these functions *create* the pin /
+#: transaction / read context, so calls to them always open a site even
+#: though their own bodies don't look like acquisitions
+PRIMITIVE_ACQUIRERS = {
+    ("storage/buffer_pool.py", "fetch"),
+    ("storage/buffer_pool.py", "create"),
+    ("storage/engine.py", "begin"),
+    ("storage/engine.py", "begin_read"),
+}
+
+#: external container methods that take ownership of their argument
+CONTAINER_STORE_ATTRS = {"append", "add", "appendleft", "push", "put",
+                         "put_nowait", "setdefault", "extend"}
+
+#: attribute names that look like latches
+LOCKISH_ATTRS = {"_latch", "latch", "_lock", "lock", "_mutex", "mutex"}
+
+#: snapshot-taint sources: method names and constructed class names
+TAINT_SOURCE_ATTRS = {"snapshot_source"}
+TAINT_SOURCE_CLASSES = {"SnapshotPageSource"}
+
+#: current-database mutation sinks (attribute-call names)
+TAINT_SINK_ATTRS = {"install", "put_raw", "make_writable", "mark_dirty",
+                    "log_commit"}
+
+#: resource statuses
+OPEN = "open"
+CLOSED = "closed"
+ESCAPED = "escaped"
+PARAM = "param"
+
+
+@dataclass
+class FunctionSummary:
+    """The caller-visible dataflow facts of one function."""
+
+    qualname: str
+    returns_resource: bool = False
+    resource_kind: str = "resource"
+    releases_params: FrozenSet[int] = frozenset()
+    escape_params: FrozenSet[int] = frozenset()
+    returns_taint: bool = False
+    sink_params: FrozenSet[int] = frozenset()
+    acquires_locks: FrozenSet[str] = frozenset()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "qualname": self.qualname,
+            "returns_resource": self.returns_resource,
+            "resource_kind": self.resource_kind,
+            "releases_params": sorted(self.releases_params),
+            "escape_params": sorted(self.escape_params),
+            "returns_taint": self.returns_taint,
+            "sink_params": sorted(self.sink_params),
+            "acquires_locks": sorted(self.acquires_locks),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FunctionSummary":
+        return cls(
+            qualname=str(data["qualname"]),
+            returns_resource=bool(data["returns_resource"]),
+            resource_kind=str(data["resource_kind"]),
+            releases_params=frozenset(data["releases_params"]),  # type: ignore[arg-type]
+            escape_params=frozenset(data["escape_params"]),  # type: ignore[arg-type]
+            returns_taint=bool(data["returns_taint"]),
+            sink_params=frozenset(data["sink_params"]),  # type: ignore[arg-type]
+            acquires_locks=frozenset(data["acquires_locks"]),  # type: ignore[arg-type]
+        )
+
+
+# -- evidence records -------------------------------------------------------
+
+@dataclass(frozen=True)
+class Leak:
+    line: int
+    kind: str
+    what: str           #: e.g. "pool.fetch(...)"
+    exceptional: bool   #: leaked on an exception path (vs. normal return)
+
+
+@dataclass(frozen=True)
+class LockEdge:
+    held: str
+    acquired: str
+    func: str
+    line: int
+
+
+@dataclass(frozen=True)
+class TaintHit:
+    line: int
+    source: str         #: where the snapshot-scoped value came from
+    sink: str           #: the mutation entry point it reached
+
+
+@dataclass
+class FunctionResult:
+    """Summary + evidence for one function at the current fixpoint."""
+
+    summary: FunctionSummary
+    leaks: List[Leak] = field(default_factory=list)
+    lock_edges: List[LockEdge] = field(default_factory=list)
+    taint_hits: List[TaintHit] = field(default_factory=list)
+
+
+# -- shared helpers ---------------------------------------------------------
+
+def _call_name(call: ast.Call) -> str:
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return "<computed>"
+
+
+def _receiver_hint(call: ast.Call) -> Optional[str]:
+    """Trailing receiver name of an attribute call (``self.pool`` -> pool)."""
+    if not isinstance(call.func, ast.Attribute):
+        return None
+    value = call.func.value
+    if isinstance(value, ast.Name):
+        return value.id
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    return None
+
+
+def _display(call: ast.Call) -> str:
+    recv = _receiver_hint(call)
+    name = _call_name(call)
+    return f"{recv}.{name}(...)" if recv else f"{name}(...)"
+
+
+def _arg_offset(site: CallSite, target: FunctionInfo) -> int:
+    """Positional-arg -> parameter index offset (bound methods skip self)."""
+    if target.cls is not None and isinstance(site.call.func, ast.Attribute):
+        return 1
+    return 0
+
+
+def _base_name(expr: ast.expr) -> Optional[str]:
+    """The root Name of a Name / single-level Attribute expression."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+        return expr.value.id
+    return None
+
+
+def _is_stub(node: ast.AST) -> bool:
+    """Protocol-style body: docstring / pass / ... / raise only."""
+    body = list(getattr(node, "body", []))
+    if body and isinstance(body[0], ast.Expr) \
+            and isinstance(body[0].value, ast.Constant) \
+            and isinstance(body[0].value.value, str):
+        body = body[1:]
+    if not body:
+        return True
+    return all(
+        isinstance(stmt, (ast.Pass, ast.Raise))
+        or (isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis)
+        for stmt in body
+    )
+
+
+def _known_none(test: ast.expr, polarity: bool) -> Optional[str]:
+    """The name proven None/falsy on the ``polarity`` branch of ``test``.
+
+    Recognizes ``x is None`` / ``x is not None`` / ``x`` / ``not x``.
+    """
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        return _known_none(test.operand, not polarity)
+    if isinstance(test, ast.Name):
+        return test.id if not polarity else None
+    if isinstance(test, ast.Compare) and len(test.ops) == 1 \
+            and isinstance(test.left, ast.Name) \
+            and isinstance(test.comparators[0], ast.Constant) \
+            and test.comparators[0].value is None:
+        if isinstance(test.ops[0], ast.Is):
+            return test.left.id if polarity else None
+        if isinstance(test.ops[0], ast.IsNot):
+            return test.left.id if not polarity else None
+    return None
+
+
+def _stmt_calls(node: CFGNode) -> List[ast.Call]:
+    # Post-order = Python evaluation order: arguments run before the
+    # enclosing call, so ``out.append(pool.fetch(pid))`` registers the
+    # fetch site before append decides the pin escaped into ``out``.
+    calls: List[ast.Call] = []
+    if node.stmt is None:
+        return calls
+
+    def visit(sub: ast.AST) -> None:
+        for child in ast.iter_child_nodes(sub):
+            visit(child)
+        if isinstance(sub, ast.Call):
+            calls.append(sub)
+
+    for part in exec_parts(node.stmt):
+        visit(part)
+    return calls
+
+
+class _Oracle:
+    """Answers "what does this call do?" from the call graph + summaries."""
+
+    def __init__(self, graph: CallGraph,
+                 summaries: Dict[str, FunctionSummary]) -> None:
+        self.graph = graph
+        self.summaries = summaries
+
+    def site(self, call: ast.Call) -> Optional[CallSite]:
+        return self.graph.site_for(call)
+
+    def target_summaries(
+            self, call: ast.Call) -> List[Tuple[CallSite, FunctionSummary]]:
+        site = self.site(call)
+        if site is None:
+            return []
+        out = []
+        for target in site.targets:
+            summary = self.summaries.get(target.qualname)
+            if summary is not None:
+                out.append((site, summary))
+        return out
+
+    def is_unresolved(self, call: ast.Call) -> bool:
+        site = self.site(call)
+        return site is not None and site.status == UNRESOLVED
+
+    def acquire_kind(self, call: ast.Call) -> Optional[str]:
+        """Does this call hand back a resource the caller must release?"""
+        name = _call_name(call)
+        if name in ACQUIRE_ATTRS and isinstance(call.func, ast.Attribute):
+            for kw in call.keywords:
+                if kw.arg == "pin" and isinstance(kw.value, ast.Constant) \
+                        and kw.value.value is False:
+                    return None
+            site = self.site(call)
+            if site is not None and site.status == RESOLVED:
+                # Trust the resolution: acquire only through the root
+                # primitives, opaque protocol stubs, or callees whose
+                # summary says they return a live resource.  A resolved
+                # concrete function named e.g. "create" that builds a
+                # value (BTree.create) is not an acquisition.
+                for target in site.targets:
+                    if (target.module, target.name) in PRIMITIVE_ACQUIRERS:
+                        return ACQUIRE_ATTRS[name]
+                    if _is_stub(target.node):
+                        return ACQUIRE_ATTRS[name]
+                    summary = self.summaries.get(target.qualname)
+                    if summary is not None and summary.returns_resource:
+                        return summary.resource_kind
+                return None
+            hint = _receiver_hint(call)
+            if hint in _ACQUIRE_RECEIVER_HINTS:
+                return ACQUIRE_ATTRS[name]
+            return None
+        for _site, summary in self.target_summaries(call):
+            if summary.returns_resource:
+                return summary.resource_kind
+        return None
+
+
+# -- resource lifecycle (RPL010 core) ---------------------------------------
+
+class _ResState:
+    """sites: site-id -> statuses; vars: name -> site-ids (may-alias)."""
+
+    __slots__ = ("sites", "vars")
+
+    def __init__(self, sites: Dict[str, FrozenSet[str]],
+                 vars: Dict[str, FrozenSet[str]]) -> None:
+        self.sites = sites
+        self.vars = vars
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _ResState) \
+            and self.sites == other.sites and self.vars == other.vars
+
+    def copy(self) -> "_ResState":
+        return _ResState(dict(self.sites), dict(self.vars))
+
+
+class ResourceAnalysis(ForwardAnalysis[_ResState]):
+    """Tracks acquisition sites through aliases, releases and escapes."""
+
+    def __init__(self, func: FunctionInfo, oracle: _Oracle) -> None:
+        self.func = func
+        self.oracle = oracle
+        #: site-id -> (line, kind, display)
+        self.site_info: Dict[str, Tuple[int, str, str]] = {}
+        self.released_params: Set[int] = set()
+        self.escaped_params: Set[int] = set()
+        self.returns_resource = False
+        self.resource_kind = "resource"
+
+    # - framework hooks -
+
+    def initial(self, cfg: CFG) -> _ResState:
+        sites: Dict[str, FrozenSet[str]] = {}
+        vars: Dict[str, FrozenSet[str]] = {}
+        for index, name in enumerate(self.func.params):
+            site = f"<param:{index}>"
+            sites[site] = frozenset({PARAM})
+            vars[name] = frozenset({site})
+        return _ResState(sites, vars)
+
+    def bottom(self) -> _ResState:
+        return _ResState({}, {})
+
+    def join(self, a: _ResState, b: _ResState) -> _ResState:
+        sites = dict(a.sites)
+        for site, statuses in b.sites.items():
+            sites[site] = sites.get(site, frozenset()) | statuses
+        vars = dict(a.vars)
+        for name, ids in b.vars.items():
+            vars[name] = vars.get(name, frozenset()) | ids
+        return _ResState(sites, vars)
+
+    def exc_state(self, node: CFGNode, pre: _ResState,
+                  post: _ResState) -> _ResState:
+        # A release statement that raises is assumed to have released:
+        # propagating PRE would flag every correct try/finally cleanup.
+        # Helpers whose summary releases a parameter count the same way.
+        for call in _stmt_calls(node):
+            if _call_name(call) in RELEASE_ATTRS:
+                return post
+            for _, summary in self.oracle.target_summaries(call):
+                if summary.releases_params:
+                    return post
+        return pre
+
+    def refine(self, node: CFGNode, state: _ResState) -> _ResState:
+        # On the branch where the guard proves ``x`` is None/falsy, the
+        # acquisition bound to ``x`` cannot have happened on any path
+        # reaching here: drop OPEN so `if x is not None: release(x)`
+        # cleanup idioms verify.
+        assert node.branch is not None
+        test, polarity = node.branch
+        name = _known_none(test, polarity)
+        if name is None:
+            return state
+        new = state.copy()
+        for site in new.vars.get(name, frozenset()):
+            old = new.sites.get(site)
+            if old and OPEN in old and PARAM not in old:
+                new.sites[site] = old - {OPEN}
+        return new
+
+    # - state helpers -
+
+    def _sites_of(self, state: _ResState,
+                  expr: Optional[ast.expr]) -> FrozenSet[str]:
+        if isinstance(expr, ast.Call):
+            # An acquisition used directly as an argument: its site was
+            # registered when the inner call ran (evaluation order).
+            site = f"{expr.lineno}:{expr.col_offset}"
+            if site in state.sites:
+                return frozenset({site})
+        if expr is None:
+            return frozenset()
+        name = _base_name(expr)
+        if name is None:
+            return frozenset()
+        return state.vars.get(name, frozenset())
+
+    def _set_status(self, state: _ResState, ids: FrozenSet[str],
+                    status: str) -> None:
+        for site in ids:
+            old = state.sites.get(site, frozenset())
+            if PARAM in old:
+                index = int(site[len("<param:"):-1])
+                if status == CLOSED:
+                    self.released_params.add(index)
+                elif status == ESCAPED:
+                    self.escaped_params.add(index)
+                continue
+            if status == CLOSED:
+                # Strong update: a release through a name closes every
+                # site the name may alias.  On any concrete path the
+                # name holds exactly one of them, and the others were
+                # already closed before the rebinding that created the
+                # alias set (the loop-descent fetch/release pattern).
+                # Conditional leaks still surface because the branch
+                # states join *after* this transfer.
+                state.sites[site] = frozenset({CLOSED})
+            else:
+                state.sites[site] = old | {status}
+
+    def _new_site(self, state: _ResState, call: ast.Call,
+                  kind: str) -> str:
+        site = f"{call.lineno}:{call.col_offset}"
+        self.site_info[site] = (call.lineno, kind, _display(call))
+        state.sites[site] = frozenset({OPEN})
+        return site
+
+    # - transfer -
+
+    def transfer(self, node: CFGNode, state: _ResState) -> _ResState:
+        stmt = node.stmt
+        new = state.copy()
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return new  # with-managed acquisitions release via __exit__
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            # A nested def/class capturing a tracked value (the cleanup-
+            # closure pattern) takes over the release obligation.
+            self._escape_captured(new, stmt)
+            return new
+
+        bound_call: Optional[ast.Call] = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name) \
+                and isinstance(stmt.value, ast.Call):
+            bound_call = stmt.value
+
+        for call in _stmt_calls(node):
+            self._apply_call(new, call,
+                             bound=(call is bound_call),
+                             in_return=isinstance(stmt, ast.Return))
+
+        if isinstance(stmt, ast.Assign):
+            self._apply_assign(new, stmt)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._apply_target(new, stmt.target, stmt.value)
+        elif isinstance(stmt, ast.Return):
+            self._apply_return(new, stmt.value)
+        elif isinstance(stmt, ast.Expr) and isinstance(
+                stmt.value, (ast.Yield, ast.YieldFrom)):
+            value = stmt.value.value
+            ids = self._sites_of(new, value)
+            if ids:
+                self._set_status(new, ids, ESCAPED)
+        return new
+
+    def _escape_captured(self, state: _ResState, stmt: ast.stmt) -> None:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Name) and sub.id in state.vars:
+                ids = state.vars[sub.id]
+                if ids:
+                    self._set_status(state, ids, ESCAPED)
+
+    def _apply_call(self, state: _ResState, call: ast.Call,
+                    bound: bool, in_return: bool) -> None:
+        name = _call_name(call)
+        oracle = self.oracle
+        handled_args: Set[int] = set()
+
+        # 1. releases by well-known name: first data arg, else receiver
+        if name in RELEASE_ATTRS and isinstance(call.func, ast.Attribute):
+            arg_ids = self._sites_of(state, call.args[0]) \
+                if call.args else frozenset()
+            if arg_ids:
+                self._set_status(state, arg_ids, CLOSED)
+                handled_args.add(0)
+            elif not call.args:
+                recv_ids = self._sites_of(state, call.func.value)
+                if recv_ids:
+                    self._set_status(state, recv_ids, CLOSED)
+
+        # 2. effects derived from callee summaries
+        for site, summary in oracle.target_summaries(call):
+            for target in site.targets:
+                offset = _arg_offset(site, target)
+                for position, arg in enumerate(call.args):
+                    if position in handled_args:
+                        continue
+                    ids = self._sites_of(state, arg)
+                    if not ids:
+                        continue
+                    param = position + offset
+                    if param in summary.releases_params:
+                        self._set_status(state, ids, CLOSED)
+                        handled_args.add(position)
+                    elif param in summary.escape_params:
+                        self._set_status(state, ids, ESCAPED)
+                        handled_args.add(position)
+                break  # summaries are joined per target below anyway
+
+        # 3. a tracked value passed into an unresolved call escapes; so
+        #    does one stored into an external container (stack.append)
+        site = oracle.site(call)
+        conservative_escape = oracle.is_unresolved(call) or (
+            name in CONTAINER_STORE_ATTRS
+            and isinstance(call.func, ast.Attribute)
+            and (site is None or not site.targets))
+        if conservative_escape:
+            for position, arg in enumerate(call.args):
+                if position in handled_args:
+                    continue
+                ids = self._sites_of(state, arg)
+                if ids:
+                    self._set_status(state, ids, ESCAPED)
+
+        # 4. acquisitions
+        kind = oracle.acquire_kind(call)
+        if kind is not None:
+            site_id = self._new_site(state, call, kind)
+            if in_return:
+                state.sites[site_id] = frozenset({OPEN, ESCAPED})
+                self.returns_resource = True
+                self.resource_kind = kind
+            elif not bound:
+                # result discarded or buried in a larger expression:
+                # stays OPEN with no binding -> reported if never closed
+                pass
+
+    def _apply_assign(self, state: _ResState, stmt: ast.Assign) -> None:
+        for target in stmt.targets:
+            self._apply_target(state, target, stmt.value)
+
+    def _apply_target(self, state: _ResState, target: ast.expr,
+                      value: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            if isinstance(value, ast.Call):
+                kind = self.oracle.acquire_kind(value)
+                if kind is not None:
+                    site = f"{value.lineno}:{value.col_offset}"
+                    state.vars[target.id] = frozenset({site})
+                    return
+            if isinstance(value, ast.Name):
+                state.vars[target.id] = state.vars.get(
+                    value.id, frozenset())
+                return
+            state.vars[target.id] = frozenset()
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            # stored on the heap: the value escapes local reasoning
+            ids = self._sites_of(state, value)
+            if ids:
+                self._set_status(state, ids, ESCAPED)
+            if isinstance(value, ast.Call):
+                kind = self.oracle.acquire_kind(value)
+                if kind is not None:
+                    site = f"{value.lineno}:{value.col_offset}"
+                    if site in state.sites:
+                        state.sites[site] = \
+                            state.sites[site] | {ESCAPED}
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                if isinstance(element, ast.Name):
+                    state.vars[element.id] = frozenset()
+
+    def _apply_return(self, state: _ResState,
+                      value: Optional[ast.expr]) -> None:
+        elements: Sequence[ast.expr]
+        if value is None:
+            return
+        elements = value.elts if isinstance(
+            value, (ast.Tuple, ast.List)) else [value]
+        for element in elements:
+            ids = self._sites_of(state, element)
+            open_returned = any(
+                OPEN in state.sites.get(site, frozenset())
+                for site in ids)
+            if open_returned:
+                self.returns_resource = True
+                kinds = {self.site_info[s][1] for s in ids
+                         if s in self.site_info}
+                if kinds:
+                    self.resource_kind = sorted(kinds)[0]
+            if ids:
+                self._set_status(state, ids, ESCAPED)
+
+    # - reporting -
+
+    def leaks(self, cfg: CFG,
+              in_states: Dict[int, _ResState]) -> List[Leak]:
+        found: Dict[str, Leak] = {}
+        for exit_node, exceptional in ((cfg.exit, False),
+                                       (cfg.exc_exit, True)):
+            state = in_states.get(exit_node.index)
+            if state is None:
+                continue
+            for site, statuses in state.sites.items():
+                if OPEN in statuses and ESCAPED not in statuses \
+                        and site in self.site_info:
+                    line, kind, what = self.site_info[site]
+                    previous = found.get(site)
+                    if previous is None or (previous.exceptional
+                                            and not exceptional):
+                        found[site] = Leak(line, kind, what, exceptional)
+        return sorted(found.values(), key=lambda leak: leak.line)
+
+
+# -- lock order (RPL011 core) -----------------------------------------------
+
+class _LockIndex:
+    """Which attributes of which classes are latches."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        self.assigned: Set[Tuple[str, str]] = set()  # (class qual, attr)
+        for func in graph.functions.values():
+            if func.cls is None:
+                continue
+            for node in ast.walk(func.node):
+                if isinstance(node, ast.Assign) and self._is_lock_ctor(
+                        node.value):
+                    for target in node.targets:
+                        if isinstance(target, ast.Attribute) \
+                                and isinstance(target.value, ast.Name) \
+                                and target.value.id == "self":
+                            self.assigned.add(
+                                (func.cls.qualname, target.attr))
+
+    @staticmethod
+    def _is_lock_ctor(expr: ast.expr) -> bool:
+        if not isinstance(expr, ast.Call):
+            return False
+        callee = expr.func
+        name = callee.attr if isinstance(callee, ast.Attribute) \
+            else callee.id if isinstance(callee, ast.Name) else ""
+        return name in {"Lock", "RLock", "Condition", "Semaphore"}
+
+    def lock_id(self, func: FunctionInfo,
+                local_types: Dict[str, Set[str]],
+                expr: ast.expr) -> Optional[str]:
+        """Stable identity of a latch expression, or None."""
+        if not isinstance(expr, ast.Attribute):
+            return None
+        receiver_types = self.graph._receiver_types(
+            func, local_types, expr.value)
+        for rtype in sorted(receiver_types):
+            if rtype == EXTERNAL_TYPE:
+                continue
+            lockish = expr.attr in LOCKISH_ATTRS \
+                or (rtype, expr.attr) in self.assigned
+            if lockish:
+                cls = self.graph.classes.get(rtype)
+                owner = cls.name if cls is not None else rtype
+                return f"{owner}.{expr.attr}"
+        return None
+
+
+class LockAnalysis(ForwardAnalysis[FrozenSet[str]]):
+    """Held-latch sets; emits ordering edges at every acquisition."""
+
+    def __init__(self, func: FunctionInfo, oracle: _Oracle,
+                 locks: _LockIndex) -> None:
+        self.func = func
+        self.oracle = oracle
+        self.locks = locks
+        self.local_types = oracle.graph._local_types(func)
+        self.acquired: Set[str] = set()
+        self.edges: Set[LockEdge] = set()
+
+    def initial(self, cfg: CFG) -> FrozenSet[str]:
+        return frozenset()
+
+    def bottom(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def join(self, a: FrozenSet[str], b: FrozenSet[str]) -> FrozenSet[str]:
+        return a | b
+
+    def _lexical(self, node: CFGNode) -> FrozenSet[str]:
+        held: Set[str] = set()
+        for stmt in node.with_stack:
+            for item in stmt.items:
+                lock = self.locks.lock_id(self.func, self.local_types,
+                                          item.context_expr)
+                if lock is not None:
+                    held.add(lock)
+        return frozenset(held)
+
+    def _record(self, held: FrozenSet[str], acquired: str,
+                line: int) -> None:
+        self.acquired.add(acquired)
+        for lock in held:
+            if lock != acquired:
+                self.edges.add(LockEdge(lock, acquired,
+                                        self.func.qualname, line))
+
+    def transfer(self, node: CFGNode,
+                 state: FrozenSet[str]) -> FrozenSet[str]:
+        held = state | self._lexical(node)
+        stmt = node.stmt
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                lock = self.locks.lock_id(self.func, self.local_types,
+                                          item.context_expr)
+                if lock is not None:
+                    self._record(held, lock, stmt.lineno)
+                    held = held | {lock}
+            return state  # body nodes see it via with_stack
+
+        for call in _stmt_calls(node):
+            name = _call_name(call)
+            if isinstance(call.func, ast.Attribute) \
+                    and name in {"acquire", "release"}:
+                lock = self.locks.lock_id(self.func, self.local_types,
+                                          call.func.value)
+                if lock is not None:
+                    if name == "acquire":
+                        self._record(held, lock, call.lineno)
+                        state = state | {lock}
+                        held = held | {lock}
+                    else:
+                        state = state - {lock}
+                        held = held - {lock}
+                    continue
+            for _site, summary in self.oracle.target_summaries(call):
+                for inner in sorted(summary.acquires_locks):
+                    self._record(held, inner, call.lineno)
+        return state
+
+
+# -- snapshot-epoch taint (RPL012 core) -------------------------------------
+
+class _TaintState:
+    __slots__ = ("tainted",)
+
+    def __init__(self, tainted: FrozenSet[str]) -> None:
+        self.tainted = tainted
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _TaintState) \
+            and self.tainted == other.tainted
+
+
+class TaintAnalysis(ForwardAnalysis[_TaintState]):
+    """Snapshot-scoped values must never reach a mutation sink.
+
+    Propagation is deliberately narrow — name copies, attribute reads,
+    ``bytes``/``bytearray`` conversion, ``.fetch()`` on a tainted
+    page source, and callees summarized as ``returns_taint`` — so the
+    legitimate snapshot-read -> result-table flow of retrospective
+    queries stays clean while raw snapshot bytes reaching ``install``/
+    ``put_raw``/``log_commit`` are flagged.
+    """
+
+    def __init__(self, func: FunctionInfo, oracle: _Oracle,
+                 tainted_params: FrozenSet[int] = frozenset()) -> None:
+        self.func = func
+        self.oracle = oracle
+        self.tainted_params = tainted_params
+        self.hits: Set[TaintHit] = set()
+        self.returns_taint = False
+        self.sink_params: Set[int] = set()
+        self.source_desc: Dict[str, str] = {}
+
+    def initial(self, cfg: CFG) -> _TaintState:
+        names = []
+        for index, name in enumerate(self.func.params):
+            if index in self.tainted_params:
+                names.append(name)
+                self.source_desc.setdefault(
+                    name, f"parameter '{name}'")
+        return _TaintState(frozenset(names))
+
+    def bottom(self) -> _TaintState:
+        return _TaintState(frozenset())
+
+    def join(self, a: _TaintState, b: _TaintState) -> _TaintState:
+        return _TaintState(a.tainted | b.tainted)
+
+    # - expression taint -
+
+    def _expr_tainted(self, state: _TaintState,
+                      expr: ast.expr) -> Optional[str]:
+        """A human description of the taint source, or None if clean."""
+        if isinstance(expr, ast.Name):
+            if expr.id in state.tainted:
+                return self.source_desc.get(expr.id, f"'{expr.id}'")
+            return None
+        if isinstance(expr, (ast.Attribute, ast.Subscript, ast.Starred)):
+            return self._expr_tainted(state, expr.value)
+        if isinstance(expr, ast.Call):
+            name = _call_name(expr)
+            if name in {"bytes", "bytearray", "memoryview"}:
+                for arg in expr.args:
+                    desc = self._expr_tainted(state, arg)
+                    if desc is not None:
+                        return desc
+                return None
+            if name in TAINT_SOURCE_ATTRS or name in TAINT_SOURCE_CLASSES:
+                return f"{_display(expr)} (line {expr.lineno})"
+            if name == "fetch" and isinstance(expr.func, ast.Attribute):
+                return self._expr_tainted(state, expr.func.value)
+            for _site, summary in self.oracle.target_summaries(expr):
+                if summary.returns_taint:
+                    return f"{_display(expr)} (line {expr.lineno})"
+            return None
+        return None
+
+    # - transfer -
+
+    def transfer(self, node: CFGNode, state: _TaintState) -> _TaintState:
+        tainted = set(state.tainted)
+        stmt = node.stmt
+
+        for call in _stmt_calls(node):
+            self._check_sinks(state, call)
+
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name):
+            name = stmt.targets[0].id
+            desc = self._expr_tainted(state, stmt.value)
+            if desc is not None:
+                tainted.add(name)
+                self.source_desc.setdefault(name, desc)
+            else:
+                tainted.discard(name)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if isinstance(item.optional_vars, ast.Name):
+                    desc = self._expr_tainted(state, item.context_expr)
+                    if desc is not None:
+                        tainted.add(item.optional_vars.id)
+                        self.source_desc.setdefault(
+                            item.optional_vars.id, desc)
+        elif isinstance(stmt, ast.Return) and stmt.value is not None:
+            if self._expr_tainted(state, stmt.value) is not None:
+                self.returns_taint = True
+
+        return _TaintState(frozenset(tainted))
+
+    def _check_sinks(self, state: _TaintState, call: ast.Call) -> None:
+        name = _call_name(call)
+        if name in TAINT_SINK_ATTRS and isinstance(call.func, ast.Attribute):
+            for arg in list(call.args) + [k.value for k in call.keywords]:
+                desc = self._expr_tainted(state, arg)
+                if desc is not None:
+                    self._hit(call, desc, f"{_display(call)}")
+                    break
+            # make_writable/mark_dirty taint via the receiver too:
+            # mutating a snapshot-scoped page source is itself the bug.
+            if name in {"make_writable", "mark_dirty"}:
+                desc = self._expr_tainted(state, call.func.value)
+                if desc is not None:
+                    self._hit(call, desc, f"{_display(call)}")
+        for site_summary in self.oracle.target_summaries(call):
+            site, summary = site_summary
+            if not summary.sink_params:
+                continue
+            for target in site.targets:
+                offset = _arg_offset(site, target)
+                for position, arg in enumerate(call.args):
+                    if position + offset in summary.sink_params:
+                        desc = self._expr_tainted(state, arg)
+                        if desc is not None:
+                            self._hit(call, desc, _display(call))
+                break
+
+    def _hit(self, call: ast.Call, source: str, sink: str) -> None:
+        self.hits.add(TaintHit(call.lineno, source, sink))
+
+
+# -- one-function summarization ---------------------------------------------
+
+def summarize(func: FunctionInfo, cfg: CFG, graph: CallGraph,
+              summaries: Dict[str, FunctionSummary],
+              lock_index: Optional[_LockIndex] = None) -> FunctionResult:
+    """Run all three analyses for one function with callee summaries."""
+    oracle = _Oracle(graph, summaries)
+
+    resource = ResourceAnalysis(func, oracle)
+    res_states = solve(cfg, resource)
+    leaks = resource.leaks(cfg, res_states)
+
+    locks = LockAnalysis(func, oracle, lock_index or _LockIndex(graph))
+    solve(cfg, locks)
+
+    # Taint pass 1: no tainted params -> intrinsic sources only.
+    taint = TaintAnalysis(func, oracle)
+    solve(cfg, taint)
+    # Taint pass 2: all params tainted -> which params reach sinks?
+    probe = TaintAnalysis(
+        func, oracle,
+        tainted_params=frozenset(range(len(func.params))))
+    solve(cfg, probe)
+    probe_sinks = frozenset(
+        index for index, name in enumerate(func.params)
+        if any(hit.source == f"parameter '{name}'"
+               for hit in probe.hits))
+
+    summary = FunctionSummary(
+        qualname=func.qualname,
+        returns_resource=resource.returns_resource,
+        resource_kind=resource.resource_kind,
+        releases_params=frozenset(resource.released_params),
+        escape_params=frozenset(resource.escaped_params),
+        returns_taint=taint.returns_taint,
+        sink_params=probe_sinks,
+        acquires_locks=frozenset(locks.acquired),
+    )
+    return FunctionResult(
+        summary=summary,
+        leaks=leaks,
+        lock_edges=sorted(locks.edges,
+                          key=lambda e: (e.func, e.line, e.acquired)),
+        taint_hits=sorted(taint.hits, key=lambda h: h.line),
+    )

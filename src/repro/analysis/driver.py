@@ -6,8 +6,13 @@ Entry points::
     python -m repro.cli lint [args...]    # same, via the main CLI
     analyze_paths([...]) / analyze_source(...)  # programmatic / tests
 
+Two analysis phases run over every tree: the intraprocedural checkers
+(one module at a time) and the interprocedural program checkers
+(RPL010–RPL012), which see all modules at once through the dataflow
+engine in :mod:`repro.analysis.dataflow`.
+
 Exit status is 0 when no error-severity findings remain after pragma and
-baseline filtering, 1 otherwise.
+baseline filtering, 1 otherwise, 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -16,7 +21,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.context import ModuleContext
 from repro.analysis.findings import (
@@ -26,7 +31,8 @@ from repro.analysis.findings import (
     load_baseline,
     save_baseline,
 )
-from repro.analysis.rules import all_checkers
+from repro.analysis.rules import all_checkers, all_program_checkers
+from repro.analysis.sarif import render_sarif
 from repro.errors import AnalysisError
 
 DEFAULT_BASELINE = "replint.baseline"
@@ -46,35 +52,72 @@ def iter_source_files(root: Path) -> Iterable[Tuple[Path, str]]:
         yield path, path.relative_to(root).as_posix()
 
 
-def analyze_source(source: str, relpath: str,
-                   path: Optional[Path] = None) -> List[Finding]:
-    """Run every rule over one module's source text (test entry point)."""
+def _load_context(source: str, relpath: str,
+                  path: Optional[Path] = None
+                  ) -> Tuple[Optional[ModuleContext], List[Finding]]:
     try:
-        ctx = ModuleContext.from_source(source, relpath, path)
+        return ModuleContext.from_source(source, relpath, path), []
     except SyntaxError as exc:
-        return [Finding(
+        return None, [Finding(
             file=relpath, line=exc.lineno or 0, rule="RPL000",
             severity=ERROR, message=f"syntax error: {exc.msg}",
         )]
-    findings: List[Finding] = list(ctx.unjustified_pragmas())
-    for checker in all_checkers():
-        findings.extend(checker.check(ctx))
+
+
+def analyze_contexts(contexts: Sequence[ModuleContext],
+                     cache_dir: Optional[Path] = None) -> List[Finding]:
+    """Both analysis phases over an already-parsed set of modules."""
+    from repro.analysis.dataflow import Program
+
+    findings: List[Finding] = []
+    for ctx in contexts:
+        findings.extend(ctx.unjustified_pragmas())
+        for checker in all_checkers():
+            findings.extend(checker.check(ctx))
+    program = Program({ctx.relpath: ctx for ctx in contexts},
+                      cache_dir=cache_dir)
+    for program_checker in all_program_checkers():
+        findings.extend(program_checker.check_program(program))
     return findings
 
 
-def analyze_paths(paths: Sequence[Path],
-                  baseline: Optional[Set[str]] = None) -> AnalysisReport:
-    report = AnalysisReport()
-    baseline = baseline or set()
+def analyze_source(source: str, relpath: str,
+                   path: Optional[Path] = None) -> List[Finding]:
+    """Run every rule over one module's source text (test entry point)."""
+    ctx, findings = _load_context(source, relpath, path)
+    if ctx is None:
+        return findings
+    return findings + analyze_contexts([ctx])
+
+
+def _collect_contexts(paths: Sequence[Path]
+                      ) -> Tuple[List[ModuleContext], List[Finding], int]:
+    contexts: List[ModuleContext] = []
+    findings: List[Finding] = []
+    scanned = 0
     for root in paths:
         for path, relpath in iter_source_files(root):
-            report.files_scanned += 1
+            scanned += 1
             source = path.read_text(encoding="utf-8")
-            for finding in analyze_source(source, relpath, path):
-                if finding.baseline_key in baseline:
-                    report.baselined.append(finding)
-                else:
-                    report.findings.append(finding)
+            ctx, errors = _load_context(source, relpath, path)
+            findings.extend(errors)
+            if ctx is not None:
+                contexts.append(ctx)
+    return contexts, findings, scanned
+
+
+def analyze_paths(paths: Sequence[Path],
+                  baseline: Optional[Set[str]] = None,
+                  cache_dir: Optional[Path] = None) -> AnalysisReport:
+    report = AnalysisReport()
+    baseline = baseline or set()
+    contexts, findings, report.files_scanned = _collect_contexts(paths)
+    findings.extend(analyze_contexts(contexts, cache_dir=cache_dir))
+    for finding in findings:
+        if finding.matches(baseline):
+            report.baselined.append(finding)
+        else:
+            report.findings.append(finding)
     report.findings.sort()
     report.baselined.sort()
     return report
@@ -97,24 +140,51 @@ def _render_json(report: AnalysisReport, out) -> None:
     payload = {
         "files_scanned": report.files_scanned,
         "findings": [vars(f) for f in report.findings],
-        "baselined": [f.baseline_key for f in report.baselined],
+        "baselined": [f.hashed_key for f in report.baselined],
     }
     print(json.dumps(payload, indent=2), file=out)
 
 
+def _rule_descriptions() -> Dict[str, str]:
+    described = {
+        "RPL000": "pragma-hygiene: replint pragmas must parse and carry "
+                  "a justification",
+    }
+    for checker in all_checkers() + all_program_checkers():
+        described[checker.rule_id] = \
+            f"{checker.name}: {checker.description}"
+    return described
+
+
 def _list_rules(out) -> None:
-    print("RPL000 pragma-hygiene: replint pragmas must parse and carry "
-          "a justification", file=out)
-    for checker in all_checkers():
-        print(f"{checker.rule_id} {checker.name}: {checker.description}",
-              file=out)
+    for rule_id, text in sorted(_rule_descriptions().items()):
+        print(f"{rule_id} {text}", file=out)
+
+
+def _dump_graph(which: str, paths: Sequence[Path], out,
+                cache_dir: Optional[Path] = None) -> int:
+    from repro.analysis.dataflow import Program
+
+    contexts, findings, _ = _collect_contexts(paths)
+    if findings:
+        for finding in findings:
+            print(finding.render(), file=out)
+        return 2
+    program = Program({ctx.relpath: ctx for ctx in contexts},
+                      cache_dir=cache_dir)
+    if which == "calls":
+        print(program.call_graph_dot(), file=out, end="")
+    else:
+        print(program.latch_graph_dot(), file=out, end="")
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     parser = argparse.ArgumentParser(
         prog="repro.analysis",
-        description="replint: AST invariant checks for the repro tree",
+        description="replint: AST + dataflow invariant checks for the "
+                    "repro tree",
     )
     parser.add_argument("paths", nargs="*", type=Path,
                         help="files/directories to lint "
@@ -124,8 +194,20 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
                              f"when present)")
     parser.add_argument("--write-baseline", action="store_true",
                         help="accept all current findings into the baseline")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default=None, dest="format",
+                        help="output format (default: text)")
     parser.add_argument("--json", action="store_true", dest="as_json",
-                        help="machine-readable output")
+                        help="machine-readable output "
+                             "(alias for --format json)")
+    parser.add_argument("--graph", choices=("calls", "latches"),
+                        default=None,
+                        help="dump the call graph / latch-order graph "
+                             "as DOT and exit")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="directory for parsed-summary cache artifacts "
+                             "(keyed on a source digest; safe to share "
+                             "across runs)")
     parser.add_argument("--list-rules", action="store_true",
                         help="describe every rule and exit")
     args = parser.parse_args(argv)
@@ -134,6 +216,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         _list_rules(out)
         return 0
 
+    output_format = args.format or ("json" if args.as_json else "text")
+
     paths = list(args.paths) or [package_root()]
     missing = [p for p in paths if not p.exists()]
     if missing:
@@ -141,13 +225,17 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         for path in missing:
             print(f"replint: no such path: {path}", file=out)
         return 2
+
+    if args.graph is not None:
+        return _dump_graph(args.graph, paths, out, cache_dir=args.cache_dir)
+
     baseline_path = args.baseline or Path(DEFAULT_BASELINE)
     try:
         baseline = load_baseline(baseline_path)
     except AnalysisError as exc:
         print(f"replint: {exc}", file=out)
         return 2
-    report = analyze_paths(paths, baseline)
+    report = analyze_paths(paths, baseline, cache_dir=args.cache_dir)
 
     if args.write_baseline:
         save_baseline(baseline_path, report.findings + report.baselined)
@@ -156,8 +244,10 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
               file=out)
         return 0
 
-    if args.as_json:
+    if output_format == "json":
         _render_json(report, out)
+    elif output_format == "sarif":
+        print(render_sarif(report, _rule_descriptions()), file=out, end="")
     else:
         _render_text(report, out)
     return 0 if report.ok else 1

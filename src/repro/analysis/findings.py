@@ -9,8 +9,12 @@ Baselines
 A baseline file accepts a set of *known* findings so a new rule can land
 before every historical violation is fixed.  Entries key on
 ``rule:file:symbol`` — deliberately **not** on line numbers, which churn
-on every edit.  The repository policy (see README) is an empty baseline:
-real violations are fixed or carry a justified pragma instead.
+on every edit.  Newly written baselines append ``#<hash>``, a content
+hash of the *enclosing function's* source, so an entry survives edits
+anywhere else in the file but expires the moment the flagged function
+itself changes.  Hashless (v1) entries still match for compatibility.
+The repository policy (see README) is an empty baseline: real
+violations are fixed or carry a justified pragma instead.
 """
 
 from __future__ import annotations
@@ -33,15 +37,27 @@ class Finding:
 
     file: str        #: package-relative posix path (baseline-stable)
     line: int
-    rule: str        #: rule id, e.g. "RPL001"
+    rule: str        #: rule id, e.g. "RPL010"
     severity: str
     message: str
     hint: str = ""   #: how to fix (or legitimately suppress) it
     symbol: str = "" #: enclosing function/class qualname, "" at module level
+    content_hash: str = ""  #: hash of the enclosing function's source
 
     @property
     def baseline_key(self) -> str:
+        """v1 key: line-independent but content-independent too."""
         return f"{self.rule}:{self.file}:{self.symbol or '<module>'}"
+
+    @property
+    def hashed_key(self) -> str:
+        """v2 key: expires when the enclosing function's body changes."""
+        if self.content_hash:
+            return f"{self.baseline_key}#{self.content_hash}"
+        return self.baseline_key
+
+    def matches(self, baseline: Set[str]) -> bool:
+        return self.hashed_key in baseline or self.baseline_key in baseline
 
     def render(self) -> str:
         where = f"{self.file}:{self.line}"
@@ -85,5 +101,5 @@ def load_baseline(path: Path) -> Set[str]:
 
 
 def save_baseline(path: Path, findings: Iterable[Finding]) -> None:
-    keys = sorted({finding.baseline_key for finding in findings})
+    keys = sorted({finding.hashed_key for finding in findings})
     path.write_text(json.dumps(keys, indent=2) + "\n", encoding="utf-8")

@@ -1,21 +1,32 @@
 """replint rule registry.
 
-Each checker is a subclass of :class:`Checker` with a unique ``rule_id``.
-Adding a rule = write a module here, subclass ``Checker``, decorate with
-:func:`register`.  The driver instantiates every registered checker and
-runs it over every module; checkers decide themselves which modules are
-in scope (e.g. the WAL rule only looks under ``storage/``).
+Two kinds of checkers:
+
+* :class:`Checker` — intraprocedural, run once per module;
+* :class:`ProgramChecker` — interprocedural, run once per *program*
+  (a whole-tree :class:`~repro.analysis.dataflow.program.Program` with
+  call graph, CFGs and converged function summaries).
+
+Adding a rule = write a module here, subclass the right base, decorate
+with :func:`register` / :func:`register_program`.  Checkers decide
+themselves which modules are in scope (e.g. the WAL rule only looks
+under ``storage/``).
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Type
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Type
 
 from repro.analysis.context import ModuleContext
 from repro.analysis.findings import ERROR, Finding
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.dataflow.callgraph import FunctionInfo
+    from repro.analysis.dataflow.program import Program
+
 _REGISTRY: Dict[str, Type["Checker"]] = {}
+_PROGRAM_REGISTRY: Dict[str, Type["ProgramChecker"]] = {}
 
 
 def register(cls: Type["Checker"]) -> Type["Checker"]:
@@ -23,12 +34,39 @@ def register(cls: Type["Checker"]) -> Type["Checker"]:
     return cls
 
 
+def register_program(cls: Type["ProgramChecker"]) -> Type["ProgramChecker"]:
+    _PROGRAM_REGISTRY[cls.rule_id] = cls
+    return cls
+
+
 def all_checkers() -> List["Checker"]:
     return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
 
 
+def all_program_checkers() -> List["ProgramChecker"]:
+    return [_PROGRAM_REGISTRY[rule_id]()
+            for rule_id in sorted(_PROGRAM_REGISTRY)]
+
+
+def _suppressed_at(ctx: ModuleContext, rule_id: str, line: int,
+                   func_node: Optional[ast.AST]) -> bool:
+    """Pragma check for findings anchored by (line, enclosing function)."""
+    lines = [line]
+    if func_node is not None and isinstance(
+            func_node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        first = min(
+            [func_node.lineno] + [d.lineno for d in func_node.decorator_list])
+        lines.extend([func_node.lineno, first - 1])
+    for candidate in lines:
+        pragma = ctx.pragmas.get(candidate)
+        if pragma is not None and rule_id in pragma.rules \
+                and pragma.justified:
+            return True
+    return False
+
+
 class Checker:
-    """Base class: one rule, run once per module."""
+    """Base class: one intraprocedural rule, run once per module."""
 
     rule_id: str = "RPL000"
     name: str = ""
@@ -53,14 +91,48 @@ class Checker:
             message=message,
             hint=hint,
             symbol=ctx.qualname(node),
+            content_hash=ctx.function_hash(node),
+        )
+
+
+class ProgramChecker:
+    """Base class: one interprocedural rule, run once per program."""
+
+    rule_id: str = "RPL010"
+    name: str = ""
+    description: str = ""
+
+    def check_program(self, program: "Program") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # -- emission helper ---------------------------------------------------
+
+    def finding_at(self, program: "Program", func: "FunctionInfo",
+                   line: int, message: str, hint: str = "",
+                   severity: str = ERROR) -> Optional[Finding]:
+        """Build a finding anchored inside ``func`` at ``line``."""
+        ctx = program.contexts[func.module]
+        if _suppressed_at(ctx, self.rule_id, line, func.node):
+            return None
+        return Finding(
+            file=ctx.relpath,
+            line=line,
+            rule=self.rule_id,
+            severity=severity,
+            message=message,
+            hint=hint,
+            symbol=ctx.qualname(func.node),
+            content_hash=ctx.function_hash(func.node),
         )
 
 
 # Import rule modules for their registration side effect.
 from repro.analysis.rules import (  # noqa: E402,F401
     exceptions,
+    lifecycle,
+    lockorder,
     monoids,
-    pins,
     snapshots,
+    taint,
     wal,
 )

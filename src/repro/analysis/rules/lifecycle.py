@@ -1,0 +1,94 @@
+"""RPL010 — interprocedural resource lifecycle.
+
+Subsumes and upgrades the retired intraprocedural RPL001 pin check.
+Where RPL001 only saw ``pool.fetch(...)`` paired with a ``finally`` in
+the *same* function, RPL010 runs the resource-lifecycle dataflow over
+per-function CFGs with call-graph summaries plugged in, so it tracks
+
+* pins, read contexts and transactions acquired via *any* callee whose
+  summary says it returns a live resource (``Pager.fetch`` wraps
+  ``BufferPool.fetch`` — callers of either are checked);
+* releases performed by callees (``Pager.release`` unpins through the
+  pool — passing a page to it counts as a release);
+* ownership transfer: returning, yielding or storing a resource marks
+  it escaped and shifts the obligation to the consumer;
+* exception paths: a resource held across a may-raise statement with no
+  ``finally``/``with`` protection leaks on the unwind path even though
+  the happy path releases it.
+
+Pin accounting hygiene rides along: direct writes to ``page.pin_count``
+outside the buffer pool remain flagged (pin arithmetic must go through
+``BufferPool`` so eviction accounting stays truthful).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.findings import ERROR, Finding
+from repro.analysis.rules import (
+    ProgramChecker, _suppressed_at, register_program,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.dataflow.program import Program
+
+#: modules that own pin accounting (exempt from the pin_count check):
+#: the pool does the counting, the page defines/initializes the field
+_PIN_OWNERS = {"storage/buffer_pool.py", "storage/page.py"}
+
+
+@register_program
+class ResourceLifecycleChecker(ProgramChecker):
+    rule_id = "RPL010"
+    name = "resource-lifecycle"
+    description = (
+        "pins/cursors/read-contexts/transactions must be released on "
+        "every path, including exception unwinds and across call "
+        "boundaries (interprocedural; subsumes RPL001)"
+    )
+
+    def check_program(self, program: "Program") -> Iterator[Finding]:
+        for qualname in sorted(program.results):
+            func = program.graph.functions[qualname]
+            for leak in program.results[qualname].leaks:
+                path = "an exception unwind" if leak.exceptional \
+                    else "a normal return"
+                finding = self.finding_at(
+                    program, func, leak.line,
+                    f"{leak.kind} from {leak.what} leaks on {path} path",
+                    hint="release it in a finally block (or with-statement)"
+                         ", hand it to a releasing callee, or return it to "
+                         "transfer ownership",
+                )
+                if finding is not None:
+                    yield finding
+        yield from self._pin_count_writes(program)
+
+    def _pin_count_writes(self, program: "Program") -> Iterator[Finding]:
+        for relpath in sorted(program.contexts):
+            if relpath in _PIN_OWNERS:
+                continue
+            ctx = program.contexts[relpath]
+            for node in ast.walk(ctx.tree):
+                target = None
+                if isinstance(node, ast.Assign):
+                    target = node.targets[0] if node.targets else None
+                elif isinstance(node, ast.AugAssign):
+                    target = node.target
+                if isinstance(target, ast.Attribute) \
+                        and target.attr == "pin_count":
+                    func_node = ctx.enclosing_function(node)
+                    if _suppressed_at(ctx, self.rule_id, node.lineno,
+                                      func_node):
+                        continue
+                    yield Finding(
+                        file=ctx.relpath, line=node.lineno,
+                        rule=self.rule_id, severity=ERROR,
+                        message="pin_count mutated outside the buffer pool",
+                        hint="go through BufferPool.fetch/unpin so "
+                             "eviction accounting stays truthful",
+                        symbol=ctx.qualname(node),
+                        content_hash=ctx.function_hash(node),
+                    )

@@ -1,0 +1,60 @@
+"""RPL011 — global latch-acquisition order.
+
+Builds the whole-program latch-order graph: a directed edge
+``A -> B`` whenever some execution path acquires latch ``B`` while
+already holding latch ``A`` — lexically (nested ``with`` blocks),
+through explicit ``acquire``/``release`` calls, or *transitively*
+through a callee whose summary says it takes latches of its own
+(``Pager.fetch`` grabbing the pool latch while the caller holds the
+B+tree latch contributes an edge even though no single function shows
+both).  Any cycle in that graph is a potential deadlock the moment two
+threads interleave, which is exactly the concurrency the ROADMAP is
+heading toward; self-edges are ignored because the latches in this
+tree are reentrant (``threading.RLock``).
+
+One finding per distinct cycle, anchored at the acquisition site that
+closes it, spelling out the full chain so the fix (a consistent global
+order) is obvious.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ProgramChecker, register_program
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.dataflow.program import Program
+
+
+@register_program
+class LockOrderChecker(ProgramChecker):
+    rule_id = "RPL011"
+    name = "lock-order"
+    description = (
+        "latch acquisitions must follow one global order: any cycle in "
+        "the held-latch -> acquired-latch graph is a potential deadlock"
+    )
+
+    def check_program(self, program: "Program") -> Iterator[Finding]:
+        for cycle in program.lock_cycles():
+            closing = cycle[-1]
+            func = program.graph.functions.get(closing.func)
+            if func is None:
+                continue
+            chain = " -> ".join(
+                [edge.held for edge in cycle] + [cycle[0].held])
+            witnesses = ", ".join(
+                f"{edge.held}->{edge.acquired} in "
+                f"{edge.func.split('::')[-1]} "
+                f"({edge.func.split('::')[0]}:{edge.line})"
+                for edge in cycle)
+            finding = self.finding_at(
+                program, func, closing.line,
+                f"latch-order cycle {chain} (potential deadlock)",
+                hint=f"acquire latches in one global order everywhere; "
+                     f"witness edges: {witnesses}",
+            )
+            if finding is not None:
+                yield finding

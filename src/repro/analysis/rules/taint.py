@@ -1,0 +1,58 @@
+"""RPL012 — snapshot-epoch taint.
+
+A snapshot is an immutable past epoch of the database: pages and
+records served through :meth:`StorageEngine.snapshot_source` (or a
+``SnapshotPageSource`` built directly in ``retro/``) must only ever be
+*read*.  If a snapshot-scoped value flows into a current-database
+mutation sink — ``pager.install``, ``pool.put_raw``, ``make_writable``,
+``mark_dirty``, ``wal.log_commit`` — the current epoch is silently
+polluted with bytes from the past: exactly the corruption class the
+paper's copy-on-write design exists to prevent.
+
+The taint dataflow tracks snapshot-scoped values through name copies,
+attribute/subscript reads, ``bytes``/``bytearray`` conversion,
+``.fetch()`` on a tainted page source, and callees summarized as
+returning taint.  Propagation through arbitrary calls is deliberately
+omitted: decoding snapshot records into *new* rows for a retrospective
+result table is the legitimate use of this data and must stay clean.
+Cross-function flows are still caught via summaries — a helper whose
+parameter reaches a sink marks every tainted argument at its call
+sites.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ProgramChecker, register_program
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.dataflow.program import Program
+
+
+@register_program
+class SnapshotTaintChecker(ProgramChecker):
+    rule_id = "RPL012"
+    name = "snapshot-epoch-taint"
+    description = (
+        "snapshot-scoped pages/records must never reach a "
+        "current-database mutation sink (install/put_raw/make_writable/"
+        "mark_dirty/log_commit)"
+    )
+
+    def check_program(self, program: "Program") -> Iterator[Finding]:
+        for qualname in sorted(program.results):
+            func = program.graph.functions[qualname]
+            for hit in program.results[qualname].taint_hits:
+                finding = self.finding_at(
+                    program, func, hit.line,
+                    f"snapshot-scoped value from {hit.source} reaches "
+                    f"mutation sink {hit.sink}",
+                    hint="snapshot epochs are immutable: copy the data "
+                         "into a current-epoch structure through the "
+                         "normal write path instead of installing "
+                         "snapshot bytes directly",
+                )
+                if finding is not None:
+                    yield finding

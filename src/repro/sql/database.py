@@ -121,9 +121,13 @@ class Database:
         if engine.pager.get_root(_CATALOG_ROOT) is not None:
             return
         txn = engine.begin()
-        source = engine.page_source(txn)
-        tree = BTree.create(source)
-        engine.pager.set_root(_CATALOG_ROOT, tree.root_id)
+        try:
+            source = engine.page_source(txn)
+            tree = BTree.create(source)
+            engine.pager.set_root(_CATALOG_ROOT, tree.root_id)
+        except BaseException:
+            engine.rollback(txn)
+            raise
         engine.commit(txn)
         engine.checkpoint()
 
@@ -234,8 +238,12 @@ class Database:
         ctx, cleanup = self._context_for_select(statement)
         from repro.sql.planner import _SelectPlanner
 
-        planner = _SelectPlanner(statement, ctx)
-        columns, rows = planner.columns_and_rows()
+        try:
+            planner = _SelectPlanner(statement, ctx)
+            columns, rows = planner.columns_and_rows()
+        except BaseException:
+            cleanup()
+            raise
 
         def guarded():
             try:
@@ -376,18 +384,27 @@ class Database:
         if statement.as_of is not None:
             as_of = self._constant_int(statement.as_of, "AS OF")
         read_ctx = self.engine.begin_read()
-        aux_read_ctx = self.aux_engine.begin_read()
-        if as_of is not None:
-            main_source = self.engine.snapshot_source(as_of, read_ctx)
-        elif self._main.txn is not None:
-            main_source = self.engine.page_source(self._main.txn)
-        else:
-            main_source = self.engine.read_source(read_ctx)
-        if self._aux.txn is not None:
-            aux_source = self.aux_engine.page_source(self._aux.txn)
-        else:
-            aux_source = self.aux_engine.read_source(aux_read_ctx)
-        ctx = _Context(self, main_source, aux_source)
+        try:
+            aux_read_ctx = self.aux_engine.begin_read()
+            try:
+                if as_of is not None:
+                    # May raise UnknownSnapshotError for a bad AS OF id.
+                    main_source = self.engine.snapshot_source(as_of, read_ctx)
+                elif self._main.txn is not None:
+                    main_source = self.engine.page_source(self._main.txn)
+                else:
+                    main_source = self.engine.read_source(read_ctx)
+                if self._aux.txn is not None:
+                    aux_source = self.aux_engine.page_source(self._aux.txn)
+                else:
+                    aux_source = self.aux_engine.read_source(aux_read_ctx)
+                ctx = _Context(self, main_source, aux_source)
+            except BaseException:
+                aux_read_ctx.close()
+                raise
+        except BaseException:
+            read_ctx.close()
+            raise
 
         def cleanup() -> None:
             read_ctx.close()

@@ -212,7 +212,7 @@ class BTree:
     operations require a :class:`MutablePageSource`.
     """
 
-    def __init__(self, source, root_id: int) -> None:
+    def __init__(self, source: MutablePageSource, root_id: int) -> None:
         self.source = source
         self.root_id = root_id
         self._page_size = None  # discovered lazily from the first fetch
@@ -248,9 +248,11 @@ class BTree:
             while page.page_type == PAGE_TYPE_BTREE_INTERNAL:
                 node = _InternalNode.decode(page)
                 idx = bisect.bisect_right(node.keys, key)
-                child_id = node.children[idx]
+                # Latch coupling: pin the child before dropping the
+                # parent, so an unwind never releases a page twice.
+                child = self._fetch(node.children[idx])
                 self.source.release(page)
-                page = self._fetch(child_id)
+                page = child
             leaf = _LeafNode.decode(page)
             idx = bisect.bisect_left(leaf.keys, key)
             if idx < len(leaf.keys) and leaf.keys[idx] == key:
@@ -267,26 +269,29 @@ class BTree:
     def insert(self, key: bytes, value: bytes) -> bool:
         """Insert or replace; returns True if the key was new."""
         root = self._fetch(self.root_id)
-        max_cell = self._max_cell(root)
-        if len(key) + len(value) > max_cell:
+        try:
+            max_cell = self._max_cell(root)
+            if len(key) + len(value) > max_cell:
+                raise BTreeError(
+                    f"cell of {len(key) + len(value)} bytes exceeds max "
+                    f"{max_cell} for this page size"
+                )
+            inserted, split = self._insert(root, key, value)
+            if split is not None:
+                sep_key, right_id = split
+                # Fixed-root split: move the root's current (left-half)
+                # content into a fresh page and turn the root into a 1-key
+                # internal.
+                root_w = self.source.make_writable(root)
+                left = self.source.allocate_page()
+                left.data[:] = root_w.data
+                left.decoded_node = root_w.decoded_node
+                self.source.mark_dirty(left)
+                _InternalNode([sep_key],
+                              [left.page_id, right_id]).encode_into(root_w)
+                self.source.mark_dirty(root_w)
+        finally:
             self.source.release(root)
-            raise BTreeError(
-                f"cell of {len(key) + len(value)} bytes exceeds max "
-                f"{max_cell} for this page size"
-            )
-        inserted, split = self._insert(root, key, value)
-        if split is not None:
-            sep_key, right_id = split
-            # Fixed-root split: move the root's current (left-half) content
-            # into a fresh page and turn the root into a 1-key internal.
-            root_w = self.source.make_writable(root)
-            left = self.source.allocate_page()
-            left.data[:] = root_w.data
-            left.decoded_node = root_w.decoded_node
-            self.source.mark_dirty(left)
-            _InternalNode([sep_key], [left.page_id, right_id]).encode_into(root_w)
-            self.source.mark_dirty(root_w)
-        self.source.release(root)
         return inserted
 
     def _insert(self, page: Page, key: bytes,
@@ -316,8 +321,10 @@ class BTree:
         node = _InternalNode.decode(page)
         idx = bisect.bisect_right(node.keys, key)
         child = self._fetch(node.children[idx])
-        was_new, split = self._insert(child, key, value)
-        self.source.release(child)
+        try:
+            was_new, split = self._insert(child, key, value)
+        finally:
+            self.source.release(child)
         if split is None:
             return was_new, None
         sep_key, right_id = split
@@ -376,22 +383,26 @@ class BTree:
     def delete(self, key: bytes) -> bool:
         """Remove ``key``; returns True if it was present."""
         root = self._fetch(self.root_id)
-        removed = self._delete(root, key)
-        # Collapse a single-child internal root to keep height honest.
-        while root.page_type == PAGE_TYPE_BTREE_INTERNAL:
-            node = _InternalNode.decode(root)
-            if node.keys:
-                break
-            child_id = node.children[0]
-            child = self._fetch(child_id)
-            root_w = self.source.make_writable(root)
-            root_w.data[:] = child.data
-            root_w.decoded_node = child.decoded_node
-            self.source.mark_dirty(root_w)
-            self.source.release(child)
-            self.source.free_page(child_id)
-            root = root_w
-        self.source.release(root)
+        try:
+            removed = self._delete(root, key)
+            # Collapse a single-child internal root to keep height honest.
+            while root.page_type == PAGE_TYPE_BTREE_INTERNAL:
+                node = _InternalNode.decode(root)
+                if node.keys:
+                    break
+                child_id = node.children[0]
+                child = self._fetch(child_id)
+                try:
+                    root_w = self.source.make_writable(root)
+                    root_w.data[:] = child.data
+                    root_w.decoded_node = child.decoded_node
+                    self.source.mark_dirty(root_w)
+                finally:
+                    self.source.release(child)
+                self.source.free_page(child_id)
+                root = root_w
+        finally:
+            self.source.release(root)
         return removed
 
     def _delete(self, page: Page, key: bytes) -> bool:
@@ -410,10 +421,12 @@ class BTree:
         node = _InternalNode.decode(page)
         idx = bisect.bisect_right(node.keys, key)
         child = self._fetch(node.children[idx])
-        removed = self._delete(child, key)
-        child_empty = self._is_empty(child)
-        child_id = child.page_id
-        self.source.release(child)
+        try:
+            removed = self._delete(child, key)
+            child_empty = self._is_empty(child)
+            child_id = child.page_id
+        finally:
+            self.source.release(child)
         if removed and child_empty and len(node.children) > 1:
             # Unlink and free the empty child (lazy rebalancing).
             del node.children[idx]
@@ -444,16 +457,17 @@ class BTree:
         # Explicit descent stack: (internal node, next child index).
         stack: List[Tuple[_InternalNode, int]] = []
         page = self._fetch(self.root_id)
-        while page.page_type == PAGE_TYPE_BTREE_INTERNAL:
-            node = _InternalNode.decode(page)
-            idx = bisect.bisect_right(node.keys, start_key)
-            stack.append((node, idx + 1))
-            child_id = node.children[idx]
+        try:
+            while page.page_type == PAGE_TYPE_BTREE_INTERNAL:
+                node = _InternalNode.decode(page)
+                idx = bisect.bisect_right(node.keys, start_key)
+                stack.append((node, idx + 1))
+                child = self._fetch(node.children[idx])
+                self.source.release(page)
+                page = child
+            leaf = _LeafNode.decode(page)
+        finally:
             self.source.release(page)
-            page = self._fetch(child_id)
-
-        leaf = _LeafNode.decode(page)
-        self.source.release(page)
         idx = bisect.bisect_left(leaf.keys, start_key)
         while True:
             for i in range(idx, len(leaf.keys)):
@@ -466,14 +480,16 @@ class BTree:
                 if next_idx < len(node.children):
                     stack.append((node, next_idx + 1))
                     page = self._fetch(node.children[next_idx])
-                    while page.page_type == PAGE_TYPE_BTREE_INTERNAL:
-                        inner = _InternalNode.decode(page)
-                        stack.append((inner, 1))
-                        child_id = inner.children[0]
+                    try:
+                        while page.page_type == PAGE_TYPE_BTREE_INTERNAL:
+                            inner = _InternalNode.decode(page)
+                            stack.append((inner, 1))
+                            child = self._fetch(inner.children[0])
+                            self.source.release(page)
+                            page = child
+                        leaf = _LeafNode.decode(page)
+                    finally:
                         self.source.release(page)
-                        page = self._fetch(child_id)
-                    leaf = _LeafNode.decode(page)
-                    self.source.release(page)
                     break
             if leaf is None:
                 return
@@ -508,13 +524,15 @@ class BTree:
         rowid = max + 1, as in SQLite).
         """
         page = self._fetch(self.root_id)
-        while page.page_type == PAGE_TYPE_BTREE_INTERNAL:
-            node = _InternalNode.decode(page)
-            child_id = node.children[-1]
+        try:
+            while page.page_type == PAGE_TYPE_BTREE_INTERNAL:
+                node = _InternalNode.decode(page)
+                child = self._fetch(node.children[-1])
+                self.source.release(page)
+                page = child
+            leaf = _LeafNode.decode(page)
+        finally:
             self.source.release(page)
-            page = self._fetch(child_id)
-        leaf = _LeafNode.decode(page)
-        self.source.release(page)
         if not leaf.keys:
             return None
         return leaf.keys[-1]
@@ -528,10 +546,12 @@ class BTree:
         """Remove every entry, freeing all pages except the root."""
         self._free_subtree(self.root_id, keep=True)
         root = self._fetch(self.root_id)
-        writable = self.source.make_writable(root)
-        _LeafNode([], []).encode_into(writable)
-        self.source.mark_dirty(writable)
-        self.source.release(root)
+        try:
+            writable = self.source.make_writable(root)
+            _LeafNode([], []).encode_into(writable)
+            self.source.mark_dirty(writable)
+        finally:
+            self.source.release(root)
 
     def drop(self) -> None:
         """Free the whole tree including the root."""
@@ -539,13 +559,15 @@ class BTree:
 
     def _free_subtree(self, page_id: int, keep: bool) -> None:
         page = self._fetch(page_id)
-        if page.page_type == PAGE_TYPE_BTREE_INTERNAL:
-            node = _InternalNode.decode(page)
+        try:
+            if page.page_type == PAGE_TYPE_BTREE_INTERNAL:
+                children = _InternalNode.decode(page).children
+            else:
+                children = []
+        finally:
             self.source.release(page)
-            for child in node.children:
-                self._free_subtree(child, keep=False)
-        else:
-            self.source.release(page)
+        for child in children:
+            self._free_subtree(child, keep=False)
         if not keep:
             self.source.free_page(page_id)
 
@@ -554,13 +576,15 @@ class BTree:
     def height(self) -> int:
         height = 1
         page = self._fetch(self.root_id)
-        while page.page_type == PAGE_TYPE_BTREE_INTERNAL:
-            node = _InternalNode.decode(page)
-            child_id = node.children[0]
+        try:
+            while page.page_type == PAGE_TYPE_BTREE_INTERNAL:
+                node = _InternalNode.decode(page)
+                child = self._fetch(node.children[0])
+                self.source.release(page)
+                page = child
+                height += 1
+        finally:
             self.source.release(page)
-            page = self._fetch(child_id)
-            height += 1
-        self.source.release(page)
         return height
 
     def page_ids(self) -> List[int]:
@@ -572,13 +596,15 @@ class BTree:
     def _collect_pages(self, page_id: int, out: List[int]) -> None:
         out.append(page_id)
         page = self._fetch(page_id)
-        if page.page_type == PAGE_TYPE_BTREE_INTERNAL:
-            node = _InternalNode.decode(page)
+        try:
+            if page.page_type == PAGE_TYPE_BTREE_INTERNAL:
+                children = _InternalNode.decode(page).children
+            else:
+                children = []
+        finally:
             self.source.release(page)
-            for child in node.children:
-                self._collect_pages(child, out)
-        else:
-            self.source.release(page)
+        for child in children:
+            self._collect_pages(child, out)
 
     def check_invariants(self) -> None:
         """Raise BTreeError if structural invariants are violated."""
@@ -590,12 +616,17 @@ class BTree:
     def _check(self, page_id: int, lo: Optional[bytes],
                hi: Optional[bytes], depth: int) -> None:
         page = self._fetch(page_id)
-        if page.page_type == PAGE_TYPE_BTREE_LEAF:
-            if depth != 1:
-                self.source.release(page)
-                raise BTreeError("leaves at unequal depth")
-            leaf = _LeafNode.decode(page)
+        try:
+            is_leaf = page.page_type == PAGE_TYPE_BTREE_LEAF
+            if is_leaf:
+                if depth != 1:
+                    raise BTreeError("leaves at unequal depth")
+                leaf = _LeafNode.decode(page)
+            else:
+                node = _InternalNode.decode(page)
+        finally:
             self.source.release(page)
+        if is_leaf:
             for i, key in enumerate(leaf.keys):
                 if i and leaf.keys[i - 1] >= key:
                     raise BTreeError("leaf keys out of order")
@@ -604,8 +635,6 @@ class BTree:
                 if hi is not None and key >= hi:
                     raise BTreeError("leaf key above subtree bound")
             return
-        node = _InternalNode.decode(page)
-        self.source.release(page)
         for i, key in enumerate(node.keys):
             if i and node.keys[i - 1] >= key:
                 raise BTreeError("internal keys out of order")

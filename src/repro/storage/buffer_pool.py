@@ -10,10 +10,16 @@ database.  Two interposition points matter to the Retro snapshot system
   all — the snapshot manager redirects them to the snapshot page cache —
   so this pool only ever holds current-state pages, mirroring the paper's
   "database is memory resident" assumption when capacity is large enough.
+
+Latching: the page table is guarded by a per-pool reentrant latch.  The
+global latch order is ``Pager._latch -> BufferPool._latch`` (RPL011
+checks it): the pool never calls back into the pager while holding its
+own latch.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Callable, Dict, Iterable, List, Optional
 
@@ -54,6 +60,7 @@ class BufferPool:
         self._capacity = capacity
         self._pages: "OrderedDict[int, Page]" = OrderedDict()
         self._on_flush = on_flush
+        self._latch = threading.RLock()
         self.stats = BufferPoolStats()
 
     # -- configuration ------------------------------------------------------
@@ -69,46 +76,50 @@ class BufferPool:
 
     def fetch(self, page_id: int, pin: bool = True) -> Page:
         """Return the page, reading from disk on a miss."""
-        page = self._pages.get(page_id)
-        if page is not None:
-            self.stats.hits += 1
-            self._pages.move_to_end(page_id)
-        else:
-            self.stats.misses += 1
-            raw = self._file.read(page_id)
-            page = Page(page_id, bytearray(raw), self._file.page_size)
-            self._admit(page)
-        if pin:
-            page.pin_count += 1
-        return page
+        with self._latch:
+            page = self._pages.get(page_id)
+            if page is not None:
+                self.stats.hits += 1
+                self._pages.move_to_end(page_id)
+            else:
+                self.stats.misses += 1
+                raw = self._file.read(page_id)
+                page = Page(page_id, bytearray(raw), self._file.page_size)
+                self._admit(page)
+            if pin:
+                page.pin_count += 1
+            return page
 
     def create(self, page_id: int, pin: bool = True) -> Page:
         """Materialize a brand-new zeroed page (not read from disk)."""
-        if page_id in self._pages:
-            raise BufferPoolError(f"page {page_id} already resident")
-        page = Page(page_id, page_size=self._file.page_size)
-        page.dirty = True
-        self._admit(page)
-        if pin:
-            page.pin_count += 1
-        return page
+        with self._latch:
+            if page_id in self._pages:
+                raise BufferPoolError(f"page {page_id} already resident")
+            page = Page(page_id, page_size=self._file.page_size)
+            page.dirty = True
+            self._admit(page)
+            if pin:
+                page.pin_count += 1
+            return page
 
     def unpin(self, page: Page) -> None:
-        if page.pin_count <= 0:
-            raise BufferPoolError(f"page {page.page_id} is not pinned")
-        page.pin_count -= 1
+        with self._latch:
+            if page.pin_count <= 0:
+                raise BufferPoolError(f"page {page.page_id} is not pinned")
+            page.pin_count -= 1
 
     def put_raw(self, page_id: int, raw: bytes) -> None:
         """Install committed bytes for ``page_id`` (commit-time install)."""
-        page = self._pages.get(page_id)
-        if page is None:
-            page = Page(page_id, bytearray(raw), self._file.page_size)
-            page.dirty = True
-            self._admit(page)
-        else:
-            page.load(raw)
-            page.dirty = True
-            self._pages.move_to_end(page_id)
+        with self._latch:
+            page = self._pages.get(page_id)
+            if page is None:
+                page = Page(page_id, bytearray(raw), self._file.page_size)
+                page.dirty = True
+                self._admit(page)
+            else:
+                page.load(raw)
+                page.dirty = True
+                self._pages.move_to_end(page_id)
 
     def resident(self, page_id: int) -> bool:
         return page_id in self._pages
@@ -145,15 +156,17 @@ class BufferPool:
         Fires the ``on_flush`` hook first so Retro can drain pre-states to
         the Pagelog before the corresponding current-state pages go out.
         """
-        if self._on_flush is not None:
-            self._on_flush()
-        for page in self._pages.values():
-            if page.dirty:
-                self._writeback(page)
+        with self._latch:
+            if self._on_flush is not None:
+                self._on_flush()
+            for page in self._pages.values():
+                if page.dirty:
+                    self._writeback(page)
 
     def drop_all(self) -> None:
         """Discard the pool without writing back (crash simulation)."""
-        self._pages.clear()
+        with self._latch:
+            self._pages.clear()
 
     def dirty_pages(self) -> Iterable[Page]:
         return (p for p in self._pages.values() if p.dirty)

@@ -13,11 +13,17 @@ Meta page layout (after the shared page header)::
 
 The free list and named roots are small at our simulation scale; if they
 ever outgrow the meta page the pager raises rather than corrupting it.
+
+Latching: allocation state (next id, free list, roots) is guarded by a
+reentrant latch.  The global latch order is ``Pager._latch ->
+BufferPool._latch`` (RPL011 checks it): pager methods may call into the
+pool while latched, never the reverse.
 """
 
 from __future__ import annotations
 
 import struct
+import threading
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import StorageError
@@ -49,6 +55,7 @@ class Pager(PageSource):
     def __init__(self, db_file: DiskFile, pool_capacity: int = 4096) -> None:
         self._file = db_file
         self.pool = BufferPool(db_file, pool_capacity)
+        self._latch = threading.RLock()
         self._next_page_id = 1
         self._free: List[int] = []
         self._roots: Dict[str, int] = {}
@@ -117,10 +124,11 @@ class Pager(PageSource):
         return self._roots.get(name)
 
     def set_root(self, name: str, page_id: Optional[int]) -> None:
-        if page_id is None:
-            self._roots.pop(name, None)
-        else:
-            self._roots[name] = page_id
+        with self._latch:
+            if page_id is None:
+                self._roots.pop(name, None)
+            else:
+                self._roots[name] = page_id
 
     def root_names(self) -> List[str]:
         return sorted(self._roots)
@@ -137,24 +145,27 @@ class Pager(PageSource):
         return self._next_page_id - len(self._free)
 
     def allocate(self) -> int:
-        if self._free:
-            return self._free.pop()
-        pid = self._next_page_id
-        self._next_page_id += 1
-        return pid
+        with self._latch:
+            if self._free:
+                return self._free.pop()
+            pid = self._next_page_id
+            self._next_page_id += 1
+            return pid
 
     def free(self, page_id: int) -> None:
         if page_id == META_PAGE_ID:
             raise StorageError("cannot free the meta page")
-        self._free.append(page_id)
+        with self._latch:
+            self._free.append(page_id)
 
     def allocation_state(self) -> Dict[str, object]:
         """Allocation info recorded in WAL commit records for recovery."""
         return {"next": self._next_page_id, "free": list(self._free)}
 
     def restore_allocation_state(self, state: Dict[str, object]) -> None:
-        self._next_page_id = int(state["next"])  # type: ignore[arg-type]
-        self._free = [int(x) for x in state["free"]]  # type: ignore[union-attr]
+        with self._latch:
+            self._next_page_id = int(state["next"])  # type: ignore[arg-type]
+            self._free = [int(x) for x in state["free"]]  # type: ignore[union-attr]
 
     # -- page access --------------------------------------------------------------
 
@@ -173,10 +184,11 @@ class Pager(PageSource):
 
     def checkpoint(self, extra_flush: Optional[Callable[[], None]] = None) -> None:
         """Flush dirty pages + meta to the database file."""
-        if extra_flush is not None:
-            extra_flush()
-        self.pool.flush_all()
-        self.write_meta()
+        with self._latch:
+            if extra_flush is not None:
+                extra_flush()
+            self.pool.flush_all()
+            self.write_meta()
 
     def read_committed_from_disk(self, page_id: int) -> bytes:
         """Bypass the pool and read the on-disk (checkpointed) image.

@@ -16,6 +16,7 @@ Record formats (record-codec encoded tuples):
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List
 
@@ -44,21 +45,27 @@ class WriteAheadLog:
     def __init__(self, wal_file: DiskFile) -> None:
         self._file = wal_file
         self._writer = BlockLogWriter(wal_file)
+        # Leaf latch in the global order: log_commit never calls into the
+        # pager or pool, so commit groups stay contiguous without
+        # participating in the Pager -> BufferPool ordering.
+        self._latch = threading.RLock()
 
     def log_commit(self, txn_id: int, commit_ts: int,
                    pages: Dict[int, bytes], freed: List[int],
                    declared_snapshot: bool, snapshot_id: int,
                    next_page_id: int) -> None:
         """Append one transaction's after-images + commit seal, durably."""
-        for page_id, image in sorted(pages.items()):
-            self._writer.append(encode_record(["P", txn_id, page_id, image]))
-        for page_id in freed:
-            self._writer.append(encode_record(["F", txn_id, page_id]))
-        self._writer.append(encode_record([
-            "C", txn_id, commit_ts,
-            1 if declared_snapshot else 0, snapshot_id, next_page_id,
-        ]))
-        self._writer.flush()
+        with self._latch:
+            for page_id, image in sorted(pages.items()):
+                self._writer.append(
+                    encode_record(["P", txn_id, page_id, image]))
+            for page_id in freed:
+                self._writer.append(encode_record(["F", txn_id, page_id]))
+            self._writer.append(encode_record([
+                "C", txn_id, commit_ts,
+                1 if declared_snapshot else 0, snapshot_id, next_page_id,
+            ]))
+            self._writer.flush()
 
     def sync_boundary(self) -> int:
         """Durable block count — recorded by checkpoints."""

@@ -1,0 +1,26 @@
+"""Known-bad RPL010 fixture: intra- and inter-procedural pin leaks."""
+
+
+def peek_header(pool, page_id):
+    # Pinned fetch bound to a variable that is neither returned nor
+    # released in a finally block: the pin leaks on normal return.
+    page = pool.fetch(page_id)
+    return page.data[0]
+
+
+def steal_pin(page):
+    # Pin accounting outside the buffer pool module.
+    page.pin_count += 1
+
+
+def open_page(pool, page_id):
+    # Ownership transfer: fine on its own, the caller must release.
+    return pool.fetch(page_id)
+
+
+def sum_header(pool, page_id):
+    # Interprocedural leak: the acquisition happens inside open_page.
+    # No fetch-like call appears in this function, so a checker that
+    # looks at one function at a time sees nothing to track here.
+    page = open_page(pool, page_id)
+    return page.data[0]

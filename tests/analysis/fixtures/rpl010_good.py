@@ -1,8 +1,8 @@
-"""Known-good RPL001 fixture: every sanctioned pin pattern."""
+"""Known-good RPL010 fixture: every sanctioned pin pattern."""
 
 
 def checksum(pool, page_id):
-    # Pin taken inside a try whose finally releases it.
+    # Pin taken inside a try whose finally conditionally releases it.
     page = None
     try:
         page = pool.fetch(page_id)
@@ -28,3 +28,17 @@ def peek(pool, page_id):
     # Opted out of pinning.
     page = pool.fetch(page_id, pin=False)
     return page.data[0]
+
+
+def open_page(pool, page_id):
+    return pool.fetch(page_id)
+
+
+def consume(pool, page_id):
+    # Interprocedural acquisition (via open_page's summary) with a
+    # correct try/finally release in the caller.
+    page = open_page(pool, page_id)
+    try:
+        return page.data[0]
+    finally:
+        pool.unpin(page)

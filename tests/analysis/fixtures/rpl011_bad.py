@@ -1,0 +1,39 @@
+"""Known-bad RPL011 fixture: AB/BA latch order across two classes.
+
+Neither function takes both latches lexically: each edge of the cycle
+exists only because a *callee* (resolved through the call graph, with
+its transitive ``acquires_locks`` summary) takes the second latch.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class Pool:
+    def __init__(self) -> None:
+        self._latch = threading.Lock()
+
+    def evict(self, pager: Pager) -> None:
+        # Holds Pool._latch, then transitively takes Pager._latch.
+        with self._latch:
+            pager.sync_meta()
+
+    def admit(self) -> None:
+        with self._latch:
+            pass
+
+
+class Pager:
+    def __init__(self, pool: Pool) -> None:
+        self._latch = threading.Lock()
+        self.pool = pool
+
+    def sync_meta(self) -> None:
+        with self._latch:
+            pass
+
+    def checkpoint(self) -> None:
+        # Holds Pager._latch, then transitively takes Pool._latch.
+        with self._latch:
+            self.pool.admit()

@@ -1,0 +1,35 @@
+"""Known-good RPL011 fixture: consistent Pager -> Pool latch order."""
+
+from __future__ import annotations
+
+import threading
+
+
+class Pool:
+    def __init__(self) -> None:
+        self._latch = threading.Lock()
+
+    def evict(self) -> None:
+        # Leaf: never calls upward while latched.
+        with self._latch:
+            pass
+
+    def admit(self) -> None:
+        with self._latch:
+            pass
+
+
+class Pager:
+    def __init__(self, pool: Pool) -> None:
+        self._latch = threading.Lock()
+        self.pool = pool
+
+    def sync_meta(self) -> None:
+        with self._latch:
+            pass
+
+    def checkpoint(self) -> None:
+        # Pager -> Pool nesting everywhere: the order graph is acyclic.
+        with self._latch:
+            self.pool.admit()
+            self.pool.evict()

@@ -1,0 +1,24 @@
+"""Known-bad RPL012 fixture: snapshot bytes reach current-epoch sinks.
+
+``backfill`` never names a mutation sink itself: the flow is only
+visible because ``copy_into_current``'s summary marks its ``page``
+parameter as sink-reaching, which an intraprocedural checker cannot do.
+"""
+
+
+def copy_into_current(pager, page):
+    # Sink on a parameter: callers with tainted arguments inherit it.
+    pager.install(page.page_id, bytes(page.data))
+
+
+def backfill(engine, pager, snapshot_id, ctx):
+    snap = engine.snapshot_source(snapshot_id, ctx)
+    page = snap.fetch(7)
+    copy_into_current(pager, page)
+
+
+def clobber(engine, pool, snapshot_id, ctx):
+    # Direct flow: snapshot page bytes installed as current bytes.
+    snap = engine.snapshot_source(snapshot_id, ctx)
+    raw = snap.fetch(3).data
+    pool.put_raw(3, bytes(raw))

@@ -1,0 +1,26 @@
+"""Known-good RPL012 fixture: the legitimate uses of snapshot data.
+
+Reading snapshot pages, decoding them into fresh row values, and
+writing *those* through the normal write path is exactly what
+retrospective queries do; none of it touches a mutation sink with
+snapshot-scoped bytes.
+"""
+
+
+def decode_row(raw):
+    return list(raw)
+
+
+def report(engine, writer, snapshot_id, ctx):
+    snap = engine.snapshot_source(snapshot_id, ctx)
+    page = snap.fetch(7)
+    # Decoded into a new row object; the sink-free write path gets a
+    # value the decoder built, not the snapshot bytes themselves.
+    row = decode_row(page.data)
+    writer.add_row(row)
+
+
+def current_install(pager, pool, raw):
+    # Mutation sinks fed from current-epoch bytes are fine.
+    pager.install(4, bytes(raw))
+    pool.put_raw(5, bytes(raw))

@@ -1,0 +1,141 @@
+"""Dataflow engine behaviors that the fixture corpus exercises only
+indirectly: branch refinement, strong closes on rebinding loops, the
+try/finally unwind path, and escape tracking.
+
+Each case is a tiny program run through ``analyze_source`` under a
+pin-scoped path, so what is asserted is the *user-visible* consequence
+of the engine decision (finding or no finding), not internal state.
+"""
+
+from repro.analysis import analyze_source
+
+SCOPE = "sql/engine_fixture.py"
+
+
+def rules(source: str):
+    return sorted(f.rule for f in analyze_source(source, SCOPE))
+
+
+def test_rebinding_loop_release_is_a_strong_close():
+    # ``release(page); page = fetch(child)`` in a loop makes the name
+    # point at many acquisition sites.  The release must close all of
+    # them (strong update) or the loop head would report a phantom
+    # leak on every iteration after the first.
+    source = (
+        "def descend(pool, page_id, steps):\n"
+        "    page = pool.fetch(page_id)\n"
+        "    try:\n"
+        "        for child in steps:\n"
+        "            pool.unpin(page)\n"
+        "            page = pool.fetch(child)\n"
+        "        return page.data[0]\n"
+        "    finally:\n"
+        "        pool.unpin(page)\n"
+    )
+    assert rules(source) == []
+
+
+def test_none_guard_in_finally_is_understood():
+    # Path-sensitive refinement: on the branch where ``page is None``
+    # holds, the pin provably was not taken.
+    source = (
+        "def checksum(pool, page_id):\n"
+        "    page = None\n"
+        "    try:\n"
+        "        page = pool.fetch(page_id)\n"
+        "        return sum(page.data)\n"
+        "    finally:\n"
+        "        if page is not None:\n"
+        "            pool.unpin(page)\n"
+    )
+    assert rules(source) == []
+
+
+def test_truthiness_guard_is_understood():
+    source = (
+        "def checksum(pool, page_id):\n"
+        "    page = None\n"
+        "    try:\n"
+        "        page = pool.fetch(page_id)\n"
+        "        return sum(page.data)\n"
+        "    finally:\n"
+        "        if page:\n"
+        "            pool.unpin(page)\n"
+    )
+    assert rules(source) == []
+
+
+def test_release_only_outside_finally_leaks_on_the_exception_path():
+    # The happy path releases, but an exception between fetch and unpin
+    # escapes with the pin held: the unwind edge keeps the site OPEN.
+    source = (
+        "def copy_out(pool, page_id, sink):\n"
+        "    page = pool.fetch(page_id)\n"
+        "    sink.write(bytes(page.data))\n"
+        "    pool.unpin(page)\n"
+    )
+    findings = analyze_source(source, SCOPE)
+    assert [f.rule for f in findings] == ["RPL010"]
+    assert "exception" in findings[0].message
+
+
+def test_escape_into_a_container_transfers_ownership():
+    # Appending the resource to a caller-visible container is an
+    # ownership transfer, not a leak.
+    source = (
+        "def preload(pool, page_ids, out):\n"
+        "    for pid in page_ids:\n"
+        "        out.append(pool.fetch(pid))\n"
+    )
+    assert rules(source) == []
+
+
+def test_storing_on_self_transfers_ownership():
+    source = (
+        "class Cursor:\n"
+        "    def seek(self, pool, page_id):\n"
+        "        self.page = pool.fetch(page_id)\n"
+    )
+    assert rules(source) == []
+
+
+def test_with_statement_scopes_the_resource():
+    # ``with`` transparency: the context manager owns the release.
+    source = (
+        "def scan(engine):\n"
+        "    with engine.begin() as txn:\n"
+        "        return txn.rows()\n"
+    )
+    assert rules(source) == []
+
+
+def test_reassignment_without_release_still_leaks_the_first_pin():
+    # Rebinding the only name for an OPEN site loses the pin.
+    source = (
+        "def double_fetch(pool, a, b):\n"
+        "    page = pool.fetch(a)\n"
+        "    page = pool.fetch(b)\n"
+        "    pool.unpin(page)\n"
+        "    return 0\n"
+    )
+    findings = analyze_source(source, SCOPE)
+    assert [f.rule for f in findings] == ["RPL010"]
+    assert findings[0].symbol == "double_fetch"
+
+
+def test_interprocedural_release_helper_counts():
+    # The release happens inside a helper whose summary says it
+    # releases its parameter.
+    source = (
+        "def put_back(pool, page):\n"
+        "    pool.unpin(page)\n"
+        "\n"
+        "\n"
+        "def peek(pool, page_id):\n"
+        "    page = pool.fetch(page_id)\n"
+        "    try:\n"
+        "        return page.data[0]\n"
+        "    finally:\n"
+        "        put_back(pool, page)\n"
+    )
+    assert rules(source) == []

@@ -22,16 +22,16 @@ def test_shipped_tree_is_clean_with_empty_baseline():
 
 def test_cli_exit_one_on_findings(tmp_path):
     out = io.StringIO()
-    bad = FIXTURES / "rpl001_bad.py"
+    bad = FIXTURES / "rpl010_bad.py"
     code = main([str(bad), "--baseline", str(tmp_path / "none")], out=out)
     assert code == 1
-    assert "RPL001" in out.getvalue()
+    assert "RPL010" in out.getvalue()
     assert "hint:" in out.getvalue()
 
 
 def test_cli_exit_zero_on_clean_input(tmp_path):
     out = io.StringIO()
-    good = FIXTURES / "rpl001_good.py"
+    good = FIXTURES / "rpl010_good.py"
     code = main([str(good), "--baseline", str(tmp_path / "none")], out=out)
     assert code == 0
     assert "0 errors" in out.getvalue()
@@ -39,29 +39,89 @@ def test_cli_exit_zero_on_clean_input(tmp_path):
 
 def test_cli_json_output(tmp_path):
     out = io.StringIO()
-    main([str(FIXTURES / "rpl001_bad.py"), "--json",
+    main([str(FIXTURES / "rpl010_bad.py"), "--json",
           "--baseline", str(tmp_path / "none")], out=out)
     payload = json.loads(out.getvalue())
     assert payload["files_scanned"] == 1
-    assert {f["rule"] for f in payload["findings"]} == {"RPL001"}
+    assert {f["rule"] for f in payload["findings"]} == {"RPL010"}
+
+
+def test_cli_sarif_output(tmp_path):
+    out = io.StringIO()
+    code = main([str(FIXTURES / "rpl010_bad.py"), "--format", "sarif",
+                 "--baseline", str(tmp_path / "none")], out=out)
+    assert code == 1  # findings still fail the run in SARIF mode
+    log = json.loads(out.getvalue())
+    assert log["version"] == "2.1.0"
+    (run,) = log["runs"]
+    assert run["tool"]["driver"]["name"] == "replint"
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert {"RPL010", "RPL011", "RPL012"} <= rule_ids
+    results = run["results"]
+    assert results and all(r["ruleId"] == "RPL010" for r in results)
+    for result in results:
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("rpl010_bad.py")
+        assert location["region"]["startLine"] >= 1
+        assert "replintKey/v2" in result["partialFingerprints"]
+
+
+def test_cli_graph_dumps(tmp_path):
+    out = io.StringIO()
+    assert main([str(FIXTURES / "rpl011_bad.py"), "--graph",
+                 "latches"], out=out) == 0
+    dot = out.getvalue()
+    assert dot.startswith("digraph latchorder")
+    assert '"Pool._latch" -> "Pager._latch"' in dot
+
+    out = io.StringIO()
+    assert main([str(FIXTURES / "rpl010_bad.py"), "--graph",
+                 "calls"], out=out) == 0
+    dot = out.getvalue()
+    assert dot.startswith("digraph callgraph")
+    assert "open_page" in dot
+
+
+def test_cli_cache_dir_roundtrip(tmp_path):
+    cache = tmp_path / "cache"
+    cache.mkdir()
+    bad = str(FIXTURES / "rpl010_bad.py")
+    first = io.StringIO()
+    assert main([bad, "--baseline", str(tmp_path / "none"),
+                 "--cache-dir", str(cache)], out=first) == 1
+    artifacts = list(cache.glob("replint-summaries-*.json"))
+    assert len(artifacts) == 1
+    # Second run loads the summary cache and reports identically.
+    second = io.StringIO()
+    assert main([bad, "--baseline", str(tmp_path / "none"),
+                 "--cache-dir", str(cache)], out=second) == 1
+    assert first.getvalue() == second.getvalue()
+    assert list(cache.glob("replint-summaries-*.json")) == artifacts
 
 
 def test_cli_list_rules():
     out = io.StringIO()
     assert main(["--list-rules"], out=out) == 0
     listed = out.getvalue()
-    for rule in ("RPL000", "RPL001", "RPL002", "RPL003", "RPL004",
-                 "RPL005"):
+    for rule in ("RPL000", "RPL002", "RPL003", "RPL004", "RPL005",
+                 "RPL010", "RPL011", "RPL012"):
         assert rule in listed
+    # RPL001 is retired into RPL010: no rule line may claim it.
+    assert not any(line.startswith("RPL001 ")
+                   for line in listed.splitlines())
 
 
 def test_cli_write_baseline_then_accept(tmp_path):
     baseline = tmp_path / "replint.baseline"
-    bad = str(FIXTURES / "rpl001_bad.py")
+    bad = str(FIXTURES / "rpl010_bad.py")
     out = io.StringIO()
     assert main([bad, "--baseline", str(baseline),
                  "--write-baseline"], out=out) == 0
     assert baseline.exists()
+    # Written entries are v2: keyed on rule:file:symbol plus a content
+    # hash of the enclosing function.
+    entries = json.loads(baseline.read_text(encoding="utf-8"))
+    assert entries and all("#" in entry for entry in entries)
     # With the findings accepted, the same input now passes.
     out = io.StringIO()
     assert main([bad, "--baseline", str(baseline)], out=out) == 0
@@ -81,7 +141,7 @@ def test_cli_malformed_baseline_is_a_clean_error(tmp_path):
     baseline = tmp_path / "replint.baseline"
     baseline.write_text('{"not": "a list"}', encoding="utf-8")
     out = io.StringIO()
-    code = main([str(FIXTURES / "rpl001_good.py"),
+    code = main([str(FIXTURES / "rpl010_good.py"),
                  "--baseline", str(baseline)], out=out)
     assert code == 2
     assert "JSON list of strings" in out.getvalue()

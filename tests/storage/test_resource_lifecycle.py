@@ -1,0 +1,176 @@
+"""Regression tests for the interprocedural leaks RPL010 surfaced:
+every B+tree operation must balance fetch/release even when a page
+source call raises mid-operation, and the SQL layer must close read
+contexts and roll back transactions on every error path.
+"""
+
+import pytest
+
+from repro.errors import BTreeError, ReproError, SnapshotError
+from repro.sql.database import Database
+from repro.storage.btree import BTree
+from repro.storage.disk import SimulatedDisk
+from repro.storage.engine import StorageEngine
+
+
+class CountingSource:
+    """Delegating page source that balances fetches against releases
+    and can be told to fail the Nth fetch or make_writable call."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.outstanding = 0
+        self.fetches = 0
+        self.fail_fetch_at = None
+        self.fail_writable_at = None
+        self._writables = 0
+
+    def fetch(self, page_id):
+        self.fetches += 1
+        if self.fail_fetch_at is not None \
+                and self.fetches >= self.fail_fetch_at:
+            raise ReproError("injected fetch failure")
+        page = self.inner.fetch(page_id)
+        self.outstanding += 1
+        return page
+
+    def release(self, page):
+        self.inner.release(page)
+        self.outstanding -= 1
+
+    def make_writable(self, page):
+        self._writables += 1
+        if self.fail_writable_at is not None \
+                and self._writables >= self.fail_writable_at:
+            raise ReproError("injected make_writable failure")
+        return self.inner.make_writable(page)
+
+    def allocate_page(self):
+        return self.inner.allocate_page()
+
+    def free_page(self, page_id):
+        self.inner.free_page(page_id)
+
+    def mark_dirty(self, page):
+        self.inner.mark_dirty(page)
+
+
+@pytest.fixture
+def tracked_tree():
+    engine = StorageEngine(SimulatedDisk(4096))
+    txn = engine.begin()
+    source = CountingSource(engine.page_source(txn))
+    tree = BTree.create(source)
+    return source, tree
+
+
+def key(i):
+    return f"{i:012d}".encode()
+
+
+def test_every_operation_balances_pins(tracked_tree):
+    source, tree = tracked_tree
+    for i in range(300):
+        tree.insert(key(i), f"v{i}".encode())
+    assert tree.height() > 1  # splits happened: descents are real
+    tree.get(key(7))
+    tree.get(b"missing")
+    list(tree.scan_all())
+    list(tree.scan_range(key(10), key(50)))
+    tree.last_key()
+    tree.count()
+    for i in range(0, 300, 3):
+        tree.delete(key(i))
+    tree.check_invariants()
+    tree.clear()
+    assert source.outstanding == 0
+    assert source.fetches > 0
+
+
+def test_oversized_insert_releases_the_root_pin(tracked_tree):
+    source, tree = tracked_tree
+    with pytest.raises(BTreeError):
+        tree.insert(b"k", b"x" * 100_000)
+    assert source.outstanding == 0
+
+
+def test_failed_descent_fetch_releases_held_pins(tracked_tree):
+    source, tree = tracked_tree
+    for i in range(300):
+        tree.insert(key(i), b"v")
+    # Fail each descent at a different depth: whatever pins were taken
+    # before the failure must be released on the unwind.
+    depth = tree.height()
+    assert depth >= 2
+    for fail_at in range(1, depth + 1):
+        source.fetches = 0
+        source.fail_fetch_at = fail_at
+        with pytest.raises(ReproError, match="injected"):
+            tree.get(key(299))
+        source.fail_fetch_at = None
+        assert source.outstanding == 0, f"leak with fail_at={fail_at}"
+
+
+def test_failed_write_path_releases_held_pins(tracked_tree):
+    source, tree = tracked_tree
+    for i in range(300):
+        tree.insert(key(i), b"v")
+    source.fail_writable_at = 1
+    with pytest.raises(ReproError, match="injected"):
+        tree.insert(key(1), b"changed")
+    source.fail_writable_at = None
+    assert source.outstanding == 0
+    source._writables = 0
+    source.fail_writable_at = 1
+    with pytest.raises(ReproError, match="injected"):
+        tree.delete(key(1))
+    source.fail_writable_at = None
+    assert source.outstanding == 0
+
+
+def test_iteration_abandoned_midway_releases_pins(tracked_tree):
+    source, tree = tracked_tree
+    for i in range(300):
+        tree.insert(key(i), b"v")
+    for n, _ in enumerate(tree.scan_all()):
+        if n == 5:
+            break
+    # Generator cleanup (GeneratorExit through the finally) must drop
+    # the pin on the current leaf.
+    assert source.outstanding == 0
+
+
+# -- SQL layer ---------------------------------------------------------------
+
+
+def _reader_count(db):
+    return db.engine._versions.active_reader_count
+
+
+def test_bad_as_of_closes_read_contexts():
+    db = Database()
+    db.execute("CREATE TABLE t (a INTEGER)")
+    db.execute("INSERT INTO t VALUES (1)")
+    assert _reader_count(db) == 0
+    with pytest.raises(SnapshotError):
+        db.execute("SELECT AS OF 999 a FROM t")
+    assert _reader_count(db) == 0
+    # The database is still fully usable afterwards.
+    assert db.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+
+def test_planner_error_closes_read_contexts():
+    db = Database()
+    db.execute("CREATE TABLE t (a INTEGER)")
+    with pytest.raises(ReproError):
+        db.execute("SELECT nope FROM t")
+    assert _reader_count(db) == 0
+
+
+def test_cursor_error_closes_read_contexts():
+    db = Database()
+    db.execute("CREATE TABLE t (a INTEGER)")
+    with pytest.raises(ReproError):
+        with db.execute_cursor("SELECT nope FROM t"):
+            pass  # pragma: no cover - the error fires before entry
+    assert _reader_count(db) == 0
