@@ -191,6 +191,38 @@ def run_rql(env: BenchEnv, mechanism: Callable[..., RQLResult],
     return mechanism(qs, qq, table, *args, **kwargs)
 
 
+def run_parallel(env: BenchEnv, mechanism: str, qs: str, qq: str,
+                 table: str, *args, workers: int = 4,
+                 clear_cache: bool = True, **kwargs) -> RQLResult:
+    """Run one session mechanism with the parallel executor.
+
+    ``mechanism`` names an :class:`~repro.core.RQLSession` method
+    (e.g. ``"aggregate_data_in_variable"``); the returned result carries
+    a :class:`~repro.core.parallel.ParallelRunInfo` on ``.parallel``.
+    """
+    if clear_cache:
+        env.clear_snapshot_cache()
+    method = getattr(env.session, mechanism)
+    return method(qs, qq, table, *args, workers=workers, **kwargs)
+
+
+def parallel_makespan_seconds(info, charges: IoCharges = BENCH_CHARGES,
+                              ) -> float:
+    """Simulated wall-clock of a parallel run under ``charges``.
+
+    Workers run concurrently, so the evaluation phase costs as much as
+    the slowest partition; the merge phase is serial and is added on
+    top.  (Measured thread wall-clock would be meaningless under the
+    GIL — the simulated cost model is the deterministic equivalent, the
+    same accounting the serial benchmarks use.)
+    """
+    per_worker = [
+        sum(it.total_seconds(charges) for it in sink.iterations)
+        for sink in info.worker_sinks
+    ]
+    return max(per_worker, default=0.0) + info.merge_seconds
+
+
 def standalone_snapshot_query(env: BenchEnv, qq: str,
                               snapshot_id: int,
                               clear_cache: bool = True) -> IterationMetrics:

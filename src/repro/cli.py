@@ -12,6 +12,7 @@ Supports plain SQL (including ``SELECT AS OF`` and
 .snapshot [name]            declare a snapshot now
 .checkpoint                 flush everything durably
 .stats                      storage / Retro statistics
+.workers [n]                show or set the RQL worker count
 .quit                       exit
 """
 
@@ -194,6 +195,17 @@ class Shell:
         self.session.checkpoint()
         self.write("checkpointed")
 
+    def cmd_workers(self, args: List[str]) -> None:
+        if args:
+            try:
+                count = int(args[0])
+            except ValueError:
+                self.write(f"error: not a worker count: {args[0]!r}")
+                return
+            self.session.workers = \
+                self.session._validate_workers(count)
+        self.write(f"workers: {self.session.workers}")
+
     def cmd_stats(self, args: List[str]) -> None:
         engine = self.session.db.engine
         retro = engine.retro
@@ -217,7 +229,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.analysis import main as lint_main
 
         return lint_main(argv[1:])
-    shell = Shell()
+    workers = 1
+    while argv and argv[0].startswith("--workers"):
+        flag = argv.pop(0)
+        if "=" in flag:
+            value = flag.split("=", 1)[1]
+        elif argv:
+            value = argv.pop(0)
+        else:
+            print("error: --workers needs a count", file=sys.stderr)
+            return 2
+        try:
+            workers = int(value)
+        except ValueError:
+            print(f"error: not a worker count: {value!r}", file=sys.stderr)
+            return 2
+        if workers < 1:
+            print("error: --workers must be >= 1", file=sys.stderr)
+            return 2
+    shell = Shell(session=RQLSession(workers=workers))
     if argv:
         for path in argv:
             with open(path, "r", encoding="utf-8") as handle:

@@ -5,6 +5,8 @@ from repro.core.aggregates import (
     binary_op,
     identity_element,
     make_cross_snapshot_aggregate,
+    merge_avg_stored,
+    merge_stored_value,
     parse_col_func_pairs,
 )
 from repro.core.mechanisms import (
@@ -13,6 +15,11 @@ from repro.core.mechanisms import (
     aggregate_data_in_variable,
     collate_data,
     collate_data_into_intervals,
+)
+from repro.core.parallel import (
+    ParallelExecutor,
+    ParallelRunInfo,
+    partition_snapshots,
 )
 from repro.core.rewrite import rewrite_qq, validate_qs, wrap_qs
 from repro.core.sortmerge import (
@@ -24,6 +31,8 @@ from repro.core.snapids import SNAPIDS_TABLE, SnapIds
 
 __all__ = [
     "CrossSnapshotAggregate",
+    "ParallelExecutor",
+    "ParallelRunInfo",
     "RQLResult",
     "RQLSession",
     "SNAPIDS_TABLE",
@@ -37,7 +46,10 @@ __all__ = [
     "collate_data_into_intervals",
     "identity_element",
     "make_cross_snapshot_aggregate",
+    "merge_avg_stored",
+    "merge_stored_value",
     "parse_col_func_pairs",
+    "partition_snapshots",
     "rewrite_qq",
     "validate_qs",
     "wrap_qs",

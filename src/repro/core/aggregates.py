@@ -204,6 +204,60 @@ def identity_element(name: str) -> SqlValue:
     raise AggregateError(f"{name!r} has no plain-value monoid identity")
 
 
+def merge_stored_value(func: str, earlier: SqlValue,
+                       later: SqlValue) -> SqlValue:
+    """Merge two *stored* aggregate column values from disjoint
+    contiguous snapshot partitions (``earlier`` precedes ``later``).
+
+    Mirrors exactly what the serial probe pass would have produced had
+    the later partition's records been applied onto the earlier
+    partition's stored row — including the tie-keeps-earlier behaviour
+    of MIN/MAX and the None-as-identity behaviour of SUM.
+    """
+    key = func.strip().lower()
+    if key == "min":
+        if earlier is None:
+            return later
+        if later is None:
+            return earlier
+        return later if compare(later, earlier) == -1 else earlier
+    if key == "max":
+        if earlier is None:
+            return later
+        if later is None:
+            return earlier
+        return later if compare(later, earlier) == 1 else earlier
+    if key == "sum":
+        if earlier is None:
+            return later
+        if later is None:
+            return earlier
+        return earlier + later
+    if key == "count":
+        return (earlier or 0) + (later or 0)
+    raise AggregateError(f"{func!r} has no stored-value merge")
+
+
+def merge_avg_stored(earlier_visible: SqlValue, earlier_sum: SqlValue,
+                     earlier_cnt: SqlValue, later_visible: SqlValue,
+                     later_sum: SqlValue, later_cnt: SqlValue,
+                     ) -> Tuple[SqlValue, SqlValue, SqlValue]:
+    """Merge AVG's (visible, __avg_sum, __avg_cnt) stored triple.
+
+    Serial semantics: the visible column is only re-divided when a
+    non-NULL value is applied, so a later partition contributing no
+    non-NULL values leaves the earlier visible value (possibly the raw
+    first observation, or NULL) untouched.
+    """
+    total = (earlier_sum or 0.0) + (later_sum or 0.0)
+    count = (earlier_cnt or 0) + (later_cnt or 0)
+    if later_cnt:
+        visible: SqlValue = total / count
+    else:
+        visible = earlier_visible
+    return visible, total, count
+
+
 def parse_col_func_pairs(spec) -> Tuple[Tuple[str, str], ...]:
     """Normalize ListOfColFuncPairs.
 

@@ -21,7 +21,6 @@ the snapshotable main database instead.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -50,6 +49,9 @@ class RQLResult:
     result_index_bytes: int = 0
     #: visible result columns (hidden AVG helper columns excluded)
     columns: List[str] = field(default_factory=list)
+    #: :class:`repro.core.parallel.ParallelRunInfo` when the run used the
+    #: parallel executor; None for serial runs
+    parallel: Optional[object] = None
 
     @property
     def iterations(self) -> int:
@@ -67,12 +69,15 @@ class _LoopBody:
     index_name: Optional[str] = None
 
     def __init__(self, db: Database, qq: str, table: str,
-                 persistent: bool = False) -> None:
+                 persistent: bool = False,
+                 sink: Optional[MetricsSink] = None) -> None:
         self.db = db
         self.qq = qq
         self.table = table
         self.persistent = persistent
-        self.sink = MetricsSink()
+        # An injected sink carries its own monotonic clock, making every
+        # timing in this run deterministic under test.
+        self.sink = sink if sink is not None else MetricsSink()
         self._first_done = False
 
     # -- public ------------------------------------------------------------
@@ -126,16 +131,18 @@ class _LoopBody:
         Returns the Qq output column names when ``need_columns``.
         """
         rewritten = rewrite_qq(self.qq, snapshot_id)
+        clock = self.sink.clock
         current = self.sink.current
         index_before = current.index_creation_seconds
-        started = time.perf_counter()
+        started = clock()
         udf_seconds = 0.0
         columns, rows = self.db.execute_cursor(rewritten)
         for row in rows:
-            cb_start = time.perf_counter()
+            current.qq_rows += 1
+            cb_start = clock()
             on_row(row)
-            udf_seconds += time.perf_counter() - cb_start
-        total = time.perf_counter() - started
+            udf_seconds += clock() - cb_start
+        total = clock() - started
         # Auto covering-index builds inside Qq are metered separately
         # (index_creation); keep them out of query evaluation.
         index_delta = current.index_creation_seconds - index_before
@@ -205,19 +212,21 @@ class CollateDataRun(_LoopBody):
     def _iteration(self, snapshot_id: int, first: bool) -> None:
         with self.db.transaction():
             rewritten = rewrite_qq(self.qq, snapshot_id)
+            clock = self.sink.clock
             current = self.sink.current
             index_before = current.index_creation_seconds
-            started = time.perf_counter()
+            started = clock()
             columns, rows = self.db.execute_cursor(rewritten)
             if first:
                 self._create_result_table(columns)
             _, writer = self.db.table_writer(self.table)
             udf_seconds = 0.0
             for row in rows:
-                cb = time.perf_counter()
+                current.qq_rows += 1
+                cb = clock()
                 writer.insert(row)
-                udf_seconds += time.perf_counter() - cb
-            total = time.perf_counter() - started
+                udf_seconds += clock() - cb
+            total = clock() - started
             index_delta = current.index_creation_seconds - index_before
             current.udf_seconds += udf_seconds
             current.query_eval_seconds += max(
@@ -238,8 +247,9 @@ class AggregateDataInVariableRun(_LoopBody):
     """
 
     def __init__(self, db: Database, qq: str, table: str, agg_func: str,
-                 persistent: bool = False) -> None:
-        super().__init__(db, qq, table, persistent)
+                 persistent: bool = False,
+                 sink: Optional[MetricsSink] = None) -> None:
+        super().__init__(db, qq, table, persistent, sink=sink)
         self.state: CrossSnapshotAggregate = \
             make_cross_snapshot_aggregate(agg_func)
         self._column: Optional[str] = None
@@ -260,10 +270,10 @@ class AggregateDataInVariableRun(_LoopBody):
                 "AggregateDataInVariable requires Qq to return a single "
                 f"row; snapshot {snapshot_id} returned {len(collected)}"
             )
-        started = time.perf_counter()
+        started = self.sink.clock()
         if collected:
             self.state.absorb(collected[0][0])
-        self._timed_udf(time.perf_counter() - started)
+        self._timed_udf(self.sink.clock() - started)
 
     def finalize(self) -> None:
         if self._column is None:
@@ -278,37 +288,27 @@ class AggregateDataInVariableRun(_LoopBody):
 # Aggregate Data In Table
 # ---------------------------------------------------------------------------
 
-class AggregateDataInTableRun(_LoopBody):
-    """Across-time GROUP BY (paper Section 2.3).
+class TableAggregateSchema:
+    """Schema binding + per-record fold logic for AggregateDataInTable.
 
-    Grouping columns are the Qq output columns *not* listed in
-    ListOfColFuncPairs.  The first iteration creates T, inserts the Qq
-    output, and builds an index on the grouping columns; subsequent
-    iterations probe the index per Qq record and update or insert.
-
-    AVG columns keep hidden ``__avg_sum_i`` / ``__avg_cnt_i`` helper
-    columns in T (the paper's "simple extension" for the non-monoid
-    AVG); the visible column always holds the current average.
+    Shared by the serial index-probe run, the sort-merge ablation
+    variant, and the parallel merge phase
+    (:mod:`repro.core.parallel`), so all three agree byte-for-byte on
+    widened rows and aggregate updates — including the hidden
+    ``__avg_sum_i`` / ``__avg_cnt_i`` helper columns.
     """
 
-    def __init__(self, db: Database, qq: str, table: str, col_func_pairs,
-                 persistent: bool = False) -> None:
-        super().__init__(db, qq, table, persistent)
-        self.pairs = parse_col_func_pairs(col_func_pairs)
-        self.index_name = f"__rqlidx_{table.lower()}"
-        self._group_positions: List[int] = []
-        self._agg_specs: List[Tuple[int, str, Optional[int], Optional[int]]] = []
-        self._columns: List[str] = []
-        self._table_access: Optional[TableAccess] = None
-        #: operation counters (Figure 13 contrasts SUM's ~1M updates
-        #: with MAX's ~22K)
-        self.probes = 0
-        self.updates_applied = 0
-        self.rows_inserted = 0
+    def __init__(self, pairs: List[Tuple[str, str]]) -> None:
+        self.pairs = pairs
+        self.group_positions: List[int] = []
+        self.agg_specs: List[Tuple[int, str, Optional[int], Optional[int]]] = []
+        self.columns: List[str] = []
 
-    # -- schema binding -----------------------------------------------------
+    @property
+    def bound(self) -> bool:
+        return bool(self.columns)
 
-    def _bind_columns(self, columns: List[str]) -> None:
+    def bind(self, columns: List[str]) -> None:
         lowered = [c.lower() for c in columns]
         agg_columns = {}
         for column, func in self.pairs:
@@ -318,75 +318,28 @@ class AggregateDataInTableRun(_LoopBody):
                     f"{columns}"
                 )
             agg_columns[lowered.index(column.lower())] = func
-        self._group_positions = [
+        self.group_positions = [
             i for i in range(len(columns)) if i not in agg_columns
         ]
-        if not self._group_positions:
+        if not self.group_positions:
             raise MechanismError(
                 "AggregateDataInTable needs at least one grouping column; "
                 "use AggregateDataInVariable for scalar aggregation"
             )
         stored = list(columns)
-        self._agg_specs = []
+        self.agg_specs = []
         for position, func in sorted(agg_columns.items()):
             if func == "avg":
                 sum_pos = len(stored)
                 stored.append(f"__avg_sum_{position}")
                 cnt_pos = len(stored)
                 stored.append(f"__avg_cnt_{position}")
-                self._agg_specs.append((position, func, sum_pos, cnt_pos))
+                self.agg_specs.append((position, func, sum_pos, cnt_pos))
             else:
-                self._agg_specs.append((position, func, None, None))
-        self._columns = stored
+                self.agg_specs.append((position, func, None, None))
+        self.columns = stored
 
-    # -- iteration -----------------------------------------------------------
-
-    def _iteration(self, snapshot_id: int, first: bool) -> None:
-        with self.db.transaction():
-            rewritten = rewrite_qq(self.qq, snapshot_id)
-            current = self.sink.current
-            index_before = current.index_creation_seconds
-            started = time.perf_counter()
-            columns, rows = self.db.execute_cursor(rewritten)
-            if first:
-                self._bind_columns(columns)
-                self._create_result_table(self._columns)
-            table, writer = self.db.table_writer(self.table)
-            if first:
-                udf = self._first_pass(rows, writer)
-                # Build the grouping-column index at the end of the
-                # first iteration (paper Section 3).  Its cost belongs
-                # to the UDF (Figure 12), not to Qq index creation, so
-                # neutralize the CREATE INDEX statement's own metering.
-                index_cols = ", ".join(
-                    _quote(self._columns[p]) for p in self._group_positions
-                )
-                idx_start = time.perf_counter()
-                self.db.execute(
-                    f"CREATE INDEX {_quote(self.index_name)} ON "
-                    f"{_quote(self.table)} ({index_cols})"
-                )
-                udf += time.perf_counter() - idx_start
-                current.index_creation_seconds = index_before
-            else:
-                udf = self._probe_pass(rows, table, writer)
-            total = time.perf_counter() - started
-            index_delta = current.index_creation_seconds - index_before
-            current.udf_seconds += udf
-            current.query_eval_seconds += max(
-                total - udf - index_delta, 0.0,
-            )
-
-    def _first_pass(self, rows, writer: TableWriter) -> float:
-        udf = 0.0
-        for row in rows:
-            cb = time.perf_counter()
-            writer.insert(self._widen(row))
-            self.rows_inserted += 1
-            udf += time.perf_counter() - cb
-        return udf
-
-    def _widen(self, row: Sequence[SqlValue]) -> Tuple[SqlValue, ...]:
+    def widen(self, row: Sequence[SqlValue]) -> Tuple[SqlValue, ...]:
         """Prepare a fresh group row: initialize aggregate columns and
         append hidden AVG helper values.
 
@@ -396,7 +349,7 @@ class AggregateDataInTableRun(_LoopBody):
         with (sum, count) helpers.
         """
         out = list(row)
-        for position, func, sum_pos, cnt_pos in self._agg_specs:
+        for position, func, sum_pos, cnt_pos in self.agg_specs:
             value = row[position]
             if func == "count":
                 out[position] = 1 if value is not None else 0
@@ -405,34 +358,8 @@ class AggregateDataInTableRun(_LoopBody):
                 out.append(1 if value is not None else 0)
         return tuple(out)
 
-    def _probe_pass(self, rows, table: TableAccess,
-                    writer: TableWriter) -> float:
-        index = next(
-            (ix for ix in writer.indexes
-             if ix.info.name.lower() == self.index_name.lower()),
-            None,
-        )
-        if index is None:
-            raise MechanismError("result-table index vanished")
-        udf = 0.0
-        for row in rows:
-            cb = time.perf_counter()
-            group_values = [row[p] for p in self._group_positions]
-            rowid = next(iter(index.lookup_equal(group_values)), None)
-            self.probes += 1
-            if rowid is None:
-                writer.insert(self._widen(row))
-                self.rows_inserted += 1
-            else:
-                existing = table.get(rowid)
-                updated = self._apply_aggregates(existing, row)
-                if updated is not None:
-                    writer.update(rowid, updated)
-                    self.updates_applied += 1
-            udf += time.perf_counter() - cb
-        return udf
-
-    def _apply_aggregates(self, existing, row):
+    def apply(self, existing: Sequence[SqlValue],
+              row: Sequence[SqlValue]) -> Optional[Tuple[SqlValue, ...]]:
         """Merge one Qq record into the stored group row.
 
         Returns the new stored row, or None when nothing changed (MAX/
@@ -440,7 +367,7 @@ class AggregateDataInTableRun(_LoopBody):
         """
         out = list(existing)
         changed = False
-        for position, func, sum_pos, cnt_pos in self._agg_specs:
+        for position, func, sum_pos, cnt_pos in self.agg_specs:
             new_value = row[position]
             if func == "avg":
                 if new_value is None:
@@ -471,6 +398,138 @@ class AggregateDataInTableRun(_LoopBody):
         return tuple(out) if changed else None
 
 
+class AggregateDataInTableRun(_LoopBody):
+    """Across-time GROUP BY (paper Section 2.3).
+
+    Grouping columns are the Qq output columns *not* listed in
+    ListOfColFuncPairs.  The first iteration creates T, inserts the Qq
+    output, and builds an index on the grouping columns; subsequent
+    iterations probe the index per Qq record and update or insert.
+
+    AVG columns keep hidden ``__avg_sum_i`` / ``__avg_cnt_i`` helper
+    columns in T (the paper's "simple extension" for the non-monoid
+    AVG); the visible column always holds the current average.
+    """
+
+    def __init__(self, db: Database, qq: str, table: str, col_func_pairs,
+                 persistent: bool = False,
+                 sink: Optional[MetricsSink] = None) -> None:
+        super().__init__(db, qq, table, persistent, sink=sink)
+        self.pairs = parse_col_func_pairs(col_func_pairs)
+        self.index_name = f"__rqlidx_{table.lower()}"
+        self.schema = TableAggregateSchema(self.pairs)
+        self._table_access: Optional[TableAccess] = None
+        #: operation counters (Figure 13 contrasts SUM's ~1M updates
+        #: with MAX's ~22K)
+        self.probes = 0
+        self.updates_applied = 0
+        self.rows_inserted = 0
+
+    # -- schema binding (delegates kept for the sort-merge subclass) --------
+
+    @property
+    def _group_positions(self) -> List[int]:
+        return self.schema.group_positions
+
+    @property
+    def _agg_specs(self):
+        return self.schema.agg_specs
+
+    @property
+    def _columns(self) -> List[str]:
+        return self.schema.columns
+
+    def _bind_columns(self, columns: List[str]) -> None:
+        self.schema.bind(columns)
+
+    def _widen(self, row: Sequence[SqlValue]) -> Tuple[SqlValue, ...]:
+        return self.schema.widen(row)
+
+    def _apply_aggregates(self, existing, row):
+        return self.schema.apply(existing, row)
+
+    # -- iteration -----------------------------------------------------------
+
+    def _iteration(self, snapshot_id: int, first: bool) -> None:
+        with self.db.transaction():
+            rewritten = rewrite_qq(self.qq, snapshot_id)
+            clock = self.sink.clock
+            current = self.sink.current
+            index_before = current.index_creation_seconds
+            started = clock()
+            columns, rows = self.db.execute_cursor(rewritten)
+            if first:
+                self._bind_columns(columns)
+                self._create_result_table(self._columns)
+            table, writer = self.db.table_writer(self.table)
+            if first:
+                udf = self._first_pass(rows, writer)
+                # Build the grouping-column index at the end of the
+                # first iteration (paper Section 3).  Its cost belongs
+                # to the UDF (Figure 12), not to Qq index creation, so
+                # neutralize the CREATE INDEX statement's own metering.
+                index_cols = ", ".join(
+                    _quote(self._columns[p]) for p in self._group_positions
+                )
+                idx_start = clock()
+                self.db.execute(
+                    f"CREATE INDEX {_quote(self.index_name)} ON "
+                    f"{_quote(self.table)} ({index_cols})"
+                )
+                udf += clock() - idx_start
+                current.index_creation_seconds = index_before
+            else:
+                udf = self._probe_pass(rows, table, writer)
+            total = clock() - started
+            index_delta = current.index_creation_seconds - index_before
+            current.udf_seconds += udf
+            current.query_eval_seconds += max(
+                total - udf - index_delta, 0.0,
+            )
+
+    def _first_pass(self, rows, writer: TableWriter) -> float:
+        clock = self.sink.clock
+        current = self.sink.current
+        udf = 0.0
+        for row in rows:
+            current.qq_rows += 1
+            cb = clock()
+            writer.insert(self._widen(row))
+            self.rows_inserted += 1
+            udf += clock() - cb
+        return udf
+
+    def _probe_pass(self, rows, table: TableAccess,
+                    writer: TableWriter) -> float:
+        index = next(
+            (ix for ix in writer.indexes
+             if ix.info.name.lower() == self.index_name.lower()),
+            None,
+        )
+        if index is None:
+            raise MechanismError("result-table index vanished")
+        clock = self.sink.clock
+        current = self.sink.current
+        udf = 0.0
+        for row in rows:
+            current.qq_rows += 1
+            cb = clock()
+            group_values = [row[p] for p in self._group_positions]
+            rowid = next(iter(index.lookup_equal(group_values)), None)
+            self.probes += 1
+            if rowid is None:
+                writer.insert(self._widen(row))
+                self.rows_inserted += 1
+            else:
+                existing = table.get(rowid)
+                updated = self._apply_aggregates(existing, row)
+                if updated is not None:
+                    writer.update(rowid, updated)
+                    self.updates_applied += 1
+            udf += clock() - cb
+        return udf
+
+
 # ---------------------------------------------------------------------------
 # Collate Data Into Intervals
 # ---------------------------------------------------------------------------
@@ -488,8 +547,9 @@ class CollateDataIntoIntervalsRun(_LoopBody):
     END_COLUMN = "end_snapshot"
 
     def __init__(self, db: Database, qq: str, table: str,
-                 persistent: bool = False) -> None:
-        super().__init__(db, qq, table, persistent)
+                 persistent: bool = False,
+                 sink: Optional[MetricsSink] = None) -> None:
+        super().__init__(db, qq, table, persistent, sink=sink)
         self.index_name = f"__rqlidx_{table.lower()}"
         self._qq_width = 0
         self._previous_snapshot: Optional[int] = None
@@ -500,9 +560,10 @@ class CollateDataIntoIntervalsRun(_LoopBody):
     def _iteration(self, snapshot_id: int, first: bool) -> None:
         with self.db.transaction():
             rewritten = rewrite_qq(self.qq, snapshot_id)
+            clock = self.sink.clock
             current = self.sink.current
             index_before = current.index_creation_seconds
-            started = time.perf_counter()
+            started = clock()
             columns, rows = self.db.execute_cursor(rewritten)
             if first:
                 self._qq_width = len(columns)
@@ -513,20 +574,21 @@ class CollateDataIntoIntervalsRun(_LoopBody):
             udf = 0.0
             if first:
                 for row in rows:
-                    cb = time.perf_counter()
+                    current.qq_rows += 1
+                    cb = clock()
                     writer.insert(tuple(row) + (snapshot_id, snapshot_id))
-                    udf += time.perf_counter() - cb
+                    udf += clock() - cb
                 index_cols = ", ".join(_quote(c) for c in columns)
-                idx_start = time.perf_counter()
+                idx_start = clock()
                 self.db.execute(
                     f"CREATE INDEX {_quote(self.index_name)} ON "
                     f"{_quote(self.table)} ({index_cols})"
                 )
-                udf += time.perf_counter() - idx_start
+                udf += clock() - idx_start
                 current.index_creation_seconds = index_before
             else:
                 udf = self._extend_pass(rows, table, writer, snapshot_id)
-            total = time.perf_counter() - started
+            total = clock() - started
             index_delta = current.index_creation_seconds - index_before
             current.udf_seconds += udf
             current.query_eval_seconds += max(
@@ -545,9 +607,12 @@ class CollateDataIntoIntervalsRun(_LoopBody):
             raise MechanismError("result-table index vanished")
         end_position = self._qq_width + 1
         previous = self._previous_snapshot
+        clock = self.sink.clock
+        current = self.sink.current
         udf = 0.0
         for row in rows:
-            cb = time.perf_counter()
+            current.qq_rows += 1
+            cb = clock()
             values = list(row)
             extended = False
             for rowid in index.lookup_equal(values):
@@ -560,7 +625,7 @@ class CollateDataIntoIntervalsRun(_LoopBody):
                     break
             if not extended:
                 writer.insert(tuple(values) + (snapshot_id, snapshot_id))
-            udf += time.perf_counter() - cb
+            udf += clock() - cb
         return udf
 
 

@@ -1,0 +1,604 @@
+"""Parallel snapshot-set execution (paper Section 7, "parallelize the
+computation over the snapshot set").
+
+The serial mechanisms iterate the Qs snapshot ids one by one.  This
+module partitions those ids into **contiguous runs**, evaluates each
+partition on its own worker thread — each worker owns a private
+:class:`~repro.retro.metrics.MetricsSink` and opens private read-only
+contexts per iteration, so workers share nothing but the (latched)
+buffer pool, snapshot page cache, and SPT cache — and then merges the
+per-partition partial results on the calling thread:
+
+* **CollateData** — row-stream concatenation: partial row lists are
+  inserted into T in global snapshot order, mirroring the serial
+  per-iteration ``INSERT``s.
+* **AggregateDataInVariable** — each worker folds a private
+  :class:`~repro.core.aggregates.CrossSnapshotAggregate`; partials are
+  combined with the abelian-monoid ``merge()`` in partition order.
+* **AggregateDataInTable** — each worker simulates the serial
+  first/probe passes on an in-memory group table keyed by
+  ``encode_key`` of the grouping values (the exact identity the serial
+  index probe uses); stored group rows are merged column-wise with
+  :func:`~repro.core.aggregates.merge_stored_value` /
+  :func:`~repro.core.aggregates.merge_avg_stored`.
+* **CollateDataIntoIntervals** — workers build local interval lists;
+  the merge stitches a later partition's interval that starts at the
+  partition's first snapshot onto the earliest same-key accumulated
+  interval ending at the previous partition's last snapshot — exactly
+  the extension the serial index probe would have performed across the
+  partition boundary.
+
+Contiguous partitioning is what makes the merges this simple: each
+worker sees an unbroken prefix-free slice of the iteration order, so
+only the two boundary snapshots of adjacent partitions interact — and
+it preserves the hot-iteration page sharing the paper measures, since
+consecutive snapshots share most Pagelog slots.
+
+Equivalence with the serial mechanisms is proven by the differential
+harness in ``tests/core/test_parallel_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.aggregates import (
+    CrossSnapshotAggregate,
+    make_cross_snapshot_aggregate,
+    merge_avg_stored,
+    merge_stored_value,
+    parse_col_func_pairs,
+)
+from repro.core.mechanisms import (
+    CollateDataIntoIntervalsRun,
+    RQLResult,
+    TableAggregateSchema,
+    _quote,
+    _result_table_stats,
+)
+from repro.core.rewrite import rewrite_qq, validate_qs
+from repro.errors import MechanismError
+from repro.retro.metrics import MetricsSink
+from repro.sql.database import Database
+from repro.sql.types import SqlValue
+from repro.storage.record import encode_key
+
+
+def partition_snapshots(snapshot_ids: Sequence[int],
+                        workers: int) -> List[List[int]]:
+    """Split ``snapshot_ids`` into at most ``workers`` contiguous runs.
+
+    Sizes differ by at most one, earlier partitions taking the extra
+    element; iteration order within and across partitions is preserved.
+    """
+    if workers < 1:
+        raise MechanismError("workers must be >= 1")
+    count = len(snapshot_ids)
+    parts = min(workers, count)
+    partitions: List[List[int]] = []
+    if parts == 0:
+        return partitions
+    base, extra = divmod(count, parts)
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        partitions.append(list(snapshot_ids[start:start + size]))
+        start += size
+    return partitions
+
+
+@dataclass
+class ParallelRunInfo:
+    """Telemetry for one parallel run.
+
+    ``worker_eval_seconds`` is captured at join time, before the merge
+    phase mutates any sink, so :meth:`makespan_seconds` models the
+    wall-clock of truly concurrent workers: the slowest partition's
+    evaluation plus the serial merge.
+    """
+
+    workers: int
+    partitions: List[List[int]] = field(default_factory=list)
+    worker_sinks: List[MetricsSink] = field(default_factory=list)
+    worker_eval_seconds: List[float] = field(default_factory=list)
+    merge_seconds: float = 0.0
+
+    def makespan_seconds(self) -> float:
+        return max(self.worker_eval_seconds, default=0.0) \
+            + self.merge_seconds
+
+
+class _Partial:
+    """One worker's partition outcome (payload shape is per mechanism)."""
+
+    def __init__(self, index: int, snapshot_ids: List[int],
+                 sink: MetricsSink) -> None:
+        self.index = index
+        self.snapshot_ids = snapshot_ids
+        self.sink = sink
+        self.payload: object = None
+
+
+class ParallelExecutor:
+    """Runs one RQL mechanism over contiguous snapshot partitions.
+
+    The executor never runs while a write transaction is open: workers
+    read through private read contexts (main + aux), which is only safe
+    when no writer can move the committed roots underneath them.
+    """
+
+    def __init__(self, db: Database, workers: int = 2,
+                 charges=None, clock: Optional[Callable[[], float]] = None,
+                 ) -> None:
+        if workers < 1:
+            raise MechanismError("workers must be >= 1")
+        self.db = db
+        self.workers = workers
+        self._charges = charges
+        self._clock = clock if clock is not None else time.perf_counter
+        #: telemetry of the most recent run (also on ``RQLResult.parallel``)
+        self.last_run: Optional[ParallelRunInfo] = None
+
+    # -- mechanism entry points ---------------------------------------------
+
+    def collate_data(self, qs: str, qq: str, table: str,
+                     persistent: bool = False) -> RQLResult:
+        """Parallel CollateData(Qs, Qq, T)."""
+        snapshot_ids = self._snapshot_ids(qs)
+        partitions = partition_snapshots(snapshot_ids, self.workers)
+
+        def eval_partition(index: int, sids: List[int], sink: MetricsSink,
+                           cancel: threading.Event) -> list:
+            payload = []
+            for sid in sids:
+                if cancel.is_set():
+                    break
+                current = sink.begin_iteration(sid)
+                try:
+                    columns, rows = self._eval_qq(sid, sink, qq, current)
+                finally:
+                    sink.end_iteration()
+                payload.append((sid, columns, rows, current))
+            return payload
+
+        partials, info = self._run_partitions(partitions, eval_partition)
+
+        # Merge: per-snapshot transactions in global order, mirroring the
+        # serial per-iteration CREATE/INSERT pattern (and its udf split).
+        clock = self._clock
+        merge_started = clock()
+        first_done = False
+        for partial in partials:
+            for sid, columns, rows, iteration in partial.payload:
+                with self.db.transaction():
+                    if not first_done:
+                        self._create_result_table(table, columns,
+                                                  persistent)
+                        first_done = True
+                    _, writer = self.db.table_writer(table)
+                    insert_started = clock()
+                    for row in rows:
+                        writer.insert(row)
+                    iteration.udf_seconds += clock() - insert_started
+        info.merge_seconds = clock() - merge_started
+        return self._build_result(snapshot_ids, table, None, info)
+
+    def aggregate_data_in_variable(self, qs: str, qq: str, table: str,
+                                   agg_func: str,
+                                   persistent: bool = False) -> RQLResult:
+        """Parallel AggregateDataInVariable(Qs, Qq, T, AggFunc)."""
+        make_cross_snapshot_aggregate(agg_func)  # validate before threading
+        snapshot_ids = self._snapshot_ids(qs)
+        partitions = partition_snapshots(snapshot_ids, self.workers)
+
+        def eval_partition(index: int, sids: List[int], sink: MetricsSink,
+                           cancel: threading.Event):
+            state = make_cross_snapshot_aggregate(agg_func)
+            column: Optional[str] = None
+            for sid in sids:
+                if cancel.is_set():
+                    break
+                current = sink.begin_iteration(sid)
+                try:
+                    columns, rows = self._eval_qq(sid, sink, qq, current)
+                    if len(columns) != 1:
+                        raise MechanismError(
+                            "AggregateDataInVariable requires a "
+                            "single-column Qq"
+                        )
+                    if column is None:
+                        column = columns[0]
+                    if len(rows) > 1:
+                        raise MechanismError(
+                            "AggregateDataInVariable requires Qq to return "
+                            f"a single row; snapshot {sid} returned "
+                            f"{len(rows)}"
+                        )
+                    started = sink.clock()
+                    if rows:
+                        state.absorb(rows[0][0])
+                    current.udf_seconds += sink.clock() - started
+                finally:
+                    sink.end_iteration()
+            return column, state
+
+        partials, info = self._run_partitions(partitions, eval_partition)
+
+        clock = self._clock
+        merge_started = clock()
+        column: Optional[str] = None
+        state: Optional[CrossSnapshotAggregate] = None
+        for partial in partials:
+            part_column, part_state = partial.payload
+            if column is None:
+                column = part_column
+            if state is None:
+                state = part_state
+            else:
+                state.merge(part_state)
+        if column is not None and state is not None:
+            with self.db.transaction():
+                self._create_result_table(table, [column], persistent)
+                _, writer = self.db.table_writer(table)
+                writer.insert((state.result(),))
+        info.merge_seconds = clock() - merge_started
+        return self._build_result(snapshot_ids, table, None, info)
+
+    def aggregate_data_in_table(self, qs: str, qq: str, table: str,
+                                col_func_pairs,
+                                persistent: bool = False) -> RQLResult:
+        """Parallel AggregateDataInTable(Qs, Qq, T, ListOfColFuncPairs)."""
+        pairs = parse_col_func_pairs(col_func_pairs)
+        index_name = f"__rqlidx_{table.lower()}"
+        snapshot_ids = self._snapshot_ids(qs)
+        partitions = partition_snapshots(snapshot_ids, self.workers)
+
+        def eval_partition(index: int, sids: List[int], sink: MetricsSink,
+                           cancel: threading.Event):
+            schema = TableAggregateSchema(list(pairs))
+            stored: List[Tuple[SqlValue, ...]] = []
+            by_key: Dict[bytes, int] = {}
+            for n, sid in enumerate(sids):
+                if cancel.is_set():
+                    break
+                current = sink.begin_iteration(sid)
+                try:
+                    columns, rows = self._eval_qq(sid, sink, qq, current)
+                    if not schema.bound:
+                        schema.bind(columns)
+                    started = sink.clock()
+                    if index == 0 and n == 0:
+                        # Serial first pass inserts every Qq record
+                        # without probing (duplicate group rows possible).
+                        for row in rows:
+                            key = self._group_key(schema, row)
+                            by_key.setdefault(key, len(stored))
+                            stored.append(schema.widen(row))
+                    else:
+                        for row in rows:
+                            key = self._group_key(schema, row)
+                            at = by_key.get(key)
+                            if at is None:
+                                by_key[key] = len(stored)
+                                stored.append(schema.widen(row))
+                            else:
+                                updated = schema.apply(stored[at], row)
+                                if updated is not None:
+                                    stored[at] = updated
+                    current.udf_seconds += sink.clock() - started
+                finally:
+                    sink.end_iteration()
+            return schema, stored, by_key
+
+        partials, info = self._run_partitions(partitions, eval_partition)
+
+        clock = self._clock
+        merge_started = clock()
+        schema: Optional[TableAggregateSchema] = None
+        acc_rows: List[Tuple[SqlValue, ...]] = []
+        acc_by_key: Dict[bytes, int] = {}
+        seeded = False
+        for partial in partials:
+            part_schema, part_rows, part_keys = partial.payload
+            if schema is None and part_schema.bound:
+                schema = part_schema
+            if not seeded:
+                # The first partition ran serial first-pass semantics and
+                # may legitimately hold duplicate group rows (the serial
+                # first iteration inserts without probing) — copy it
+                # verbatim rather than merging it against itself.
+                acc_rows = list(part_rows)
+                acc_by_key = dict(part_keys)
+                seeded = True
+                continue
+            if not part_rows:
+                continue
+            assert schema is not None
+            # Later partitions ran pure probe semantics, so their local
+            # tables hold one row per group; merge them row-by-row, each
+            # targeting the earliest accumulated row of its group (the
+            # row the serial index probe would have updated).
+            for row in part_rows:
+                key = self._group_key(schema, row)
+                at = acc_by_key.get(key)
+                if at is None:
+                    acc_by_key[key] = len(acc_rows)
+                    acc_rows.append(row)
+                else:
+                    acc_rows[at] = self._merge_stored_rows(
+                        schema, acc_rows[at], row,
+                    )
+        if schema is not None:
+            with self.db.transaction():
+                self._create_result_table(table, schema.columns, persistent)
+                _, writer = self.db.table_writer(table)
+                for row in acc_rows:
+                    writer.insert(row)
+                index_cols = ", ".join(
+                    _quote(schema.columns[p])
+                    for p in schema.group_positions
+                )
+                self.db.execute(
+                    f"CREATE INDEX {_quote(index_name)} ON "
+                    f"{_quote(table)} ({index_cols})"
+                )
+        info.merge_seconds = clock() - merge_started
+        return self._build_result(snapshot_ids, table, index_name, info)
+
+    def collate_data_into_intervals(self, qs: str, qq: str, table: str,
+                                    persistent: bool = False) -> RQLResult:
+        """Parallel CollateDataIntoIntervals(Qs, Qq, T)."""
+        index_name = f"__rqlidx_{table.lower()}"
+        snapshot_ids = self._snapshot_ids(qs)
+        partitions = partition_snapshots(snapshot_ids, self.workers)
+
+        def eval_partition(index: int, sids: List[int], sink: MetricsSink,
+                           cancel: threading.Event):
+            columns: Optional[List[str]] = None
+            # interval: [key, values, start, end]; kept in open order,
+            # mirroring the serial result table's rowid order.
+            intervals: List[list] = []
+            by_key: Dict[bytes, List[int]] = {}
+            previous: Optional[int] = None
+            for sid in sids:
+                if cancel.is_set():
+                    break
+                current = sink.begin_iteration(sid)
+                try:
+                    qq_columns, rows = self._eval_qq(sid, sink, qq, current)
+                    if columns is None:
+                        columns = qq_columns
+                    started = sink.clock()
+                    for row in rows:
+                        values = tuple(row)
+                        key = encode_key(values)
+                        extended = False
+                        if previous is not None:
+                            for at in by_key.get(key, ()):
+                                interval = intervals[at]
+                                if interval[3] == previous:
+                                    interval[3] = sid
+                                    extended = True
+                                    break
+                        if not extended:
+                            by_key.setdefault(key, []).append(
+                                len(intervals))
+                            intervals.append([key, values, sid, sid])
+                    current.udf_seconds += sink.clock() - started
+                finally:
+                    sink.end_iteration()
+                previous = sid
+            return columns, intervals
+
+        partials, info = self._run_partitions(partitions, eval_partition)
+
+        clock = self._clock
+        merge_started = clock()
+        columns: Optional[List[str]] = None
+        acc: List[list] = []
+        acc_by_key: Dict[bytes, List[int]] = {}
+        global_prev: Optional[int] = None
+        for partial in partials:
+            part_columns, part_intervals = partial.payload
+            if columns is None:
+                columns = part_columns
+            if not partial.snapshot_ids:
+                continue
+            first_sid = partial.snapshot_ids[0]
+            for interval in part_intervals:
+                key, values, start, end = interval
+                if start == first_sid and global_prev is not None:
+                    # The serial probe would have extended the earliest
+                    # same-key interval ending at the previous
+                    # partition's last snapshot; stitch it here.
+                    stitched = False
+                    for at in acc_by_key.get(key, ()):
+                        acc_interval = acc[at]
+                        if acc_interval[3] == global_prev:
+                            acc_interval[3] = end
+                            stitched = True
+                            break
+                    if stitched:
+                        continue
+                acc_by_key.setdefault(key, []).append(len(acc))
+                acc.append(interval)
+            global_prev = partial.snapshot_ids[-1]
+        if columns is not None:
+            with self.db.transaction():
+                self._create_result_table(
+                    table,
+                    list(columns) + [
+                        CollateDataIntoIntervalsRun.START_COLUMN,
+                        CollateDataIntoIntervalsRun.END_COLUMN,
+                    ],
+                    persistent,
+                )
+                _, writer = self.db.table_writer(table)
+                for _key, values, start, end in acc:
+                    writer.insert(values + (start, end))
+                index_cols = ", ".join(_quote(c) for c in columns)
+                self.db.execute(
+                    f"CREATE INDEX {_quote(index_name)} ON "
+                    f"{_quote(table)} ({index_cols})"
+                )
+        info.merge_seconds = clock() - merge_started
+        # Like the serial run, intervals expose every column (including
+        # any ``__``-prefixed Qq output columns).
+        return self._build_result(snapshot_ids, table, index_name, info,
+                                  hide_helpers=False)
+
+    # -- worker machinery ---------------------------------------------------
+
+    def _snapshot_ids(self, qs: str) -> List[int]:
+        validate_qs(qs)
+        return [int(row[0]) for row in self.db.execute(qs).rows]
+
+    def _check_idle(self) -> None:
+        if self.db._in_explicit_txn or self.db._main.txn is not None \
+                or self.db._aux.txn is not None:
+            raise MechanismError(
+                "parallel execution requires no open write transaction"
+            )
+
+    def _new_sink(self, worker: int) -> MetricsSink:
+        sink = MetricsSink(self._charges, clock=self._clock)
+        sink.worker = worker
+        return sink
+
+    def _run_partitions(self, partitions: List[List[int]],
+                        eval_partition) -> Tuple[List[_Partial],
+                                                 ParallelRunInfo]:
+        """Run ``eval_partition(index, sids, sink, cancel)`` per partition
+        on worker threads; raises the first partition's error (in
+        partition order) after every worker has stopped.
+        """
+        self._check_idle()
+        partials = [
+            _Partial(i, sids, self._new_sink(i + 1))
+            for i, sids in enumerate(partitions)
+        ]
+        errors: List[Optional[BaseException]] = [None] * len(partials)
+        cancel = threading.Event()
+        retro = self.db.engine.retro
+
+        def body(partial: _Partial) -> None:
+            with retro.route_metrics(partial.sink):
+                try:
+                    partial.payload = eval_partition(
+                        partial.index, partial.snapshot_ids, partial.sink,
+                        cancel,
+                    )
+                except BaseException as exc:
+                    errors[partial.index] = exc  # re-raised after join
+                    cancel.set()
+                    if not isinstance(exc, Exception):
+                        raise  # KeyboardInterrupt etc.: also let
+                        # threading.excepthook report it immediately
+
+        threads = [
+            threading.Thread(target=body, args=(partial,),
+                             name=f"rql-worker-{partial.index + 1}")
+            for partial in partials
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for error in errors:
+            if error is not None:
+                raise error
+        info = ParallelRunInfo(
+            workers=self.workers,
+            partitions=partitions,
+            worker_sinks=[p.sink for p in partials],
+            worker_eval_seconds=[
+                p.sink.total_seconds() for p in partials
+            ],
+        )
+        self.last_run = info
+        return partials, info
+
+    def _eval_qq(self, snapshot_id: int, sink: MetricsSink, qq: str,
+                 current) -> Tuple[List[str], List[tuple]]:
+        """Evaluate rewritten Qq as of ``snapshot_id`` through a private
+        read-only cursor, metering like the serial ``_run_qq``.
+        """
+        clock = sink.clock
+        index_before = current.index_creation_seconds
+        started = clock()
+        columns, rows = self.db.execute_readonly_cursor(
+            rewrite_qq(qq, snapshot_id), metrics=sink,
+        )
+        out: List[tuple] = []
+        try:
+            for row in rows:
+                current.qq_rows += 1
+                out.append(tuple(row))
+        finally:
+            rows.close()
+        total = clock() - started
+        index_delta = current.index_creation_seconds - index_before
+        current.query_eval_seconds += max(total - index_delta, 0.0)
+        return columns, out
+
+    # -- merge helpers ------------------------------------------------------
+
+    @staticmethod
+    def _group_key(schema: TableAggregateSchema,
+                   row: Sequence[SqlValue]) -> bytes:
+        """The serial probe's group identity: ``encode_key`` of the
+        grouping values (so e.g. 1 and 1.0 coalesce, as in the index).
+        """
+        return encode_key(tuple(row[p] for p in schema.group_positions))
+
+    @staticmethod
+    def _merge_stored_rows(schema: TableAggregateSchema,
+                           earlier: Sequence[SqlValue],
+                           later: Sequence[SqlValue],
+                           ) -> Tuple[SqlValue, ...]:
+        out = list(earlier)
+        for position, func, sum_pos, cnt_pos in schema.agg_specs:
+            if func == "avg":
+                assert sum_pos is not None and cnt_pos is not None
+                (out[position], out[sum_pos],
+                 out[cnt_pos]) = merge_avg_stored(
+                    earlier[position], earlier[sum_pos], earlier[cnt_pos],
+                    later[position], later[sum_pos], later[cnt_pos],
+                )
+            else:
+                out[position] = merge_stored_value(
+                    func, earlier[position], later[position],
+                )
+        return tuple(out)
+
+    def _create_result_table(self, table: str, columns: Sequence[str],
+                             persistent: bool) -> None:
+        temp = "" if persistent else "TEMP "
+        cols = ", ".join(_quote(c) for c in columns)
+        self.db.execute(
+            f"CREATE {temp}TABLE {_quote(table)} ({cols})"
+        )
+
+    def _build_result(self, snapshot_ids: List[int], table: str,
+                      index_name: Optional[str], info: ParallelRunInfo,
+                      hide_helpers: bool = True) -> RQLResult:
+        merged = self._new_sink(0)
+        for sink in info.worker_sinks:
+            merged.adopt(sink.iterations)
+        result = RQLResult(
+            table=table, snapshots=snapshot_ids, metrics=merged,
+            parallel=info,
+        )
+        stats = _result_table_stats(self.db, table, index_name)
+        if stats is not None:
+            (result.result_rows, result.result_table_bytes,
+             result.result_index_bytes, all_columns) = stats
+            if hide_helpers:
+                result.columns = [c for c in all_columns
+                                  if not c.startswith("__")]
+            else:
+                result.columns = list(all_columns)
+        return result

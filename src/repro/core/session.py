@@ -19,6 +19,7 @@ mechanisms.  Both call forms from the paper work:
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, Optional, Tuple
 
@@ -29,7 +30,9 @@ from repro.core.mechanisms import (
     CollateDataRun,
     RQLResult,
 )
+from repro.core.parallel import ParallelExecutor
 from repro.core.snapids import SnapIds
+from repro.errors import MechanismError
 from repro.retro.metrics import MetricsSink
 from repro.sql.database import Database
 from repro.sql.executor import ResultSet
@@ -55,15 +58,44 @@ class RQLSession:
     def __init__(self, db: Optional[Database] = None,
                  disk: Optional[SimulatedDisk] = None,
                  page_size: int = 4096,
-                 clock: Optional[Callable[[], str]] = None) -> None:
+                 clock: Optional[Callable[[], str]] = None,
+                 workers: Optional[int] = None) -> None:
         self.db = db or Database(disk=disk, page_size=page_size)
         self.snapids = SnapIds(self.db, clock=clock)
+        #: default worker count for the four mechanisms; 1 = serial loop,
+        #: >1 = the partition/merge executor (:mod:`repro.core.parallel`).
+        #: When the constructor argument is omitted, the RQL_WORKERS
+        #: environment variable supplies the default (CI runs the test
+        #: suite under RQL_WORKERS=4 to exercise the parallel paths).
+        if workers is None:
+            workers = int(os.environ.get("RQL_WORKERS", "1"))
+        self.workers = self._validate_workers(workers)
         self._udf_runs: Dict[Tuple[str, str, str], object] = {}
         self._register_udfs()
         # Named snapshots inside SQL: SELECT AS OF snapshot_id('tag') ...
         self.db.register_function(
             "snapshot_id", lambda name: self.snapids.id_for_name(str(name)),
         )
+        # SQL-surface knob: SELECT rql_workers(4) sets the session
+        # default; SELECT rql_workers() reads it back.
+        self.db.register_function("rql_workers", self._udf_workers)
+
+    @staticmethod
+    def _validate_workers(workers: int) -> int:
+        workers = int(workers)
+        if workers < 1:
+            raise MechanismError("workers must be >= 1")
+        return workers
+
+    def _effective_workers(self, workers: Optional[int]) -> int:
+        if workers is None:
+            return self.workers
+        return self._validate_workers(workers)
+
+    def _udf_workers(self, workers=None):
+        if workers is not None:
+            self.workers = self._validate_workers(workers)
+        return self.workers
 
     # ------------------------------------------------------------------
     # SQL passthrough + snapshot declaration
@@ -135,36 +167,65 @@ class RQLSession:
     # ------------------------------------------------------------------
 
     def collate_data(self, qs: str, qq: str, table: str,
-                     persistent: bool = False) -> RQLResult:
+                     persistent: bool = False,
+                     workers: Optional[int] = None) -> RQLResult:
         """CollateData(Qs, Qq, T)."""
         self._drop_result_table(table)
+        count = self._effective_workers(workers)
+        if count > 1:
+            return self._executor(count).collate_data(
+                qs, qq, table, persistent,
+            )
         return CollateDataRun(self.db, qq, table, persistent).run(qs)
 
     def aggregate_data_in_variable(self, qs: str, qq: str, table: str,
                                    agg_func: str,
-                                   persistent: bool = False) -> RQLResult:
+                                   persistent: bool = False,
+                                   workers: Optional[int] = None,
+                                   ) -> RQLResult:
         """AggregateDataInVariable(Qs, Qq, T, AggFunc)."""
         self._drop_result_table(table)
+        count = self._effective_workers(workers)
+        if count > 1:
+            return self._executor(count).aggregate_data_in_variable(
+                qs, qq, table, agg_func, persistent,
+            )
         return AggregateDataInVariableRun(
             self.db, qq, table, agg_func, persistent,
         ).run(qs)
 
     def aggregate_data_in_table(self, qs: str, qq: str, table: str,
                                 col_func_pairs,
-                                persistent: bool = False) -> RQLResult:
+                                persistent: bool = False,
+                                workers: Optional[int] = None) -> RQLResult:
         """AggregateDataInTable(Qs, Qq, T, ListOfColFuncPairs)."""
         self._drop_result_table(table)
+        count = self._effective_workers(workers)
+        if count > 1:
+            return self._executor(count).aggregate_data_in_table(
+                qs, qq, table, col_func_pairs, persistent,
+            )
         return AggregateDataInTableRun(
             self.db, qq, table, col_func_pairs, persistent,
         ).run(qs)
 
     def collate_data_into_intervals(self, qs: str, qq: str, table: str,
-                                    persistent: bool = False) -> RQLResult:
+                                    persistent: bool = False,
+                                    workers: Optional[int] = None,
+                                    ) -> RQLResult:
         """CollateDataIntoIntervals(Qs, Qq, T)."""
         self._drop_result_table(table)
+        count = self._effective_workers(workers)
+        if count > 1:
+            return self._executor(count).collate_data_into_intervals(
+                qs, qq, table, persistent,
+            )
         return CollateDataIntoIntervalsRun(
             self.db, qq, table, persistent,
         ).run(qs)
+
+    def _executor(self, workers: int) -> ParallelExecutor:
+        return ParallelExecutor(self.db, workers=workers)
 
     def _drop_result_table(self, table: str) -> None:
         self.db.execute(f'DROP TABLE IF EXISTS "{table}"')

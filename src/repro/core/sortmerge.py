@@ -14,7 +14,6 @@ claim is reproducible (``benchmarks/test_ablation_sort_merge.py``):
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Sequence, Tuple
 
 from repro.core.mechanisms import AggregateDataInTableRun
@@ -45,19 +44,21 @@ class SortMergeAggregateDataInTableRun(AggregateDataInTableRun):
 
         with self.db.transaction():
             rewritten = rewrite_qq(self.qq, snapshot_id)
+            clock = self.sink.clock
             current = self.sink.current
-            started = time.perf_counter()
+            started = clock()
             columns, rows = self.db.execute_cursor(rewritten)
             self._bind_columns(columns)
             self._create_result_table(self._columns)
             _, writer = self.db.table_writer(self.table)
             udf = 0.0
             for row in rows:
-                cb = time.perf_counter()
+                current.qq_rows += 1
+                cb = clock()
                 writer.insert(self._widen(row))
                 self.rows_inserted += 1
-                udf += time.perf_counter() - cb
-            total = time.perf_counter() - started
+                udf += clock() - cb
+            total = clock() - started
             current.udf_seconds += udf
             current.query_eval_seconds += max(total - udf, 0.0)
 
@@ -66,13 +67,15 @@ class SortMergeAggregateDataInTableRun(AggregateDataInTableRun):
 
         with self.db.transaction():
             rewritten = rewrite_qq(self.qq, snapshot_id)
+            clock = self.sink.clock
             current = self.sink.current
-            started = time.perf_counter()
+            started = clock()
             _, rows = self.db.execute_cursor(rewritten)
             qq_rows = list(rows)
-            query_seconds = time.perf_counter() - started
+            current.qq_rows += len(qq_rows)
+            query_seconds = clock() - started
 
-            merge_started = time.perf_counter()
+            merge_started = clock()
             table, writer = self.db.table_writer(self.table)
 
             def group_of(row: Sequence) -> tuple:
@@ -119,7 +122,7 @@ class SortMergeAggregateDataInTableRun(AggregateDataInTableRun):
                         writer.update(rowid, updated)
                         stored_index[group] = (rowid, updated)
                         self.updates_applied += 1
-            udf = time.perf_counter() - merge_started
+            udf = clock() - merge_started
             current.udf_seconds += udf
             current.query_eval_seconds += query_seconds
 

@@ -18,8 +18,11 @@ Berkeley DB storage manager (paper Section 4):
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Callable, Dict, Optional
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from repro.errors import SnapshotError, UnknownSnapshotError
 from repro.retro.maplog import MapEntry, Maplog, SptBuildResult
@@ -37,6 +40,15 @@ MAPLOG_FILE = "maplog"
 #: query requests, per the paper's experimental assumption (Section 5).
 DEFAULT_CACHE_PAGES = 65536
 
+#: Distinct snapshot SPTs retained per manager when ``incremental_spt``
+#: is on.  Parallel workers iterate disjoint contiguous partitions, so
+#: each needs its own chain of predecessors to advance from; one stripe
+#: per recent snapshot keeps every partition on the cheap
+#: diff-proportional path.
+SPT_CACHE_SLOTS = 16
+
+_UNSET = object()
+
 
 class RetroManager:
     """COW capture + snapshot query machinery for one database."""
@@ -52,13 +64,49 @@ class RetroManager:
         #: ablation switch: False keys the cache by (snapshot, page),
         #: destroying cross-snapshot sharing (see DESIGN.md §6).
         self.share_cache_by_slot = share_cache_by_slot
-        #: where snapshot reads account their costs (set per RQL query)
-        self.metrics: Optional[MetricsSink] = None
+        # Where snapshot reads account their costs.  The default sink is
+        # set per RQL query via the ``metrics`` property; parallel workers
+        # overlay a thread-local sink with :meth:`route_metrics` so each
+        # partition meters into its own per-worker breakdown.
+        self._metrics_default: Optional[MetricsSink] = None
+        self._metrics_local = threading.local()
         #: opt-in future-work optimization (paper Section 7): derive the
         #: SPT of snapshot S+1 incrementally from S's instead of a fresh
         #: Skippy scan.  Cost becomes proportional to diff(S, S+1).
         self.incremental_spt = False
-        self._spt_cache: Optional[tuple] = None  # (sid, result, version)
+        # Striped SPT cache: snapshot id -> (result, maplog version),
+        # LRU-bounded to SPT_CACHE_SLOTS.  None means empty (benchmarks
+        # assign None directly to invalidate).  Guarded by a leaf-level
+        # latch; cached SptBuildResults are immutable once published.
+        self._spt_latch = threading.RLock()
+        self._spt_cache: Optional[
+            "OrderedDict[int, Tuple[SptBuildResult, int]]"] = None
+
+    # -- metrics routing ------------------------------------------------------
+
+    @property
+    def metrics(self) -> Optional[MetricsSink]:
+        override = getattr(self._metrics_local, "sink", _UNSET)
+        if override is not _UNSET:
+            return override  # type: ignore[return-value]
+        return self._metrics_default
+
+    @metrics.setter
+    def metrics(self, sink: Optional[MetricsSink]) -> None:
+        self._metrics_default = sink
+
+    @contextmanager
+    def route_metrics(self, sink: Optional[MetricsSink]) -> Iterator[None]:
+        """Route snapshot-read accounting on *this thread* to ``sink``."""
+        previous = getattr(self._metrics_local, "sink", _UNSET)
+        self._metrics_local.sink = sink
+        try:
+            yield
+        finally:
+            if previous is _UNSET:
+                del self._metrics_local.sink
+            else:
+                self._metrics_local.sink = previous
 
     # -- snapshot declaration ------------------------------------------------
 
@@ -108,12 +156,14 @@ class RetroManager:
 
     def build_spt(self, snapshot_id: int,
                   use_skippy: bool = True) -> SptBuildResult:
-        start = time.perf_counter()
+        sink = self.metrics
+        clock = sink.clock if sink is not None else time.perf_counter
+        start = clock()
         result = self._build_spt_cached(snapshot_id, use_skippy)
-        if self.metrics is not None:
-            current = self.metrics.current
+        if sink is not None:
+            current = sink.current
             current.spt_entries_scanned += result.entries_scanned
-            current.spt_build_seconds += time.perf_counter() - start
+            current.spt_build_seconds += clock() - start
         return result
 
     def _build_spt_cached(self, snapshot_id: int,
@@ -121,20 +171,35 @@ class RetroManager:
         if not self.incremental_spt:
             return self.maplog.build_spt(snapshot_id, use_skippy=use_skippy)
         version = self.maplog.entries_recorded
-        cached = self._spt_cache
-        if cached is not None and cached[2] == version:
-            cached_sid, cached_result = cached[0], cached[1]
-            if cached_sid == snapshot_id:
-                return cached_result
-            if cached_sid < snapshot_id:
+        with self._spt_latch:
+            cache = self._spt_cache
+            if cache is None:
+                cache = self._spt_cache = OrderedDict()
+            hit = cache.get(snapshot_id)
+            if hit is not None and hit[1] == version:
+                cache.move_to_end(snapshot_id)
+                return hit[0]
+            # Advance from the nearest cached predecessor: cost becomes
+            # proportional to diff(predecessor, snapshot), so each worker
+            # partition pays one full build at most.
+            best_sid: Optional[int] = None
+            best_result: Optional[SptBuildResult] = None
+            for sid, (res, ver) in cache.items():
+                if ver == version and sid < snapshot_id and (
+                        best_sid is None or sid > best_sid):
+                    best_sid, best_result = sid, res
+            if best_sid is not None and best_result is not None:
                 result = self.maplog.advance_spt(
-                    cached_result, cached_sid, snapshot_id,
+                    best_result, best_sid, snapshot_id,
                 )
-                self._spt_cache = (snapshot_id, result, version)
-                return result
-        result = self.maplog.build_spt(snapshot_id, use_skippy=use_skippy)
-        self._spt_cache = (snapshot_id, result, version)
-        return result
+            else:
+                result = self.maplog.build_spt(snapshot_id,
+                                               use_skippy=use_skippy)
+            cache[snapshot_id] = (result, version)
+            cache.move_to_end(snapshot_id)
+            while len(cache) > SPT_CACHE_SLOTS:
+                cache.popitem(last=False)
+            return result
 
     def snapshot_source(self, snapshot_id: int,
                         read_current: Callable[[int], Page],

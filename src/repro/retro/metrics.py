@@ -12,8 +12,8 @@ charges so the *shape* of every figure is reproducible run to run.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
 
 
 @dataclass
@@ -39,11 +39,18 @@ class IterationMetrics:
     db_reads: int = 0
     #: Maplog/Skippy entries scanned while building the SPT
     spt_entries_scanned: int = 0
+    #: rows the rewritten Qq produced for this snapshot
+    qq_rows: int = 0
+    #: worker thread that evaluated this iteration (0 = the serial loop)
+    worker: int = 0
     #: measured wall-clock seconds per phase
     spt_build_seconds: float = 0.0
     query_eval_seconds: float = 0.0
     index_creation_seconds: float = 0.0
     udf_seconds: float = 0.0
+
+    def copy(self) -> "IterationMetrics":
+        return replace(self)
 
     def io_seconds(self, charges: IoCharges) -> float:
         return (
@@ -81,17 +88,28 @@ class IterationMetrics:
 class MetricsSink:
     """Collects per-iteration metrics across an RQL query run."""
 
-    def __init__(self, charges: Optional[IoCharges] = None) -> None:
+    def __init__(self, charges: Optional[IoCharges] = None,
+                 clock: Optional[Callable[[], float]] = None) -> None:
         self.charges = charges or IoCharges()
+        #: monotonic clock used for every timing in this sink; injectable
+        #: so tests can assert on exact, deterministic durations
+        self.clock: Callable[[], float] = clock or time.perf_counter
         self.iterations: List[IterationMetrics] = []
         self._current: Optional[IterationMetrics] = None
+        #: worker id stamped onto iterations begun through this sink
+        self.worker = 0
 
     # -- iteration lifecycle ------------------------------------------------
 
     def begin_iteration(self, snapshot_id: int) -> IterationMetrics:
-        self._current = IterationMetrics(snapshot_id=snapshot_id)
+        self._current = IterationMetrics(snapshot_id=snapshot_id,
+                                         worker=self.worker)
         self.iterations.append(self._current)
         return self._current
+
+    def adopt(self, iterations: Iterable[IterationMetrics]) -> None:
+        """Append already-finished iterations (per-worker sink merging)."""
+        self.iterations.extend(iterations)
 
     @property
     def current(self) -> IterationMetrics:
@@ -132,6 +150,7 @@ class MetricsSink:
             "pagelog_reads": float(self.total_pagelog_reads()),
             "cache_hits": float(sum(i.cache_hits for i in self.iterations)),
             "db_reads": float(sum(i.db_reads for i in self.iterations)),
+            "qq_rows": float(sum(i.qq_rows for i in self.iterations)),
         }
         return out
 
@@ -140,18 +159,20 @@ class MetricsSink:
 
 
 class Timer:
-    """Context manager adding elapsed wall time to a metrics attribute."""
+    """Context manager adding elapsed clock time to a metrics attribute."""
 
-    def __init__(self, metrics: IterationMetrics, attribute: str) -> None:
+    def __init__(self, metrics: IterationMetrics, attribute: str,
+                 clock: Optional[Callable[[], float]] = None) -> None:
         self._metrics = metrics
         self._attribute = attribute
+        self._clock = clock or time.perf_counter
         self._start = 0.0
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        self._start = self._clock()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        elapsed = time.perf_counter() - self._start
+        elapsed = self._clock() - self._start
         current = getattr(self._metrics, self._attribute)
         setattr(self._metrics, self._attribute, current + elapsed)

@@ -10,10 +10,16 @@ into Pagelog I/O (Section 4).
 An alternative keying by ``(snapshot_id, page_id)`` is provided for the
 ablation bench: it deliberately destroys cross-snapshot sharing, isolating
 how much of RQL's hot-iteration speedup comes from COW slot identity.
+
+Latching: the entry table and its counters are guarded by a leaf-level
+reentrant latch — parallel snapshot workers share one cache, and the
+latch never wraps a call into any other latched component, keeping the
+global latch order (RPL011) acyclic.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Hashable, Optional
 
@@ -28,42 +34,48 @@ class SnapshotPageCache:
             raise SnapshotError("cache capacity must be >= 0")
         self.capacity = capacity_pages
         self._entries: "OrderedDict[Hashable, bytes]" = OrderedDict()
+        self._latch = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def get(self, key: Hashable) -> Optional[bytes]:
-        image = self._entries.get(key)
-        if image is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        self._entries.move_to_end(key)
-        return image
+        with self._latch:
+            image = self._entries.get(key)
+            if image is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return image
 
     def put(self, key: Hashable, image: bytes) -> None:
-        if self.capacity == 0:
-            return
-        if key in self._entries:
-            self._entries.move_to_end(key)
+        with self._latch:
+            if self.capacity == 0:
+                return
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = image
+                return
+            while len(self._entries) >= self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
             self._entries[key] = image
-            return
-        while len(self._entries) >= self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-        self._entries[key] = image
 
     def clear(self) -> None:
         """Empty the cache (used to model 'snapshot not accessed recently')."""
-        self._entries.clear()
+        with self._latch:
+            self._entries.clear()
 
     def reset_stats(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._latch:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._latch:
+            return len(self._entries)
 
     def hit_rate(self) -> float:
         total = self.hits + self.misses

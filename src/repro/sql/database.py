@@ -252,6 +252,61 @@ class Database:
                 cleanup()
         return columns, guarded()
 
+    def execute_readonly_cursor(self, sql: str,
+                                metrics: Optional[MetricsSink] = None):
+        """Run a SELECT lazily on a private pair of read contexts.
+
+        The thread-safe read path for parallel snapshot workers: unlike
+        :meth:`execute_cursor` it never touches the session's statement
+        transactions, so any number of threads may evaluate SELECTs
+        concurrently while no writer is active.  ``metrics`` (when
+        given) receives the planner's query-eval and index-creation
+        accounting instead of the database-wide sink.
+        """
+        statement = parse_one(sql)
+        if not isinstance(statement, ast.Select):
+            raise SqlError("execute_readonly_cursor requires a SELECT")
+        as_of = None
+        if statement.as_of is not None:
+            as_of = self._constant_int(statement.as_of, "AS OF")
+        read_ctx = self.engine.begin_read()
+        try:
+            aux_read_ctx = self.aux_engine.begin_read()
+            try:
+                if as_of is not None:
+                    main_source = self.engine.snapshot_source(as_of, read_ctx)
+                else:
+                    main_source = self.engine.read_source(read_ctx)
+                aux_source = self.aux_engine.read_source(aux_read_ctx)
+                ctx = _Context(self, main_source, aux_source,
+                               metrics=metrics)
+            except BaseException:
+                aux_read_ctx.close()
+                raise
+        except BaseException:
+            read_ctx.close()
+            raise
+
+        def cleanup() -> None:
+            read_ctx.close()
+            aux_read_ctx.close()
+
+        from repro.sql.planner import _SelectPlanner
+
+        try:
+            planner = _SelectPlanner(statement, ctx)
+            columns, rows = planner.columns_and_rows()
+        except BaseException:
+            cleanup()
+            raise
+
+        def guarded():
+            try:
+                yield from rows
+            finally:
+                cleanup()
+        return columns, guarded()
+
     def table_writer(self, name: str) -> Tuple[TableAccess, TableWriter]:
         """Engine-level write access to a table in the current txn.
 
@@ -616,6 +671,10 @@ class Database:
     def _execute_drop_table(self, statement: ast.DropTable) -> ResultSet:
         session, catalog, info = self._find_table_for_ddl(statement.name)
         if info is None:
+            # The catalog probe lazily opened statement-local write
+            # transactions; settle them so no empty txn dangles (the
+            # parallel executor refuses to run while one is open).
+            self._autocommit()
             if statement.if_exists:
                 return _status()
             raise CatalogError(f"no such table: {statement.name}")
@@ -641,6 +700,7 @@ class Database:
     def _execute_create_index(self, statement: ast.CreateIndex) -> ResultSet:
         session, catalog, info = self._find_table_for_ddl(statement.table)
         if info is None:
+            self._autocommit()
             raise CatalogError(f"no such table: {statement.table}")
         with self._statement():
             if catalog.get_index(statement.name) is not None:
@@ -652,7 +712,9 @@ class Database:
             for column in statement.columns:
                 info.column_index(column)  # validates
             source = session.source()
-            started = time.perf_counter()
+            sink = self.metrics
+            clock = sink.clock if sink is not None else time.perf_counter
+            started = clock()
             tree = BTree.create(source)
             index_info = IndexInfo(
                 name=statement.name, table=info.name,
@@ -673,10 +735,8 @@ class Database:
                     )
                 index.insert_entry(values, rowid)
                 count += 1
-            if self.metrics is not None:
-                self.metrics.current.index_creation_seconds += (
-                    time.perf_counter() - started
-                )
+            if sink is not None:
+                sink.current.index_creation_seconds += clock() - started
             return _status(count)
 
     def _execute_drop_index(self, statement: ast.DropIndex) -> ResultSet:
@@ -688,6 +748,7 @@ class Database:
                     BTree(session.source(), info.root_id).drop()
                     catalog.drop_index(statement.name)
                     return _status()
+        self._autocommit()
         if statement.if_exists:
             return _status()
         raise CatalogError(f"no such index: {statement.name}")
@@ -701,11 +762,15 @@ class _Context(ExecutionContext):
     """Binds the planner to this database's catalogs and sources."""
 
     def __init__(self, db: Database, main_source, aux_source,
-                 writable: bool = False) -> None:
+                 writable: bool = False,
+                 metrics: Optional[MetricsSink] = None) -> None:
         self._db = db
         self._main_source = main_source
         self._aux_source = aux_source
         self._writable = writable
+        # Per-context sink override: parallel workers meter into their
+        # own sink instead of the database-wide one.
+        self._metrics = metrics
         self._main_catalog = Catalog(
             main_source, db._catalog_root(db.engine),
         )
@@ -735,13 +800,21 @@ class _Context(ExecutionContext):
     def functions(self) -> Dict[str, Callable[..., SqlValue]]:
         return self._db.functions.snapshot()
 
+    def _sink(self) -> Optional[MetricsSink]:
+        return self._metrics if self._metrics is not None else self._db.metrics
+
+    @property
+    def clock(self) -> Callable[[], float]:
+        sink = self._sink()
+        return sink.clock if sink is not None else time.perf_counter
+
     def note_index_creation(self, seconds: float) -> None:
-        sink = self._db.metrics
+        sink = self._sink()
         if sink is not None:
             sink.current.index_creation_seconds += seconds
 
     def note_query_eval(self, seconds: float) -> None:
-        sink = self._db.metrics
+        sink = self._sink()
         if sink is not None:
             sink.current.query_eval_seconds += seconds
 

@@ -69,6 +69,16 @@ class ExecutionContext:
     def note_query_eval(self, seconds: float) -> None:
         """Report query evaluation time (excl. auto-index builds)."""
 
+    @property
+    def clock(self) -> Callable[[], float]:
+        """Monotonic clock for planner timings.
+
+        Contexts carrying a metrics sink return the sink's injectable
+        clock, so every duration a query produces is deterministic
+        under test.
+        """
+        return time.perf_counter
+
 
 # ---------------------------------------------------------------------------
 # Entry point
@@ -76,10 +86,11 @@ class ExecutionContext:
 
 def run_select(select: ast.Select, ctx: ExecutionContext) -> ResultSet:
     """Plan and execute a SELECT, returning a materialized result."""
-    started = time.perf_counter()
+    clock = ctx.clock
+    started = clock()
     planner = _SelectPlanner(select, ctx)
     result = planner.run()
-    ctx.note_query_eval(time.perf_counter() - started
+    ctx.note_query_eval(clock() - started
                         - planner.index_build_seconds)
     return result
 
@@ -412,11 +423,12 @@ class _SelectPlanner:
         column_pos = table.access.info.column_index(inner_col.name)
 
         def auto_indexed():
-            started = time.perf_counter()
+            clock = self.ctx.clock
+            started = clock()
             auto_index = EphemeralIndex()
             for _, row in table.access.scan():
                 auto_index.add(row[column_pos], row)
-            elapsed = time.perf_counter() - started
+            elapsed = clock() - started
             self.index_build_seconds += elapsed
             self.ctx.note_index_creation(elapsed)
             for left in prefix_rows:

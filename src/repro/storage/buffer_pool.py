@@ -122,10 +122,12 @@ class BufferPool:
                 self._pages.move_to_end(page_id)
 
     def resident(self, page_id: int) -> bool:
-        return page_id in self._pages
+        with self._latch:
+            return page_id in self._pages
 
     def resident_ids(self) -> List[int]:
-        return list(self._pages)
+        with self._latch:
+            return list(self._pages)
 
     # -- eviction / flushing --------------------------------------------------
 
@@ -169,4 +171,5 @@ class BufferPool:
             self._pages.clear()
 
     def dirty_pages(self) -> Iterable[Page]:
-        return (p for p in self._pages.values() if p.dirty)
+        with self._latch:
+            return [p for p in self._pages.values() if p.dirty]

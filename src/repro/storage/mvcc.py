@@ -11,10 +11,17 @@ This module provides the version retention that makes that possible:
   ``replaced_at > begin_ts`` (i.e. the version that was current when the
   reader began), falling back to the live page;
 * chains are pruned as the oldest active reader advances.
+
+Latching: reader registration and version chains are guarded by a
+leaf-level reentrant latch so parallel snapshot workers can register,
+read, and deregister concurrently with each other (and with commits
+retaining versions).  The latch never wraps a call into another latched
+component, keeping the global latch order (RPL011) acyclic.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import TransactionError
@@ -30,6 +37,7 @@ class VersionStore:
         self._chains: Dict[int, List[Tuple[int, bytes]]] = {}
         self._active_readers: Dict[int, int] = {}  # reader id -> begin_ts
         self._next_reader_id = 1
+        self._latch = threading.RLock()
         #: retained version count, exposed for tests/metrics
         self.retained_versions = 0
 
@@ -37,21 +45,24 @@ class VersionStore:
 
     def register_reader(self, begin_ts: int) -> int:
         """Track an active reader; returns a handle for deregistering."""
-        reader_id = self._next_reader_id
-        self._next_reader_id += 1
-        self._active_readers[reader_id] = begin_ts
-        return reader_id
+        with self._latch:
+            reader_id = self._next_reader_id
+            self._next_reader_id += 1
+            self._active_readers[reader_id] = begin_ts
+            return reader_id
 
     def deregister_reader(self, reader_id: int) -> None:
-        if reader_id not in self._active_readers:
-            raise TransactionError(f"unknown reader handle {reader_id}")
-        del self._active_readers[reader_id]
-        self.prune()
+        with self._latch:
+            if reader_id not in self._active_readers:
+                raise TransactionError(f"unknown reader handle {reader_id}")
+            del self._active_readers[reader_id]
+            self.prune()
 
     def oldest_active_ts(self) -> Optional[int]:
-        if not self._active_readers:
-            return None
-        return min(self._active_readers.values())
+        with self._latch:
+            if not self._active_readers:
+                return None
+            return min(self._active_readers.values())
 
     @property
     def active_reader_count(self) -> int:
@@ -61,40 +72,43 @@ class VersionStore:
 
     def retain(self, page_id: int, old_image: bytes, replaced_at: int) -> None:
         """Retain a replaced page image if any active reader may need it."""
-        oldest = self.oldest_active_ts()
-        if oldest is None or oldest >= replaced_at:
-            return
-        chain = self._chains.setdefault(page_id, [])
-        chain.append((replaced_at, old_image))
-        self.retained_versions += 1
+        with self._latch:
+            oldest = self.oldest_active_ts()
+            if oldest is None or oldest >= replaced_at:
+                return
+            chain = self._chains.setdefault(page_id, [])
+            chain.append((replaced_at, old_image))
+            self.retained_versions += 1
 
     def read(self, page_id: int, begin_ts: int) -> Optional[bytes]:
         """Image visible at ``begin_ts``, or None if the live page is."""
-        chain = self._chains.get(page_id)
-        if not chain:
+        with self._latch:
+            chain = self._chains.get(page_id)
+            if not chain:
+                return None
+            for replaced_at, image in chain:
+                if replaced_at > begin_ts:
+                    return image
             return None
-        for replaced_at, image in chain:
-            if replaced_at > begin_ts:
-                return image
-        return None
 
     # -- pruning ---------------------------------------------------------------
 
     def prune(self) -> None:
         """Drop versions no active reader can still see."""
-        oldest = self.oldest_active_ts()
-        if oldest is None:
-            dropped = sum(len(c) for c in self._chains.values())
-            self._chains.clear()
-            self.retained_versions -= dropped
-            return
-        empty: Set[int] = set()
-        for page_id, chain in self._chains.items():
-            keep = [(ts, img) for ts, img in chain if ts > oldest]
-            self.retained_versions -= len(chain) - len(keep)
-            if keep:
-                self._chains[page_id] = keep
-            else:
-                empty.add(page_id)
-        for page_id in empty:
-            del self._chains[page_id]
+        with self._latch:
+            oldest = self.oldest_active_ts()
+            if oldest is None:
+                dropped = sum(len(c) for c in self._chains.values())
+                self._chains.clear()
+                self.retained_versions -= dropped
+                return
+            empty: Set[int] = set()
+            for page_id, chain in self._chains.items():
+                keep = [(ts, img) for ts, img in chain if ts > oldest]
+                self.retained_versions -= len(chain) - len(keep)
+                if keep:
+                    self._chains[page_id] = keep
+                else:
+                    empty.add(page_id)
+            for page_id in empty:
+                del self._chains[page_id]

@@ -48,6 +48,39 @@ def paper_session():
     return rql
 
 
+def full_database_dump(db):
+    """Byte-level state of every table in both engines.
+
+    Maps (engine, table) -> (columns, [(rowid, row), ...]) in physical
+    scan order, plus an index inventory per engine — the equality the
+    differential parallel-vs-serial harness asserts on.
+    """
+    from repro.sql.catalog import Catalog
+    from repro.sql.executor import TableAccess
+
+    dump = {}
+    for engine, kind in ((db.engine, "main"), (db.aux_engine, "aux")):
+        ctx = engine.begin_read()
+        try:
+            source = engine.read_source(ctx)
+            catalog = Catalog(source, engine.pager.get_root("catalog"))
+            for info in catalog.list_tables():
+                rows = [
+                    (rowid, tuple(row))
+                    for rowid, row in TableAccess(info, source).scan()
+                ]
+                dump[(kind, info.name)] = (
+                    tuple(info.column_names()), rows,
+                )
+            dump[(kind, "__indexes__")] = sorted(
+                (ix.name, ix.table, tuple(ix.columns))
+                for ix in catalog.list_indexes()
+            )
+        finally:
+            ctx.close()
+    return dump
+
+
 _TPCH_CACHE = {}
 
 

@@ -1,0 +1,150 @@
+"""Fault injection for the parallel executor.
+
+A worker raising mid-partition must abort the whole run: the first
+error (in partition order) propagates, every read context is closed
+(reader counts return to zero on both engines), no buffer-pool pin is
+leaked, and the aux database holds no partial result table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RQLSession
+from repro.core.parallel import ParallelExecutor
+from repro.errors import ReproError
+from repro.retro.manager import RetroManager
+from tests.conftest import full_database_dump
+from tests.storage.test_resource_lifecycle import CountingSource
+
+QS = "SELECT snap_id FROM SnapIds ORDER BY snap_id"
+
+
+def _history_session() -> RQLSession:
+    session = RQLSession()
+    session.execute("CREATE TABLE events (grp, val)")
+    for i in range(8):
+        session.execute(f"INSERT INTO events VALUES ({i % 3}, {i})")
+        session.declare_snapshot()
+        # Mutate after each snapshot so snapshots genuinely diverge from
+        # the current state (pre-states land in the Pagelog).
+        session.execute(f"UPDATE events SET val = val + 1 "
+                        f"WHERE grp = {i % 3}")
+    return session
+
+
+def _reader_counts(session: RQLSession):
+    return (session.db.engine._versions.active_reader_count,
+            session.db.aux_engine._versions.active_reader_count)
+
+
+def _pinned_pages(session: RQLSession):
+    pinned = []
+    for engine in (session.db.engine, session.db.aux_engine):
+        pool = engine.pager.pool
+        with pool._latch:
+            pinned.extend(
+                (engine, p.page_id)
+                for p in pool._pages.values() if p.pin_count
+            )
+    return pinned
+
+
+def _result_tables(session: RQLSession):
+    return [key for key in full_database_dump(session.db)
+            if key[1] == "R"]
+
+
+#: (mechanism, extra args, faulting Qq, clean Qq) — the faulting Qq
+#: calls boom() per scanned row; current_snapshot() is inlined to the
+#: iteration's snapshot id by the rewriter.
+FAULTING = "boom(val, current_snapshot()) >= -1000"
+MECHANISM_CALLS = [
+    ("collate_data", (),
+     f"SELECT grp, val FROM events WHERE {FAULTING}",
+     "SELECT grp, val FROM events"),
+    ("aggregate_data_in_variable", ("sum",),
+     f"SELECT COUNT(*) AS c FROM events WHERE {FAULTING}",
+     "SELECT COUNT(*) AS c FROM events"),
+    ("aggregate_data_in_table", ([("val", "sum")],),
+     f"SELECT grp, val FROM events WHERE {FAULTING}",
+     "SELECT grp, val FROM events"),
+    ("collate_data_into_intervals", (),
+     f"SELECT grp, val FROM events WHERE {FAULTING}",
+     "SELECT grp, val FROM events"),
+]
+
+
+@pytest.mark.parametrize("mechanism,extra,qq,good_qq",
+                         MECHANISM_CALLS,
+                         ids=[m for m, _, _, _ in MECHANISM_CALLS])
+def test_udf_fault_mid_partition_aborts_cleanly(mechanism, extra, qq,
+                                                good_qq):
+    session = _history_session()
+
+    def boom(value, snapshot_id):
+        if int(snapshot_id) == 6:  # mid second partition at workers=3
+            raise ReproError("injected UDF failure")
+        return value
+
+    session.db.register_function("boom", boom)
+    executor = ParallelExecutor(session.db, workers=3)
+    with pytest.raises(ReproError, match="injected"):
+        getattr(executor, mechanism)(QS, qq, "R", *extra)
+
+    assert _reader_counts(session) == (0, 0)
+    assert _pinned_pages(session) == []
+    assert _result_tables(session) == [], \
+        "aborted run left a partial result table"
+    # The session is fully usable afterwards: the same computation
+    # without the fault matches a serial run.
+    getattr(session, mechanism)(QS, good_qq, "R", *extra, workers=3)
+    parallel_rows = session.execute('SELECT * FROM "R"').rows
+    getattr(session, mechanism)(QS, good_qq, "R", *extra, workers=1)
+    assert session.execute('SELECT * FROM "R"').rows == parallel_rows
+
+
+def test_page_source_fault_releases_every_snapshot_page(monkeypatch):
+    session = _history_session()
+    original = RetroManager.snapshot_source
+    wrappers = []
+
+    def patched(self, snapshot_id, read_current, page_size,
+                use_skippy=True):
+        source = original(self, snapshot_id, read_current, page_size,
+                          use_skippy=use_skippy)
+        wrapper = CountingSource(source)
+        if snapshot_id == 5:
+            wrapper.fail_fetch_at = 2  # mid-iteration, pins already held
+        wrappers.append(wrapper)
+        return wrapper
+
+    monkeypatch.setattr(RetroManager, "snapshot_source", patched)
+    executor = ParallelExecutor(session.db, workers=4)
+    with pytest.raises(ReproError, match="injected"):
+        executor.collate_data(QS, "SELECT grp, val FROM events", "R")
+
+    assert wrappers, "fault never reached a snapshot source"
+    assert all(w.outstanding == 0 for w in wrappers), \
+        "aborted worker leaked snapshot page fetches"
+    assert _reader_counts(session) == (0, 0)
+    assert _result_tables(session) == []
+
+
+def test_first_error_in_partition_order_wins():
+    session = _history_session()
+    failed = []
+
+    def boom(value, snapshot_id):
+        sid = int(snapshot_id)
+        if sid in (2, 7):  # partition 0 and partition 2 at workers=3
+            failed.append(sid)
+            raise ReproError(f"injected at {sid}")
+        return value
+
+    session.db.register_function("boom", boom)
+    qq = "SELECT grp, boom(val, current_snapshot()) AS val FROM events"
+    executor = ParallelExecutor(session.db, workers=3)
+    with pytest.raises(ReproError, match="injected at 2"):
+        executor.collate_data(QS, qq, "R")
+    assert 2 in failed

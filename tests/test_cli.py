@@ -116,6 +116,30 @@ class TestShell:
         )
         assert "was" in output and "now" in output
 
+    def test_dot_workers_shows_and_sets(self):
+        output = run_shell(
+            ".workers\n"
+            ".workers 4\n"
+            ".workers zero\n"
+        )
+        assert "workers: 1" in output
+        assert "workers: 4" in output
+        assert "error: not a worker count: 'zero'" in output
+
+    def test_parallel_mechanism_through_shell(self):
+        output = run_shell(
+            "CREATE TABLE t (a INTEGER);\n"
+            "INSERT INTO t VALUES (1);\n"
+            ".snapshot\n"
+            "INSERT INTO t VALUES (2);\n"
+            ".snapshot\n"
+            ".workers 2\n"
+            "SELECT rql_workers() AS w;\n"
+        )
+        assert "workers: 2" in output
+        # the SQL knob reads back the shell-set default
+        assert "w" in output and "(1 row)" in output
+
     def test_rql_udf_through_shell(self):
         output = run_shell(
             "CREATE TABLE t (a INTEGER);\n"
@@ -144,3 +168,27 @@ class TestMainScriptMode:
             code = main([str(script)])
         assert code == 0
         assert "42" in buffer.getvalue()
+
+    def test_workers_flag(self, tmp_path):
+        script = tmp_path / "run.sql"
+        script.write_text("SELECT rql_workers() AS w;\n")
+        import contextlib
+        import io as _io
+
+        buffer = _io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            assert main(["--workers", "4", str(script)]) == 0
+        assert "4" in buffer.getvalue()
+        buffer = _io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            assert main(["--workers=3", str(script)]) == 0
+        assert "3" in buffer.getvalue()
+
+    def test_workers_flag_rejects_bad_counts(self, capsys):
+        assert main(["--workers", "0"]) == 2
+        assert main(["--workers", "many"]) == 2
+        assert main(["--workers"]) == 2
+        err = capsys.readouterr().err
+        assert "must be >= 1" in err
+        assert "not a worker count" in err
+        assert "needs a count" in err
