@@ -298,3 +298,30 @@ def ratio_c(env: BenchEnv, mechanism: Callable[..., RQLResult],
         "all_cold_pagelog_reads": float(cold.pagelog_reads),
         "iterations": float(len(snapshot_ids)),
     }
+
+
+def recovery_time_summary(seed: int = 0, tear: bool = False,
+                          crash_points: Sequence[int] = None,
+                          ) -> Dict[str, float]:
+    """Recovery-cost metric: what a crash costs to come back from.
+
+    Runs the chaos crash-point sweep (see :mod:`repro.chaos`) and
+    reduces it to the durability numbers the bench report tracks: mean
+    and total wall-clock seconds spent inside recovery (``Database``
+    reopen after a simulated power loss) and the simulated device
+    seconds the recovery I/O was charged.  Every crash point is also
+    oracle-verified, so the metric cannot be "fast because wrong".
+    """
+    from repro.chaos import run_crash_sweep
+
+    result = run_crash_sweep(seed=seed, tear=tear,
+                             crash_points=crash_points)
+    points = result.crash_points or 1
+    return {
+        "crash_points": float(result.crash_points),
+        "verified": float(result.verified),
+        "mean_recovery_wall_seconds": result.mean_recovery_wall_seconds,
+        "total_recovery_wall_seconds": result.recovery_wall_seconds,
+        "mean_recovery_sim_seconds": result.recovery_sim_seconds / points,
+        "total_recovery_sim_seconds": result.recovery_sim_seconds,
+    }

@@ -13,7 +13,13 @@ Supports plain SQL (including ``SELECT AS OF`` and
 .checkpoint                 flush everything durably
 .stats                      storage / Retro statistics
 .workers [n]                show or set the RQL worker count
+.chaos                      fault-injection status + last recovery report
+.chaos crash N [tear]       schedule a crash at the N-th write from now
+.chaos scrub                verify archived pre-state checksums
 .quit                       exit
+
+Run with ``--chaos-seed N`` to back the session with fault-injecting
+ChaosDisks (deterministic in the seed); ``.chaos crash`` requires it.
 """
 
 from __future__ import annotations
@@ -206,6 +212,70 @@ class Shell:
                 self.session._validate_workers(count)
         self.write(f"workers: {self.session.workers}")
 
+    def cmd_chaos(self, args: List[str]) -> None:
+        engine = self.session.db.engine
+        controller = getattr(engine.disk, "chaos", None)
+        sub = args[0].lower() if args else "status"
+        if sub == "crash":
+            if controller is None:
+                self.write("error: fault injection needs --chaos-seed")
+                return
+            if len(args) < 2:
+                self.write("usage: .chaos crash N [tear]")
+                return
+            try:
+                ordinal = int(args[1])
+            except ValueError:
+                self.write(f"error: not a write ordinal: {args[1]!r}")
+                return
+            tear = len(args) > 2 and args[2].lower() == "tear"
+            controller.schedule_crash(at_write=ordinal, tear=tear)
+            self.write(f"crash scheduled at write "
+                       f"#{controller.crash_at}"
+                       + (" (torn)" if tear else ""))
+        elif sub == "scrub":
+            bad = engine.retro.scrub()
+            if bad:
+                self.write(f"scrub: {len(bad)} corrupt pre-state(s); "
+                           f"affected snapshots marked unavailable")
+            else:
+                self.write("scrub: all archived pre-states verify")
+        elif sub == "status":
+            if controller is None:
+                self.write("injection:    off (run with --chaos-seed)")
+            else:
+                armed = (f"crash at write #{controller.crash_at}"
+                         + (" torn" if controller.tear else "")
+                         if controller.armed else "disarmed")
+                self.write(f"injection:    seed {controller.seed}, "
+                           f"{armed}")
+                self.write(f"writes:       {controller.write_count} "
+                           f"durable, {controller.dropped_writes} "
+                           f"dropped")
+                if controller.last_event:
+                    self.write(f"last event:   {controller.last_event}")
+            report = engine.last_recovery
+            if report is None:
+                self.write("recovery:     clean open (nothing replayed)")
+            else:
+                self.write(f"recovery:     {report.replayed_txns} txn(s) "
+                           f"replayed, "
+                           f"{'DEGRADED' if report.degraded else 'intact'}")
+                for name, status in (("wal", report.wal_status),
+                                     ("maplog", report.maplog_status)):
+                    if status is not None and status.torn:
+                        self.write(
+                            f"  {name}: torn tail — "
+                            f"{status.truncated_blocks} block(s) "
+                            f"truncated, partial record dropped: "
+                            f"{status.dropped_partial_record}")
+            unavailable = engine.retro.unavailable_snapshots()
+            if unavailable:
+                self.write(f"unavailable:  snapshots {unavailable}")
+        else:
+            self.write(f"unknown subcommand {sub!r}; "
+                       f"try .chaos / .chaos crash N [tear] / .chaos scrub")
+
     def cmd_stats(self, args: List[str]) -> None:
         engine = self.session.db.engine
         retro = engine.retro
@@ -230,24 +300,41 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         return lint_main(argv[1:])
     workers = 1
-    while argv and argv[0].startswith("--workers"):
+    chaos_seed: Optional[int] = None
+    while argv and (argv[0].startswith("--workers")
+                    or argv[0].startswith("--chaos-seed")):
         flag = argv.pop(0)
+        name = flag.split("=", 1)[0]
         if "=" in flag:
             value = flag.split("=", 1)[1]
         elif argv:
             value = argv.pop(0)
         else:
-            print("error: --workers needs a count", file=sys.stderr)
+            print(f"error: {name} needs a value", file=sys.stderr)
             return 2
         try:
-            workers = int(value)
+            number = int(value)
         except ValueError:
-            print(f"error: not a worker count: {value!r}", file=sys.stderr)
+            print(f"error: not a number: {value!r}", file=sys.stderr)
             return 2
-        if workers < 1:
-            print("error: --workers must be >= 1", file=sys.stderr)
-            return 2
-    shell = Shell(session=RQLSession(workers=workers))
+        if name == "--workers":
+            if number < 1:
+                print("error: --workers must be >= 1", file=sys.stderr)
+                return 2
+            workers = number
+        else:
+            chaos_seed = number
+    if chaos_seed is not None:
+        from repro.sql.database import Database
+        from repro.storage.chaosdisk import ChaosDisk
+
+        disk = ChaosDisk(4096, seed=chaos_seed)
+        aux_disk = ChaosDisk(4096, controller=disk.chaos)
+        session = RQLSession(db=Database(disk=disk, aux_disk=aux_disk),
+                             workers=workers)
+    else:
+        session = RQLSession(workers=workers)
+    shell = Shell(session=session)
     if argv:
         for path in argv:
             with open(path, "r", encoding="utf-8") as handle:

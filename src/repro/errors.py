@@ -31,6 +31,23 @@ class RecoveryError(StorageError):
     """The write-ahead log cannot be replayed."""
 
 
+class CorruptPageError(StorageError):
+    """A durable slot failed checksum or structural validation."""
+
+
+class TornWriteError(CorruptPageError):
+    """A partially persisted (torn) write was detected at a log tail."""
+
+
+class SimulatedCrash(StorageError):
+    """Injected power loss from the chaos test harness.
+
+    Raised by :class:`repro.storage.chaosdisk.ChaosDisk` at a scheduled
+    write boundary.  The in-memory engine state must be discarded and
+    the disk reopened to run recovery, exactly as after real power loss.
+    """
+
+
 class RecordCodecError(StorageError):
     """A record cannot be encoded or decoded."""
 
@@ -45,6 +62,14 @@ class SnapshotError(ReproError):
 
 class UnknownSnapshotError(SnapshotError):
     """A query referenced a snapshot id that was never declared."""
+
+
+class SnapshotUnavailableError(SnapshotError):
+    """A declared snapshot's pre-states were lost or failed checksums.
+
+    Raised instead of serving potentially wrong data: recovery marks a
+    snapshot unavailable when its Pagelog/Maplog evidence is damaged
+    beyond what WAL replay can reconstruct (truncate-don't-guess)."""
 
 
 class SqlError(ReproError):

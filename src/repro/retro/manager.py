@@ -22,13 +22,19 @@ import threading
 import time
 from collections import OrderedDict
 from contextlib import contextmanager
-from typing import Callable, Dict, Iterator, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
-from repro.errors import SnapshotError, UnknownSnapshotError
+from repro.errors import (
+    CorruptPageError,
+    SnapshotError,
+    SnapshotUnavailableError,
+    UnknownSnapshotError,
+)
 from repro.retro.maplog import MapEntry, Maplog, SptBuildResult
 from repro.retro.metrics import IterationMetrics, MetricsSink
 from repro.retro.pagelog import Pagelog
 from repro.retro.snapshot_cache import SnapshotPageCache
+from repro.storage import checksums
 from repro.storage.disk import SimulatedDisk
 from repro.storage.page import Page
 from repro.storage.pager import PageSource
@@ -81,6 +87,12 @@ class RetroManager:
         self._spt_latch = threading.RLock()
         self._spt_cache: Optional[
             "OrderedDict[int, Tuple[SptBuildResult, int]]"] = None
+        # Snapshots whose pre-states were lost to corruption.  Queries
+        # against them raise SnapshotUnavailableError instead of serving
+        # wrong bytes (the truncate-don't-guess rule at the query layer).
+        self._unavailable: Set[int] = set()
+        #: all snapshot ids <= this are unavailable (degraded recovery)
+        self.unavailable_through = 0
 
     # -- metrics routing ------------------------------------------------------
 
@@ -121,22 +133,42 @@ class RetroManager:
     # -- COW capture (commit interposition) ---------------------------------------
 
     def capture_if_needed(self, page_id: int,
-                          read_pre_state: Callable[[], bytes]) -> bool:
+                          read_pre_state: Callable[[], bytes],
+                          epoch: Optional[int] = None) -> bool:
         """Archive ``page_id``'s pre-state if this is its first
         modification since the latest snapshot declaration.
 
         Returns True when a pre-state was captured.  ``read_pre_state`` is
         only invoked when needed (it reads the committed image).
+
+        ``epoch`` overrides the capture epoch during WAL replay, where
+        the durable Maplog can run *ahead* of the replay position (a
+        crash mid-checkpoint flushes mappings before the meta advances):
+        the replayed transaction must capture at the epoch in effect at
+        its original commit, not at the recovered log's epoch.
         """
-        epoch = self.maplog.current_epoch
+        if epoch is None:
+            epoch = self.maplog.current_epoch
         if epoch == 0:
             return False
         last = self._cap.get(page_id, 0)
         if last >= epoch:
             return False
-        slot = self.pagelog.append(read_pre_state())
+        if epoch < self.maplog.current_epoch:
+            # A mapping needed for an epoch below the durable tip is
+            # missing.  The log's write-ordering makes that impossible
+            # under pure power loss (any mapping precedes the later
+            # declare in the log, so it is durable whenever the declare
+            # is); only media corruption gets here.  Archiving the
+            # current image would serve wrong bytes to snapshots
+            # [last+1, epoch] — mark them unavailable instead.
+            self.mark_unavailable(last + 1, epoch)
+            return False
+        image = read_pre_state()
+        slot = self.pagelog.append(image)
         self.maplog.record(MapEntry(
             page_id=page_id, from_snap=last + 1, to_snap=epoch, slot=slot,
+            crc=checksums.page_crc(image),
         ))
         self._cap[page_id] = epoch
         return True
@@ -214,22 +246,93 @@ class RetroManager:
             raise UnknownSnapshotError(
                 f"snapshot {snapshot_id} has not been declared"
             )
+        if not self.snapshot_available(snapshot_id):
+            raise SnapshotUnavailableError(
+                f"snapshot {snapshot_id}'s pre-states were lost to "
+                f"storage corruption"
+            )
         result = self.build_spt(snapshot_id, use_skippy=use_skippy)
         return SnapshotPageSource(self, snapshot_id, result.spt,
-                                  read_current, page_size)
+                                  read_current, page_size,
+                                  entries=result.entries)
 
     def diff_size(self, older: int, newer: int) -> int:
         """Pages not shared between two snapshots (paper's diff(S1,S2))."""
         return self.maplog.diff_size(older, newer)
 
+    # -- snapshot availability ------------------------------------------------------
+
+    def mark_unavailable(self, from_snap: int, to_snap: int) -> None:
+        """Declare snapshots in ``[from_snap, to_snap]`` unservable."""
+        for sid in range(max(1, from_snap), to_snap + 1):
+            self._unavailable.add(sid)
+
+    def snapshot_available(self, snapshot_id: int) -> bool:
+        return (snapshot_id > self.unavailable_through
+                and snapshot_id not in self._unavailable)
+
+    def unavailable_snapshots(self) -> List[int]:
+        """Declared snapshot ids that cannot be served (for reports)."""
+        sids = set(self._unavailable)
+        sids.update(range(1, self.unavailable_through + 1))
+        return sorted(s for s in sids if 1 <= s <= self.latest_snapshot_id)
+
+    def scrub(self) -> List[MapEntry]:
+        """Verify every archived pre-state against its recorded CRC.
+
+        Mappings whose image fails (or whose Pagelog slot is missing) are
+        returned and their snapshot ranges marked unavailable.  Intended
+        for post-recovery integrity sweeps (CLI ``.chaos scrub``).
+        """
+        bad: List[MapEntry] = []
+        total = self.pagelog.total_slots
+        for entry in self.maplog.iter_entries():
+            if entry.slot >= total:
+                ok = False
+            elif entry.crc and checksums.verification_enabled():
+                ok = checksums.page_crc(
+                    self.pagelog.read(entry.slot)) == entry.crc
+            else:
+                ok = True
+            if not ok:
+                bad.append(entry)
+                self.mark_unavailable(entry.from_snap, entry.to_snap)
+        return bad
+
     # -- recovery interposition ----------------------------------------------------
 
-    def recover(self, disk: SimulatedDisk) -> None:
-        """Rebuild epoch + capture state from the durable Maplog."""
+    def recover(self, disk: SimulatedDisk, expected_records: int = 0,
+                checkpoint_epoch: int = 0) -> None:
+        """Rebuild epoch + capture state from the durable Maplog.
+
+        ``expected_records``/``checkpoint_epoch`` come from the pager
+        roots written by the last checkpoint.  If the recovered Maplog
+        holds fewer records than the checkpoint had made durable, the
+        loss is *not* replayable from the WAL (replay starts at the
+        checkpoint): every snapshot up to the checkpoint epoch is marked
+        unavailable and the epoch counter realigned so WAL replay
+        re-declares later snapshots under their original ids.  Tail loss
+        at or past the checkpoint needs no degradation — replay
+        re-captures it.
+        """
         maplog, cap = Maplog.recover(disk.open_file(MAPLOG_FILE,
                                                     append_only=True))
         self.maplog = maplog
         self._cap = cap
+        self._unavailable = set()
+        self.unavailable_through = 0
+        with self._spt_latch:
+            self._spt_cache = None
+        if maplog.records_written < expected_records:
+            target = max(checkpoint_epoch, maplog.current_epoch)
+            self.unavailable_through = target
+            maplog.force_epoch(target)
+        durable = self.pagelog.durable_slots
+        for entry in maplog.iter_entries():
+            if entry.slot >= durable:
+                # The Pagelog lost the referenced pre-state (truncated
+                # below a durable mapping): unservable, not replayable.
+                self.mark_unavailable(entry.from_snap, entry.to_snap)
 
 
 class SnapshotPageSource(PageSource):
@@ -243,12 +346,14 @@ class SnapshotPageSource(PageSource):
     def __init__(self, manager: RetroManager, snapshot_id: int,
                  spt: Dict[int, int],
                  read_current: Callable[[int], bytes],
-                 page_size: int) -> None:
+                 page_size: int,
+                 entries: Optional[Dict[int, MapEntry]] = None) -> None:
         self._manager = manager
         self.snapshot_id = snapshot_id
         self.spt = spt
         self._read_current = read_current
         self._page_size = page_size
+        self._entries = entries or {}
 
     def _metrics(self) -> Optional[IterationMetrics]:
         sink = self._manager.metrics
@@ -272,6 +377,19 @@ class SnapshotPageSource(PageSource):
                 metrics.cache_hits += 1
             return cached
         image = self._manager.pagelog.read(slot)
+        entry = self._entries.get(page_id)
+        if (entry is not None and entry.crc
+                and checksums.verification_enabled()
+                and checksums.page_crc(image) != entry.crc):
+            # Bit rot in the archive.  Mark the whole validity range
+            # unavailable so later queries fail fast, and raise rather
+            # than serve bytes known to be wrong.
+            self._manager.mark_unavailable(entry.from_snap, entry.to_snap)
+            raise CorruptPageError(
+                f"snapshot {self.snapshot_id}: archived pre-state of "
+                f"page {page_id} (Pagelog slot {slot}) failed its "
+                f"checksum"
+            )
         # Cache the Page object itself: snapshot pages are immutable, and
         # keeping the object preserves its decoded-node cache across
         # iterations (the cross-snapshot sharing the paper measures).

@@ -27,25 +27,35 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.errors import SnapshotError, UnknownSnapshotError
+from repro.errors import CorruptPageError, SnapshotError, UnknownSnapshotError
 from repro.storage.disk import DiskFile
-from repro.storage.logfile import BlockLogReader, BlockLogWriter
+from repro.storage.logfile import (
+    BlockLogReader,
+    BlockLogWriter,
+    LogScanStatus,
+)
 
-_ENTRY = struct.Struct("<BQQQQ")
+_ENTRY = struct.Struct("<BQQQQI")
 _KIND_MAPPING = 1
 _KIND_DECLARE = 2
 
 
 @dataclass(frozen=True)
 class MapEntry:
-    """One Maplog mapping."""
+    """One Maplog mapping.
+
+    ``crc`` is the CRC32 of the referenced Pagelog pre-state image,
+    recorded at capture time so snapshot reads can detect bit rot in the
+    archive (0 means "not recorded" for entries from older logs).
+    """
 
     page_id: int
     from_snap: int
     to_snap: int
     slot: int
+    crc: int = 0
 
 
 @dataclass
@@ -78,6 +88,8 @@ class Maplog:
         self._open_batch: Dict[int, MapEntry] = {}
         #: lifetime mapping count (for stats/tests)
         self.entries_recorded = 0
+        #: scan status of the last :meth:`recover` (None for fresh logs)
+        self.recovery_status: Optional[LogScanStatus] = None
 
     # -- writes --------------------------------------------------------------
 
@@ -86,8 +98,21 @@ class Maplog:
         self._seal_open_batch()
         self.current_epoch += 1
         self._writer.append(_ENTRY.pack(_KIND_DECLARE, self.current_epoch,
-                                        0, 0, 0))
+                                        0, 0, 0, 0))
         return self.current_epoch
+
+    def force_epoch(self, epoch: int) -> None:
+        """Advance through empty epochs up to ``epoch``.
+
+        Used after a degraded recovery (lost Maplog tail): WAL replay is
+        about to re-declare snapshots whose original mappings are gone,
+        and the declared ids must stay aligned with the epoch counter.
+        The skipped epochs get empty level-0 nodes and synthetic DECLARE
+        records, keeping both the Skippy structure and the durable log
+        self-consistent.
+        """
+        while self.current_epoch < epoch:
+            self.declare_snapshot()
 
     def record(self, entry: MapEntry) -> None:
         """Record a mapping captured during the current epoch."""
@@ -107,12 +132,28 @@ class Maplog:
         self.entries_recorded += 1
         self._writer.append(_ENTRY.pack(
             _KIND_MAPPING, entry.page_id, entry.from_snap,
-            entry.to_snap, entry.slot,
+            entry.to_snap, entry.slot, entry.crc,
         ))
 
     def flush(self) -> None:
         """Make the durable log catch up (checkpoint)."""
         self._writer.flush()
+
+    @property
+    def records_written(self) -> int:
+        """Lifetime record count (mappings + declares), durable + pending.
+
+        Checkpoints store this in the pager roots so recovery can tell a
+        replayable tail loss (records past the checkpoint, recaptured by
+        WAL replay) from non-replayable corruption below it.
+        """
+        return self._writer.records_written
+
+    def iter_entries(self):
+        """All recorded mappings (sealed level-0 nodes + the open batch)."""
+        for node in self._levels[0]:
+            yield from node.values()
+        yield from self._open_batch.values()
 
     # -- Skippy maintenance ------------------------------------------------------
 
@@ -315,36 +356,58 @@ class Maplog:
 
     @classmethod
     def recover(cls, log_file: DiskFile) -> Tuple["Maplog", Dict[int, int]]:
-        """Rebuild from the durable log.
+        """Rebuild from the durable log, tolerating a torn tail.
 
         Returns the Maplog plus the COW capture map (page_id -> last epoch
-        whose pre-state was captured) needed by the COW tracker.
+        whose pre-state was captured) needed by the COW tracker.  A
+        checksum-invalid tail is *repaired*: the surviving records are
+        rewritten so future appends extend a clean log instead of burying
+        bad blocks mid-stream (which the next recovery would have to
+        classify as mid-log corruption).  The loss itself is reported via
+        :attr:`recovery_status`; deciding whether it was replayable is the
+        RetroManager's job.
         """
-        entries: List[Tuple[int, int, int, int, int]] = []
         reader = BlockLogReader(log_file)
-        for raw in reader.records(0):
-            entries.append(_ENTRY.unpack(raw))
-        # Rebuild by replaying through a fresh Maplog writing to a scratch
-        # file, then swap in the real durable file untouched.
+        raws, status = reader.scan(0)
+        parsed: List[Tuple[int, int, int, int, int, int]] = []
+        for raw in raws:
+            try:
+                parsed.append(_ENTRY.unpack(raw))
+            except struct.error as exc:
+                raise CorruptPageError(
+                    f"Maplog record of {len(raw)} bytes is not a valid "
+                    f"entry"
+                ) from exc
+        if status.torn:
+            log_file.truncate(0)
+            repair_writer = BlockLogWriter(log_file)
+            for raw in raws:
+                repair_writer.append(raw)
+            repair_writer.flush()
         maplog = cls.__new__(cls)
         maplog._writer = BlockLogWriter(log_file)
+        # Lifetime counter continues across restarts so checkpointed
+        # record counts stay comparable.
+        maplog._writer.records_written = len(raws)
         maplog._file = log_file
         maplog.current_epoch = 0
         maplog._levels = [[]]
         maplog._open_batch = {}
         maplog.entries_recorded = 0
+        maplog.recovery_status = status
         cap: Dict[int, int] = {}
-        for kind, a, b, c, d in entries:
+        for kind, a, b, c, d, e in parsed:
             if kind == _KIND_DECLARE:
                 maplog._seal_open_batch()
                 maplog.current_epoch += 1
                 if maplog.current_epoch != a:
                     raise SnapshotError("Maplog declaration ids out of order")
             elif kind == _KIND_MAPPING:
-                entry = MapEntry(page_id=a, from_snap=b, to_snap=c, slot=d)
+                entry = MapEntry(page_id=a, from_snap=b, to_snap=c, slot=d,
+                                 crc=e)
                 maplog._open_batch[entry.page_id] = entry
                 maplog.entries_recorded += 1
                 cap[entry.page_id] = entry.to_snap
             else:
-                raise SnapshotError(f"unknown Maplog record kind {kind}")
+                raise CorruptPageError(f"unknown Maplog record kind {kind}")
         return maplog, cap

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.errors import SnapshotError
+from repro.errors import PageError, SnapshotError
 from repro.storage.disk import DiskFile
 
 
@@ -34,6 +34,14 @@ class Pagelog:
 
     def append(self, image: bytes) -> int:
         """Archive a pre-state; returns its (stable) slot number."""
+        if len(image) != self._file.page_size:
+            # Validate here, not only at flush: a short pending image
+            # would be served from memory as-is and only explode at the
+            # (much later) checkpoint, far from the buggy caller.
+            raise PageError(
+                f"Pagelog image is {len(image)} bytes, expected "
+                f"{self._file.page_size}"
+            )
         slot = len(self._file) + len(self._pending)
         self._pending.append(bytes(image))
         self.prestates_archived += 1

@@ -141,6 +141,12 @@ class BufferPool:
         for page_id, page in self._pages.items():
             if page.pin_count == 0:
                 if page.dirty:
+                    if self._on_flush is not None:
+                        # Same ordering rule as flush_all: Retro's pending
+                        # pre-states must reach the Pagelog before the
+                        # current-state page overwrites the db file, or a
+                        # post-crash re-capture would read the new bytes.
+                        self._on_flush()
                     self._writeback(page)
                 del self._pages[page_id]
                 self.stats.evictions += 1

@@ -1,0 +1,61 @@
+"""Checksum primitives shared by the durable-log formats.
+
+Every durable block written by :class:`~repro.storage.logfile.BlockLogWriter`
+(WAL, Maplog) carries a CRC32 + format-epoch trailer, and every Maplog
+mapping records the CRC32 of the Pagelog pre-state it references.  The
+recovery rule is *truncate-don't-guess*: a slot that fails its checksum
+at the tail of a log is treated as a torn write and truncated; one in
+the middle is corruption and raises a typed error.
+
+``set_verification`` is a **test-only** hook used by the mutation-style
+regression (``tests/storage/test_crash_sweep.py``) to prove the crash
+oracle actually detects corruption: with verification disabled, injected
+corruption must make the oracle fail.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+#: Bump when the on-disk framing of any checksummed structure changes.
+#: Readers reject trailers from a different epoch instead of guessing.
+FORMAT_EPOCH = 1
+
+#: Block trailer: <u32 crc32 of payload+epoch> <u16 format epoch> <u16 0>.
+TRAILER = struct.Struct("<IHH")
+_EPOCH_BYTES = struct.Struct("<H")
+
+_verify = True
+
+
+def page_crc(data: bytes) -> int:
+    """CRC32 of one page image / payload (masked to u32)."""
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def seal_block(payload: bytes) -> bytes:
+    """Append the CRC + format-epoch trailer to a block payload."""
+    crc = page_crc(payload + _EPOCH_BYTES.pack(FORMAT_EPOCH))
+    return payload + TRAILER.pack(crc, FORMAT_EPOCH, 0)
+
+
+def block_is_valid(block: bytes) -> bool:
+    """Whether a sealed block's trailer matches its payload."""
+    if len(block) <= TRAILER.size:
+        return False
+    payload, trailer = block[:-TRAILER.size], block[-TRAILER.size:]
+    crc, epoch, _ = TRAILER.unpack(trailer)
+    if epoch != FORMAT_EPOCH:
+        return False
+    return crc == page_crc(payload + _EPOCH_BYTES.pack(epoch))
+
+
+def verification_enabled() -> bool:
+    return _verify
+
+
+def set_verification(enabled: bool) -> None:
+    """Test-only: globally enable/disable checksum verification."""
+    global _verify
+    _verify = bool(enabled)

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
-from repro.errors import StorageError
+from repro.errors import PageError, StorageError
 
 
 @dataclass
@@ -101,8 +101,15 @@ class DiskFile:
         return len(self._pages) * self.page_size
 
     def _check(self, raw: bytes) -> None:
+        # A short slot would round-trip silently (slots are stored as
+        # whole python bytes objects, not fixed-size extents) and only
+        # blow up much later, when a reader unpacks fields past its end
+        # — exactly the failure shape of a torn write, but with no
+        # injection to blame.  Reject it at the write boundary with the
+        # taxonomy's page error so callers can tell "my image is
+        # malformed" from generic device failures.
         if len(raw) != self.page_size:
-            raise StorageError(
+            raise PageError(
                 f"{self.name}: image is {len(raw)} bytes, expected "
                 f"{self.page_size}"
             )
@@ -134,6 +141,8 @@ class DiskFile:
         self._stats.random_writes += 1
 
     def truncate(self, length: int = 0) -> None:
+        if length < 0:
+            raise StorageError(f"{self.name}: negative truncate length")
         del self._pages[length:]
 
     def scan(self, start: int = 0) -> Iterator[bytes]:
@@ -165,9 +174,13 @@ class SimulatedDisk:
                     f"file {name} reopened with different append_only flag"
                 )
             return existing
-        f = DiskFile(name, self.page_size, self.stats, append_only)
+        f = self._make_file(name, append_only)
         self._files[name] = f
         return f
+
+    def _make_file(self, name: str, append_only: bool) -> DiskFile:
+        """File factory — overridden by the fault-injecting ChaosDisk."""
+        return DiskFile(name, self.page_size, self.stats, append_only)
 
     def exists(self, name: str) -> bool:
         return name in self._files

@@ -19,10 +19,12 @@ disk runs recovery.
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import List, Optional
 
-from repro.errors import StorageError, TransactionError
+from repro.errors import CorruptPageError, StorageError, TransactionError
 from repro.storage.disk import SimulatedDisk
+from repro.storage.logfile import LogScanStatus
 from repro.storage.mvcc import VersionStore
 from repro.storage.page import DEFAULT_PAGE_SIZE, Page
 from repro.storage.pager import Pager
@@ -36,8 +38,29 @@ from repro.storage.wal import WriteAheadLog
 
 DB_FILE = "database"
 WAL_FILE = "wal"
+META_FILE = "meta"
 _WAL_START_ROOT = "__wal_start"
 _LAST_TS_ROOT = "__last_ts"
+_MAPLOG_RECORDS_ROOT = "__maplog_records"
+_SNAP_EPOCH_ROOT = "__snap_epoch"
+
+
+@dataclass
+class RecoveryReport:
+    """What recovery found and what (if anything) it had to give up."""
+
+    replayed_txns: int = 0
+    wal_status: Optional[LogScanStatus] = None
+    maplog_status: Optional[LogScanStatus] = None
+    unavailable_snapshots: List[int] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any torn tail was truncated or snapshots were lost."""
+        return bool(self.unavailable_snapshots) or any(
+            s is not None and s.torn
+            for s in (self.wal_status, self.maplog_status)
+        )
 
 
 class ReadContext:
@@ -75,9 +98,33 @@ class StorageEngine:
         self.page_size = page_size
         existing = self.disk.exists(DB_FILE)
         db_file = self.disk.open_file(DB_FILE)
-        self.pager = Pager(db_file, pool_capacity)
-        self.wal = WriteAheadLog(self.disk.open_file(WAL_FILE,
-                                                     append_only=True))
+        meta_file = self.disk.open_file(META_FILE)
+        wal_file = self.disk.open_file(WAL_FILE, append_only=True)
+        if len(meta_file) == 0 and len(wal_file) > 0:
+            # A non-empty WAL implies at least one checkpointed meta
+            # write preceded it, so an empty meta file can only be
+            # media-level truncation — refuse rather than silently
+            # reinitializing over a store with acknowledged commits.
+            raise CorruptPageError(
+                "meta file is empty but the WAL is not: meta was lost "
+                "to media truncation"
+            )
+        try:
+            self.pager = Pager(db_file, pool_capacity, meta_file=meta_file)
+        except CorruptPageError:
+            if len(wal_file) == 0:
+                # No valid meta copy, but also no WAL: no commit was
+                # ever acknowledged (commits hit the WAL before
+                # returning), so this is a torn bootstrap write — wipe
+                # and reinitialize rather than refuse to open.
+                meta_file.truncate(0)
+                db_file.truncate(0)
+                self.pager = Pager(db_file, pool_capacity,
+                                   meta_file=meta_file)
+                existing = False
+            else:
+                raise
+        self.wal = WriteAheadLog(wal_file)
         # Imported here (not at module level) to break the package
         # cycle storage/__init__ -> engine -> retro.manager -> maplog
         # -> storage.disk -> storage/__init__.
@@ -88,10 +135,16 @@ class StorageEngine:
             self.retro = RetroManager(self.disk)
         else:
             self.retro = RetroManager(self.disk, cache_pages=cache_pages)
+        # Eviction-time flush hook: pre-states drain to the Pagelog
+        # before an evicted dirty page overwrites the db file (the same
+        # ordering flush_all enforces at checkpoints).
+        self.pager.pool.set_flush_hook(self.retro.on_flush)
         self._versions = VersionStore()
         self._next_txn_id = 1
         self._last_commit_ts = 0
         self._active_writer: Optional[Transaction] = None
+        #: report of the last crash recovery (None on a clean open)
+        self.last_recovery: Optional[RecoveryReport] = None
         if existing:
             self._recover()
         else:
@@ -259,6 +312,12 @@ class StorageEngine:
         boundary = self.wal.sync_boundary()
         self.pager.set_root(_WAL_START_ROOT, boundary)
         self.pager.set_root(_LAST_TS_ROOT, self._last_commit_ts)
+        # Durable Maplog extent at this checkpoint: recovery compares the
+        # recovered log against these to tell replayable tail loss from
+        # non-replayable corruption (see RetroManager.recover).
+        self.pager.set_root(_MAPLOG_RECORDS_ROOT,
+                            self.retro.maplog.records_written)
+        self.pager.set_root(_SNAP_EPOCH_ROOT, self.retro.latest_snapshot_id)
         self.pager.checkpoint()
 
     def _recover(self) -> None:
@@ -268,22 +327,36 @@ class StorageEngine:
         memory at the crash are re-captured from the (checkpointed)
         database file before replayed after-images overwrite them.
         """
-        self.retro.recover(self.disk)
         start_block = self.pager.get_root(_WAL_START_ROOT) or 0
         self._last_commit_ts = self.pager.get_root(_LAST_TS_ROOT) or 0
+        self.retro.recover(
+            self.disk,
+            expected_records=self.pager.get_root(_MAPLOG_RECORDS_ROOT) or 0,
+            checkpoint_epoch=self.pager.get_root(_SNAP_EPOCH_ROOT) or 0,
+        )
+        replayed = 0
         running_next = self.pager.next_page_id
+        # Captures during replay must use the epoch in effect at each
+        # transaction's ORIGINAL commit.  The recovered Maplog may
+        # already be ahead of the replay position (a crash between a
+        # checkpoint's Maplog flush and its meta write leaves durable
+        # declares past the WAL boundary), so the epoch is tracked along
+        # the replayed declare sequence, not read from the Maplog.
+        replay_epoch = self.pager.get_root(_SNAP_EPOCH_ROOT) or 0
         for txn in self.wal.replay(start_block):
             for page_id in sorted(txn.pages):
                 if page_id < running_next:
                     self.retro.capture_if_needed(
                         page_id,
                         lambda pid=page_id: self._committed_bytes(pid),
+                        epoch=replay_epoch,
                     )
             for page_id in txn.freed:
                 if page_id < running_next:
                     self.retro.capture_if_needed(
                         page_id,
                         lambda pid=page_id: self._committed_bytes(pid),
+                        epoch=replay_epoch,
                     )
             for page_id, image in sorted(txn.pages.items()):
                 self.pager.install(page_id, image)
@@ -292,14 +365,27 @@ class StorageEngine:
             running_next = max(running_next, txn.next_page_id)
             self._sync_next_page_id(running_next)
             if txn.declared_snapshot:
-                declared = self.retro.declare_snapshot()
-                if declared != txn.snapshot_id:
-                    raise StorageError(
-                        f"recovered snapshot id {declared} != WAL "
-                        f"{txn.snapshot_id}"
-                    )
+                if txn.snapshot_id <= self.retro.latest_snapshot_id:
+                    # Declaration already durable in the recovered
+                    # Maplog: replaying it again would double-declare.
+                    pass
+                else:
+                    declared = self.retro.declare_snapshot()
+                    if declared != txn.snapshot_id:
+                        raise StorageError(
+                            f"recovered snapshot id {declared} != WAL "
+                            f"{txn.snapshot_id}"
+                        )
+                replay_epoch = txn.snapshot_id
             self._last_commit_ts = max(self._last_commit_ts, txn.commit_ts)
             self._next_txn_id = max(self._next_txn_id, txn.txn_id + 1)
+            replayed += 1
+        self.last_recovery = RecoveryReport(
+            replayed_txns=replayed,
+            wal_status=self.wal.last_scan_status,
+            maplog_status=self.retro.maplog.recovery_status,
+            unavailable_snapshots=self.retro.unavailable_snapshots(),
+        )
         self.checkpoint()
 
     def _sync_next_page_id(self, next_page_id: int) -> None:

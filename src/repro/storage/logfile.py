@@ -1,4 +1,4 @@
-"""Block-structured record logs.
+"""Block-structured record logs with per-block checksums.
 
 The WAL and the Retro Maplog both append variable-size records to an
 append-only :class:`~repro.storage.disk.DiskFile` whose unit is a fixed
@@ -9,17 +9,65 @@ reassembles them.
 A record is ``<u32 length><payload>``.  A zero length marks end-of-log
 padding inside the final flushed block, after which parsing resumes at the
 next block boundary.
+
+Every durable block ends with the 8-byte trailer from
+:mod:`repro.storage.checksums` (CRC32 + format epoch), so the usable
+payload area of a block is ``page_size - TRAILER.size``.  On read the
+recovery rule is *truncate-don't-guess*:
+
+* a run of invalid blocks at the **tail** is a torn write — the log is
+  logically truncated there and the loss is reported via
+  :class:`LogScanStatus` (WAL semantics make the drop safe: any record
+  in a torn tail never had its durability acknowledged);
+* an invalid block **followed by a valid one** cannot be a torn write —
+  that is corruption of acknowledged data and raises
+  :class:`~repro.errors.CorruptPageError`.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Iterator, List
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
 
-from repro.errors import StorageError
+from repro.errors import CorruptPageError, StorageError, TornWriteError
+from repro.storage import checksums
 from repro.storage.disk import DiskFile
 
 _LEN = struct.Struct("<I")
+
+
+def payload_capacity(page_size: int) -> int:
+    """Usable record bytes per block (page size minus the CRC trailer)."""
+    capacity = page_size - checksums.TRAILER.size
+    if capacity <= _LEN.size:
+        raise StorageError(
+            f"page size {page_size} too small for checksummed block logs"
+        )
+    return capacity
+
+
+@dataclass
+class LogScanStatus:
+    """What a checksum-verified scan found besides the records."""
+
+    blocks_scanned: int = 0
+    #: invalid blocks at the tail, treated as torn and truncated
+    truncated_blocks: int = 0
+    #: a record spanning into the truncated/unwritten tail was dropped
+    dropped_partial_record: bool = False
+
+    @property
+    def torn(self) -> bool:
+        return self.truncated_blocks > 0 or self.dropped_partial_record
+
+    def raise_if_torn(self, what: str) -> None:
+        if self.torn:
+            raise TornWriteError(
+                f"{what}: torn tail ({self.truncated_blocks} truncated "
+                f"block(s), partial record dropped: "
+                f"{self.dropped_partial_record})"
+            )
 
 
 class BlockLogWriter:
@@ -29,6 +77,7 @@ class BlockLogWriter:
         if not log_file.append_only:
             raise StorageError("block logs require an append-only file")
         self._file = log_file
+        self._capacity = payload_capacity(log_file.page_size)
         self._buffer = bytearray()
         #: Number of records appended over the writer's lifetime.
         self.records_written = 0
@@ -45,34 +94,35 @@ class BlockLogWriter:
         """
         if not payload:
             raise StorageError("block-log records must be non-empty")
-        block = self._file.page_size
-        # Never let a record header straddle a block boundary: the reader
-        # treats a sub-header-size block tail as padding.  The buffer always
-        # starts block-aligned (full blocks drain immediately), so its
-        # length is the in-block offset of the next header.
-        tail_room = block - len(self._buffer)
+        capacity = self._capacity
+        # Never let a record header straddle a payload boundary: the
+        # reader treats a sub-header-size payload tail as padding.  The
+        # buffer always starts block-aligned (full blocks drain
+        # immediately), so its length is the in-block offset of the next
+        # header.
+        tail_room = capacity - len(self._buffer)
         if tail_room < _LEN.size:
             self._buffer += bytes(tail_room)
         self._buffer += _LEN.pack(len(payload))
         self._buffer += payload
         seq = self.records_written
         self.records_written += 1
-        block = self._file.page_size
-        while len(self._buffer) >= block:
-            self._file.append(bytes(self._buffer[:block]))
-            del self._buffer[:block]
+        while len(self._buffer) >= capacity:
+            self._file.append(
+                checksums.seal_block(bytes(self._buffer[:capacity])))
+            del self._buffer[:capacity]
         return seq
 
     def flush(self) -> None:
-        """Force any buffered tail out as a zero-padded block.
+        """Force any buffered tail out as a zero-padded sealed block.
 
         The zero padding parses as a zero record length, which tells the
         reader to skip to the next block boundary.
         """
         if self._buffer:
-            block = self._file.page_size
-            tail = bytes(self._buffer) + bytes(block - len(self._buffer))
-            self._file.append(tail)
+            payload = bytes(self._buffer) \
+                + bytes(self._capacity - len(self._buffer))
+            self._file.append(checksums.seal_block(payload))
             self._buffer.clear()
 
     def sync_boundary(self) -> int:
@@ -86,22 +136,56 @@ class BlockLogReader:
 
     def __init__(self, log_file: DiskFile) -> None:
         self._file = log_file
+        self._capacity = payload_capacity(log_file.page_size)
 
-    def records(self, start_block: int = 0) -> Iterator[bytes]:
-        """Yield record payloads from ``start_block`` to the end.
+    def scan(self, start_block: int = 0) -> Tuple[List[bytes],
+                                                  LogScanStatus]:
+        """Record payloads from ``start_block``, checksum-verified.
 
         ``start_block`` must be a block boundary at which a record starts
         (e.g. a value previously returned by ``sync_boundary``).  The scan
         charges one log read per block, matching the device cost model.
+
+        Invalid tail blocks are truncated (reported in the status);
+        invalid blocks followed by valid ones raise
+        :class:`~repro.errors.CorruptPageError`.
         """
-        block = self._file.page_size
-        stream = bytearray()
+        status = LogScanStatus()
+        blocks: List[bytes] = []
+        first_bad = -1
         for raw in self._file.scan(start_block):
-            stream += raw
+            status.blocks_scanned += 1
+            if checksums.verification_enabled() \
+                    and not checksums.block_is_valid(raw):
+                if first_bad < 0:
+                    first_bad = len(blocks)
+                continue
+            if first_bad >= 0:
+                raise CorruptPageError(
+                    f"{self._file.name}: block "
+                    f"{start_block + first_bad} failed its checksum but "
+                    f"later blocks are valid — mid-log corruption, not a "
+                    f"torn tail"
+                )
+            blocks.append(raw[:self._capacity])
+        if first_bad >= 0:
+            status.truncated_blocks = status.blocks_scanned - first_bad
+        return self._parse(blocks, status), status
+
+    def records(self, start_block: int = 0) -> Iterator[bytes]:
+        """Yield record payloads from ``start_block`` to the end."""
+        records, _ = self.scan(start_block)
+        return iter(records)
+
+    def _parse(self, blocks: List[bytes],
+               status: LogScanStatus) -> List[bytes]:
+        capacity = self._capacity
+        stream = b"".join(blocks)
+        records: List[bytes] = []
         pos = 0
         end = len(stream)
         while pos + _LEN.size <= end:
-            remaining_in_block = block - (pos % block)
+            remaining_in_block = capacity - (pos % capacity)
             if remaining_in_block < _LEN.size:
                 # Too few bytes left in this block to hold a header: the
                 # writer padded them, so skip to the next block boundary.
@@ -110,13 +194,19 @@ class BlockLogReader:
             (length,) = _LEN.unpack_from(stream, pos)
             if length == 0:
                 # Padding: resume at the next block boundary.
-                pos = ((pos // block) + 1) * block
+                pos = ((pos // capacity) + 1) * capacity
                 continue
             pos += _LEN.size
             if pos + length > end:
-                raise StorageError("truncated record at end of log")
-            yield bytes(stream[pos:pos + length])
+                # The record continues into blocks that were torn away
+                # (or never written): its durability was never
+                # acknowledged, so dropping it is the truncate-don't-
+                # guess rule, not data loss.
+                status.dropped_partial_record = True
+                break
+            records.append(stream[pos:pos + length])
             pos += length
+        return records
 
 
 def read_all_records(log_file: DiskFile, start_block: int = 0) -> List[bytes]:

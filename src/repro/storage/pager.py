@@ -8,8 +8,17 @@ reader for the pager (see :mod:`repro.retro.manager`).
 
 Meta page layout (after the shared page header)::
 
-    magic u32 | next_page_id u64 | free_count u32 | free ids u64...
-    | root_count u32 | (name, page_id) record-encoded pairs
+    magic u32 | seq u64 | crc u32 | next_page_id u64 | free_count u32
+    | free ids u64... | root_count u32 | (name, page_id) record pairs
+
+``crc`` is the CRC32 of the whole page computed with the crc field
+zeroed; ``seq`` increments on every meta write.  When the pager is given
+a dedicated ``meta_file`` (the engine path) it ping-pongs writes between
+the file's slots 0 and 1 and loads the valid copy with the highest seq,
+so a torn meta write (crash mid-checkpoint) falls back to the previous
+checkpoint's meta instead of bricking the store.  Without a meta file
+(unit tests, legacy layout) the meta lives at database page 0 as a
+single checksummed copy.
 
 The free list and named roots are small at our simulation scale; if they
 ever outgrow the meta page the pager raises rather than corrupting it.
@@ -26,7 +35,8 @@ import struct
 import threading
 from typing import Callable, Dict, List, Optional
 
-from repro.errors import StorageError
+from repro.errors import CorruptPageError, ReproError, StorageError
+from repro.storage import checksums
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.disk import DiskFile
 from repro.storage.page import HEADER_SIZE, PAGE_TYPE_META, Page
@@ -52,20 +62,32 @@ class PageSource:
 class Pager(PageSource):
     """Allocates, frees and fetches current-state database pages."""
 
-    def __init__(self, db_file: DiskFile, pool_capacity: int = 4096) -> None:
+    def __init__(self, db_file: DiskFile, pool_capacity: int = 4096,
+                 meta_file: Optional[DiskFile] = None) -> None:
         self._file = db_file
+        self._meta_file = meta_file
         self.pool = BufferPool(db_file, pool_capacity)
         self._latch = threading.RLock()
         self._next_page_id = 1
         self._free: List[int] = []
         self._roots: Dict[str, int] = {}
-        if len(db_file) > 0:
+        self._meta_seq = 0
+        existing = (len(meta_file) > 0 if meta_file is not None
+                    else len(db_file) > 0)
+        if existing:
             self._load_meta()
         else:
+            if meta_file is not None and len(db_file) == 0:
+                # Reserve db slot 0 so page id 0 keeps existing (and
+                # stays un-allocatable) even though the meta now lives
+                # in its own file.
+                db_file.write(META_PAGE_ID, bytes(db_file.page_size))
             # Fresh database: materialize the meta page.
-            self._file.write(META_PAGE_ID, self._encode_meta())
+            self.write_meta()
 
     # -- meta page -----------------------------------------------------------
+
+    _CRC_OFFSET = HEADER_SIZE + _U32.size + _U64.size  # after magic + seq
 
     def _encode_meta(self) -> bytes:
         buf = bytearray(self._file.page_size)
@@ -73,6 +95,11 @@ class Pager(PageSource):
         page.page_type = PAGE_TYPE_META
         pos = HEADER_SIZE
         _U32.pack_into(buf, pos, _MAGIC)
+        pos += _U32.size
+        _U64.pack_into(buf, pos, self._meta_seq)
+        pos += _U64.size
+        crc_pos = pos
+        _U32.pack_into(buf, pos, 0)  # crc placeholder
         pos += _U32.size
         _U64.pack_into(buf, pos, self._next_page_id)
         pos += _U64.size
@@ -89,15 +116,30 @@ class Pager(PageSource):
         _U32.pack_into(buf, pos, len(roots))
         pos += _U32.size
         buf[pos:pos + len(roots)] = roots
+        _U32.pack_into(buf, crc_pos, checksums.page_crc(bytes(buf)))
         return bytes(buf)
 
-    def _load_meta(self) -> None:
-        raw = self._file.read(META_PAGE_ID)
+    def _parse_meta(self, raw: bytes) -> int:
+        """Load allocation state + roots from one meta image.
+
+        Returns the image's seq.  Raises CorruptPageError when the magic
+        or checksum does not match (a torn or rotted meta write).
+        """
         pos = HEADER_SIZE
         (magic,) = _U32.unpack_from(raw, pos)
         if magic != _MAGIC:
-            raise StorageError("database file has bad magic")
+            raise CorruptPageError("database meta page has bad magic")
         pos += _U32.size
+        (seq,) = _U64.unpack_from(raw, pos)
+        pos += _U64.size
+        (crc,) = _U32.unpack_from(raw, pos)
+        pos += _U32.size
+        if checksums.verification_enabled():
+            zeroed = bytearray(raw)
+            _U32.pack_into(zeroed, self._CRC_OFFSET, 0)
+            if crc != checksums.page_crc(bytes(zeroed)):
+                raise CorruptPageError(
+                    "database meta page failed its checksum")
         (self._next_page_id,) = _U64.unpack_from(raw, pos)
         pos += _U64.size
         (nfree,) = _U32.unpack_from(raw, pos)
@@ -113,10 +155,47 @@ class Pager(PageSource):
         self._roots = {
             str(flat[i]): int(flat[i + 1]) for i in range(0, len(flat), 2)
         }
+        self._meta_seq = seq
+        return seq
+
+    def _load_meta(self) -> None:
+        if self._meta_file is None:
+            self._parse_meta(self._file.read(META_PAGE_ID))
+            return
+        # Dual-slot meta: pick the valid copy with the highest seq.  A
+        # torn write can damage at most the slot being written, so the
+        # other slot always holds the previous checkpoint's meta.
+        best_raw: Optional[bytes] = None
+        best_seq = -1
+        for slot in range(min(2, len(self._meta_file))):
+            raw = self._meta_file.read(slot)
+            try:
+                probe = Pager.__new__(Pager)
+                probe._meta_file = self._meta_file
+                seq = probe._parse_meta(raw)
+            except (ReproError, struct.error):
+                continue
+            if seq > best_seq:
+                best_seq, best_raw = seq, raw
+        if best_raw is None:
+            raise CorruptPageError(
+                "no valid meta copy: both slots failed validation")
+        self._parse_meta(best_raw)
 
     def write_meta(self) -> None:
-        """Persist allocation state + roots (called at checkpoint)."""
-        self._file.write(META_PAGE_ID, self._encode_meta())
+        """Persist allocation state + roots (called at checkpoint).
+
+        With a dedicated meta file the write ping-pongs between slots so
+        the previous copy survives a torn write; the seq field tells the
+        loader which copy is newest.
+        """
+        with self._latch:
+            self._meta_seq += 1
+            image = self._encode_meta()
+            if self._meta_file is not None:
+                self._meta_file.write(self._meta_seq % 2, image)
+            else:
+                self._file.write(META_PAGE_ID, image)
 
     # -- named roots -----------------------------------------------------------
 

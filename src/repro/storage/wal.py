@@ -18,11 +18,11 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List
+from typing import Dict, List, Optional
 
 from repro.errors import RecoveryError
 from repro.storage.disk import DiskFile
-from repro.storage.logfile import BlockLogReader, BlockLogWriter
+from repro.storage.logfile import BlockLogReader, BlockLogWriter, LogScanStatus
 from repro.storage.record import decode_record, encode_record
 
 
@@ -45,6 +45,8 @@ class WriteAheadLog:
     def __init__(self, wal_file: DiskFile) -> None:
         self._file = wal_file
         self._writer = BlockLogWriter(wal_file)
+        #: scan status of the most recent replay (torn-tail reporting)
+        self.last_scan_status: Optional[LogScanStatus] = None
         # Leaf latch in the global order: log_commit never calls into the
         # pager or pool, so commit groups stay contiguous without
         # participating in the Pager -> BufferPool ordering.
@@ -71,16 +73,23 @@ class WriteAheadLog:
         """Durable block count — recorded by checkpoints."""
         return self._writer.sync_boundary()
 
-    def replay(self, start_block: int = 0) -> Iterator[CommittedTxn]:
-        """Yield committed transactions in commit order from start_block.
+    def replay(self, start_block: int = 0) -> List[CommittedTxn]:
+        """Committed transactions in commit order from start_block.
 
         Page/free records belonging to transactions without a commit seal
         (a crash mid-commit-group) are dropped, matching WAL semantics.
+        A checksum-invalid tail is likewise truncated (its contents were
+        never acknowledged durable) and reported via
+        :attr:`last_scan_status`; mid-log corruption raises
+        :class:`~repro.errors.CorruptPageError` from the reader.
         """
         pending_pages: Dict[int, Dict[int, bytes]] = {}
         pending_freed: Dict[int, List[int]] = {}
+        committed: List[CommittedTxn] = []
         reader = BlockLogReader(self._file)
-        for raw in reader.records(start_block):
+        records, status = reader.scan(start_block)
+        self.last_scan_status = status
+        for raw in records:
             rec = decode_record(raw)
             kind = rec[0]
             if kind == "P":
@@ -92,7 +101,7 @@ class WriteAheadLog:
             elif kind == "C":
                 _, txn_id, commit_ts, declared, snap_id, next_pid = rec
                 txn_id = int(txn_id)  # type: ignore[arg-type]
-                yield CommittedTxn(
+                committed.append(CommittedTxn(
                     txn_id=txn_id,
                     commit_ts=int(commit_ts),  # type: ignore[arg-type]
                     declared_snapshot=bool(declared),
@@ -100,9 +109,10 @@ class WriteAheadLog:
                     next_page_id=int(next_pid),  # type: ignore[arg-type]
                     pages=pending_pages.pop(txn_id, {}),
                     freed=pending_freed.pop(txn_id, []),
-                )
+                ))
             else:
                 raise RecoveryError(f"unknown WAL record kind {kind!r}")
+        return committed
 
     def block_count(self) -> int:
         return len(self._file)

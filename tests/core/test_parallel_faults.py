@@ -20,8 +20,9 @@ from tests.storage.test_resource_lifecycle import CountingSource
 QS = "SELECT snap_id FROM SnapIds ORDER BY snap_id"
 
 
-def _history_session() -> RQLSession:
-    session = RQLSession()
+def _history_session(session: RQLSession = None) -> RQLSession:
+    if session is None:
+        session = RQLSession()
     session.execute("CREATE TABLE events (grp, val)")
     for i in range(8):
         session.execute(f"INSERT INTO events VALUES ({i % 3}, {i})")
@@ -129,6 +130,44 @@ def test_page_source_fault_releases_every_snapshot_page(monkeypatch):
         "aborted worker leaked snapshot page fetches"
     assert _reader_counts(session) == (0, 0)
     assert _result_tables(session) == []
+
+
+def test_crash_during_parallel_run_recovers_and_matches_serial():
+    """Power loss mid-parallel-run: recover, re-run serially, compare.
+
+    The crash fires during the workers=4 merge writes.  The crashed
+    session must not leak readers or pins; after recovery the store
+    replays its history exactly and a serial re-run of the same
+    mechanism produces a database dump identical to a never-crashed
+    serial reference run.
+    """
+    from repro.sql.database import Database
+    from repro.storage.chaosdisk import ChaosDisk
+
+    reference = _history_session()
+    reference.collate_data(QS, "SELECT grp, val FROM events", "R",
+                           workers=1)
+    golden = full_database_dump(reference.db)
+
+    disk = ChaosDisk(4096, seed=11)
+    aux = ChaosDisk(4096, controller=disk.chaos)
+    session = _history_session(
+        RQLSession(db=Database(disk=disk, aux_disk=aux)))
+    disk.schedule_crash(at_write=3, tear=True)
+    with pytest.raises(ReproError):
+        session.collate_data(QS, "SELECT grp, val FROM events", "R",
+                             workers=4)
+    assert disk.chaos.powered_off, "crash never fired during the run"
+    assert _reader_counts(session) == (0, 0)
+    assert _pinned_pages(session) == []
+
+    disk.power_on()
+    recovered = RQLSession(db=Database(disk=disk, aux_disk=aux))
+    recovered.collate_data(QS, "SELECT grp, val FROM events", "R",
+                           workers=1)
+    assert full_database_dump(recovered.db) == golden
+    assert _reader_counts(recovered) == (0, 0)
+    assert _pinned_pages(recovered) == []
 
 
 def test_first_error_in_partition_order_wins():

@@ -1,0 +1,166 @@
+"""Hypothesis corruption properties: damaged stores never lie.
+
+Each example takes a cleanly checkpointed golden store, applies a random
+batch of media-level corruptions (bit flips, torn sectors, truncation)
+to ONE durable file, reopens, and checks the corruption oracle
+(:func:`repro.chaos.verify_consistent_prefix`): the store either refuses
+to open with a typed :class:`~repro.errors.ReproError`, or opens with
+some committed prefix as its current state and answers every snapshot
+query with golden rows or a typed refusal — never a silently wrong
+answer.
+
+Scope: the corruption targets are the checksummed recovery surfaces
+(WAL, Maplog, Pagelog, dual-slot meta).  Current-state B-tree pages
+carry no per-page CRC (the crash sweep covers them via torn writes), and
+*combined* damage to the meta and WAL of the same engine can force
+replay from a stale checkpoint over a shortened log, which idempotent
+replay would need page LSNs to survive — both are documented
+non-goals (DESIGN.md §5c).
+"""
+
+import copy
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import chaos
+from repro.errors import ReproError
+from repro.storage.chaosdisk import flip_bit, tear_slot, truncate_file
+from repro.storage.disk import SimulatedDisk
+
+#: (file name, append_only flag) of every checksummed durable structure.
+TARGETS = [
+    ("wal", True),
+    ("maplog", True),
+    ("pagelog", True),
+    ("meta", False),
+]
+
+_golden_cache = None
+
+
+def _golden_store():
+    """Build (once) a cleanly checkpointed store + its golden states."""
+    global _golden_cache
+    if _golden_cache is None:
+        states, _ = chaos.golden_states(seed=0)
+        disk = SimulatedDisk(chaos.PAGE_SIZE)
+        aux = SimulatedDisk(chaos.PAGE_SIZE)
+        db = chaos.open_database(disk, aux)
+        chaos.apply_ops(db)
+        db.checkpoint()
+        _golden_cache = (disk, aux, states)
+    return _golden_cache
+
+
+def _corrupt(file, op, slot_sel, arg):
+    """Apply one corruption primitive, selectors reduced mod file size."""
+    if len(file) == 0:
+        return False
+    slot = slot_sel % len(file)
+    if op == "flip":
+        flip_bit(file, slot, arg)
+    elif op == "tear":
+        tear_slot(file, slot, keep=arg % file.page_size)
+    else:
+        truncate_file(file, arg % len(file))  # always drops >= 1 slot
+    return True
+
+
+def _check_never_lies(disk, aux, states, context):
+    try:
+        db = chaos.open_database(disk, aux)
+    except ReproError:
+        return  # typed refusal to open: allowed, never wrong
+    chaos.verify_consistent_prefix(db, states, context)
+
+
+@settings(max_examples=60, deadline=None, print_blob=True,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    which_disk=st.integers(0, 1),
+    target=st.sampled_from(TARGETS),
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["flip", "tear", "truncate"]),
+            st.integers(0, 2**32 - 1),  # slot selector
+            st.integers(0, 2**32 - 1),  # bit index / keep / new length
+        ),
+        min_size=1, max_size=4,
+    ),
+)
+def test_random_corruption_never_yields_wrong_answers(which_disk, target,
+                                                      ops):
+    disk0, aux0, states = _golden_store()
+    disk, aux = copy.deepcopy(disk0), copy.deepcopy(aux0)
+    name, append_only = target
+    victim = (disk, aux)[which_disk].open_file(name,
+                                               append_only=append_only)
+    applied = sum(_corrupt(victim, op, s, a) for op, s, a in ops)
+    if not applied:
+        return
+    _check_never_lies(disk, aux, states,
+                      f"disk{which_disk} {name} ops={ops}")
+
+
+# -- deterministic regressions (one per recovery surface) -----------------
+
+def _fresh_copy():
+    disk0, aux0, states = _golden_store()
+    return copy.deepcopy(disk0), copy.deepcopy(aux0), states
+
+
+@pytest.mark.parametrize("name,append_only", TARGETS)
+def test_tail_tear_on_each_surface(name, append_only):
+    disk, aux, states = _fresh_copy()
+    victim = disk.open_file(name, append_only=append_only)
+    assert len(victim) > 0
+    tear_slot(victim, len(victim) - 1, keep=victim.page_size // 3)
+    _check_never_lies(disk, aux, states, f"tail tear on {name}")
+
+
+@pytest.mark.parametrize("name,append_only", TARGETS)
+def test_halving_truncation_on_each_surface(name, append_only):
+    disk, aux, states = _fresh_copy()
+    victim = disk.open_file(name, append_only=append_only)
+    truncate_file(victim, len(victim) // 2)
+    _check_never_lies(disk, aux, states, f"truncate {name}")
+
+
+@pytest.mark.parametrize("name,append_only", TARGETS)
+def test_single_bit_flips_on_each_surface(name, append_only):
+    # One flip per slot: every block of the surface damaged at once.
+    disk, aux, states = _fresh_copy()
+    victim = disk.open_file(name, append_only=append_only)
+    for slot in range(len(victim)):
+        flip_bit(victim, slot, slot * 131 + 17)
+    _check_never_lies(disk, aux, states, f"bit flips on {name}")
+
+
+def test_dual_slot_meta_survives_newest_copy_loss():
+    """Killing one meta copy falls back to the other checkpoint's meta."""
+    disk, aux, states = _fresh_copy()
+    meta = disk.open_file("meta")
+    assert len(meta) == 2, "checkpointed store must have both meta slots"
+    flip_bit(meta, 0, 999)
+    db = chaos.open_database(disk, aux)  # must open: one copy survives
+    chaos.verify_consistent_prefix(db, states, "one meta copy flipped")
+
+
+def test_losing_both_meta_copies_is_a_typed_refusal():
+    disk, aux, states = _fresh_copy()
+    meta = disk.open_file("meta")
+    flip_bit(meta, 0, 7)
+    flip_bit(meta, 1, 7)
+    with pytest.raises(ReproError):
+        chaos.open_database(disk, aux)
+
+
+def test_empty_meta_with_nonempty_wal_is_a_typed_refusal():
+    # Media truncation of the whole meta file must not silently
+    # reinitialize a store that has acknowledged commits.
+    disk, aux, _ = _fresh_copy()
+    truncate_file(disk.open_file("meta"), 0)
+    with pytest.raises(ReproError):
+        chaos.open_database(disk, aux)

@@ -121,3 +121,23 @@ class TestRatioC:
         assert ratios["c_pagelog"] < 0.9
         assert ratios["rql_pagelog_reads"] < \
             ratios["all_cold_pagelog_reads"]
+
+
+class TestRecoveryMetric:
+    def test_recovery_time_summary_is_verified_and_positive(self):
+        from repro.bench.harness import recovery_time_summary
+
+        summary = recovery_time_summary(seed=0, crash_points=[12, 30])
+        assert summary["crash_points"] == 2.0
+        assert summary["verified"] == 2.0  # fast-because-wrong is ruled out
+        assert summary["mean_recovery_wall_seconds"] > 0.0
+        assert summary["total_recovery_wall_seconds"] == pytest.approx(
+            2 * summary["mean_recovery_wall_seconds"])
+        assert summary["total_recovery_sim_seconds"] >= 0.0
+
+    def test_recovery_time_summary_torn(self):
+        from repro.bench.harness import recovery_time_summary
+
+        summary = recovery_time_summary(seed=5, tear=True,
+                                        crash_points=[25])
+        assert summary["verified"] == 1.0

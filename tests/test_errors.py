@@ -15,8 +15,11 @@ LAYERS = {
     errors.StorageError: [
         errors.PageError, errors.BufferPoolError, errors.TransactionError,
         errors.RecoveryError, errors.RecordCodecError, errors.BTreeError,
+        errors.CorruptPageError, errors.SimulatedCrash,
     ],
-    errors.SnapshotError: [errors.UnknownSnapshotError],
+    errors.SnapshotError: [
+        errors.UnknownSnapshotError, errors.SnapshotUnavailableError,
+    ],
     errors.SqlError: [
         errors.LexerError, errors.ParseError, errors.PlanError,
         errors.ExecutionError, errors.CatalogError, errors.UdfError,
@@ -48,6 +51,15 @@ def test_workload_error():
 
 def test_analysis_error():
     assert issubclass(errors.AnalysisError, errors.ReproError)
+
+
+def test_corruption_errors_nest():
+    # TornWriteError is a refinement of CorruptPageError: handlers that
+    # treat any failed-checksum page uniformly catch both.
+    assert issubclass(errors.TornWriteError, errors.CorruptPageError)
+    assert issubclass(errors.CorruptPageError, errors.StorageError)
+    assert issubclass(errors.SnapshotUnavailableError, errors.SnapshotError)
+    assert issubclass(errors.SimulatedCrash, errors.StorageError)
 
 
 def test_positional_errors_carry_positions():
@@ -95,7 +107,7 @@ def test_hierarchy_is_exhaustive():
         errors.SqlError, errors.RqlError, errors.WorkloadError,
         errors.AnalysisError,
     }
-    extra = {errors.TypeMismatchError}
+    extra = {errors.TypeMismatchError, errors.TornWriteError}
     unaccounted = set(ALL_ERRORS) - layer_children - direct - extra
     assert not unaccounted, unaccounted
 
