@@ -43,6 +43,10 @@ PRAGMA_ALIASES = {
     "lifecycle-exempt": "RPL010",
     "lockorder-exempt": "RPL011",
     "taint-exempt": "RPL012",
+    "race-exempt": "RPL020",
+    "blocking-exempt": "RPL021",
+    "durable-exempt": "RPL022",
+    "purity-exempt": "RPL023",
 }
 
 _PRAGMA_RE = re.compile(r"#\s*replint:\s*(?P<body>.+)$")

@@ -23,19 +23,26 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.analysis.context import ModuleContext
 from repro.analysis.dataflow.callgraph import CallGraph, FunctionInfo
 from repro.analysis.dataflow.cfg import CFG, build_cfg
+from repro.analysis.dataflow.effects import EffectsIndex
 from repro.analysis.dataflow.summaries import (
     FunctionResult, FunctionSummary, LockEdge, _LockIndex, summarize,
 )
 
 _MAX_PASSES = 50
-_CACHE_VERSION = 1
+
+#: Bumped whenever the summary schema or any summary-producing pass
+#: changes meaning.  Folded into the cache digest *and* checked against
+#: the payload, so summaries written by an older replint are never
+#: deserialized into the new schema with silently-empty fields.
+ANALYSIS_VERSION = 2
 
 
 class Program:
     """Call graph + CFGs + converged summaries for one set of modules."""
 
     def __init__(self, contexts: Dict[str, ModuleContext],
-                 cache_dir: Optional[Path] = None) -> None:
+                 cache_dir: Optional[Path] = None,
+                 focus: Optional[Iterable[str]] = None) -> None:
         self.contexts = contexts
         self.graph = CallGraph(contexts)
         self._cfgs: Dict[str, CFG] = {}
@@ -44,15 +51,46 @@ class Program:
         self.results: Dict[str, FunctionResult] = {}
         self.passes = 0
         self.cache_hit = False
+        self.focus = set(focus) if focus is not None else None
+        self._focus_scope: Optional[set] = None
+        self._effects: Optional[EffectsIndex] = None
         self._solve(cache_dir)
 
     # -- construction ------------------------------------------------------
 
     @classmethod
     def from_contexts(cls, contexts: Iterable[ModuleContext],
-                      cache_dir: Optional[Path] = None) -> "Program":
+                      cache_dir: Optional[Path] = None,
+                      focus: Optional[Iterable[str]] = None) -> "Program":
         return cls({ctx.relpath: ctx for ctx in contexts},
-                   cache_dir=cache_dir)
+                   cache_dir=cache_dir, focus=focus)
+
+    @property
+    def effects(self) -> EffectsIndex:
+        """Lazily-built thread-escape / entry-lock index."""
+        if self._effects is None:
+            self._effects = EffectsIndex(self.graph, self.summaries,
+                                         self._lock_index)
+        return self._effects
+
+    def focus_scope(self) -> Optional[set]:
+        """Focus modules plus their direct call-graph neighbors.
+
+        ``None`` means no focus was requested — analyze everything.
+        """
+        if self.focus is None:
+            return None
+        if self._focus_scope is None:
+            scope = set(self.focus)
+            for func in self.graph.functions.values():
+                for site in self.graph.sites_in(func):
+                    for target in site.targets:
+                        if func.module in self.focus:
+                            scope.add(target.module)
+                        if target.module in self.focus:
+                            scope.add(func.module)
+            self._focus_scope = scope
+        return self._focus_scope
 
     def cfg(self, func: FunctionInfo) -> CFG:
         cached = self._cfgs.get(func.qualname)
@@ -64,7 +102,7 @@ class Program:
     def digest(self) -> str:
         """Stable digest of every analyzed source file."""
         hasher = hashlib.sha256()
-        hasher.update(f"v{_CACHE_VERSION}".encode())
+        hasher.update(f"v{ANALYSIS_VERSION}".encode())
         for relpath in sorted(self.contexts):
             ctx = self.contexts[relpath]
             hasher.update(relpath.encode())
@@ -81,8 +119,15 @@ class Program:
         else:
             self._fixpoint()
             self._store_cache(cache_dir)
-        # Final evidence sweep with converged summaries.
+        # Final evidence sweep with converged summaries.  Under a focus
+        # (``lint --changed``) only functions in the focused modules and
+        # their call-graph neighbors are re-swept; the converged
+        # summaries for everything else are kept as-is so program-wide
+        # rules still see a complete picture.
+        scope = self.focus_scope()
         for qualname, func in self.graph.functions.items():
+            if scope is not None and func.module not in scope:
+                continue
             self.results[qualname] = summarize(
                 func, self.cfg(func), self.graph, self.summaries,
                 lock_index=self._lock_index)
@@ -122,7 +167,7 @@ class Program:
             payload = json.loads(path.read_text())
         except (OSError, ValueError):
             return None
-        if payload.get("version") != _CACHE_VERSION:
+        if payload.get("version") != ANALYSIS_VERSION:
             return None
         entries = payload.get("summaries")
         if not isinstance(entries, list):
@@ -144,7 +189,7 @@ class Program:
         try:
             cache_dir.mkdir(parents=True, exist_ok=True)
             payload = {
-                "version": _CACHE_VERSION,
+                "version": ANALYSIS_VERSION,
                 "summaries": [
                     self.summaries[qualname].to_dict()
                     for qualname in sorted(self.summaries)
@@ -196,8 +241,16 @@ class Program:
                  '  node [shape=ellipse, fontsize=10];']
         acquired = {lock for result in self.results.values()
                     for lock in result.summary.acquires_locks}
-        nodes = sorted(acquired | {lock for edge in self.lock_edges()
-                                   for lock in (edge.held, edge.acquired)})
+        # Every latch *assigned* anywhere is a node, even if nothing in
+        # the analyzed set orders it against another latch yet — the
+        # graph must reflect the full latch inventory, not just edges.
+        assigned = {
+            f"{self.graph.classes[cls_qual].name}.{attr}"
+            for (cls_qual, attr) in self._lock_index.assigned
+        }
+        nodes = sorted(acquired | assigned
+                       | {lock for edge in self.lock_edges()
+                          for lock in (edge.held, edge.acquired)})
         for lock in nodes:
             lines.append(f'  "{lock}";')
         deduped: Dict[Tuple[str, str], LockEdge] = {}

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
@@ -65,19 +66,32 @@ def _load_context(source: str, relpath: str,
 
 
 def analyze_contexts(contexts: Sequence[ModuleContext],
-                     cache_dir: Optional[Path] = None) -> List[Finding]:
-    """Both analysis phases over an already-parsed set of modules."""
+                     cache_dir: Optional[Path] = None,
+                     focus: Optional[Set[str]] = None) -> List[Finding]:
+    """Both analysis phases over an already-parsed set of modules.
+
+    With ``focus`` (a set of module relpaths, from ``lint --changed``)
+    the whole tree is still parsed — the call graph and converged
+    summaries must be complete — but the per-module checkers and the
+    reported program-rule findings are scoped to the focused modules
+    plus their direct call-graph neighbors.
+    """
     from repro.analysis.dataflow import Program
 
+    program = Program({ctx.relpath: ctx for ctx in contexts},
+                      cache_dir=cache_dir, focus=focus)
+    scope = program.focus_scope()
     findings: List[Finding] = []
     for ctx in contexts:
+        if scope is not None and ctx.relpath not in scope:
+            continue
         findings.extend(ctx.unjustified_pragmas())
         for checker in all_checkers():
             findings.extend(checker.check(ctx))
-    program = Program({ctx.relpath: ctx for ctx in contexts},
-                      cache_dir=cache_dir)
     for program_checker in all_program_checkers():
-        findings.extend(program_checker.check_program(program))
+        for finding in program_checker.check_program(program):
+            if scope is None or finding.file in scope:
+                findings.append(finding)
     return findings
 
 
@@ -106,13 +120,51 @@ def _collect_contexts(paths: Sequence[Path]
     return contexts, findings, scanned
 
 
+def _changed_relpaths(contexts: Sequence[ModuleContext],
+                      repo_dir: Optional[Path] = None
+                      ) -> Optional[Set[str]]:
+    """Context relpaths touched per ``git diff HEAD`` + untracked files.
+
+    Returns ``None`` when git is unavailable or errors (callers fall
+    back to a full run — a broken pre-commit hook must not pass by
+    linting nothing).
+    """
+    base = ["git"] if repo_dir is None else ["git", "-C", str(repo_dir)]
+    try:
+        diff = subprocess.run(
+            base + ["diff", "--name-only", "HEAD"],
+            capture_output=True, text=True, check=True)
+        untracked = subprocess.run(
+            base + ["ls-files", "--others", "--exclude-standard"],
+            capture_output=True, text=True, check=True)
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    changed = [line.strip().replace("\\", "/")
+               for line in (diff.stdout + untracked.stdout).splitlines()
+               if line.strip().endswith(".py")]
+    focus: Set[str] = set()
+    for ctx in contexts:
+        for path in changed:
+            # Git paths are repo-relative, context relpaths are
+            # package-relative — match on the common suffix.
+            if path.endswith("/" + ctx.relpath) or path == ctx.relpath:
+                focus.add(ctx.relpath)
+    return focus
+
+
 def analyze_paths(paths: Sequence[Path],
                   baseline: Optional[Set[str]] = None,
-                  cache_dir: Optional[Path] = None) -> AnalysisReport:
+                  cache_dir: Optional[Path] = None,
+                  changed_only: bool = False,
+                  repo_dir: Optional[Path] = None) -> AnalysisReport:
     report = AnalysisReport()
     baseline = baseline or set()
     contexts, findings, report.files_scanned = _collect_contexts(paths)
-    findings.extend(analyze_contexts(contexts, cache_dir=cache_dir))
+    focus: Optional[Set[str]] = None
+    if changed_only:
+        focus = _changed_relpaths(contexts, repo_dir=repo_dir)
+    findings.extend(analyze_contexts(contexts, cache_dir=cache_dir,
+                                     focus=focus))
     for finding in findings:
         if finding.matches(baseline):
             report.baselined.append(finding)
@@ -204,6 +256,11 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
                         default=None,
                         help="dump the call graph / latch-order graph "
                              "as DOT and exit")
+    parser.add_argument("--changed", action="store_true",
+                        help="scope analysis to files in 'git diff HEAD' "
+                             "(plus untracked files) and their call-graph "
+                             "neighbors; falls back to a full run when "
+                             "git is unavailable")
     parser.add_argument("--cache-dir", type=Path, default=None,
                         help="directory for parsed-summary cache artifacts "
                              "(keyed on a source digest; safe to share "
@@ -235,7 +292,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     except AnalysisError as exc:
         print(f"replint: {exc}", file=out)
         return 2
-    report = analyze_paths(paths, baseline, cache_dir=args.cache_dir)
+    report = analyze_paths(paths, baseline, cache_dir=args.cache_dir,
+                           changed_only=args.changed)
 
     if args.write_baseline:
         save_baseline(baseline_path, report.findings + report.baselined)

@@ -128,9 +128,13 @@ class ProgramChecker:
 
 # Import rule modules for their registration side effect.
 from repro.analysis.rules import (  # noqa: E402,F401
+    blocking,
+    durability,
+    escape,
     exceptions,
     lifecycle,
     lockorder,
+    mergepurity,
     monoids,
     snapshots,
     taint,

@@ -1,0 +1,66 @@
+"""RPL021 — no latch held across a blocking join/wait/cancel check.
+
+A worker that blocks on ``thread.join()``, ``event.wait()`` or polls
+``cancel.is_set()`` while holding a latch can deadlock the cancel
+protocol: the cancel path needs that latch to make progress (or the
+joined thread does), so both sides wait forever.  The rule flags any
+blocking call made with a non-empty latch context — latches taken
+locally plus the *may* entry-lock context for functions inside the
+worker region (a latch a caller might hold when workers reach here is
+just as much a deadlock as one taken in the same frame).
+
+Receivers are matched by name hints (``thread``, ``cancel``, ``event``,
+``cond``, ...) or by locals assigned from ``threading.Thread`` /
+``Event`` / ``Condition`` / ``Barrier`` constructors, so string
+``join``/dict ``is_set`` lookalikes on unrelated receivers stay quiet.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ProgramChecker, register_program
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.dataflow.program import Program
+
+
+@register_program
+class BlockingUnderLatchChecker(ProgramChecker):
+    rule_id = "RPL021"
+    name = "blocking-under-latch"
+    description = (
+        "never hold a latch across a blocking join/wait or cancel-event "
+        "check — the cancel protocol (or the joined thread) may need "
+        "that latch to make progress"
+    )
+
+    def check_program(self, program: "Program") -> Iterator[Finding]:
+        effects = program.effects
+        for qualname in sorted(program.summaries):
+            summary = program.summaries[qualname]
+            if not summary.blocking_calls:
+                continue
+            func = program.graph.functions.get(qualname)
+            if func is None:
+                continue
+            entry = effects.entry_may.get(qualname, frozenset())
+            for display, line, held in sorted(
+                    summary.blocking_calls, key=lambda b: (b[1], b[0])):
+                context = frozenset(held) | entry
+                if not context:
+                    continue
+                latches = ", ".join(sorted(context))
+                via = "held here" if held else \
+                    "held by a caller on the worker path"
+                finding = self.finding_at(
+                    program, func, line,
+                    f"blocking call {display}() with latch(es) "
+                    f"{latches} {via}",
+                    hint="release the latch before blocking, or move "
+                         "the join/wait/cancel check outside the "
+                         "latched region",
+                )
+                if finding is not None:
+                    yield finding

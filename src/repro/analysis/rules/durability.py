@@ -1,0 +1,64 @@
+"""RPL022 — durable surfaces only take checksummed payloads.
+
+The crash/corruption guarantees (DESIGN §5c) hold only because every
+byte reaching a durable surface — the block logs behind the WAL,
+Maplog and Pagelog, and the Pager's dual-slot meta file — carries a
+CRC trailer written by ``storage/checksums.seal_block`` (or the meta
+encoder's embedded CRC).  A raw ``write``/``append``/``truncate``/
+``seek`` on one of those surfaces bypasses the trailer: the data lands
+on disk unverifiable and the recovery scan will either trust garbage
+or refuse a log it should have repaired.
+
+The durability scan classifies each function's file writes: a payload
+is *sealed* if it flows (flow-insensitively, through locals and callee
+summaries) from ``seal_block`` or a CRC-embedding encoder; a payload
+received as a parameter makes the function a durable *sink* whose
+callers are checked instead; anything else is flagged here.  Physical
+stores (``storage/disk.py``, ``chaosdisk.py``) sit below the format
+layer and are exempt, as are the page-image appends on the Pagelog
+(page CRCs live inside the page, not in a block trailer) and the
+block-log's own end-of-block truncation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ProgramChecker, register_program
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.dataflow.program import Program
+
+
+@register_program
+class DurabilityChecker(ProgramChecker):
+    rule_id = "RPL022"
+    name = "durable-surface"
+    description = (
+        "writes to durable surfaces (WAL/Maplog/Pagelog block logs, "
+        "Pager meta) must carry checksummed trailers from "
+        "storage/checksums.py — raw write/truncate/seek voids recovery"
+    )
+
+    def check_program(self, program: "Program") -> Iterator[Finding]:
+        for qualname in sorted(program.results):
+            result = program.results[qualname]
+            if not result.raw_durable_writes:
+                continue
+            func = program.graph.functions.get(qualname)
+            if func is None:
+                continue
+            for raw in result.raw_durable_writes:
+                finding = self.finding_at(
+                    program, func, raw.line,
+                    f"raw {raw.api} on durable surface {raw.surface} "
+                    f"bypasses the checksummed block format "
+                    f"({raw.detail})",
+                    hint="route the payload through "
+                         "checksums.seal_block (block logs) or the "
+                         "CRC-embedding meta encoder (dual-slot meta) "
+                         "before it reaches the file",
+                )
+                if finding is not None:
+                    yield finding

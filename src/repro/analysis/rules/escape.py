@@ -1,0 +1,69 @@
+"""RPL020 — writes to worker-shared state must hold the guarding latch.
+
+The escape analysis (:mod:`repro.analysis.dataflow.effects`) finds the
+thread roots (``threading.Thread(target=...)``), closes the worker
+region over the call graph (including closure-parameter callees and
+receivers typed through the spawning function's locals), and derives
+the set of classes the workers *share*: everything reachable from free
+variables the worker closures capture, minus the per-worker payload
+(the thread target's own parameters) and objects the workers construct
+privately.
+
+For every written attribute of a shared class the rule infers a guard:
+the intersection of the latches held at every latched write site, where
+"held" counts both latches taken locally and the *must* entry-lock
+context (latches provably held whenever workers reach the writer).  A
+write whose effective latch set misses both the inferred guard and the
+owning class's own latches is a race window.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ProgramChecker, register_program
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.dataflow.program import Program
+
+
+@register_program
+class WorkerEscapeChecker(ProgramChecker):
+    rule_id = "RPL020"
+    name = "worker-escape"
+    description = (
+        "mutable state shared with worker threads must be written under "
+        "its guarding latch (inferred from the latched write sites or "
+        "the owning class's own latch)"
+    )
+
+    def check_program(self, program: "Program") -> Iterator[Finding]:
+        effects = program.effects
+        if not effects.thread_roots:
+            return
+        roots = ", ".join(sorted(
+            root.qualname.split("::")[-1]
+            for root in effects.thread_roots))
+        for write in effects.unguarded_writes():
+            func = program.graph.functions.get(write.func)
+            cls = program.graph.classes.get(write.cls)
+            if func is None or cls is None:
+                continue
+            guard = effects.inferred_guard((write.cls, write.attr))
+            own = effects.own_latches(write.cls)
+            expected = sorted(guard | own)
+            if expected:
+                fix = f"hold {' or '.join(expected)} around the write"
+            else:
+                fix = (f"no latched write site exists anywhere — give "
+                       f"{cls.name} a latch and take it here")
+            finding = self.finding_at(
+                program, func, write.line,
+                f"write to worker-shared {cls.name}.{write.attr} "
+                f"without its guarding latch",
+                hint=f"{cls.name} is reachable from worker thread "
+                     f"roots ({roots}); {fix}",
+            )
+            if finding is not None:
+                yield finding

@@ -1,0 +1,100 @@
+"""RPL023 — registered merge functions must be pure.
+
+The parallel executor's correctness argument (DESIGN §5b) leans on the
+merge step being a *function* of the partition results: the
+differential harness proves serial/parallel equivalence only for the
+workloads it samples, so a merge that additionally mutates engine,
+pager or session state can diverge on unsampled workloads without any
+test noticing.  Scope: ``CrossSnapshotAggregate.merge`` (and subclass
+overrides), the ``merge_*`` helpers in ``core/aggregates.py``, and the
+executor's stored-row merge.
+
+The purity summaries track, interprocedurally, which parameters a
+function mutates and any effects on program-class state reached through
+attributes or globals.  A bound merge method may fold into ``self``
+(that accumulator is the merge's output) but nothing else; a plain
+merge function may mutate nothing it was given.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, List, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ProgramChecker, register_program
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.dataflow.callgraph import FunctionInfo
+    from repro.analysis.dataflow.program import Program
+
+_ROOT_CLASS = "CrossSnapshotAggregate"
+
+
+def _is_cross_snapshot_aggregate(program: "Program",
+                                 cls_qual: str) -> bool:
+    graph = program.graph
+    names = [cls_qual] + graph._all_bases(cls_qual)
+    for qualname in names:
+        cls = graph.classes.get(qualname)
+        if cls is not None and cls.name == _ROOT_CLASS:
+            return True
+    return False
+
+
+def _merge_targets(program: "Program") -> List[Tuple["FunctionInfo", str]]:
+    targets: List[Tuple["FunctionInfo", str]] = []
+    for qualname in sorted(program.graph.functions):
+        func = program.graph.functions[qualname]
+        if func.cls is not None and func.name == "merge" \
+                and _is_cross_snapshot_aggregate(program,
+                                                 func.cls.qualname):
+            targets.append((func, "aggregate merge"))
+        elif func.cls is None and func.name.startswith("merge_") \
+                and func.module.endswith("core/aggregates.py"):
+            targets.append((func, "stored-value merge"))
+        elif func.name == "_merge_stored_rows" \
+                and func.module.endswith("core/parallel.py"):
+            targets.append((func, "executor stored-row merge"))
+    return targets
+
+
+@register_program
+class MergePurityChecker(ProgramChecker):
+    rule_id = "RPL023"
+    name = "merge-purity"
+    description = (
+        "registered merge functions (CrossSnapshotAggregate.merge, "
+        "merge_* helpers, stored-row merge) must be pure: fold into "
+        "the accumulator only, never mutate engine/pager/session state"
+    )
+
+    def check_program(self, program: "Program") -> Iterator[Finding]:
+        for func, kind in _merge_targets(program):
+            summary = program.summaries.get(func.qualname)
+            if summary is None:
+                continue
+            bound = bool(func.params) and func.params[0] == "self"
+            allowed = {0} if bound else set()
+            for index in sorted(summary.mutates_params - allowed):
+                param = func.params[index] if index < len(func.params) \
+                    else f"#{index}"
+                finding = self.finding_at(
+                    program, func, func.node.lineno,
+                    f"{kind} {func.name} mutates its input "
+                    f"'{param}' — merges must fold into the "
+                    f"accumulator only",
+                    hint="copy the input (e.g. list(earlier)) before "
+                         "building the merged value",
+                )
+                if finding is not None:
+                    yield finding
+            for effect in sorted(summary.impure_effects):
+                finding = self.finding_at(
+                    program, func, func.node.lineno,
+                    f"{kind} {func.name} has a side effect: {effect}",
+                    hint="merge functions run during result assembly; "
+                         "state they touch is not covered by the "
+                         "differential equivalence harness",
+                )
+                if finding is not None:
+                    yield finding

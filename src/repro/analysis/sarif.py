@@ -23,11 +23,12 @@ def _level(finding: Finding) -> str:
     return "error" if finding.severity == ERROR else "warning"
 
 
-def _result(finding: Finding) -> Dict[str, object]:
+def _result(finding: Finding,
+            baselined: bool = False) -> Dict[str, object]:
     message = finding.message
     if finding.hint:
         message += f" ({finding.hint})"
-    return {
+    result: Dict[str, object] = {
         "ruleId": finding.rule,
         "level": _level(finding),
         "message": {"text": message},
@@ -44,13 +45,27 @@ def _result(finding: Finding) -> Dict[str, object]:
             "replintKey/v2": finding.hashed_key,
         },
     }
+    if baselined:
+        # Baselined findings still appear in the log (so dashboards see
+        # the debt) but carry an external suppression, which SARIF
+        # consumers use to keep them out of the failing set.
+        result["suppressions"] = [{
+            "kind": "external",
+            "justification": "accepted in replint.baseline",
+        }]
+    return result
 
 
 def render_sarif(report: AnalysisReport,
                  rule_descriptions: Dict[str, str]) -> str:
-    """The report as a SARIF 2.1.0 JSON document (findings only)."""
+    """The report as a SARIF 2.1.0 JSON document.
+
+    Live findings come first; baselined findings follow as suppressed
+    results.
+    """
     seen_rules: List[str] = sorted(
         {finding.rule for finding in report.findings}
+        | {finding.rule for finding in report.baselined}
         | set(rule_descriptions))
     rules = [{
         "id": rule_id,
@@ -70,7 +85,8 @@ def render_sarif(report: AnalysisReport,
                     "rules": rules,
                 },
             },
-            "results": [_result(f) for f in report.findings],
+            "results": [_result(f) for f in report.findings]
+            + [_result(f, baselined=True) for f in report.baselined],
         }],
     }
     return json.dumps(log, indent=2, sort_keys=True) + "\n"

@@ -122,6 +122,25 @@ class _Partial:
         self.payload: object = None
 
 
+class _ErrorBoard:
+    """First-in-partition-order error, shared across worker threads."""
+
+    def __init__(self, partitions: int) -> None:
+        self._latch = threading.Lock()
+        self._index = partitions
+        self._error: Optional[BaseException] = None
+
+    def record(self, index: int, error: BaseException) -> None:
+        with self._latch:
+            if index < self._index:
+                self._index = index
+                self._error = error
+
+    def first_error(self) -> Optional[BaseException]:
+        with self._latch:
+            return self._error
+
+
 class ParallelExecutor:
     """Runs one RQL mechanism over contiguous snapshot partitions.
 
@@ -480,7 +499,7 @@ class ParallelExecutor:
             _Partial(i, sids, self._new_sink(i + 1))
             for i, sids in enumerate(partitions)
         ]
-        errors: List[Optional[BaseException]] = [None] * len(partials)
+        board = _ErrorBoard(len(partials))
         cancel = threading.Event()
         retro = self.db.engine.retro
 
@@ -492,7 +511,7 @@ class ParallelExecutor:
                         cancel,
                     )
                 except BaseException as exc:
-                    errors[partial.index] = exc  # re-raised after join
+                    board.record(partial.index, exc)  # re-raised after join
                     cancel.set()
                     if not isinstance(exc, Exception):
                         raise  # KeyboardInterrupt etc.: also let
@@ -507,9 +526,9 @@ class ParallelExecutor:
             thread.start()
         for thread in threads:
             thread.join()
-        for error in errors:
-            if error is not None:
-                raise error
+        error = board.first_error()
+        if error is not None:
+            raise error
         info = ParallelRunInfo(
             workers=self.workers,
             partitions=partitions,

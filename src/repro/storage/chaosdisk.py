@@ -35,6 +35,7 @@ Typical harness shape (see :mod:`repro.chaos` for the full oracle)::
 from __future__ import annotations
 
 import random
+import threading
 from typing import Callable, Optional
 
 from repro.errors import SimulatedCrash, StorageError
@@ -64,6 +65,10 @@ class ChaosController:
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
         self._rng = random.Random(seed)
+        # One controller may sit under every worker thread's disk: the
+        # schedule and counters are latched (reentrant: ``on_write``
+        # runs ``persist`` while holding it).
+        self._latch = threading.RLock()
         #: durable writes performed while powered on
         self.write_count = 0
         #: writes silently swallowed while powered off
@@ -73,6 +78,17 @@ class ChaosController:
         self.powered_off = False
         #: description of the last injected fault (for failure reports)
         self.last_event = ""
+
+    def __getstate__(self) -> dict:
+        # Locks can't be copied or pickled (the sweep harness deep-copies
+        # whole disks per crash point); the copy gets a fresh latch.
+        state = self.__dict__.copy()
+        state.pop("_latch", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._latch = threading.RLock()
 
     # -- scheduling ------------------------------------------------------
 
@@ -84,13 +100,15 @@ class ChaosController:
         """
         if at_write < 1:
             raise StorageError("crash ordinal must be >= 1")
-        self.crash_at = self.write_count + at_write
-        self.tear = tear
+        with self._latch:
+            self.crash_at = self.write_count + at_write
+            self.tear = tear
 
     def power_on(self) -> None:
         """Clear power-off state and any pending schedule (pre-recovery)."""
-        self.powered_off = False
-        self.crash_at = None
+        with self._latch:
+            self.powered_off = False
+            self.crash_at = None
 
     @property
     def armed(self) -> bool:
@@ -106,26 +124,30 @@ class ChaosController:
         called with mangled bytes (torn write) or not at all (clean
         crash / powered off).
         """
-        if self.powered_off:
-            self.dropped_writes += 1
-            return None
-        self.write_count += 1
-        if self.crash_at is not None and self.write_count >= self.crash_at:
-            self.powered_off = True
-            self.crash_at = None
-            detail = f"write #{self.write_count} to {file.name!r}"
-            if self.tear:
-                keep = self._rng.randrange(1, len(raw))
-                garbage = bytes(
-                    self._rng.getrandbits(8) for _ in range(len(raw) - keep)
-                )
-                persist(raw[:keep] + garbage)
-                self.last_event = f"torn crash at {detail} (kept {keep}B)"
-            else:
-                self.last_event = f"clean crash at {detail}"
-            raise SimulatedCrash(
-                f"simulated power loss: {self.last_event}")
-        return persist(raw)
+        with self._latch:
+            if self.powered_off:
+                self.dropped_writes += 1
+                return None
+            self.write_count += 1
+            if self.crash_at is not None \
+                    and self.write_count >= self.crash_at:
+                self.powered_off = True
+                self.crash_at = None
+                detail = f"write #{self.write_count} to {file.name!r}"
+                if self.tear:
+                    keep = self._rng.randrange(1, len(raw))
+                    garbage = bytes(
+                        self._rng.getrandbits(8)
+                        for _ in range(len(raw) - keep)
+                    )
+                    persist(raw[:keep] + garbage)
+                    self.last_event = \
+                        f"torn crash at {detail} (kept {keep}B)"
+                else:
+                    self.last_event = f"clean crash at {detail}"
+                raise SimulatedCrash(
+                    f"simulated power loss: {self.last_event}")
+            return persist(raw)
 
 
 class ChaosFile(DiskFile):

@@ -15,6 +15,7 @@ simulated seconds.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
@@ -48,33 +49,70 @@ class CostModel:
 
 @dataclass
 class DeviceStats:
-    """Operation counters for one device (or a delta between two points)."""
+    """Operation counters for one device (or a delta between two points).
+
+    One stats block is shared by every file of a disk — and with
+    parallel snapshot workers, by every worker thread — so the counters
+    only move through the latched ``note_*`` methods.
+    """
 
     random_reads: int = 0
     random_writes: int = 0
     log_reads: int = 0
     log_writes: int = 0
 
+    def __post_init__(self) -> None:
+        self._latch = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        # Locks can't be copied or pickled; the copy gets a fresh one.
+        state = self.__dict__.copy()
+        state.pop("_latch", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._latch = threading.Lock()
+
+    def note_random_read(self) -> None:
+        with self._latch:
+            self.random_reads += 1
+
+    def note_random_write(self) -> None:
+        with self._latch:
+            self.random_writes += 1
+
+    def note_log_read(self) -> None:
+        with self._latch:
+            self.log_reads += 1
+
+    def note_log_write(self) -> None:
+        with self._latch:
+            self.log_writes += 1
+
     def snapshot(self) -> "DeviceStats":
-        return DeviceStats(
-            self.random_reads, self.random_writes,
-            self.log_reads, self.log_writes,
-        )
+        with self._latch:
+            return DeviceStats(
+                self.random_reads, self.random_writes,
+                self.log_reads, self.log_writes,
+            )
 
     def delta(self, earlier: "DeviceStats") -> "DeviceStats":
         """Counters accumulated since ``earlier`` was captured."""
-        return DeviceStats(
-            self.random_reads - earlier.random_reads,
-            self.random_writes - earlier.random_writes,
-            self.log_reads - earlier.log_reads,
-            self.log_writes - earlier.log_writes,
-        )
+        with self._latch:
+            return DeviceStats(
+                self.random_reads - earlier.random_reads,
+                self.random_writes - earlier.random_writes,
+                self.log_reads - earlier.log_reads,
+                self.log_writes - earlier.log_writes,
+            )
 
     def reset(self) -> None:
-        self.random_reads = 0
-        self.random_writes = 0
-        self.log_reads = 0
-        self.log_writes = 0
+        with self._latch:
+            self.random_reads = 0
+            self.random_writes = 0
+            self.log_reads = 0
+            self.log_writes = 0
 
 
 class DiskFile:
@@ -118,16 +156,16 @@ class DiskFile:
         """Append a page image, returning its slot number."""
         self._check(raw)
         self._pages.append(bytes(raw))
-        self._stats.log_writes += 1
+        self._stats.note_log_write()
         return len(self._pages) - 1
 
     def read(self, slot: int) -> bytes:
         if not 0 <= slot < len(self._pages):
             raise StorageError(f"{self.name}: slot {slot} out of range")
         if self.append_only:
-            self._stats.log_reads += 1
+            self._stats.note_log_read()
         else:
-            self._stats.random_reads += 1
+            self._stats.note_random_read()
         return self._pages[slot]
 
     def write(self, slot: int, raw: bytes) -> None:
@@ -138,7 +176,7 @@ class DiskFile:
         while slot >= len(self._pages):
             self._pages.append(bytes(self.page_size))
         self._pages[slot] = bytes(raw)
-        self._stats.random_writes += 1
+        self._stats.note_random_write()
 
     def truncate(self, length: int = 0) -> None:
         if length < 0:

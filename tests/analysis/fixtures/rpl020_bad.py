@@ -1,0 +1,43 @@
+"""Known-bad RPL020: one unlatched write to worker-shared state.
+
+``Counters`` escapes into the worker closure; ``note_done`` writes
+under the latch, ``note_failed`` does not.  The finding needs the whole
+picture — thread root, closure capture, and the latched sibling site
+that establishes the guard.
+"""
+
+import threading
+
+
+class Counters:
+    def __init__(self):
+        self._latch = threading.Lock()
+        self.done = 0
+        self.failed = 0
+
+    def note_done(self):
+        with self._latch:
+            self.done += 1
+
+    def note_failed(self):
+        self.failed += 1
+
+
+class Runner:
+    def run(self, jobs):
+        counters = Counters()
+
+        def body(job):
+            if job is None:
+                counters.note_failed()
+            else:
+                job()
+                counters.note_done()
+
+        threads = [threading.Thread(target=body, args=(job,))
+                   for job in jobs]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return counters.done

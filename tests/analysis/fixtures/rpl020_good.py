@@ -1,0 +1,46 @@
+"""Known-good RPL020: every worker-shared write holds the latch, and
+per-worker payload objects may be mutated freely."""
+
+import threading
+
+
+class Counters:
+    def __init__(self):
+        self._latch = threading.Lock()
+        self.done = 0
+        self.failed = 0
+
+    def note_done(self):
+        with self._latch:
+            self.done += 1
+
+    def note_failed(self):
+        with self._latch:
+            self.failed += 1
+
+
+class Job:
+    def __init__(self):
+        self.attempts = 0
+
+
+class Runner:
+    def run(self, jobs):
+        counters = Counters()
+
+        def body(job: Job):
+            # Per-worker payload: Job came in through the thread args,
+            # so unlatched mutation is fine.
+            job.attempts += 1
+            if job.attempts > 1:
+                counters.note_failed()
+            else:
+                counters.note_done()
+
+        threads = [threading.Thread(target=body, args=(job,))
+                   for job in jobs]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return counters.done

@@ -1,0 +1,34 @@
+"""Known-bad RPL021: blocking calls reached with a latch held.
+
+``drain`` polls the cancel event holding no latch of its own — the
+latch arrives through the worker entry context (``body`` calls it under
+``self._latch``), which is exactly the cross-function case.  ``stop``
+joins a thread while holding the latch directly.
+"""
+
+import threading
+
+
+class Sweeper:
+    def __init__(self):
+        self._latch = threading.Lock()
+        self.cancel = threading.Event()
+        self.pending = []
+
+    def drain(self):
+        while not self.cancel.is_set():
+            if not self.pending:
+                return
+
+    def run(self):
+        def body():
+            with self._latch:
+                self.drain()
+
+        worker = threading.Thread(target=body)
+        worker.start()
+        worker.join()
+
+    def stop(self, thread):
+        with self._latch:
+            thread.join()

@@ -1,0 +1,35 @@
+"""Known-good RPL021: blocking happens outside every latched region,
+and join-lookalikes on non-thread receivers stay quiet."""
+
+import threading
+
+
+class Sweeper:
+    def __init__(self):
+        self._latch = threading.Lock()
+        self.cancel = threading.Event()
+        self.pending = []
+
+    def drain(self):
+        while not self.cancel.is_set():
+            with self._latch:
+                if not self.pending:
+                    return
+
+    def run(self):
+        def body():
+            self.drain()
+
+        worker = threading.Thread(target=body)
+        worker.start()
+        worker.join()
+
+    def stop(self, thread):
+        with self._latch:
+            self.pending = []
+        thread.join()
+
+    def render(self, columns):
+        with self._latch:
+            # A str.join under the latch is not a blocking call.
+            return ", ".join(columns)

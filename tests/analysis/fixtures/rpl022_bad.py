@@ -1,0 +1,33 @@
+"""Known-bad RPL022: raw writes on a durable block-log surface.
+
+``flush_header`` appends an unsealed constant, ``rewind`` seeks the
+durable file, and ``write_trailer`` pushes an unsealed local through
+the durable *sink* ``flush`` — that last finding lands in the caller
+and only exists because the sink-parameter summary crossed the call.
+"""
+
+import zlib
+
+
+def seal_block(payload: bytes) -> bytes:
+    crc = zlib.crc32(payload)
+    return payload + crc.to_bytes(4, "big")
+
+
+class BlockLogWriter:
+    def __init__(self, log_file):
+        self._file = log_file
+
+    def flush(self, payload: bytes) -> None:
+        self._file.append(payload)
+
+    def flush_header(self) -> None:
+        self._file.append(b"\x00" * 16)
+
+    def rewind(self) -> None:
+        self._file.seek(0)
+
+
+def write_trailer(writer: BlockLogWriter) -> None:
+    blob = b"end-of-log"
+    writer.flush(blob)

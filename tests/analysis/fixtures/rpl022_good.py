@@ -1,0 +1,28 @@
+"""Known-good RPL022: every durable payload flows through the sealer,
+and the block log's own end-of-block truncation stays allowed."""
+
+import zlib
+
+
+def seal_block(payload: bytes) -> bytes:
+    crc = zlib.crc32(payload)
+    return payload + crc.to_bytes(4, "big")
+
+
+class BlockLogWriter:
+    def __init__(self, log_file):
+        self._file = log_file
+
+    def flush(self, payload: bytes) -> None:
+        self._file.append(seal_block(payload))
+
+    def flush_header(self) -> None:
+        image = seal_block(b"\x00" * 16)
+        self._file.append(image)
+
+    def reset(self) -> None:
+        self._file.truncate(0)
+
+
+def write_trailer(writer: BlockLogWriter) -> None:
+    writer.flush(b"end-of-log")

@@ -1,0 +1,36 @@
+"""Known-bad RPL023: impure merge functions.
+
+``CrossSnapshotAggregate.merge`` clobbers its *other* input;
+``CountingAggregate.merge`` looks pure on its own but reaches session
+state through ``bump`` — visible only with the callee's summary.
+"""
+
+
+class Session:
+    def __init__(self):
+        self.merges = 0
+
+
+def bump(session: Session) -> None:
+    session.merges += 1
+
+
+class CrossSnapshotAggregate:
+    def __init__(self):
+        self.total = 0
+
+    def merge(self, other):
+        self.total += other.total
+        other.total = 0
+        return self
+
+
+class CountingAggregate(CrossSnapshotAggregate):
+    def __init__(self, session: Session):
+        CrossSnapshotAggregate.__init__(self)
+        self.session = session
+
+    def merge(self, other):
+        bump(self.session)
+        self.total += other.total
+        return self

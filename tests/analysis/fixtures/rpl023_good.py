@@ -1,0 +1,29 @@
+"""Known-good RPL023: merges fold into the accumulator (``self``) and
+touch nothing else."""
+
+
+class Session:
+    def __init__(self):
+        self.merges = 0
+
+
+class CrossSnapshotAggregate:
+    def __init__(self):
+        self.total = 0
+        self.count = 0
+
+    def merge(self, other):
+        self.total += other.total
+        self.count += other.count
+        return self
+
+
+class AvgAggregate(CrossSnapshotAggregate):
+    def merge(self, other):
+        CrossSnapshotAggregate.merge(self, other)
+        return self
+
+    def result(self):
+        if self.count == 0:
+            return None
+        return self.total / self.count

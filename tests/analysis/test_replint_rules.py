@@ -27,6 +27,10 @@ SCOPES = {
     "RPL010": "sql/pins_fixture.py",
     "RPL011": "storage/latch_fixture.py",
     "RPL012": "retro/taint_fixture.py",
+    "RPL020": "core/parallel_fixture.py",
+    "RPL021": "core/executor_fixture.py",
+    "RPL022": "storage/logfile_fixture.py",
+    "RPL023": "core/merges_fixture.py",
 }
 
 
@@ -184,3 +188,145 @@ def test_rpl012_cross_function_case_needs_the_callee():
     assert analyze_source(RPL012_CALLER_ONLY, SCOPES["RPL012"]) == []
     full = run_fixture("RPL012", "bad")
     assert any(f.symbol == "backfill" for f in full)
+
+
+# -- RPL020: worker-escape races ----------------------------------------------
+
+
+def test_worker_escape_names_class_attr_and_guard():
+    findings = run_fixture("RPL020", "bad")
+    assert len(findings) == 1
+    (finding,) = findings
+    assert finding.symbol == "Counters.note_failed"
+    assert "Counters.failed" in finding.message
+    assert "Counters._latch" in finding.hint
+    assert "worker thread roots" in finding.hint
+
+
+RPL020_WRITER_ONLY = (
+    "import threading\n"
+    "\n"
+    "\n"
+    "class Counters:\n"
+    "    def __init__(self):\n"
+    "        self._latch = threading.Lock()\n"
+    "        self.done = 0\n"
+    "        self.failed = 0\n"
+    "\n"
+    "    def note_done(self):\n"
+    "        with self._latch:\n"
+    "            self.done += 1\n"
+    "\n"
+    "    def note_failed(self):\n"
+    "        self.failed += 1\n"
+)
+
+
+def test_rpl020_cross_function_case_needs_the_thread_root():
+    # The unlatched writer alone is innocent: without the spawner the
+    # escape analysis has no thread root, so Counters never becomes
+    # worker-shared.  The finding exists only because the worker-region
+    # closure connects Thread(target=body) to note_failed.
+    assert analyze_source(RPL020_WRITER_ONLY, SCOPES["RPL020"]) == []
+    assert run_fixture("RPL020", "bad")
+
+
+# -- RPL021: blocking under latch ---------------------------------------------
+
+
+def test_blocking_findings_split_local_and_entry_context():
+    findings = run_fixture("RPL021", "bad")
+    by_symbol = {f.symbol: f for f in findings}
+    # stop() takes the latch in the same frame.
+    assert "held here" in by_symbol["Sweeper.stop"].message
+    # drain() holds nothing itself: the latch arrives with the workers.
+    assert "held by a caller" in by_symbol["Sweeper.drain"].message
+    assert "Sweeper._latch" in by_symbol["Sweeper.drain"].message
+
+
+RPL021_CALLEE_ONLY = (
+    "import threading\n"
+    "\n"
+    "\n"
+    "class Sweeper:\n"
+    "    def __init__(self):\n"
+    "        self._latch = threading.Lock()\n"
+    "        self.cancel = threading.Event()\n"
+    "        self.pending = []\n"
+    "\n"
+    "    def drain(self):\n"
+    "        while not self.cancel.is_set():\n"
+    "            if not self.pending:\n"
+    "                return\n"
+)
+
+
+def test_rpl021_cross_function_case_needs_the_entry_context():
+    # drain holds no latch of its own; only the worker entry context
+    # (body calls it under self._latch) makes the cancel poll a risk.
+    assert analyze_source(RPL021_CALLEE_ONLY, SCOPES["RPL021"]) == []
+    full = run_fixture("RPL021", "bad")
+    assert any(f.symbol == "Sweeper.drain" for f in full)
+
+
+# -- RPL022: durable-surface writes ------------------------------------------
+
+
+def test_durable_findings_name_surface_and_api():
+    findings = run_fixture("RPL022", "bad")
+    by_symbol = {f.symbol: f for f in findings}
+    assert "raw append" in by_symbol["BlockLogWriter.flush_header"].message
+    assert "raw seek" in by_symbol["BlockLogWriter.rewind"].message
+    assert "BlockLogWriter._file" \
+        in by_symbol["BlockLogWriter.flush_header"].message
+    assert all("seal_block" in f.hint for f in findings)
+
+
+RPL022_CALLER_ONLY = (
+    "def write_trailer(writer):\n"
+    "    blob = b\"end-of-log\"\n"
+    "    writer.flush(blob)\n"
+)
+
+
+def test_rpl022_cross_function_case_needs_the_sink_summary():
+    # The caller alone pushes bytes into an unknown flush(); only the
+    # durable-sink-parameter summary of BlockLogWriter.flush makes the
+    # unsealed local a finding — and it lands in the caller.
+    assert analyze_source(RPL022_CALLER_ONLY, SCOPES["RPL022"]) == []
+    full = run_fixture("RPL022", "bad")
+    assert any(f.symbol == "write_trailer" for f in full)
+
+
+# -- RPL023: merge purity -----------------------------------------------------
+
+
+def test_merge_purity_covers_inputs_and_side_effects():
+    findings = run_fixture("RPL023", "bad")
+    by_symbol = {f.symbol: f.message for f in findings}
+    assert "mutates its input 'other'" \
+        in by_symbol["CrossSnapshotAggregate.merge"]
+    assert "side effect" in by_symbol["CountingAggregate.merge"]
+    assert "Session" in by_symbol["CountingAggregate.merge"]
+
+
+RPL023_CALLER_ONLY = (
+    "class CrossSnapshotAggregate:\n"
+    "    def __init__(self):\n"
+    "        self.total = 0\n"
+    "\n"
+    "\n"
+    "class CountingAggregate(CrossSnapshotAggregate):\n"
+    "    def merge(self, other):\n"
+    "        bump(self.session)\n"
+    "        self.total += other.total\n"
+    "        return self\n"
+)
+
+
+def test_rpl023_cross_function_case_needs_the_callee():
+    # merge itself only folds into self; the session mutation is only
+    # visible through bump's translated mutates-params summary.
+    assert analyze_source(RPL023_CALLER_ONLY, SCOPES["RPL023"]) == []
+    full = run_fixture("RPL023", "bad")
+    assert any(f.symbol == "CountingAggregate.merge" for f in full)
