@@ -47,6 +47,10 @@ PRAGMA_ALIASES = {
     "blocking-exempt": "RPL021",
     "durable-exempt": "RPL022",
     "purity-exempt": "RPL023",
+    "typestate-exempt": "RPL030",
+    "atomicity-exempt": "RPL031",
+    "recovery-exempt": "RPL032",
+    "confinement-exempt": "RPL033",
 }
 
 _PRAGMA_RE = re.compile(r"#\s*replint:\s*(?P<body>.+)$")

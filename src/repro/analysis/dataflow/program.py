@@ -34,7 +34,7 @@ _MAX_PASSES = 50
 #: changes meaning.  Folded into the cache digest *and* checked against
 #: the payload, so summaries written by an older replint are never
 #: deserialized into the new schema with silently-empty fields.
-ANALYSIS_VERSION = 2
+ANALYSIS_VERSION = 3
 
 
 class Program:
@@ -82,12 +82,20 @@ class Program:
             return None
         if self._focus_scope is None:
             scope = set(self.focus)
+            # A protocol-spec edit changes what the typestate rules mean
+            # for every implementing class: widen the focus to all
+            # modules defining a protocol class or origin function.
+            if any(module.endswith("analysis/protocols.py")
+                   for module in self.focus):
+                from repro.analysis.protocols import implementing_modules
+
+                scope |= implementing_modules(self.contexts)
             for func in self.graph.functions.values():
                 for site in self.graph.sites_in(func):
                     for target in site.targets:
-                        if func.module in self.focus:
+                        if func.module in scope:
                             scope.add(target.module)
-                        if target.module in self.focus:
+                        if target.module in scope:
                             scope.add(func.module)
             self._focus_scope = scope
         return self._focus_scope

@@ -162,6 +162,11 @@ class FunctionSummary:
     #: mutates (propagated verbatim through callers: the set is finite,
     #: so the fixpoint still terminates)
     impure_effects: FrozenSet[str] = frozenset()
+    #: protocol events applied to parameters: (param idx, protocol,
+    #: event name) — the typestate entry transformer callers replay
+    protocol_ops: FrozenSet[Tuple[int, str, str]] = frozenset()
+    #: (protocol, state) of the returned value — the exit transformer
+    protocol_returns: Optional[Tuple[str, str]] = None
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -184,6 +189,10 @@ class FunctionSummary:
             "returns_sealed": self.returns_sealed,
             "mutates_params": sorted(self.mutates_params),
             "impure_effects": sorted(self.impure_effects),
+            "protocol_ops": [[i, p, e]
+                             for i, p, e in sorted(self.protocol_ops)],
+            "protocol_returns": list(self.protocol_returns)
+            if self.protocol_returns is not None else None,
         }
 
     @classmethod
@@ -211,6 +220,13 @@ class FunctionSummary:
             returns_sealed=bool(data["returns_sealed"]),
             mutates_params=frozenset(data["mutates_params"]),  # type: ignore[arg-type]
             impure_effects=frozenset(data["impure_effects"]),  # type: ignore[arg-type]
+            protocol_ops=frozenset(
+                (int(i), str(p), str(e))
+                for i, p, e in data["protocol_ops"]),  # type: ignore[union-attr]
+            protocol_returns=(
+                (str(data["protocol_returns"][0]),  # type: ignore[index]
+                 str(data["protocol_returns"][1]))  # type: ignore[index]
+                if data["protocol_returns"] is not None else None),
         )
 
 
@@ -247,6 +263,44 @@ class RawDurableWrite:
     detail: str         #: human-readable call display
 
 
+@dataclass(frozen=True)
+class ProtocolViolation:
+    line: int
+    protocol: str       #: spec name ("txn", "retro", ...)
+    rule: str           #: reporting rule ("RPL030" / "RPL032")
+    event: str          #: the event fired in a violation state
+    state: str          #: the (definite) state the subject was in
+    what: str           #: human display of the subject / origin
+    kind: str           #: spec kind noun ("transaction", ...)
+
+
+@dataclass(frozen=True)
+class ProtocolLeak:
+    line: int
+    protocol: str
+    kind: str
+    what: str
+    exceptional: bool   #: left incomplete on an exception path
+
+
+@dataclass(frozen=True)
+class StaleWrite:
+    line: int
+    name: str           #: the local holding the stale latched read
+    latch: str          #: the latch released between read and write
+    cls: str            #: owning class of the attribute
+    attr: str
+    read_line: int
+
+
+@dataclass(frozen=True)
+class ThreadEscape:
+    line: int
+    protocol: str
+    kind: str
+    what: str
+
+
 @dataclass
 class FunctionResult:
     """Summary + evidence for one function at the current fixpoint."""
@@ -256,6 +310,10 @@ class FunctionResult:
     lock_edges: List[LockEdge] = field(default_factory=list)
     taint_hits: List[TaintHit] = field(default_factory=list)
     raw_durable_writes: List[RawDurableWrite] = field(default_factory=list)
+    protocol_violations: List[ProtocolViolation] = field(default_factory=list)
+    protocol_leaks: List[ProtocolLeak] = field(default_factory=list)
+    stale_writes: List[StaleWrite] = field(default_factory=list)
+    thread_escapes: List[ThreadEscape] = field(default_factory=list)
 
 
 # -- shared helpers ---------------------------------------------------------
@@ -1370,15 +1428,31 @@ class PurityScan:
 def summarize(func: FunctionInfo, cfg: CFG, graph: CallGraph,
               summaries: Dict[str, FunctionSummary],
               lock_index: Optional[_LockIndex] = None) -> FunctionResult:
-    """Run all three analyses for one function with callee summaries."""
+    """Run all the per-function analyses with callee summaries."""
+    # Imported here (not at module level): typestate.py builds on this
+    # module's helpers, so the import must run after it is fully loaded.
+    from repro.analysis.dataflow.typestate import (
+        AtomicityAnalysis, TypestateAnalysis,
+    )
+
     oracle = _Oracle(graph, summaries)
+    locks_idx = lock_index or _LockIndex(graph)
 
     resource = ResourceAnalysis(func, oracle)
     res_states = solve(cfg, resource)
     leaks = resource.leaks(cfg, res_states)
 
-    locks = LockAnalysis(func, oracle, lock_index or _LockIndex(graph))
+    locks = LockAnalysis(func, oracle, locks_idx)
     solve(cfg, locks)
+
+    typestate = TypestateAnalysis(func, oracle)
+    ts_states = solve(cfg, typestate)
+    typestate.replay(cfg, ts_states)
+    protocol_leaks = typestate.leaks(cfg, ts_states)
+
+    atomicity = AtomicityAnalysis(func, oracle, locks_idx)
+    at_states = solve(cfg, atomicity)
+    atomicity.replay(cfg, at_states)
 
     # Taint pass 1: no tainted params -> intrinsic sources only.
     taint = TaintAnalysis(func, oracle)
@@ -1415,6 +1489,8 @@ def summarize(func: FunctionInfo, cfg: CFG, graph: CallGraph,
         returns_sealed=durability.returns_sealed,
         mutates_params=frozenset(purity.mutates),
         impure_effects=frozenset(purity.effects),
+        protocol_ops=frozenset(typestate.protocol_ops),
+        protocol_returns=typestate.protocol_returns,
     )
     return FunctionResult(
         summary=summary,
@@ -1424,4 +1500,14 @@ def summarize(func: FunctionInfo, cfg: CFG, graph: CallGraph,
         taint_hits=sorted(taint.hits, key=lambda h: h.line),
         raw_durable_writes=sorted(durability.raw_writes,
                                   key=lambda w: w.line),
+        protocol_violations=sorted(
+            typestate.violations,
+            key=lambda v: (v.line, v.protocol, v.event)),
+        protocol_leaks=protocol_leaks,
+        stale_writes=sorted(
+            atomicity.stale_writes,
+            key=lambda w: (w.line, w.name, w.attr)),
+        thread_escapes=sorted(
+            typestate.thread_escapes,
+            key=lambda t: (t.line, t.protocol)),
     )

@@ -108,10 +108,21 @@ def _collect_contexts(paths: Sequence[Path]
                       ) -> Tuple[List[ModuleContext], List[Finding], int]:
     contexts: List[ModuleContext] = []
     findings: List[Finding] = []
+    seen: Set[str] = set()
     scanned = 0
     for root in paths:
         for path, relpath in iter_source_files(root):
             scanned += 1
+            # Multi-root runs (src + benchmarks + examples) can produce
+            # the same root-relative path twice (e.g. ``__init__.py``);
+            # contexts are keyed by relpath downstream, so a collision
+            # would silently drop a module from the program.  Qualify
+            # with the root's name only when needed — single-root
+            # relpaths (what tests and ``--changed`` match on) keep
+            # their familiar shape.
+            if relpath in seen:
+                relpath = f"{root.name}/{relpath}"
+            seen.add(relpath)
             source = path.read_text(encoding="utf-8")
             ctx, errors = _load_context(source, relpath, path)
             findings.extend(errors)
@@ -213,6 +224,46 @@ def _list_rules(out) -> None:
         print(f"{rule_id} {text}", file=out)
 
 
+#: RPL000 has no checker class (pragma hygiene is enforced inside
+#: ModuleContext), so its --explain entry lives here.
+_RPL000_EXPLAIN = (
+    "pragma-hygiene",
+    "replint pragmas must parse and carry a justification",
+    "page = pool.fetch(pid)  # replint: ignore[RPL010]\n"
+    "# RPL000: an escape hatch without a reason is itself a violation",
+    "append ' -- <reason>' to every pragma:\n"
+    "page = pool.fetch(pid)"
+    "  # replint: ignore[RPL010] -- handed to caller",
+)
+
+
+def _explain(rule_id: str, out) -> int:
+    """Describe one rule: what it checks, a failing example, the fix."""
+    from repro.analysis.rules import _PROGRAM_REGISTRY, _REGISTRY
+
+    if rule_id == "RPL000":
+        name, description, example, fix = _RPL000_EXPLAIN
+    else:
+        cls = _REGISTRY.get(rule_id) or _PROGRAM_REGISTRY.get(rule_id)
+        if cls is None:
+            print(f"replint: unknown rule: {rule_id} "
+                  f"(see --list-rules)", file=out)
+            return 2
+        name, description = cls.name, cls.description
+        example, fix = cls.example, cls.fix
+    print(f"{rule_id} — {name}", file=out)
+    print(f"  {description}", file=out)
+    print(file=out)
+    print("example:", file=out)
+    for line in example.splitlines():
+        print(f"    {line}", file=out)
+    print(file=out)
+    print("fix:", file=out)
+    for line in fix.splitlines():
+        print(f"    {line}", file=out)
+    return 0
+
+
 def _dump_graph(which: str, paths: Sequence[Path], out,
                 cache_dir: Optional[Path] = None) -> int:
     from repro.analysis.dataflow import Program
@@ -267,11 +318,17 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
                              "across runs)")
     parser.add_argument("--list-rules", action="store_true",
                         help="describe every rule and exit")
+    parser.add_argument("--explain", metavar="RPL0NN", default=None,
+                        help="print one rule's description, a minimal "
+                             "failing example, and the fix pattern, "
+                             "then exit")
     args = parser.parse_args(argv)
 
     if args.list_rules:
         _list_rules(out)
         return 0
+    if args.explain is not None:
+        return _explain(args.explain.upper(), out)
 
     output_format = args.format or ("json" if args.as_json else "text")
 

@@ -71,6 +71,9 @@ class Checker:
     rule_id: str = "RPL000"
     name: str = ""
     description: str = ""
+    #: Minimal failing example / fix pattern for ``lint --explain``.
+    example: str = ""
+    fix: str = ""
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         raise NotImplementedError
@@ -101,6 +104,9 @@ class ProgramChecker:
     rule_id: str = "RPL010"
     name: str = ""
     description: str = ""
+    #: Minimal failing example / fix pattern for ``lint --explain``.
+    example: str = ""
+    fix: str = ""
 
     def check_program(self, program: "Program") -> Iterator[Finding]:
         raise NotImplementedError
@@ -128,7 +134,9 @@ class ProgramChecker:
 
 # Import rule modules for their registration side effect.
 from repro.analysis.rules import (  # noqa: E402,F401
+    atomicity,
     blocking,
+    confinement,
     durability,
     escape,
     exceptions,
@@ -136,7 +144,9 @@ from repro.analysis.rules import (  # noqa: E402,F401
     lockorder,
     mergepurity,
     monoids,
+    recovery,
     snapshots,
     taint,
+    typestate,
     wal,
 )

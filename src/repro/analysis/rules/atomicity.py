@@ -1,0 +1,71 @@
+"""RPL031 — check-then-act atomicity.
+
+A value read from a latched attribute makes a *decision* valid only
+while the latch is held.  Writing the same attribute from an expression
+computed off that value after the latch was released re-publishes a
+possibly-stale observation — the classic lost-update window:
+
+    with self._latch:
+        current = self._count
+    self._count = current + 1      # another thread bumped in between
+
+The :class:`~repro.analysis.dataflow.typestate.AtomicityAnalysis` binds
+names assigned from latched reads, tracks whether the latch has been
+*continuously* held since, and flags writes that lost it.  Functions
+whose *must* entry-lock context (PR 5 effects index) already includes
+the latch are exempt — every caller provably holds it across the whole
+body, so continuity never actually breaks.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ProgramChecker, register_program
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.dataflow.program import Program
+
+
+@register_program
+class CheckThenActChecker(ProgramChecker):
+    rule_id = "RPL031"
+    name = "check-then-act"
+    description = (
+        "a write computed from a latched read must happen before the "
+        "latch is released (or re-validate under the latch) — "
+        "otherwise the read is a stale observation another thread may "
+        "have invalidated"
+    )
+    example = (
+        "with self._latch:\n"
+        "    current = self._count\n"
+        "self._count = current + 1   # RPL031: latch released between\n"
+        "                            # the read and the write"
+    )
+    fix = (
+        "widen the with-block so the read and the dependent write share "
+        "one critical section, or re-read and validate the value after "
+        "re-acquiring the latch"
+    )
+
+    def check_program(self, program: "Program") -> Iterator[Finding]:
+        entry_must = program.effects.entry_must
+        for qualname in sorted(program.results):
+            func = program.graph.functions[qualname]
+            held_at_entry = entry_must.get(qualname, frozenset())
+            for write in program.results[qualname].stale_writes:
+                if write.latch in held_at_entry:
+                    continue
+                finding = self.finding_at(
+                    program, func, write.line,
+                    f"write to {write.cls}.{write.attr} computed from "
+                    f"'{write.name}' (read under {write.latch} at line "
+                    f"{write.read_line}) after the latch was released",
+                    hint="keep the read and the write in one "
+                         f"'with {write.latch}' block, or re-validate "
+                         "under the latch before publishing",
+                )
+                if finding is not None:
+                    yield finding

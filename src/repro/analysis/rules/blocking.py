@@ -35,6 +35,19 @@ class BlockingUnderLatchChecker(ProgramChecker):
         "check — the cancel protocol (or the joined thread) may need "
         "that latch to make progress"
     )
+    example = (
+        "with self._latch:\n"
+        "    for worker in self._workers:\n"
+        "        worker.join()   # RPL021: worker may need self._latch"
+    )
+    fix = (
+        "snapshot what you need under the latch, release it, then "
+        "join/wait:\n"
+        "with self._latch:\n"
+        "    workers = list(self._workers)\n"
+        "for worker in workers:\n"
+        "    worker.join()"
+    )
 
     def check_program(self, program: "Program") -> Iterator[Finding]:
         effects = program.effects

@@ -1,0 +1,65 @@
+"""RPL033 — reader/transaction confinement to the creating thread.
+
+MVCC reader handles and write transactions are thread-confined by
+design: the version store prunes chains against a reader's ``begin_ts``
+on the registering thread's schedule, and the engine's single-writer
+discipline assumes the transaction's overlay is touched by one thread.
+Handing a live handle to ``threading.Thread`` — positionally, via
+``args=``/``kwargs=``, or captured by a closure passed as ``target=`` —
+publishes it across threads with no handoff protocol.  This is exactly
+the property the planned multi-session server needs replint to hold
+the line on (ROADMAP item 1).
+
+The typestate engine records a :class:`ThreadEscape` whenever a value
+carrying live protocol state flows into a ``Thread(...)`` constructor;
+legitimate handoffs (a worker pool that owns per-thread contexts)
+suppress with ``# replint: confinement-exempt -- <why>``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ProgramChecker, register_program
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.dataflow.program import Program
+
+
+@register_program
+class ReaderConfinementChecker(ProgramChecker):
+    rule_id = "RPL033"
+    name = "reader-confinement"
+    description = (
+        "live reader handles / transactions / read contexts must not "
+        "escape their creating thread through a Thread(...) "
+        "constructor without an explicit handoff"
+    )
+    example = (
+        "ctx = engine.begin_read()\n"
+        "def worker():\n"
+        "    rows = scan(engine.read_source(ctx))\n"
+        "t = threading.Thread(target=worker)   # RPL033: ctx crosses\n"
+        "t.start()                             # the thread boundary"
+    )
+    fix = (
+        "create the handle inside the worker (each thread begins and "
+        "closes its own read context), or document the handoff with "
+        "'# replint: confinement-exempt -- <why>'"
+    )
+
+    def check_program(self, program: "Program") -> Iterator[Finding]:
+        for qualname in sorted(program.results):
+            func = program.graph.functions[qualname]
+            for escape in program.results[qualname].thread_escapes:
+                finding = self.finding_at(
+                    program, func, escape.line,
+                    f"live {escape.kind} ({escape.what}) escapes into a "
+                    f"spawned thread without a handoff",
+                    hint="begin/close the handle inside the worker, or "
+                         "mark an owned handoff with '# replint: "
+                         "confinement-exempt -- <why>'",
+                )
+                if finding is not None:
+                    yield finding

@@ -40,6 +40,16 @@ class DurabilityChecker(ProgramChecker):
         "Pager meta) must carry checksummed trailers from "
         "storage/checksums.py — raw write/truncate/seek voids recovery"
     )
+    example = (
+        "self._file.write(bytes(self._buffer[:capacity]))\n"
+        "# RPL022: raw append — a torn tail is indistinguishable from\n"
+        "# a valid short record at recovery time"
+    )
+    fix = (
+        "seal every durable append:\n"
+        "self._file.write(checksums.seal_block("
+        "bytes(self._buffer[:capacity])))"
+    )
 
     def check_program(self, program: "Program") -> Iterator[Finding]:
         for qualname in sorted(program.results):

@@ -37,6 +37,17 @@ class WorkerEscapeChecker(ProgramChecker):
         "its guarding latch (inferred from the latched write sites or "
         "the owning class's own latch)"
     )
+    example = (
+        "def note_failed(self):\n"
+        "    self.failed += 1   # RPL020: Counters escapes into worker\n"
+        "                       # closures; sibling sites latch, this\n"
+        "                       # write does not"
+    )
+    fix = (
+        "def note_failed(self):\n"
+        "    with self._latch:\n"
+        "        self.failed += 1"
+    )
 
     def check_program(self, program: "Program") -> Iterator[Finding]:
         effects = program.effects

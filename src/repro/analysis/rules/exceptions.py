@@ -138,6 +138,19 @@ class ExceptionTaxonomyChecker(Checker):
         "raise only repro.errors classes; broad except blocks must "
         "re-raise or log"
     )
+    example = (
+        "raise ValueError(\"bad page id\")   # RPL002: not a\n"
+        "                                   # repro.errors class\n"
+        "try:\n"
+        "    source.fetch(pid)\n"
+        "except Exception:\n"
+        "    pass                           # RPL002: swallowed"
+    )
+    fix = (
+        "raise StorageError(\"bad page id\") from None\n"
+        "# and in handlers: re-raise, raise a repro.errors class,\n"
+        "# or log before continuing"
+    )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         allowed, module_aliases = _taxonomy_names(ctx.tree)

@@ -48,6 +48,18 @@ class ResourceLifecycleChecker(ProgramChecker):
         "every path, including exception unwinds and across call "
         "boundaries (interprocedural; subsumes RPL001)"
     )
+    example = (
+        "page = pool.fetch(pid)\n"
+        "total += page.value      # may raise -> pin never released\n"
+        "pool.unpin(page)"
+    )
+    fix = (
+        "page = pool.fetch(pid)\n"
+        "try:\n"
+        "    total += page.value\n"
+        "finally:\n"
+        "    pool.unpin(page)"
+    )
 
     def check_program(self, program: "Program") -> Iterator[Finding]:
         for qualname in sorted(program.results):

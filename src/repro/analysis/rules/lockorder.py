@@ -36,6 +36,18 @@ class LockOrderChecker(ProgramChecker):
         "latch acquisitions must follow one global order: any cycle in "
         "the held-latch -> acquired-latch graph is a potential deadlock"
     )
+    example = (
+        "# thread A                      # thread B\n"
+        "with self._pool._latch:         with self._pager._latch:\n"
+        "    with self._pager._latch:        with self._pool._latch:\n"
+        "        ...                             ...\n"
+        "# RPL011: Pool._latch -> Pager._latch and the reverse edge"
+    )
+    fix = (
+        "pick one global order (document it next to the latch "
+        "declarations) and acquire in that order everywhere; restructure "
+        "one side so the inner acquisition happens after releasing"
+    )
 
     def check_program(self, program: "Program") -> Iterator[Finding]:
         for cycle in program.lock_cycles():

@@ -67,6 +67,18 @@ class MergePurityChecker(ProgramChecker):
         "merge_* helpers, stored-row merge) must be pure: fold into "
         "the accumulator only, never mutate engine/pager/session state"
     )
+    example = (
+        "def merge(self, other):\n"
+        "    self.engine.install(self.page)   # RPL023: a merge that\n"
+        "    self.total += other.total        # mutates engine state\n"
+        "    return self                      # re-executes on replay"
+    )
+    fix = (
+        "def merge(self, other):\n"
+        "    self.total += other.total\n"
+        "    return self\n"
+        "# side effects belong to the caller, after the fold completes"
+    )
 
     def check_program(self, program: "Program") -> Iterator[Finding]:
         for func, kind in _merge_targets(program):

@@ -103,6 +103,19 @@ class MonoidRegistryChecker(Checker):
         "registered aggregates must implement absorb/merge/result and "
         "declare identity + binary op for every monoid name"
     )
+    example = (
+        "@register_aggregate(\"p95\")\n"
+        "class P95Aggregate:\n"
+        "    def absorb(self, row): ...\n"
+        "    # RPL004: no merge()/result(), no declared identity —\n"
+        "    # the parallel executor cannot combine partitions"
+    )
+    fix = (
+        "implement absorb/merge/result and declare the monoid:\n"
+        "identity = 0\n"
+        "def merge(self, other): ...\n"
+        "def result(self): ..."
+    )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         registry = _module_assign(ctx.tree, _REGISTRY_NAME)

@@ -1,0 +1,70 @@
+"""RPL032 — recovery-before-use ordering on the Retro manager.
+
+Snapshot correctness depends on ordering, not just pairing: WAL/Maplog
+recovery and scrubbing must complete *before* snapshot reads are
+served, and once a snapshot has been marked unavailable (torn pre-state
+log, failed checksum) nothing may read through it until availability
+has been re-checked.  The RETRO protocol spec encodes this as a state
+machine over the manager receiver — fresh -> read on the first served
+read, -> degraded on ``mark_unavailable``, back via
+``snapshot_available``/``recover`` — and this rule reports its
+definite violations.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.protocols import SPECS_BY_NAME
+from repro.analysis.rules import ProgramChecker, register_program
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.dataflow.program import Program
+
+
+@register_program
+class RecoveryOrderChecker(ProgramChecker):
+    rule_id = "RPL032"
+    name = "recovery-order"
+    description = (
+        "RetroManager ordering: recover/scrub must run before snapshot "
+        "reads, and reads after mark_unavailable must re-check "
+        "snapshot_available first"
+    )
+    example = (
+        "retro.mark_unavailable(snap_id)\n"
+        "src = retro.snapshot_source(snap_id, read, size)  # RPL032:\n"
+        "# reading a snapshot just marked unavailable without\n"
+        "# re-checking snapshot_available()"
+    )
+    fix = (
+        "order recovery before reads (recover()/scrub() first), and "
+        "gate post-degradation reads on retro.snapshot_available(id)"
+    )
+
+    def check_program(self, program: "Program") -> Iterator[Finding]:
+        for qualname in sorted(program.results):
+            func = program.graph.functions[qualname]
+            for violation in program.results[qualname].protocol_violations:
+                if violation.rule != self.rule_id:
+                    continue
+                spec = SPECS_BY_NAME.get(violation.protocol)
+                if violation.state == "degraded":
+                    message = (
+                        f"{violation.event}() on {violation.what} after "
+                        f"mark_unavailable without re-checking "
+                        f"snapshot_available()"
+                    )
+                else:
+                    message = (
+                        f"{violation.event}() on {violation.what} after "
+                        f"snapshot reads were already served "
+                        f"(state '{violation.state}')"
+                    )
+                finding = self.finding_at(
+                    program, func, violation.line, message,
+                    hint=spec.fix_hint if spec is not None else "",
+                )
+                if finding is not None:
+                    yield finding

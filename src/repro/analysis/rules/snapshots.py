@@ -68,6 +68,16 @@ class SnapshotIdHygieneChecker(Checker):
         "core/ and retro/ must not pass raw int literals as snapshot "
         "ids; use declared ids, snapids helpers, or named constants"
     )
+    example = (
+        "source = manager.snapshot_source(3, read, size)\n"
+        "# RPL005: raw literal snapshot id — silently reads the wrong\n"
+        "# snapshot when the declaration order changes"
+    )
+    fix = (
+        "ids = manager.declared_ids()\n"
+        "source = manager.snapshot_source(ids[-1], read, size)\n"
+        "# or a named constant: BASELINE_SNAPSHOT = 3"
+    )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if not (ctx.relpath.startswith("core/")

@@ -40,6 +40,17 @@ class SnapshotTaintChecker(ProgramChecker):
         "current-database mutation sink (install/put_raw/make_writable/"
         "mark_dirty/log_commit)"
     )
+    example = (
+        "page = snapshot_src.fetch(pid)     # snapshot-epoch value\n"
+        "pager.install(pid, page)           # RPL012: installs an old\n"
+        "                                   # epoch into the current db"
+    )
+    fix = (
+        "copy into a fresh current-epoch page before any mutation "
+        "sink:\n"
+        "current = Page(bytes(page.payload))\n"
+        "pager.install(pid, current)"
+    )
 
     def check_program(self, program: "Program") -> Iterator[Finding]:
         for qualname in sorted(program.results):

@@ -1,0 +1,84 @@
+"""RPL030 — protocol typestate violations.
+
+The typestate engine (:mod:`repro.analysis.dataflow.typestate`) runs
+the declarative protocol registry (:mod:`repro.analysis.protocols`)
+over every function: transactions must reach exactly one of
+commit/rollback and accept no operations afterwards, MVCC reader
+handles registered via ``VersionStore.register_reader`` must be
+deregistered exactly once on *every* path (the exceptional exit of the
+try/finally dual CFG included), read contexts must not serve reads
+after ``close()``, and a chaos controller must not be re-armed while a
+scheduled crash is still pending.
+
+The analysis is interprocedural — callee summaries export the events a
+helper applies to its parameters — and only *definite* violations are
+reported: if any path leaves the subject in a legal state, the join
+keeps the rule silent.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.protocols import SPECS_BY_NAME
+from repro.analysis.rules import ProgramChecker, register_program
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.dataflow.program import Program
+
+
+@register_program
+class ProtocolTypestateChecker(ProgramChecker):
+    rule_id = "RPL030"
+    name = "protocol-typestate"
+    description = (
+        "lifecycle protocols must be followed: no transaction ops after "
+        "commit/rollback, MVCC readers deregistered exactly once on "
+        "every path, no reads through a closed read context, no "
+        "re-arming a pending chaos crash"
+    )
+    example = (
+        "txn = engine.begin()\n"
+        "engine.commit(txn)\n"
+        "engine.rollback(txn)   # RPL030: rollback after commit\n"
+        "\n"
+        "reader = versions.register_reader(ts)\n"
+        "run_query(reader)      # raises -> handle never deregistered\n"
+        "versions.deregister_reader(reader)"
+    )
+    fix = (
+        "drive each handle to exactly one terminal state: guard late "
+        "cleanup with txn.is_active(), and put deregister_reader/close "
+        "in a finally block so exception paths complete the protocol too"
+    )
+
+    def check_program(self, program: "Program") -> Iterator[Finding]:
+        for qualname in sorted(program.results):
+            func = program.graph.functions[qualname]
+            result = program.results[qualname]
+            for violation in result.protocol_violations:
+                if violation.rule != self.rule_id:
+                    continue
+                spec = SPECS_BY_NAME.get(violation.protocol)
+                finding = self.finding_at(
+                    program, func, violation.line,
+                    f"{violation.event}() on a {violation.kind} "
+                    f"({violation.what}) that is already "
+                    f"'{violation.state}'",
+                    hint=spec.fix_hint if spec is not None else "",
+                )
+                if finding is not None:
+                    yield finding
+            for leak in result.protocol_leaks:
+                path = "an exception unwind" if leak.exceptional \
+                    else "a normal return"
+                spec = SPECS_BY_NAME.get(leak.protocol)
+                finding = self.finding_at(
+                    program, func, leak.line,
+                    f"{leak.kind} from {leak.what} is never "
+                    f"deregistered on {path} path",
+                    hint=spec.fix_hint if spec is not None else "",
+                )
+                if finding is not None:
+                    yield finding

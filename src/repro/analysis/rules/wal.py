@@ -65,6 +65,17 @@ class WalOrderingChecker(Checker):
         "in storage/, page flushes must follow a WAL append in the same "
         "function (or carry '# replint: wal-exempt -- reason')"
     )
+    example = (
+        "def flush_page(self, page):\n"
+        "    self._pager.write_page(page)   # RPL003: page image hits\n"
+        "                                   # disk before its WAL record"
+    )
+    fix = (
+        "def flush_page(self, page):\n"
+        "    self._wal.append(page.redo_record())\n"
+        "    self._pager.write_page(page)\n"
+        "# or justify: # replint: wal-exempt -- images already logged"
+    )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if not ctx.relpath.startswith("storage/"):

@@ -259,7 +259,13 @@ class StorageEngine:
         """Register an MVCC reader at the current committed timestamp."""
         begin_ts = self._last_commit_ts
         reader_id = self._versions.register_reader(begin_ts)
-        return ReadContext(self, begin_ts, reader_id)
+        try:
+            return ReadContext(self, begin_ts, reader_id)
+        except BaseException:
+            # A registered reader pins version chains against pruning;
+            # never leave it behind if the handle can't reach the caller.
+            self._versions.deregister_reader(reader_id)
+            raise
 
     def read_source(self, context: ReadContext) -> ReadOnlyPageSource:
         """Page source with a stable view as of ``context.begin_ts``."""

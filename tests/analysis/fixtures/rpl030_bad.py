@@ -1,0 +1,26 @@
+"""Known-bad RPL030: two protocol-typestate violations.
+
+``settle`` drives a transaction to *two* terminal states — the late
+rollback fires on a definitely-committed transaction.  ``scan`` only
+deregisters its MVCC reader on the happy path; the exceptional exit of
+the dual CFG still holds a registered handle.
+"""
+
+
+def settle(engine, pages):
+    txn = engine.begin()
+    try:
+        for page_id, payload in pages:
+            engine.page_source(txn).write(page_id, payload)
+        engine.commit(txn)
+    except Exception:
+        engine.rollback(txn)
+        raise
+    engine.rollback(txn)
+
+
+def scan(versions, ts, pages):
+    reader = versions.register_reader(ts)
+    total = sum(pages)
+    versions.deregister_reader(reader)
+    return total

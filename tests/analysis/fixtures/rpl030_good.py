@@ -1,0 +1,26 @@
+"""Known-good RPL030 counterpart.
+
+``settle`` reaches exactly one terminal state per path — commit on the
+happy path, rollback on the unwind — and nothing fires afterwards.
+``scan`` deregisters in a ``finally``, so the exceptional exit
+completes the reader protocol too.
+"""
+
+
+def settle(engine, pages):
+    txn = engine.begin()
+    try:
+        for page_id, payload in pages:
+            engine.page_source(txn).write(page_id, payload)
+        engine.commit(txn)
+    except Exception:
+        engine.rollback(txn)
+        raise
+
+
+def scan(versions, ts, pages):
+    reader = versions.register_reader(ts)
+    try:
+        return sum(pages)
+    finally:
+        versions.deregister_reader(reader)

@@ -1,0 +1,19 @@
+"""Known-bad RPL031: check-then-act across a latch release.
+
+``bump`` reads ``self._count`` under the latch, releases it, then
+publishes a write computed from the stale read — the window between
+the two is a lost update waiting to happen.
+"""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._latch = threading.Lock()
+        self._count = 0
+
+    def bump(self):
+        with self._latch:
+            current = self._count
+        self._count = current + 1

@@ -1,0 +1,18 @@
+"""Known-good RPL031 counterpart: one critical section.
+
+The read and the dependent write share the same ``with`` block, so the
+latch is held continuously from observation to publication.
+"""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._latch = threading.Lock()
+        self._count = 0
+
+    def bump(self):
+        with self._latch:
+            current = self._count
+            self._count = current + 1

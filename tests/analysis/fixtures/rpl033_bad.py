@@ -1,0 +1,20 @@
+"""Known-bad RPL033: a live read context crosses a thread boundary.
+
+``ctx`` is captured by the worker closure handed to ``Thread`` — the
+MVCC reader behind it was registered on this thread but is consumed on
+another, with no handoff protocol.
+"""
+
+import threading
+
+
+def fan_out(engine, consume):
+    ctx = engine.begin_read()
+
+    def worker():
+        consume(engine.read_source(ctx))
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    thread.join()
+    ctx.close()

@@ -1,0 +1,20 @@
+"""Known-good RPL033 counterpart: per-thread read contexts.
+
+Each worker begins and closes its own context; no live handle crosses
+the spawn boundary.
+"""
+
+import threading
+
+
+def fan_out(engine, consume):
+    def worker():
+        ctx = engine.begin_read()
+        try:
+            consume(engine.read_source(ctx))
+        finally:
+            ctx.close()
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    thread.join()

@@ -159,3 +159,33 @@ def test_baselined_findings_do_not_fail_the_run(tmp_path):
     assert accepted.ok
     assert not accepted.findings
     assert [f.rule for f in accepted.baselined] == ["RPL010"]
+
+
+def test_typestate_alias_suppresses_rpl030():
+    source = (
+        "def settle(engine):\n"
+        "    txn = engine.begin()\n"
+        "    engine.commit(txn)\n"
+        "    engine.rollback(txn)"
+        "  # replint: typestate-exempt -- exercising the error path\n"
+    )
+    assert analyze_source(source, "core/x.py") == []
+
+
+def test_confinement_alias_suppresses_rpl033():
+    source = (
+        "import threading\n"
+        "\n"
+        "def fan_out(engine, consume):\n"
+        "    ctx = engine.begin_read()\n"
+        "\n"
+        "    def worker():\n"
+        "        consume(engine.read_source(ctx))\n"
+        "\n"
+        "    t = threading.Thread(target=worker)"
+        "  # replint: confinement-exempt -- worker joins before close\n"
+        "    t.start()\n"
+        "    t.join()\n"
+        "    ctx.close()\n"
+    )
+    assert analyze_source(source, "core/x.py") == []

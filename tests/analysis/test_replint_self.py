@@ -20,6 +20,18 @@ def test_shipped_tree_is_clean_with_empty_baseline():
     assert report.ok
 
 
+def test_benchmarks_and_examples_are_clean_too():
+    """CI lints benchmarks/ and examples/ alongside src — keep them at
+    the same bar (multi-root, exercising the relpath disambiguation)."""
+    repo = pathlib.Path(__file__).resolve().parents[2]
+    roots = [package_root(), repo / "benchmarks", repo / "examples"]
+    assert all(root.is_dir() for root in roots)
+    report = analyze_paths(roots)
+    assert report.files_scanned > 100
+    rendered = "\n".join(f.render() for f in report.findings)
+    assert report.findings == [], f"replint found:\n{rendered}"
+
+
 def test_cli_exit_one_on_findings(tmp_path):
     out = io.StringIO()
     bad = FIXTURES / "rpl010_bad.py"
@@ -104,7 +116,9 @@ def test_cli_list_rules():
     assert main(["--list-rules"], out=out) == 0
     listed = out.getvalue()
     for rule in ("RPL000", "RPL002", "RPL003", "RPL004", "RPL005",
-                 "RPL010", "RPL011", "RPL012"):
+                 "RPL010", "RPL011", "RPL012", "RPL020", "RPL021",
+                 "RPL022", "RPL023", "RPL030", "RPL031", "RPL032",
+                 "RPL033"):
         assert rule in listed
     # RPL001 is retired into RPL010: no rule line may claim it.
     assert not any(line.startswith("RPL001 ")
@@ -150,3 +164,11 @@ def test_cli_malformed_baseline_is_a_clean_error(tmp_path):
 def test_repro_cli_lint_subcommand(capsys):
     assert cli_main(["lint", "--list-rules"]) == 0
     assert "RPL003 wal-ordering" in capsys.readouterr().out
+
+
+def test_repro_cli_lint_explain(capsys):
+    assert cli_main(["lint", "--explain", "RPL031"]) == 0
+    text = capsys.readouterr().out
+    assert text.startswith("RPL031 — check-then-act")
+    assert "example:" in text
+    assert "fix:" in text

@@ -1,0 +1,344 @@
+"""replint v4 gates: the protocol typestate layer (RPL030–033).
+
+Five contracts beyond the fixture corpus:
+
+* the typestate engine is *interprocedural* — a ``commit`` buried in a
+  helper still transitions the caller's transaction — and *path-aware*
+  on exception edges — a happy-path-only ``deregister_reader`` is
+  flagged while the ``try/finally`` twin stays clean;
+* seeded mutants over the real tree (reverting the ``begin_read``
+  registration guard, reading through the Retro manager before
+  ``recover``, double-arming the chaos sweep) are each caught by the
+  matching rule;
+* the summary disk cache invalidates on payloads missing the v4
+  protocol fields, not only on digest/version changes;
+* ``lint --changed`` widens a protocol-spec edit to every module
+  implementing a protocol class, so spec changes re-lint their
+  implementing surfaces;
+* multi-root runs keep colliding relpaths apart (``__init__.py`` under
+  two roots must not evict one module from the program).
+"""
+
+import io
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.dataflow.program import Program
+from repro.analysis.driver import (
+    _collect_contexts,
+    _rule_descriptions,
+    analyze_source,
+    main,
+    package_root,
+)
+from repro.analysis.protocols import SPECS, implementing_modules
+
+SRC = package_root()
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+FIXTURE_SCOPES = {
+    "rpl030": ("core/txn_fixture.py", "RPL030", 2),
+    "rpl031": ("core/counter_fixture.py", "RPL031", 1),
+    "rpl032": ("retro/reread_fixture.py", "RPL032", 1),
+    "rpl033": ("core/fanout_fixture.py", "RPL033", 1),
+}
+
+
+def _fixture(name: str):
+    return (FIXTURES / name).read_text(encoding="utf-8")
+
+
+# -- fixture corpus -----------------------------------------------------------
+
+
+@pytest.mark.parametrize("stem", sorted(FIXTURE_SCOPES))
+def test_bad_fixture_fires_exactly_its_rule(stem):
+    scope, rule, count = FIXTURE_SCOPES[stem]
+    findings = analyze_source(_fixture(f"{stem}_bad.py"), scope)
+    assert findings, f"{stem}_bad.py produced no findings"
+    assert {f.rule for f in findings} == {rule}
+    assert len(findings) == count
+    assert all(f.hint for f in findings)
+
+
+@pytest.mark.parametrize("stem", sorted(FIXTURE_SCOPES))
+def test_good_fixture_is_clean(stem):
+    scope, _rule, _count = FIXTURE_SCOPES[stem]
+    assert analyze_source(_fixture(f"{stem}_good.py"), scope) == []
+
+
+# -- interprocedural + path-aware core ---------------------------------------
+
+
+def test_typestate_crosses_call_boundaries():
+    # The commit lives in a helper: the caller's transaction must still
+    # read as definitely-committed at the late rollback.
+    source = textwrap.dedent(
+        """
+        def finish(engine, txn):
+            engine.commit(txn)
+
+        def run(engine):
+            txn = engine.begin()
+            finish(engine, txn)
+            engine.rollback(txn)
+        """
+    )
+    findings = analyze_source(source, "core/split_fixture.py")
+    assert [f.rule for f in findings] == ["RPL030"]
+    assert "rollback" in findings[0].message
+    assert "'committed'" in findings[0].message
+
+
+def test_branchy_terminal_states_stay_silent():
+    # One terminal state per path: the may-join keeps both alive, and
+    # the definite-violation bar keeps the rule quiet.
+    source = textwrap.dedent(
+        """
+        def settle(engine, ok):
+            txn = engine.begin()
+            if ok:
+                engine.commit(txn)
+            else:
+                engine.rollback(txn)
+        """
+    )
+    assert analyze_source(source, "core/branchy_fixture.py") == []
+
+
+def test_reader_leak_is_exception_path_aware():
+    # Identical code modulo try/finally: only the happy-path-only
+    # deregister leaves the exceptional exit registered.
+    leaky = textwrap.dedent(
+        """
+        def scan(versions, ts, pages):
+            reader = versions.register_reader(ts)
+            total = sum(pages)
+            versions.deregister_reader(reader)
+            return total
+        """
+    )
+    findings = analyze_source(leaky, "core/reader_fixture.py")
+    assert [f.rule for f in findings] == ["RPL030"]
+    assert "exception unwind" in findings[0].message
+
+    safe = leaky.replace(
+        "    total = sum(pages)\n"
+        "    versions.deregister_reader(reader)\n"
+        "    return total\n",
+        "    try:\n"
+        "        return sum(pages)\n"
+        "    finally:\n"
+        "        versions.deregister_reader(reader)\n",
+    )
+    assert safe != leaky
+    assert analyze_source(safe, "core/reader_fixture.py") == []
+
+
+def test_guarded_late_cleanup_stays_silent():
+    # ``is_active`` is a declared guard: the false branch excludes
+    # ``active``, the true branch proves it — so guarded cleanup after
+    # a conditional commit is not a definite violation.
+    source = textwrap.dedent(
+        """
+        def settle(engine, ok):
+            txn = engine.begin()
+            if ok:
+                engine.commit(txn)
+            if txn.is_active():
+                engine.rollback(txn)
+        """
+    )
+    findings = analyze_source(source, "core/guarded_fixture.py")
+    # RPL010 may still weigh in on the unwind path; the typestate rule
+    # itself must accept the guarded double-cleanup.
+    assert [f for f in findings if f.rule == "RPL030"] == []
+
+
+# -- seeded mutants over the real tree ---------------------------------------
+
+
+def _real_source(relpath: str) -> str:
+    return (SRC / relpath).read_text(encoding="utf-8")
+
+
+def test_engine_module_is_clean_solo():
+    assert analyze_source(_real_source("storage/engine.py"),
+                          "storage/engine.py") == []
+
+
+def test_unguarded_reader_registration_is_caught():
+    source = _real_source("storage/engine.py")
+    mutated = source.replace(
+        "        reader_id = self._versions.register_reader(begin_ts)\n"
+        "        try:\n"
+        "            return ReadContext(self, begin_ts, reader_id)\n"
+        "        except BaseException:\n"
+        "            # A registered reader pins version chains against "
+        "pruning;\n"
+        "            # never leave it behind if the handle can't reach "
+        "the caller.\n"
+        "            self._versions.deregister_reader(reader_id)\n"
+        "            raise\n",
+        "        reader_id = self._versions.register_reader(begin_ts)\n"
+        "        return ReadContext(self, begin_ts, reader_id)\n",
+    )
+    assert mutated != source, "mutation target moved; update the test"
+    findings = analyze_source(mutated, "storage/engine.py")
+    assert findings, "the unguarded reader registration went unnoticed"
+    assert {f.rule for f in findings} == {"RPL030"}
+    assert all("register_reader" in f.message for f in findings)
+
+
+def test_retro_read_before_recover_is_caught():
+    source = _real_source("storage/engine.py")
+    mutated = source.replace(
+        "        self.retro.recover(\n",
+        "        warm = self.retro.diff_size(0, 0)\n"
+        "        self.retro.recover(\n",
+    )
+    assert mutated != source, "mutation target moved; update the test"
+    findings = analyze_source(mutated, "storage/engine.py")
+    assert findings, "reading through retro before recover went unnoticed"
+    assert {f.rule for f in findings} == {"RPL032"}
+    assert all("recover" in f.message for f in findings)
+
+
+def test_chaos_module_is_clean_solo():
+    assert analyze_source(_real_source("chaos.py"), "chaos.py") == []
+
+
+def test_double_armed_crash_schedule_is_caught():
+    source = _real_source("chaos.py")
+    mutated = source.replace(
+        "        disk.schedule_crash(at_write=k, tear=tear)\n",
+        "        disk.schedule_crash(at_write=k, tear=tear)\n"
+        "        disk.schedule_crash(at_write=k, tear=tear)\n",
+    )
+    assert mutated != source, "mutation target moved; update the test"
+    findings = analyze_source(mutated, "chaos.py")
+    assert findings, "double-arming the chaos schedule went unnoticed"
+    assert {f.rule for f in findings} == {"RPL030"}
+    assert all("schedule_crash" in f.message for f in findings)
+
+
+# -- summary-cache invalidation on the v4 fields ------------------------------
+
+CACHE_MODULE = textwrap.dedent(
+    """
+    def finish(engine, txn):
+        engine.commit(txn)
+
+    def begin(engine):
+        txn = engine.begin()
+        return txn
+    """
+)
+
+
+def _program(cache_dir):
+    ctx = ModuleContext.from_source(CACHE_MODULE, "core/cachemod.py")
+    return Program({"core/cachemod.py": ctx}, cache_dir=cache_dir)
+
+
+@pytest.mark.parametrize("dropped", ["protocol_ops", "protocol_returns"])
+def test_cache_rejects_payload_missing_v4_fields(tmp_path, dropped):
+    import json
+
+    first = _program(tmp_path)
+    assert not first.cache_hit
+    summary = first.summaries["core/cachemod.py::finish"]
+    assert summary.protocol_ops == frozenset({(1, "txn", "commit")})
+    begun = first.summaries["core/cachemod.py::begin"]
+    assert begun.protocol_returns == ("txn", "active")
+
+    path = first._cache_path(tmp_path)
+    payload = json.loads(path.read_text())
+    for entry in payload["summaries"]:
+        entry.pop(dropped, None)
+    path.write_text(json.dumps(payload))
+    again = _program(tmp_path)
+    assert not again.cache_hit
+    assert again.summaries["core/cachemod.py::finish"].protocol_ops \
+        == summary.protocol_ops
+
+
+# -- protocol-spec edits widen --changed --------------------------------------
+
+
+def test_focus_on_protocol_specs_widens_to_implementing_classes():
+    modules = {
+        "analysis/protocols.py": "SPECS = ()\n",
+        "storage/engine.py": textwrap.dedent(
+            """
+            class StorageEngine:
+                def begin(self):
+                    return object()
+            """
+        ),
+        "core/unrelated.py": "def helper(x):\n    return x\n",
+    }
+    contexts = {
+        relpath: ModuleContext.from_source(source, relpath)
+        for relpath, source in modules.items()
+    }
+    program = Program(contexts, focus={"analysis/protocols.py"})
+    scope = program.focus_scope()
+    assert "storage/engine.py" in scope
+    assert "core/unrelated.py" not in scope
+
+
+def test_implementing_modules_cover_every_spec_class_in_the_tree():
+    contexts, findings, _ = _collect_contexts([SRC])
+    assert findings == []
+    modules = implementing_modules(
+        {ctx.relpath: ctx for ctx in contexts})
+    # Every protocol class/origin shipped in the tree is accounted for.
+    assert {"storage/engine.py", "storage/mvcc.py", "retro/manager.py",
+            "storage/chaosdisk.py"} <= modules
+
+
+# -- multi-root relpath collisions -------------------------------------------
+
+
+def test_multi_root_collection_keeps_colliding_relpaths_apart(tmp_path):
+    for root in ("alpha", "beta"):
+        directory = tmp_path / root
+        directory.mkdir()
+        (directory / "__init__.py").write_text(
+            f"NAME = {root!r}\n", encoding="utf-8")
+    contexts, findings, scanned = _collect_contexts(
+        [tmp_path / "alpha", tmp_path / "beta"])
+    assert findings == []
+    assert scanned == 2
+    relpaths = {ctx.relpath for ctx in contexts}
+    assert len(relpaths) == 2, "a colliding relpath evicted a module"
+    assert "__init__.py" in relpaths
+    assert "beta/__init__.py" in relpaths
+
+
+# -- --explain ----------------------------------------------------------------
+
+
+def test_every_rule_has_an_explain_entry():
+    from repro.analysis.rules import _PROGRAM_REGISTRY, _REGISTRY
+
+    for rule_id in _rule_descriptions():
+        out = io.StringIO()
+        assert main(["--explain", rule_id], out=out) == 0
+        text = out.getvalue()
+        assert text.startswith(f"{rule_id} —")
+        assert "example:" in text
+        assert "fix:" in text
+    for cls in list(_REGISTRY.values()) + list(_PROGRAM_REGISTRY.values()):
+        assert cls.example.strip(), f"{cls.rule_id} has no example"
+        assert cls.fix.strip(), f"{cls.rule_id} has no fix pattern"
+
+
+def test_explain_rejects_unknown_rules():
+    out = io.StringIO()
+    assert main(["--explain", "RPL999"], out=out) == 2
+    assert "unknown rule" in out.getvalue()

@@ -249,3 +249,36 @@ class TestRecovery:
         engine.crash()
         engine2 = StorageEngine(disk)
         assert engine2.last_commit_ts >= ts
+
+
+class TestReaderRegistrationGuard:
+    """Regression (replint RPL030): a reader registered by begin_read
+    must never outlive a failed ReadContext construction — the stuck
+    handle would pin version chains against pruning forever."""
+
+    def test_begin_read_deregisters_on_context_failure(
+            self, engine, monkeypatch):
+        import repro.storage.engine as engine_module
+
+        class Boom(RuntimeError):
+            pass
+
+        def exploding_context(*args, **kwargs):
+            raise Boom("simulated construction failure")
+
+        monkeypatch.setattr(engine_module, "ReadContext",
+                            exploding_context)
+        before = engine._versions.active_reader_count
+        with pytest.raises(Boom):
+            engine.begin_read()
+        assert engine._versions.active_reader_count == before
+
+    def test_begin_read_still_returns_a_usable_context(self, engine):
+        root = make_table(engine, 3)
+        ctx = engine.begin_read()
+        try:
+            assert BTree(engine.read_source(ctx), root).count() == 3
+            assert engine._versions.active_reader_count == 1
+        finally:
+            ctx.close()
+        assert engine._versions.active_reader_count == 0
