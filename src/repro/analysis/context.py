@@ -51,6 +51,13 @@ PRAGMA_ALIASES = {
     "atomicity-exempt": "RPL031",
     "recovery-exempt": "RPL032",
     "confinement-exempt": "RPL033",
+    # rqlint (query-level) aliases; a tuple value expands to several
+    # rules.  These appear in SQL "--" comments (see
+    # repro.analysis.query.driver) but share the alias table so the two
+    # linters cannot drift apart.
+    "query-exempt": ("RQL100", "RQL101", "RQL102", "RQL103",
+                     "RQL104", "RQL105", "RQL106"),
+    "mergeclass-exempt": ("RQL101", "RQL102", "RQL105", "RQL106"),
 }
 
 _PRAGMA_RE = re.compile(r"#\s*replint:\s*(?P<body>.+)$")
@@ -98,7 +105,10 @@ def parse_pragmas(source: str) -> Dict[int, Pragma]:
             )
         for alias, rule in PRAGMA_ALIASES.items():
             if alias in directive:
-                rules.add(rule)
+                if isinstance(rule, tuple):
+                    rules.update(rule)
+                else:
+                    rules.add(rule)
         pragmas[lineno] = Pragma(
             line=lineno,
             rules=tuple(sorted(rules)),

@@ -220,7 +220,11 @@ def _rule_descriptions() -> Dict[str, str]:
 
 
 def _list_rules(out) -> None:
-    for rule_id, text in sorted(_rule_descriptions().items()):
+    from repro.analysis.query.rules import query_rule_descriptions
+
+    described = dict(_rule_descriptions())
+    described.update(query_rule_descriptions())
+    for rule_id, text in sorted(described.items()):
         print(f"{rule_id} {text}", file=out)
 
 
@@ -239,12 +243,14 @@ _RPL000_EXPLAIN = (
 
 def _explain(rule_id: str, out) -> int:
     """Describe one rule: what it checks, a failing example, the fix."""
+    from repro.analysis.query.rules import QUERY_REGISTRY
     from repro.analysis.rules import _PROGRAM_REGISTRY, _REGISTRY
 
     if rule_id == "RPL000":
         name, description, example, fix = _RPL000_EXPLAIN
     else:
-        cls = _REGISTRY.get(rule_id) or _PROGRAM_REGISTRY.get(rule_id)
+        cls = (_REGISTRY.get(rule_id) or _PROGRAM_REGISTRY.get(rule_id)
+               or QUERY_REGISTRY.get(rule_id))
         if cls is None:
             print(f"replint: unknown rule: {rule_id} "
                   f"(see --list-rules)", file=out)
@@ -284,6 +290,15 @@ def _dump_graph(which: str, paths: Sequence[Path], out,
 
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if "--queries" in arguments:
+        # Query-level lint (rqlint) has its own option surface; hand
+        # the remaining arguments over wholesale.
+        from repro.analysis.query.driver import run_query_lint
+
+        arguments.remove("--queries")
+        return run_query_lint(arguments, out=out)
+    argv = arguments
     parser = argparse.ArgumentParser(
         prog="repro.analysis",
         description="replint: AST + dataflow invariant checks for the "
@@ -316,6 +331,10 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
                         help="directory for parsed-summary cache artifacts "
                              "(keyed on a source digest; safe to share "
                              "across runs)")
+    parser.add_argument("--queries", action="store_true",
+                        help="run rqlint (query-level merge-class "
+                             "certification) over .sql corpora instead "
+                             "of the Python rules")
     parser.add_argument("--list-rules", action="store_true",
                         help="describe every rule and exit")
     parser.add_argument("--explain", metavar="RPL0NN", default=None,

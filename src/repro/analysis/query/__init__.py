@@ -1,0 +1,33 @@
+"""rqlint: query-level semantic analysis for the RQL dialect.
+
+Where replint (:mod:`repro.analysis.rules`) checks the *implementation*
+— pin discipline, lock order, protocol typestate — rqlint checks the
+*queries*: it resolves each RQL mechanism invocation against a schema,
+certifies its merge class (monoid / stored-row / concat /
+interval-stitch / serial-only) and emits RQL100-106 diagnostics through
+the same findings/baseline/pragma/SARIF machinery.
+
+Public surface:
+
+* :func:`repro.analysis.query.mergeclass.certify_mechanism` — build a
+  :class:`~repro.analysis.query.mergeclass.MergeCertificate` for one
+  mechanism call; consumed load-bearingly by
+  :class:`repro.core.parallel.ParallelExecutor`.
+* :func:`repro.analysis.query.driver.run_query_lint` — lint the builtin
+  workload corpus plus ``.sql`` files (the ``lint --queries`` surface).
+"""
+
+from repro.analysis.query.mergeclass import (  # noqa: F401
+    CONCAT,
+    INTERVAL_STITCH,
+    MONOID,
+    SERIAL_ONLY,
+    STORED_ROW,
+    MergeCertificate,
+    certify_mechanism,
+    classify_select,
+)
+from repro.analysis.query.rules import (  # noqa: F401
+    QUERY_REGISTRY,
+    query_rule_descriptions,
+)

@@ -23,8 +23,8 @@ def _level(finding: Finding) -> str:
     return "error" if finding.severity == ERROR else "warning"
 
 
-def _result(finding: Finding,
-            baselined: bool = False) -> Dict[str, object]:
+def _result(finding: Finding, baselined: bool = False,
+            tool: str = "replint") -> Dict[str, object]:
     message = finding.message
     if finding.hint:
         message += f" ({finding.hint})"
@@ -42,7 +42,7 @@ def _result(finding: Finding,
             },
         }],
         "partialFingerprints": {
-            "replintKey/v2": finding.hashed_key,
+            f"{tool}Key/v2": finding.hashed_key,
         },
     }
     if baselined:
@@ -51,17 +51,20 @@ def _result(finding: Finding,
         # consumers use to keep them out of the failing set.
         result["suppressions"] = [{
             "kind": "external",
-            "justification": "accepted in replint.baseline",
+            "justification": f"accepted in {tool}.baseline",
         }]
     return result
 
 
 def render_sarif(report: AnalysisReport,
-                 rule_descriptions: Dict[str, str]) -> str:
+                 rule_descriptions: Dict[str, str],
+                 tool: str = "replint") -> str:
     """The report as a SARIF 2.1.0 JSON document.
 
-    Live findings come first; baselined findings follow as suppressed
-    results.
+    ``tool`` names the driver (``replint`` for the Python-module rules,
+    ``rqlint`` for the query-level rules) and parameterizes the
+    fingerprint key.  Live findings come first; baselined findings
+    follow as suppressed results.
     """
     seen_rules: List[str] = sorted(
         {finding.rule for finding in report.findings}
@@ -79,14 +82,15 @@ def render_sarif(report: AnalysisReport,
         "runs": [{
             "tool": {
                 "driver": {
-                    "name": "replint",
+                    "name": tool,
                     "informationUri":
-                        "https://example.invalid/repro/replint",
+                        f"https://example.invalid/repro/{tool}",
                     "rules": rules,
                 },
             },
-            "results": [_result(f) for f in report.findings]
-            + [_result(f, baselined=True) for f in report.baselined],
+            "results": [_result(f, tool=tool) for f in report.findings]
+            + [_result(f, baselined=True, tool=tool)
+               for f in report.baselined],
         }],
     }
     return json.dumps(log, indent=2, sort_keys=True) + "\n"

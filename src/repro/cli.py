@@ -13,6 +13,11 @@ Supports plain SQL (including ``SELECT AS OF`` and
 .checkpoint                 flush everything durably
 .stats                      storage / Retro statistics
 .workers [n]                show or set the RQL worker count
+.rqlint <Mechanism> [arg] <Qq SQL>
+                            merge-class certificate for a mechanism
+                            call (Qs defaults to all of SnapIds);
+                            e.g. .rqlint AggregateDataInVariable sum
+                            SELECT COUNT(*) FROM LoggedIn
 .chaos                      fault-injection status + last recovery report
 .chaos crash N [tear]       schedule a crash at the N-th write from now
 .chaos scrub                verify archived pre-state checksums
@@ -211,6 +216,33 @@ class Shell:
             self.session.workers = \
                 self.session._validate_workers(count)
         self.write(f"workers: {self.session.workers}")
+
+    def cmd_rqlint(self, args: List[str]) -> None:
+        """Certify one mechanism invocation against the live catalog."""
+        usage = "usage: .rqlint <Mechanism> [agg-arg] <Qq SQL>"
+        if not args:
+            self.write(usage)
+            return
+        mechanism, rest = args[0], list(args[1:])
+        arg: object = None
+        canonical = mechanism.replace("_", "").lower()
+        if canonical in ("aggregatedatainvariable",
+                         "aggregatedataintable") \
+                and rest and rest[0].upper() != "SELECT":
+            text = rest.pop(0)
+            if ":" in text:
+                arg = [tuple(chunk.split(":", 1))
+                       for chunk in text.split(",")]
+            else:
+                arg = text
+        qq = " ".join(rest).rstrip(";")
+        if not qq:
+            self.write(usage)
+            return
+        qs = "SELECT snap_id FROM SnapIds ORDER BY snap_id"
+        certificate = self.session.certify(mechanism, qs, qq, arg=arg)
+        for line in certificate.summary_lines():
+            self.write(line)
 
     def cmd_chaos(self, args: List[str]) -> None:
         engine = self.session.db.engine

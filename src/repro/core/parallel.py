@@ -34,8 +34,20 @@ only the two boundary snapshots of adjacent partitions interact — and
 it preserves the hot-iteration page sharing the paper measures, since
 consecutive snapshots share most Pagelog slots.
 
+Each entry point first obtains an rqlint **merge certificate**
+(:func:`repro.analysis.query.mergeclass.certify_mechanism`, or a
+pre-built one via the ``certificate`` kwarg) and selects its merge
+implementation *by the certified merge class*: ``concat``, ``monoid``,
+``stored-row`` or ``interval-stitch``.  A ``serial-only`` verdict — a
+non-monoid aggregate, a non-mergeable column function, a stateful
+builtin in the Qq — has no merge implementation to dispatch to and is
+refused with :class:`~repro.errors.MechanismError` carrying the RQL1NN
+diagnostics, instead of being silently merged wrong.
+
 Equivalence with the serial mechanisms is proven by the differential
-harness in ``tests/core/test_parallel_equivalence.py``.
+harness in ``tests/core/test_parallel_equivalence.py``; certificate
+consumption (including refusal on stripped/forged certificates) by
+``tests/core/test_parallel_certificates.py``.
 """
 
 from __future__ import annotations
@@ -161,11 +173,63 @@ class ParallelExecutor:
         #: telemetry of the most recent run (also on ``RQLResult.parallel``)
         self.last_run: Optional[ParallelRunInfo] = None
 
+    # -- certification ------------------------------------------------------
+
+    def certify(self, mechanism: str, qs: str, qq: str, arg=None):
+        """rqlint certificate for one invocation, against the live catalog.
+
+        Imported lazily: certification is an analysis-layer concern and
+        ``import repro.core`` must not drag the lint machinery in.
+        """
+        from repro.analysis.query.mergeclass import certify_mechanism
+        from repro.sql.semantic import CatalogSchema
+        return certify_mechanism(mechanism, qs, qq, arg=arg,
+                                 schema=CatalogSchema(self.db))
+
+    def _admit(self, mechanism: str, qs: str, qq: str, arg, certificate):
+        """Select the merge implementation from the certificate.
+
+        The dispatch is keyed off ``certificate.merge_class`` — not the
+        mechanism — so a ``serial-only`` verdict (or a forged/mismatched
+        certificate) has no merge to reach and is refused with the
+        certificate's diagnostics instead of silently merged wrong.
+        """
+        from repro.analysis.query.mergeclass import (
+            CONCAT,
+            INTERVAL_STITCH,
+            MECHANISM_CLASSES,
+            MONOID,
+            STORED_ROW,
+        )
+        cert = certificate if certificate is not None \
+            else self.certify(mechanism, qs, qq, arg)
+        expected = MECHANISM_CLASSES[mechanism.replace("_", "").lower()]
+        impls = {
+            CONCAT: self._merge_concat,
+            MONOID: self._merge_monoid,
+            STORED_ROW: self._merge_stored_row,
+            INTERVAL_STITCH: self._merge_interval_stitch,
+        }
+        merge = impls.get(cert.merge_class)
+        if cert.merge_class != expected or merge is None:
+            reasons = "; ".join(
+                f"{f.rule}: {f.message}" for f in cert.errors
+            ) or (f"certified merge class {cert.merge_class!r}, "
+                  f"{mechanism} merges by {expected!r}")
+            raise MechanismError(
+                f"rqlint refuses parallel execution of {mechanism}: "
+                f"{reasons}"
+            )
+        return merge
+
     # -- mechanism entry points ---------------------------------------------
 
     def collate_data(self, qs: str, qq: str, table: str,
-                     persistent: bool = False) -> RQLResult:
+                     persistent: bool = False,
+                     certificate=None) -> RQLResult:
         """Parallel CollateData(Qs, Qq, T)."""
+        self._check_idle()
+        merge = self._admit("CollateData", qs, qq, None, certificate)
         snapshot_ids = self._snapshot_ids(qs)
         partitions = partition_snapshots(snapshot_ids, self.workers)
 
@@ -184,7 +248,11 @@ class ParallelExecutor:
             return payload
 
         partials, info = self._run_partitions(partitions, eval_partition)
+        return merge(snapshot_ids, partials, info, table, persistent)
 
+    def _merge_concat(self, snapshot_ids: List[int],
+                      partials: List["_Partial"], info: ParallelRunInfo,
+                      table: str, persistent: bool) -> RQLResult:
         # Merge: per-snapshot transactions in global order, mirroring the
         # serial per-iteration CREATE/INSERT pattern (and its udf split).
         clock = self._clock
@@ -207,9 +275,13 @@ class ParallelExecutor:
 
     def aggregate_data_in_variable(self, qs: str, qq: str, table: str,
                                    agg_func: str,
-                                   persistent: bool = False) -> RQLResult:
+                                   persistent: bool = False,
+                                   certificate=None) -> RQLResult:
         """Parallel AggregateDataInVariable(Qs, Qq, T, AggFunc)."""
         make_cross_snapshot_aggregate(agg_func)  # validate before threading
+        self._check_idle()
+        merge = self._admit("AggregateDataInVariable", qs, qq, agg_func,
+                            certificate)
         snapshot_ids = self._snapshot_ids(qs)
         partitions = partition_snapshots(snapshot_ids, self.workers)
 
@@ -245,7 +317,11 @@ class ParallelExecutor:
             return column, state
 
         partials, info = self._run_partitions(partitions, eval_partition)
+        return merge(snapshot_ids, partials, info, table, persistent)
 
+    def _merge_monoid(self, snapshot_ids: List[int],
+                      partials: List["_Partial"], info: ParallelRunInfo,
+                      table: str, persistent: bool) -> RQLResult:
         clock = self._clock
         merge_started = clock()
         column: Optional[str] = None
@@ -268,10 +344,13 @@ class ParallelExecutor:
 
     def aggregate_data_in_table(self, qs: str, qq: str, table: str,
                                 col_func_pairs,
-                                persistent: bool = False) -> RQLResult:
+                                persistent: bool = False,
+                                certificate=None) -> RQLResult:
         """Parallel AggregateDataInTable(Qs, Qq, T, ListOfColFuncPairs)."""
         pairs = parse_col_func_pairs(col_func_pairs)
-        index_name = f"__rqlidx_{table.lower()}"
+        self._check_idle()
+        merge = self._admit("AggregateDataInTable", qs, qq, col_func_pairs,
+                            certificate)
         snapshot_ids = self._snapshot_ids(qs)
         partitions = partition_snapshots(snapshot_ids, self.workers)
 
@@ -313,7 +392,13 @@ class ParallelExecutor:
             return schema, stored, by_key
 
         partials, info = self._run_partitions(partitions, eval_partition)
+        return merge(snapshot_ids, partials, info, table, persistent)
 
+    def _merge_stored_row(self, snapshot_ids: List[int],
+                          partials: List["_Partial"],
+                          info: ParallelRunInfo,
+                          table: str, persistent: bool) -> RQLResult:
+        index_name = f"__rqlidx_{table.lower()}"
         clock = self._clock
         merge_started = clock()
         schema: Optional[TableAggregateSchema] = None
@@ -368,9 +453,12 @@ class ParallelExecutor:
         return self._build_result(snapshot_ids, table, index_name, info)
 
     def collate_data_into_intervals(self, qs: str, qq: str, table: str,
-                                    persistent: bool = False) -> RQLResult:
+                                    persistent: bool = False,
+                                    certificate=None) -> RQLResult:
         """Parallel CollateDataIntoIntervals(Qs, Qq, T)."""
-        index_name = f"__rqlidx_{table.lower()}"
+        self._check_idle()
+        merge = self._admit("CollateDataIntoIntervals", qs, qq, None,
+                            certificate)
         snapshot_ids = self._snapshot_ids(qs)
         partitions = partition_snapshots(snapshot_ids, self.workers)
 
@@ -413,7 +501,13 @@ class ParallelExecutor:
             return columns, intervals
 
         partials, info = self._run_partitions(partitions, eval_partition)
+        return merge(snapshot_ids, partials, info, table, persistent)
 
+    def _merge_interval_stitch(self, snapshot_ids: List[int],
+                               partials: List["_Partial"],
+                               info: ParallelRunInfo,
+                               table: str, persistent: bool) -> RQLResult:
+        index_name = f"__rqlidx_{table.lower()}"
         clock = self._clock
         merge_started = clock()
         columns: Optional[List[str]] = None

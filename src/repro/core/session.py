@@ -227,6 +227,17 @@ class RQLSession:
     def _executor(self, workers: int) -> ParallelExecutor:
         return ParallelExecutor(self.db, workers=workers)
 
+    def certify(self, mechanism: str, qs: str, qq: str, arg=None):
+        """rqlint merge certificate for one mechanism invocation.
+
+        Resolves Qs/Qq against the live catalog (main + temp + UDF
+        registry) without executing either; the same verdict the
+        parallel executor consumes.  See
+        :mod:`repro.analysis.query.mergeclass`.
+        """
+        return self._executor(max(self.workers, 1)).certify(
+            mechanism, qs, qq, arg)
+
     def _drop_result_table(self, table: str) -> None:
         self.db.execute(f'DROP TABLE IF EXISTS "{table}"')
 

@@ -16,7 +16,20 @@ from typing import List, Optional, Tuple
 # ---------------------------------------------------------------------------
 
 
-class Expr:
+class Node:
+    """Mixin giving AST nodes 1-based source positions.
+
+    ``line``/``col`` are filled in by the parser as plain instance
+    attributes.  They are deliberately *not* dataclass fields: AST
+    equality (used by the planner's expression substitution and
+    aggregate-call dedup) must ignore where a node was written.
+    """
+
+    line = 0
+    col = 0
+
+
+class Expr(Node):
     """Base class for expression nodes."""
 
 
@@ -110,7 +123,7 @@ class CaseExpr(Expr):
 
 
 @dataclass
-class SelectItem:
+class SelectItem(Node):
     """One select-list entry: expression, ``*`` or ``t.*``."""
     expr: Optional[Expr]  # None for '*' / 't.*'
     alias: Optional[str] = None
@@ -119,7 +132,7 @@ class SelectItem:
 
 
 @dataclass
-class TableRef:
+class TableRef(Node):
     """A FROM-clause table with optional alias."""
     name: str
     alias: Optional[str] = None
@@ -130,7 +143,7 @@ class TableRef:
 
 
 @dataclass
-class Join:
+class Join(Node):
     """A join node in the FROM tree (condition None = comma/cross)."""
     left: object  # TableRef | Join
     right: TableRef
@@ -138,14 +151,14 @@ class Join:
 
 
 @dataclass
-class OrderItem:
+class OrderItem(Node):
     """One ORDER BY key with direction."""
     expr: Expr
     descending: bool = False
 
 
 @dataclass
-class Select:
+class Select(Node):
     """A full SELECT, including the Retro ``AS OF`` extension."""
     items: List[SelectItem]
     source: Optional[object] = None  # TableRef | Join | None (SELECT 1)

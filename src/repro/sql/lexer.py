@@ -8,6 +8,7 @@ case-insensitive at the catalog level).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -44,6 +45,8 @@ class Token:
     kind: str
     value: object
     position: int
+    line: int = 0
+    col: int = 0
 
     def matches(self, kind: str, value: Optional[str] = None) -> bool:
         if self.kind != kind:
@@ -72,16 +75,19 @@ def tokenize(sql: str) -> List[Token]:
             pos = end + 2
             continue
         if ch == "'":
+            start = pos
             value, pos = _read_string(sql, pos)
-            tokens.append(Token(STRING, value, pos))
+            tokens.append(Token(STRING, value, start))
             continue
         if ch == '"':
+            start = pos
             value, pos = _read_quoted_ident(sql, pos)
-            tokens.append(Token(IDENT, value, pos))
+            tokens.append(Token(IDENT, value, start))
             continue
         if ch in "xX" and pos + 1 < n and sql[pos + 1] == "'":
+            start = pos
             value, pos = _read_blob(sql, pos)
-            tokens.append(Token(BLOB, value, pos))
+            tokens.append(Token(BLOB, value, start))
             continue
         if ch.isdigit() or (ch == "." and pos + 1 < n and sql[pos + 1].isdigit()):
             tok, pos = _read_number(sql, pos)
@@ -112,7 +118,20 @@ def tokenize(sql: str) -> List[Token]:
         if not matched:
             raise LexerError(f"unexpected character {ch!r}", pos)
     tokens.append(Token(EOF, None, n))
+    _assign_positions(sql, tokens)
     return tokens
+
+
+def _assign_positions(sql: str, tokens: List[Token]) -> None:
+    """Fill in 1-based line/col on every token from its byte offset."""
+    line_starts = [0]
+    for offset, ch in enumerate(sql):
+        if ch == "\n":
+            line_starts.append(offset + 1)
+    for token in tokens:
+        at = bisect_right(line_starts, token.position) - 1
+        token.line = at + 1
+        token.col = token.position - line_starts[at] + 1
 
 
 def _read_string(sql: str, pos: int) -> tuple:

@@ -92,6 +92,13 @@ class Parser:
                 f"unexpected trailing input {tok.value!r}", tok.position
             )
 
+    @staticmethod
+    def _at(node, tok: Token):
+        """Stamp a node with the 1-based source position of ``tok``."""
+        node.line = tok.line
+        node.col = tok.col
+        return node
+
     def _ident(self) -> str:
         tok = self._peek()
         if tok.kind == IDENT:
@@ -161,7 +168,7 @@ class Parser:
     # -- SELECT ---------------------------------------------------------------
 
     def _select(self) -> ast.Select:
-        self._expect(KEYWORD, "SELECT")
+        select_tok = self._expect(KEYWORD, "SELECT")
         as_of: Optional[ast.Expr] = None
         if self._peek().matches(KEYWORD, "AS") and \
                 self._peek(1).matches(KEYWORD, "OF"):
@@ -204,15 +211,16 @@ class Parser:
                 # LIMIT offset, count (SQLite compatibility)
                 offset = limit
                 limit = self._expr()
-        return ast.Select(
+        return self._at(ast.Select(
             items=items, source=source, where=where, group_by=group_by,
             having=having, order_by=order_by, limit=limit, offset=offset,
             distinct=distinct, as_of=as_of,
-        )
+        ), select_tok)
 
     def _select_item(self) -> ast.SelectItem:
+        start = self._peek()
         if self._accept(OPERATOR, "*"):
-            return ast.SelectItem(expr=None, is_star=True)
+            return self._at(ast.SelectItem(expr=None, is_star=True), start)
         # 't.*'
         if (self._peek().kind == IDENT
                 and self._peek(1).matches(OPERATOR, ".")
@@ -220,23 +228,27 @@ class Parser:
             table = self._ident()
             self._next()
             self._next()
-            return ast.SelectItem(expr=None, is_star=True, star_table=table)
+            return self._at(
+                ast.SelectItem(expr=None, is_star=True, star_table=table),
+                start)
         expr = self._expr()
         alias = None
         if self._accept(KEYWORD, "AS"):
             alias = self._ident()
         elif self._peek().kind == IDENT:
             alias = self._ident()
-        return ast.SelectItem(expr=expr, alias=alias)
+        return self._at(ast.SelectItem(expr=expr, alias=alias), start)
 
     def _order_item(self) -> ast.OrderItem:
+        start = self._peek()
         expr = self._expr()
         descending = False
         if self._accept(KEYWORD, "DESC"):
             descending = True
         else:
             self._accept(KEYWORD, "ASC")
-        return ast.OrderItem(expr=expr, descending=descending)
+        return self._at(ast.OrderItem(expr=expr, descending=descending),
+                        start)
 
     def _from_clause(self):
         node: object = self._table_ref()
@@ -262,13 +274,14 @@ class Parser:
             return node
 
     def _table_ref(self) -> ast.TableRef:
+        start = self._peek()
         name = self._ident()
         alias = None
         if self._accept(KEYWORD, "AS"):
             alias = self._ident()
         elif self._peek().kind == IDENT:
             alias = self._ident()
-        return ast.TableRef(name=name, alias=alias)
+        return self._at(ast.TableRef(name=name, alias=alias), start)
 
     # -- INSERT / DELETE / UPDATE ------------------------------------------------
 
@@ -444,19 +457,24 @@ class Parser:
 
     def _or_expr(self) -> ast.Expr:
         left = self._and_expr()
-        while self._accept(KEYWORD, "OR"):
-            left = ast.BinaryOp("OR", left, self._and_expr())
-        return left
+        while True:
+            tok = self._accept(KEYWORD, "OR")
+            if tok is None:
+                return left
+            left = self._at(ast.BinaryOp("OR", left, self._and_expr()), tok)
 
     def _and_expr(self) -> ast.Expr:
         left = self._not_expr()
-        while self._accept(KEYWORD, "AND"):
-            left = ast.BinaryOp("AND", left, self._not_expr())
-        return left
+        while True:
+            tok = self._accept(KEYWORD, "AND")
+            if tok is None:
+                return left
+            left = self._at(ast.BinaryOp("AND", left, self._not_expr()), tok)
 
     def _not_expr(self) -> ast.Expr:
-        if self._accept(KEYWORD, "NOT"):
-            return ast.UnaryOp("NOT", self._not_expr())
+        tok = self._accept(KEYWORD, "NOT")
+        if tok is not None:
+            return self._at(ast.UnaryOp("NOT", self._not_expr()), tok)
         return self._comparison()
 
     def _comparison(self) -> ast.Expr:
@@ -467,13 +485,14 @@ class Parser:
                 self._next()
                 op = "=" if tok.value == "==" else str(tok.value)
                 op = "!=" if op == "<>" else op
-                left = ast.BinaryOp(op, left, self._additive())
+                left = self._at(ast.BinaryOp(op, left, self._additive()),
+                                tok)
                 continue
             if tok.matches(KEYWORD, "IS"):
                 self._next()
                 negated = bool(self._accept(KEYWORD, "NOT"))
                 self._expect(KEYWORD, "NULL")
-                left = ast.IsNull(left, negated=negated)
+                left = self._at(ast.IsNull(left, negated=negated), tok)
                 continue
             negated = False
             if tok.matches(KEYWORD, "NOT") and self._peek(1).value in (
@@ -488,19 +507,22 @@ class Parser:
                 while self._accept(OPERATOR, ","):
                     items.append(self._expr())
                 self._expect(OPERATOR, ")")
-                left = ast.InList(left, items, negated=negated)
+                left = self._at(ast.InList(left, items, negated=negated),
+                                tok)
                 continue
             if tok.matches(KEYWORD, "BETWEEN"):
                 self._next()
                 low = self._additive()
                 self._expect(KEYWORD, "AND")
                 high = self._additive()
-                left = ast.Between(left, low, high, negated=negated)
+                left = self._at(
+                    ast.Between(left, low, high, negated=negated), tok)
                 continue
             if tok.matches(KEYWORD, "LIKE"):
                 self._next()
                 pattern = self._additive()
-                left = ast.Like(left, pattern, negated=negated)
+                left = self._at(ast.Like(left, pattern, negated=negated),
+                                tok)
                 continue
             return left
 
@@ -510,8 +532,9 @@ class Parser:
             tok = self._peek()
             if tok.kind == OPERATOR and tok.value in ("+", "-", "||"):
                 self._next()
-                left = ast.BinaryOp(str(tok.value), left,
-                                    self._multiplicative())
+                left = self._at(
+                    ast.BinaryOp(str(tok.value), left,
+                                 self._multiplicative()), tok)
             else:
                 return left
 
@@ -521,7 +544,8 @@ class Parser:
             tok = self._peek()
             if tok.kind == OPERATOR and tok.value in ("*", "/", "%"):
                 self._next()
-                left = ast.BinaryOp(str(tok.value), left, self._unary())
+                left = self._at(
+                    ast.BinaryOp(str(tok.value), left, self._unary()), tok)
             else:
                 return left
 
@@ -529,17 +553,17 @@ class Parser:
         tok = self._peek()
         if tok.kind == OPERATOR and tok.value in ("-", "+"):
             self._next()
-            return ast.UnaryOp(str(tok.value), self._unary())
+            return self._at(ast.UnaryOp(str(tok.value), self._unary()), tok)
         return self._primary()
 
     def _primary(self) -> ast.Expr:
         tok = self._peek()
         if tok.kind in (INTEGER, FLOAT, STRING, BLOB):
             self._next()
-            return ast.Literal(tok.value)
+            return self._at(ast.Literal(tok.value), tok)
         if tok.matches(KEYWORD, "NULL"):
             self._next()
-            return ast.Literal(None)
+            return self._at(ast.Literal(None), tok)
         if tok.matches(KEYWORD, "CASE"):
             return self._case()
         if tok.kind == OPERATOR and tok.value == "(":
@@ -552,16 +576,16 @@ class Parser:
                 "COUNT", "SUM", "MIN", "MAX", "AVG", "DATE"):
             if self._peek(1).matches(OPERATOR, "("):
                 name = str(self._next().value)
-                return self._function_call(name)
+                return self._at(self._function_call(name), tok)
         if tok.kind == IDENT:
             if self._peek(1).matches(OPERATOR, "("):
                 name = self._ident()
-                return self._function_call(name)
+                return self._at(self._function_call(name), tok)
             name = self._ident()
             if self._accept(OPERATOR, "."):
                 column = self._ident()
-                return ast.ColumnRef(table=name, name=column)
-            return ast.ColumnRef(table=None, name=name)
+                return self._at(ast.ColumnRef(table=name, name=column), tok)
+            return self._at(ast.ColumnRef(table=None, name=name), tok)
         raise ParseError(f"unexpected token {tok.value!r} in expression",
                          tok.position)
 
@@ -580,7 +604,7 @@ class Parser:
         return ast.FunctionCall(name=name, args=args, distinct=distinct)
 
     def _case(self) -> ast.Expr:
-        self._expect(KEYWORD, "CASE")
+        case_tok = self._expect(KEYWORD, "CASE")
         operand = None
         if not self._peek().matches(KEYWORD, "WHEN"):
             operand = self._expr()
@@ -597,5 +621,5 @@ class Parser:
         if not branches:
             raise ParseError("CASE requires at least one WHEN branch",
                              self._peek().position)
-        return ast.CaseExpr(operand=operand, branches=branches,
-                            else_result=else_result)
+        return self._at(ast.CaseExpr(operand=operand, branches=branches,
+                                     else_result=else_result), case_tok)

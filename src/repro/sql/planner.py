@@ -24,7 +24,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.errors import PlanError
+from repro.errors import PlanError, ReproError
 from repro.sql import ast
 from repro.sql.executor import IndexAccess, ResultSet, Row, TableAccess
 from repro.sql.expressions import (
@@ -119,6 +119,42 @@ def explain_select(select: ast.Select, ctx: ExecutionContext) -> List[str]:
         notes.append("ORDER BY (sort)")
     if select.limit is not None or select.offset is not None:
         notes.append("LIMIT/OFFSET")
+    notes.extend(_semantic_notes(select, ctx))
+    return notes
+
+
+def _semantic_notes(select: ast.Select, ctx: ExecutionContext) -> List[str]:
+    """rqlint semantic summary lines appended to EXPLAIN output.
+
+    Resolution is static (catalog metadata only, nothing executes).  A
+    query the planner accepts but the resolver cannot summarize is not
+    an EXPLAIN failure — the summary is simply omitted.
+    """
+    from repro.analysis.query.mergeclass import classify_select
+    from repro.sql.semantic import ContextSchema, resolve_select
+    try:
+        summary = resolve_select(select, ContextSchema(ctx))
+        merge_class, reason = classify_select(summary)
+    except ReproError:
+        return []
+    notes: List[str] = []
+    for table in summary.tables:
+        columns = ", ".join(summary.read_columns.get(table, ()))
+        notes.append(f"SEMANTIC: reads {table}({columns})")
+    for predicate in summary.predicates:
+        if not predicate.pushable:
+            notes.append(f"SEMANTIC: join predicate {predicate.text}")
+        elif predicate.indexed_by is not None:
+            notes.append(f"SEMANTIC: pushdown {predicate.text} "
+                         f"[index {predicate.indexed_by}]")
+        elif predicate.index_candidate is not None:
+            table, column = predicate.index_candidate
+            notes.append(f"SEMANTIC: pushdown {predicate.text} "
+                         f"[full scan; index candidate "
+                         f"{table}({column})]")
+        else:
+            notes.append(f"SEMANTIC: pushdown {predicate.text}")
+    notes.append(f"SEMANTIC: merge class {merge_class} ({reason})")
     return notes
 
 

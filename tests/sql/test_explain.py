@@ -18,10 +18,15 @@ def plan(db, sql):
     return [row[0] for row in db.execute("EXPLAIN " + sql).rows]
 
 
+def access_plan(notes):
+    """The access-path lines, without the rqlint semantic summary."""
+    return [n for n in notes if not n.startswith("SEMANTIC:")]
+
+
 class TestExplain:
     def test_seq_scan(self, planned):
         notes = plan(planned, "SELECT * FROM t")
-        assert notes == ["SCAN t"]
+        assert access_plan(notes) == ["SCAN t"]
 
     def test_pk_equality_search(self, planned):
         notes = plan(planned, "SELECT * FROM t WHERE k = 1")
@@ -74,3 +79,59 @@ class TestExplain:
     def test_explain_non_select_rejected(self, planned):
         with pytest.raises(SqlError):
             planned.execute("EXPLAIN DELETE FROM t")
+
+
+class TestExplainSemantics:
+    """The rqlint summary appended to every EXPLAIN."""
+
+    def test_read_set_and_merge_class(self, planned):
+        notes = plan(planned, "SELECT grp FROM t WHERE n > 5")
+        joined = " | ".join(notes)
+        assert "SEMANTIC: reads t(" in joined
+        assert "grp" in joined and "n" in joined
+        assert any(n.startswith("SEMANTIC: merge class concat")
+                   for n in notes)
+
+    def test_pushdown_reports_index_and_candidate(self, planned):
+        planned.execute("CREATE INDEX t_grp ON t (grp)")
+        notes = plan(planned,
+                     "SELECT * FROM t WHERE grp = 'a' AND n > 5")
+        joined = " | ".join(notes)
+        assert "SEMANTIC: pushdown grp = 'a' [index t_grp]" in joined
+        assert "SEMANTIC: pushdown n > 5 [full scan; " \
+               "index candidate t(n)]" in joined
+
+    def test_join_predicate_not_pushable(self, planned):
+        notes = plan(planned, "SELECT * FROM t, u WHERE t.k = u.k")
+        assert any(n.startswith("SEMANTIC: join predicate t.k = u.k")
+                   for n in notes)
+
+    def test_monoid_classification(self, planned):
+        notes = plan(planned, "SELECT COUNT(*) FROM t")
+        assert any(n.startswith("SEMANTIC: merge class monoid")
+                   for n in notes)
+
+    def test_stored_row_classification(self, planned):
+        notes = plan(planned,
+                     "SELECT grp, SUM(n) FROM t GROUP BY grp")
+        assert any(n.startswith("SEMANTIC: merge class stored-row")
+                   for n in notes)
+
+    def test_serial_only_classification(self, planned):
+        notes = plan(planned, "SELECT GROUP_CONCAT(grp) FROM t")
+        assert any(n.startswith("SEMANTIC: merge class serial-only")
+                   for n in notes)
+
+    def test_semantic_lines_follow_access_plan(self, planned):
+        notes = plan(planned, "SELECT * FROM t WHERE k = 1")
+        first_semantic = next(
+            i for i, n in enumerate(notes) if n.startswith("SEMANTIC:"))
+        assert all(n.startswith("SEMANTIC:")
+                   for n in notes[first_semantic:])
+
+    def test_semantics_do_not_execute(self, planned):
+        calls = []
+        planned.register_function("probe", lambda v: calls.append(v) or v)
+        notes = plan(planned, "SELECT probe(k) FROM t WHERE n > 1")
+        assert calls == []
+        assert any(n.startswith("SEMANTIC:") for n in notes)

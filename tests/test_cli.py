@@ -152,6 +152,60 @@ class TestShell:
         assert "(1 row)" in output
 
 
+class TestRqlintCommand:
+    def test_mergeable_verdict(self):
+        output = run_shell(
+            "CREATE TABLE t (a INTEGER);\n"
+            ".rqlint AggregateDataInVariable sum "
+            "SELECT COUNT(*) AS n FROM t;\n"
+        )
+        assert "merge class monoid" in output
+        assert "Qs range" in output
+
+    def test_serial_only_verdict_with_rule(self):
+        output = run_shell(
+            "CREATE TABLE t (a INTEGER);\n"
+            ".rqlint CollateData SELECT a, rql_workers() FROM t;\n"
+        )
+        assert "merge class serial-only" in output
+        assert "RQL106" in output
+
+    def test_pushdown_hint(self):
+        output = run_shell(
+            "CREATE TABLE t (a INTEGER, b INTEGER);\n"
+            ".rqlint CollateData SELECT a FROM t WHERE b = 5;\n"
+        )
+        assert "RQL104" in output
+
+    def test_pair_arg_parses(self):
+        output = run_shell(
+            "CREATE TABLE t (g TEXT, v INTEGER);\n"
+            ".rqlint AggregateDataInTable n:sum "
+            "SELECT g, COUNT(*) AS n FROM t GROUP BY g;\n"
+        )
+        assert "merge class stored-row" in output
+
+    def test_unknown_mechanism_is_an_error(self):
+        output = run_shell(".rqlint Bogus SELECT 1;\n")
+        assert "error:" in output
+
+    def test_usage_message(self):
+        output = run_shell(".rqlint\n")
+        assert "usage: .rqlint" in output
+
+    def test_help_mentions_rqlint(self):
+        assert ".rqlint" in run_shell(".help\n")
+
+    def test_explain_shows_semantic_summary(self):
+        output = run_shell(
+            "CREATE TABLE t (a INTEGER);\n"
+            "EXPLAIN SELECT COUNT(*) AS n FROM t WHERE a > 1;\n",
+        )
+        assert "SCAN t" in output
+        assert "SEMANTIC: reads t(a)" in output
+        assert "SEMANTIC: merge class monoid" in output
+
+
 class TestMainScriptMode:
     def test_script_file(self, tmp_path):
         script = tmp_path / "run.sql"
