@@ -1,4 +1,4 @@
-"""Ablation (DESIGN.md §6) — snapshot cache keyed by Pagelog slot vs by
+"""Ablation (DESIGN.md §7) — snapshot cache keyed by Pagelog slot vs by
 (snapshot, page).
 
 The paper attributes RQL's hot-iteration savings to COW page sharing:

@@ -1,4 +1,4 @@
-"""Ablation (DESIGN.md §6) — Skippy skip-level SPT construction vs a
+"""Ablation (DESIGN.md §7) — Skippy skip-level SPT construction vs a
 linear Maplog scan.
 
 Retro's Skippy index [SIGMOD'08] bounds the SPT-build scan at ~n log n

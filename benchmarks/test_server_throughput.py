@@ -1,0 +1,120 @@
+"""Server throughput — first point of a trajectory.
+
+N in-process clients drive one shared :class:`repro.server.RQLServer`
+with the differential harness's mixed load: snapshot-declaring update
+transactions plus retrospective mechanism calls over a prebuilt
+history.  Updates serialize through the write gate; queries are
+snapshot-pinned and admitted concurrently by the scheduler (partitioned
+through the server-wide pool when certified).
+
+The recorded metric is completed operations per wall-clock second at
+clients ∈ {1, 2, 4, 8}.  Absolute numbers are machine-bound; the file
+``benchmarks/results/server_throughput.txt`` exists so later PRs that
+touch the scheduler, gate or pool have a baseline trajectory to append
+to.  The test's acceptance is correctness-shaped: every client's
+operations complete, the store leaks nothing, and throughput is
+finite and positive at every client count.
+"""
+
+import threading
+import time
+
+from repro.bench import print_figure
+from repro.bench.figures import FigureResult
+from repro.bench.report import save_figure
+from repro.server import RQLServer
+
+CLIENT_COUNTS = (1, 2, 4, 8)
+HISTORY_SNAPSHOTS = 12
+TXNS_PER_CLIENT = 2
+QUERIES_PER_CLIENT = 3
+
+QS = "SELECT snap_id FROM SnapIds ORDER BY snap_id"
+QQ = "SELECT grp, val, current_snapshot() FROM events"
+
+
+def _drive_client(handle, index: int, errors: list) -> None:
+    try:
+        for n in range(TXNS_PER_CLIENT):
+            with handle.transaction(with_snapshot=True):
+                handle.execute(
+                    f"INSERT INTO events VALUES ({index}, {n})")
+        for n in range(QUERIES_PER_CLIENT):
+            handle.collate_data(QS, QQ, f"r_{index}_{n}", workers=2)
+    except Exception as exc:  # replint: taxonomy-exempt -- recorded; the test asserts the list is empty
+        errors.append((index, exc))
+
+
+def _run_at(clients: int):
+    server = RQLServer(gate_timeout=60.0)
+    try:
+        seed = server.connect("seed")
+        seed.execute("CREATE TABLE events (grp, val)")
+        for n in range(HISTORY_SNAPSHOTS):
+            seed.execute(f"INSERT INTO events VALUES ({n % 4}, {n})")
+            seed.declare_snapshot()
+        seed.close()
+
+        handles = [server.connect(f"client-{i}") for i in range(clients)]
+        errors: list = []
+        threads = [
+            threading.Thread(target=_drive_client,
+                             args=(handles[i], i, errors))
+            for i in range(clients)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        for handle in handles:
+            handle.close()
+        leaks = server.leak_report()
+    finally:
+        server.close()
+    ops = clients * (TXNS_PER_CLIENT + QUERIES_PER_CLIENT)
+    return {
+        "clients": float(clients),
+        "operations": float(ops),
+        "wall_seconds": elapsed,
+        "ops_per_second": ops / elapsed if elapsed else 0.0,
+    }, errors, leaks
+
+
+def run_server_throughput():
+    series = {}
+    failures = []
+    for clients in CLIENT_COUNTS:
+        point, errors, leaks = _run_at(clients)
+        failures.extend(errors)
+        if any(leaks.values()):
+            failures.append((clients, f"leaks: {leaks}"))
+        series[f"clients={clients}"] = [("totals", point)]
+    result = FigureResult(
+        figure="Server throughput",
+        title=f"mixed load, {TXNS_PER_CLIENT} txns + "
+              f"{QUERIES_PER_CLIENT} retrospective queries per client "
+              f"over a {HISTORY_SNAPSHOTS}-snapshot history",
+        series=series,
+        notes=[
+            "updates serialize through the write gate; queries are "
+            "snapshot-pinned and scheduled concurrently",
+            "trajectory file: compare ops_per_second across PRs, not "
+            "across machines",
+        ],
+    )
+    return result, failures
+
+
+def test_server_throughput(benchmark):
+    result, failures = benchmark.pedantic(
+        run_server_throughput, rounds=1, iterations=1)
+    save_figure(result)
+    print_figure(result)
+    assert failures == [], failures
+    for clients in CLIENT_COUNTS:
+        point = result.series[f"clients={clients}"][0][1]
+        assert point["ops_per_second"] > 0.0, point
+        assert point["operations"] == float(
+            clients * (TXNS_PER_CLIENT + QUERIES_PER_CLIENT))

@@ -25,11 +25,17 @@ Supports plain SQL (including ``SELECT AS OF`` and
 
 Run with ``--chaos-seed N`` to back the session with fault-injecting
 ChaosDisks (deterministic in the seed); ``.chaos crash`` requires it.
+
+``python -m repro.cli serve`` starts the multi-session socket server
+instead (newline-delimited JSON over localhost TCP; see
+:mod:`repro.server.wire` for the protocol and ``serve --selftest`` for
+a one-shot liveness check).
 """
 
 from __future__ import annotations
 
 import sys
+import time
 from typing import IO, List, Optional
 
 from repro.core import RQLSession
@@ -323,6 +329,88 @@ class Shell:
         self.write(f"buffer pool:         hit rate {pool.hit_rate():.1%}")
 
 
+def serve_main(argv: List[str],
+               out: Optional[IO[str]] = None) -> int:
+    """``python -m repro.cli serve``: the socket front-end.
+
+    Flags: ``--host H`` (default 127.0.0.1), ``--port N`` (default 0 =
+    ephemeral), ``--pool-workers N`` (partition worker pool size),
+    ``--workers N`` (default per-query worker count), ``--selftest``
+    (spin up, run a smoke round-trip over the wire, shut down — used by
+    the test suite and by CI as a liveness check).
+    """
+    from repro.server import RQLServer, WireClient, WireServer
+
+    stream = out if out is not None else sys.stdout
+    host, port = "127.0.0.1", 0
+    pool_workers, workers = 4, None
+    selftest = False
+    flags = {"--host": str, "--port": int, "--pool-workers": int,
+             "--workers": int}
+    while argv:
+        flag = argv.pop(0)
+        if flag == "--selftest":
+            selftest = True
+            continue
+        name = flag.split("=", 1)[0]
+        if name not in flags:
+            print(f"error: unknown serve flag {name}", file=sys.stderr)
+            return 2
+        if "=" in flag:
+            raw = flag.split("=", 1)[1]
+        elif argv:
+            raw = argv.pop(0)
+        else:
+            print(f"error: {name} needs a value", file=sys.stderr)
+            return 2
+        try:
+            value = flags[name](raw)
+        except ValueError:
+            print(f"error: bad value for {name}: {raw!r}",
+                  file=sys.stderr)
+            return 2
+        if name == "--host":
+            host = str(value)
+        elif name == "--port":
+            port = int(value)
+        elif name == "--pool-workers":
+            pool_workers = int(value)
+        else:
+            workers = int(value)
+    server = RQLServer(pool_workers=pool_workers, workers=workers)
+    wire = WireServer(server, host=host, port=port).start()
+    bound_host, bound_port = wire.address
+    print(f"rql server listening on {bound_host}:{bound_port}",
+          file=stream)
+    try:
+        if selftest:
+            with WireClient(bound_host, bound_port) as client:
+                client.execute("CREATE TABLE t (a INTEGER)")
+                client.execute("INSERT INTO t VALUES (1)")
+                client.request({"op": "snapshot", "name": "smoke"})
+                reply = client.request({
+                    "op": "mechanism", "mechanism": "collate_data",
+                    "qs": "SELECT snap_id FROM SnapIds",
+                    "qq": "SELECT a, current_snapshot() FROM t",
+                    "table": "Result",
+                })
+            if not reply.get("ok"):
+                print(f"selftest failed: {reply}", file=sys.stderr)
+                return 1
+            print(f"selftest ok: {reply['rows']} row(s) over "
+                  f"snapshots {reply['snapshots']}", file=stream)
+            return 0
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            print("shutting down", file=stream)
+            return 0
+    finally:
+        wire.close()
+        server.close()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "lint":
@@ -331,6 +419,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.analysis import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     workers = 1
     chaos_seed: Optional[int] = None
     while argv and (argv[0].startswith("--workers")

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-from repro.errors import MechanismError
+from repro.errors import MechanismError, QueryCancelled
 from repro.core.aggregates import (
     CrossSnapshotAggregate,
     make_cross_snapshot_aggregate,
@@ -82,13 +82,25 @@ class _LoopBody:
 
     # -- public ------------------------------------------------------------
 
-    def run(self, qs: str) -> RQLResult:
+    def run(self, qs: str, cancel: Optional[object] = None) -> RQLResult:
+        """Drive the loop body over Qs's snapshot ids.
+
+        ``cancel`` (an object with ``is_set()``, e.g. threading.Event)
+        is polled between iterations: the server's scheduler sets it
+        when a client disconnects mid-query, and the run stops at the
+        next snapshot boundary with :class:`QueryCancelled`.
+        """
         validate_qs(qs)
         snapshot_ids = [int(row[0]) for row in self.db.execute(qs).rows]
         previous = self.db.metrics
         self.db.attach_metrics(self.sink)
         try:
             for snapshot_id in snapshot_ids:
+                if cancel is not None and cancel.is_set():
+                    raise QueryCancelled(
+                        f"query over {self.table!r} cancelled before "
+                        f"snapshot {snapshot_id}"
+                    )
                 self.iteration(snapshot_id)
             self.finalize()
         finally:

@@ -30,7 +30,7 @@ from repro.core.mechanisms import (
     CollateDataRun,
     RQLResult,
 )
-from repro.core.parallel import ParallelExecutor
+from repro.core.parallel import ParallelExecutor, WorkerPool
 from repro.core.snapids import SnapIds
 from repro.errors import MechanismError
 from repro.retro.metrics import MetricsSink
@@ -59,8 +59,14 @@ class RQLSession:
                  disk: Optional[SimulatedDisk] = None,
                  page_size: int = 4096,
                  clock: Optional[Callable[[], str]] = None,
-                 workers: Optional[int] = None) -> None:
+                 workers: Optional[int] = None,
+                 name: Optional[str] = None,
+                 pool: Optional[WorkerPool] = None) -> None:
         self.db = db or Database(disk=disk, page_size=page_size)
+        #: registry handle for server-managed sessions (None when embedded)
+        self.name = name
+        #: shared worker pool (server mode); None = thread per partition
+        self.pool = pool
         self.snapids = SnapIds(self.db, clock=clock)
         #: default worker count for the four mechanisms; 1 = serial loop,
         #: >1 = the partition/merge executor (:mod:`repro.core.parallel`).
@@ -109,18 +115,25 @@ class RQLSession:
 
     def declare_snapshot(self, name: Optional[str] = None,
                          timestamp: Optional[str] = None) -> int:
-        """BEGIN; COMMIT WITH SNAPSHOT; plus the SnapIds bookkeeping."""
-        snapshot_id = self.db.declare_snapshot()
-        self.snapids.record(snapshot_id, name=name, timestamp=timestamp)
+        """BEGIN; COMMIT WITH SNAPSHOT; plus the SnapIds bookkeeping.
+
+        The declaration and its SnapIds row happen under one write-gate
+        hold so concurrent sessions cannot interleave between them —
+        SnapIds row order always matches snapshot-id order.
+        """
+        with self.db.write_lock():
+            snapshot_id = self.db.declare_snapshot()
+            self.snapids.record(snapshot_id, name=name, timestamp=timestamp)
         return snapshot_id
 
     def commit_with_snapshot(self, name: Optional[str] = None,
                              timestamp: Optional[str] = None) -> int:
         """COMMIT WITH SNAPSHOT for an already-open transaction."""
-        snapshot_id = int(
-            self.db.execute("COMMIT WITH SNAPSHOT").scalar()
-        )
-        self.snapids.record(snapshot_id, name=name, timestamp=timestamp)
+        with self.db.write_lock():
+            snapshot_id = int(
+                self.db.execute("COMMIT WITH SNAPSHOT").scalar()
+            )
+            self.snapids.record(snapshot_id, name=name, timestamp=timestamp)
         return snapshot_id
 
     @contextmanager
@@ -160,7 +173,14 @@ class RQLSession:
         self.db.checkpoint()
 
     def close(self) -> None:
+        """Idempotent: releases the facade and any read contexts it
+        still holds (a double close must never deregister an MVCC
+        reader twice, nor leak one that a crashed caller left open)."""
         self.db.close()
+
+    @property
+    def closed(self) -> bool:
+        return self.db.closed
 
     # ------------------------------------------------------------------
     # The four mechanisms (Section 2 call forms)
@@ -225,7 +245,7 @@ class RQLSession:
         ).run(qs)
 
     def _executor(self, workers: int) -> ParallelExecutor:
-        return ParallelExecutor(self.db, workers=workers)
+        return ParallelExecutor(self.db, workers=workers, pool=self.pool)
 
     def certify(self, mechanism: str, qs: str, qq: str, arg=None):
         """rqlint merge certificate for one mechanism invocation.

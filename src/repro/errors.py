@@ -124,6 +124,22 @@ class MechanismError(RqlError):
     """An RQL mechanism was invoked with invalid parameters."""
 
 
+class ServerError(ReproError):
+    """Base class for multi-session server failures (registry,
+    scheduler, wire protocol)."""
+
+
+class SessionStateError(ServerError):
+    """A session handle was used after close, or a registry invariant
+    (unique names, empty at shutdown) was violated."""
+
+
+class QueryCancelled(ServerError):
+    """A running retrospective query was cancelled (client disconnect,
+    server shutdown).  The partial result table is dropped; the store
+    is left exactly as if the query never ran."""
+
+
 class WorkloadError(ReproError):
     """Workload generation failure (bad scale factor, exhausted keys...)."""
 

@@ -68,7 +68,7 @@ class RetroManager:
         #: page_id -> last epoch whose pre-state has been captured
         self._cap: Dict[int, int] = {}
         #: ablation switch: False keys the cache by (snapshot, page),
-        #: destroying cross-snapshot sharing (see DESIGN.md §6).
+        #: destroying cross-snapshot sharing (see DESIGN.md §7).
         self.share_cache_by_slot = share_cache_by_slot
         # Where snapshot reads account their costs.  The default sink is
         # set per RQL query via the ``metrics`` property; parallel workers

@@ -21,11 +21,17 @@ maintaining skip levels.  We implement a binary-buddy variant:
 
 The mapping stream is also appended durably to a block log so recovery
 can rebuild the in-memory structure (see :meth:`recover`).
+
+Latching: a leaf-level reentrant latch guards the Skippy levels, the
+open batch, and the durable writer, so concurrent snapshot readers can
+build SPTs while a committing writer records new mappings.  The latch
+never wraps a call into another latched component (RPL011).
 """
 
 from __future__ import annotations
 
 import struct
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -79,6 +85,7 @@ class Maplog:
     def __init__(self, log_file: DiskFile) -> None:
         self._writer = BlockLogWriter(log_file)
         self._file = log_file
+        self._latch = threading.RLock()
         #: current epoch == id of the most recently declared snapshot
         self.current_epoch = 0
         # Completed per-epoch nodes at each level.  _levels[0][j] covers
@@ -95,11 +102,12 @@ class Maplog:
 
     def declare_snapshot(self) -> int:
         """Close the current epoch and open the next; returns the new id."""
-        self._seal_open_batch()
-        self.current_epoch += 1
-        self._writer.append(_ENTRY.pack(_KIND_DECLARE, self.current_epoch,
-                                        0, 0, 0, 0))
-        return self.current_epoch
+        with self._latch:
+            self._seal_open_batch()
+            self.current_epoch += 1
+            self._writer.append(_ENTRY.pack(_KIND_DECLARE,
+                                            self.current_epoch, 0, 0, 0, 0))
+            return self.current_epoch
 
     def force_epoch(self, epoch: int) -> None:
         """Advance through empty epochs up to ``epoch``.
@@ -116,28 +124,30 @@ class Maplog:
 
     def record(self, entry: MapEntry) -> None:
         """Record a mapping captured during the current epoch."""
-        if self.current_epoch == 0:
-            raise SnapshotError("no snapshot declared; nothing to map")
-        if entry.to_snap != self.current_epoch:
-            raise SnapshotError(
-                f"mapping to_snap {entry.to_snap} != epoch "
-                f"{self.current_epoch}"
-            )
-        if entry.page_id in self._open_batch:
-            raise SnapshotError(
-                f"page {entry.page_id} captured twice in epoch "
-                f"{self.current_epoch}"
-            )
-        self._open_batch[entry.page_id] = entry
-        self.entries_recorded += 1
-        self._writer.append(_ENTRY.pack(
-            _KIND_MAPPING, entry.page_id, entry.from_snap,
-            entry.to_snap, entry.slot, entry.crc,
-        ))
+        with self._latch:
+            if self.current_epoch == 0:
+                raise SnapshotError("no snapshot declared; nothing to map")
+            if entry.to_snap != self.current_epoch:
+                raise SnapshotError(
+                    f"mapping to_snap {entry.to_snap} != epoch "
+                    f"{self.current_epoch}"
+                )
+            if entry.page_id in self._open_batch:
+                raise SnapshotError(
+                    f"page {entry.page_id} captured twice in epoch "
+                    f"{self.current_epoch}"
+                )
+            self._open_batch[entry.page_id] = entry
+            self.entries_recorded += 1
+            self._writer.append(_ENTRY.pack(
+                _KIND_MAPPING, entry.page_id, entry.from_snap,
+                entry.to_snap, entry.slot, entry.crc,
+            ))
 
     def flush(self) -> None:
         """Make the durable log catch up (checkpoint)."""
-        self._writer.flush()
+        with self._latch:
+            self._writer.flush()
 
     @property
     def records_written(self) -> int:
@@ -150,10 +160,18 @@ class Maplog:
         return self._writer.records_written
 
     def iter_entries(self):
-        """All recorded mappings (sealed level-0 nodes + the open batch)."""
-        for node in self._levels[0]:
-            yield from node.values()
-        yield from self._open_batch.values()
+        """All recorded mappings (sealed level-0 nodes + the open batch).
+
+        The list is materialized under the latch so a concurrent
+        ``record``/``declare_snapshot`` cannot mutate the structures
+        mid-iteration.
+        """
+        with self._latch:
+            entries: List[MapEntry] = []
+            for node in self._levels[0]:
+                entries.extend(node.values())
+            entries.extend(self._open_batch.values())
+        return iter(entries)
 
     # -- Skippy maintenance ------------------------------------------------------
 
@@ -192,14 +210,15 @@ class Maplog:
 
         Pages absent from the result are shared with the current database.
         """
-        if snapshot_id < 1 or snapshot_id > self.current_epoch:
-            raise UnknownSnapshotError(
-                f"snapshot {snapshot_id} not declared (epoch "
-                f"{self.current_epoch})"
-            )
-        if use_skippy:
-            return self._build_spt_skippy(snapshot_id)
-        return self._build_spt_linear(snapshot_id)
+        with self._latch:
+            if snapshot_id < 1 or snapshot_id > self.current_epoch:
+                raise UnknownSnapshotError(
+                    f"snapshot {snapshot_id} not declared (epoch "
+                    f"{self.current_epoch})"
+                )
+            if use_skippy:
+                return self._build_spt_skippy(snapshot_id)
+            return self._build_spt_linear(snapshot_id)
 
     def _build_spt_skippy(self, snapshot_id: int) -> SptBuildResult:
         entries: Dict[int, MapEntry] = {}
@@ -264,7 +283,7 @@ class Maplog:
         spt = {page: entry.slot for page, entry in entries.items()}
         return SptBuildResult(spt, scanned, visited, entries)
 
-    # -- incremental SPT (future-work extension; DESIGN.md §6) -------------------
+    # -- incremental SPT (future-work extension; DESIGN.md §7) -------------------
 
     def first_capture_at_or_after(self, page_id: int,
                                   snapshot_id: int):
@@ -273,6 +292,10 @@ class Maplog:
         Returns (entry_or_None, entries_scanned).  Uses the skip levels
         to touch O(log n) nodes.
         """
+        with self._latch:
+            return self._first_capture_locked(page_id, snapshot_id)
+
+    def _first_capture_locked(self, page_id: int, snapshot_id: int):
         scanned = 0
         sealed_epochs = len(self._levels[0])
         epoch = snapshot_id
@@ -302,32 +325,33 @@ class Maplog:
         "sharing computations across snapshots").  Cost is proportional
         to diff(from, to), not to the snapshot size.
         """
-        if to_snapshot <= from_snapshot:
-            raise SnapshotError("advance_spt requires to > from")
-        if to_snapshot > self.current_epoch:
-            raise UnknownSnapshotError(
-                f"snapshot {to_snapshot} not declared"
-            )
-        if previous.entries is None:
-            raise SnapshotError("previous SPT lacks entry metadata")
-        entries: Dict[int, MapEntry] = {}
-        scanned = 0
-        visited = 0
-        for page_id, entry in previous.entries.items():
-            scanned += 1
-            if entry.to_snap >= to_snapshot:
-                # Still valid: the page is unmodified through `to`.
-                entries[page_id] = entry
-                continue
-            replacement, nodes = self.first_capture_at_or_after(
-                page_id, to_snapshot,
-            )
-            visited += nodes
-            if replacement is not None and                     replacement.from_snap <= to_snapshot:
-                entries[page_id] = replacement
-            # else: shared with the current database now.
-        spt = {page: entry.slot for page, entry in entries.items()}
-        return SptBuildResult(spt, scanned, visited, entries)
+        with self._latch:
+            if to_snapshot <= from_snapshot:
+                raise SnapshotError("advance_spt requires to > from")
+            if to_snapshot > self.current_epoch:
+                raise UnknownSnapshotError(
+                    f"snapshot {to_snapshot} not declared"
+                )
+            if previous.entries is None:
+                raise SnapshotError("previous SPT lacks entry metadata")
+            entries: Dict[int, MapEntry] = {}
+            scanned = 0
+            visited = 0
+            for page_id, entry in previous.entries.items():
+                scanned += 1
+                if entry.to_snap >= to_snapshot:
+                    # Still valid: the page is unmodified through `to`.
+                    entries[page_id] = entry
+                    continue
+                replacement, nodes = self._first_capture_locked(
+                    page_id, to_snapshot,
+                )
+                visited += nodes
+                if replacement is not None and                     replacement.from_snap <= to_snapshot:
+                    entries[page_id] = replacement
+                # else: shared with the current database now.
+            spt = {page: entry.slot for page, entry in entries.items()}
+            return SptBuildResult(spt, scanned, visited, entries)
 
     # -- inter-snapshot sharing stats (diff sizes, used by tests/benches) ------------
 
@@ -339,18 +363,20 @@ class Maplog:
         """
         if older > newer:
             older, newer = newer, older
-        pages = set()
-        for epoch in range(older, newer):
-            if epoch - 1 < len(self._levels[0]):
-                pages.update(self._levels[0][epoch - 1].keys())
-        return len(pages)
+        with self._latch:
+            pages = set()
+            for epoch in range(older, newer):
+                if epoch - 1 < len(self._levels[0]):
+                    pages.update(self._levels[0][epoch - 1].keys())
+            return len(pages)
 
     def captures_in_epoch(self, epoch: int) -> int:
-        if epoch - 1 < len(self._levels[0]):
-            return len(self._levels[0][epoch - 1])
-        if epoch == self.current_epoch:
-            return len(self._open_batch)
-        return 0
+        with self._latch:
+            if epoch - 1 < len(self._levels[0]):
+                return len(self._levels[0][epoch - 1])
+            if epoch == self.current_epoch:
+                return len(self._open_batch)
+            return 0
 
     # -- recovery ------------------------------------------------------------
 
@@ -385,6 +411,7 @@ class Maplog:
                 repair_writer.append(raw)
             repair_writer.flush()
         maplog = cls.__new__(cls)
+        maplog._latch = threading.RLock()
         maplog._writer = BlockLogWriter(log_file)
         # Lifetime counter continues across restarts so checkpointed
         # record counts stay comparable.

@@ -9,10 +9,17 @@ Section 4.
 Slots are assigned eagerly (durable length + pending position) so Maplog
 entries can reference a pre-state before it reaches disk; reads of pending
 slots are served from memory at zero I/O cost.
+
+Latching: a leaf-level reentrant latch keeps slot numbering and the
+durable/pending split consistent for concurrent readers.  Without it, a
+``read`` racing a ``flush`` can observe the file already grown but the
+pending list not yet cleared, compute a negative pending index, and
+silently return the wrong pre-state.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import List
 
 from repro.errors import PageError, SnapshotError
@@ -27,6 +34,7 @@ class Pagelog:
             raise SnapshotError("Pagelog requires an append-only file")
         self._file = log_file
         self._pending: List[bytes] = []
+        self._latch = threading.RLock()
         #: lifetime count of pre-states archived (durable + pending)
         self.prestates_archived = 0
 
@@ -42,10 +50,11 @@ class Pagelog:
                 f"Pagelog image is {len(image)} bytes, expected "
                 f"{self._file.page_size}"
             )
-        slot = len(self._file) + len(self._pending)
-        self._pending.append(bytes(image))
-        self.prestates_archived += 1
-        return slot
+        with self._latch:
+            slot = len(self._file) + len(self._pending)
+            self._pending.append(bytes(image))
+            self.prestates_archived += 1
+            return slot
 
     def flush(self) -> int:
         """Write pending pre-states to disk; returns how many were written.
@@ -54,38 +63,44 @@ class Pagelog:
         the Pagelog before the corresponding current pages overwrite the
         database file.
         """
-        written = len(self._pending)
-        for image in self._pending:
-            self._file.append(image)
-        self._pending.clear()
-        return written
+        with self._latch:
+            written = len(self._pending)
+            for image in self._pending:
+                self._file.append(image)
+            self._pending.clear()
+            return written
 
     # -- reads ---------------------------------------------------------------
 
     def read(self, slot: int) -> bytes:
         """Read one pre-state; pending slots cost no I/O."""
-        durable = len(self._file)
-        if slot < durable:
-            return self._file.read(slot)
-        pending_index = slot - durable
-        if pending_index < len(self._pending):
-            return self._pending[pending_index]
+        with self._latch:
+            durable = len(self._file)
+            if slot < durable:
+                return self._file.read(slot)
+            pending_index = slot - durable
+            if pending_index < len(self._pending):
+                return self._pending[pending_index]
         raise SnapshotError(f"Pagelog slot {slot} does not exist")
 
     # -- introspection ---------------------------------------------------------
 
     @property
     def durable_slots(self) -> int:
-        return len(self._file)
+        with self._latch:
+            return len(self._file)
 
     @property
     def pending_slots(self) -> int:
-        return len(self._pending)
+        with self._latch:
+            return len(self._pending)
 
     @property
     def total_slots(self) -> int:
-        return len(self._file) + len(self._pending)
+        with self._latch:
+            return len(self._file) + len(self._pending)
 
     @property
     def size_bytes(self) -> int:
-        return self._file.size_bytes + sum(len(p) for p in self._pending)
+        with self._latch:
+            return self._file.size_bytes + sum(len(p) for p in self._pending)

@@ -1,0 +1,128 @@
+"""Session registry: open/close/lookup with leak accounting.
+
+Every server-managed session lives here from :meth:`SessionRegistry.open`
+until :meth:`SessionRegistry.close`.  The registry's contract is that
+**teardown always reaps**: even when a session's own close raises (a
+simulated crash mid-rollback, a torn disk), the store-level
+:meth:`~repro.server.store.SharedStore.reap` still runs, so no MVCC
+reader, gate hold, or registry row outlives its client.  The
+differential harness asserts the post-run state — zero registered
+sessions, zero open read contexts, an idle write gate — after every
+schedule.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from repro.core import RQLSession
+from repro.errors import SessionStateError, StorageError
+
+from repro.server.store import SharedStore
+
+
+class SessionRegistry:
+    """Tracks the sessions a :class:`SharedStore` currently serves."""
+
+    def __init__(self, store: SharedStore) -> None:
+        self._store = store
+        self._latch = threading.RLock()
+        self._sessions: Dict[str, RQLSession] = {}
+        self._counter = 0
+        self._closed = False
+
+    # -- open / lookup ------------------------------------------------------
+
+    def open(self, name: Optional[str] = None,
+             workers: Optional[int] = None) -> RQLSession:
+        """Open a registered session (auto-named when ``name`` is None)."""
+        with self._latch:
+            if self._closed:
+                raise SessionStateError(
+                    "cannot open a session: registry is closed"
+                )
+            if name is None:
+                self._counter += 1
+                name = f"session-{self._counter}"
+            if name in self._sessions:
+                raise SessionStateError(
+                    f"session {name!r} is already open"
+                )
+            session = self._store.open_session(name, workers=workers)
+            self._sessions[name] = session
+            return session
+
+    def get(self, name: str) -> RQLSession:
+        with self._latch:
+            session = self._sessions.get(name)
+        if session is None:
+            raise SessionStateError(f"no open session named {name!r}")
+        return session
+
+    def names(self) -> List[str]:
+        with self._latch:
+            return sorted(self._sessions)
+
+    def count(self) -> int:
+        with self._latch:
+            return len(self._sessions)
+
+    # -- close / reap -------------------------------------------------------
+
+    def close(self, name: str) -> bool:
+        """Close and deregister ``name``; False if it was not open.
+
+        Idempotent from the caller's perspective: the registry row is
+        claimed under the latch (pop-as-claim), so two racing closes
+        tear the session down exactly once.  A storage-level failure
+        inside the session's own close (a :class:`SimulatedCrash`
+        surfacing as :class:`StorageError`) does not keep the session
+        registered — the in-memory reap below still clears its readers
+        and gate hold, and the error propagates after.
+        """
+        with self._latch:
+            session = self._sessions.pop(name, None)
+        if session is None:
+            return False
+        try:
+            session.close()
+        except StorageError:
+            raise
+        finally:
+            # Belt and braces: even a clean close leaves nothing, but a
+            # crashed one must not leak readers or a gate hold.
+            self._store.reap(session.db._owner)
+        return True
+
+    def close_all(self) -> int:
+        """Close every open session; returns how many were closed."""
+        closed = 0
+        for name in self.names():
+            try:
+                if self.close(name):
+                    closed += 1
+            except StorageError:
+                # The reap already ran; keep tearing the rest down.
+                continue
+        return closed
+
+    def shutdown(self) -> int:
+        """close_all(), then refuse further opens."""
+        with self._latch:
+            self._closed = True
+        return self.close_all()
+
+    # -- leak accounting ----------------------------------------------------
+
+    def leak_report(self) -> Dict[str, object]:
+        """Snapshot of everything still held — all zeros when clean."""
+        return {
+            "sessions": self.count(),
+            "read_contexts": self._store.open_reader_count(),
+            "gate_held": self.gate_held,
+        }
+
+    @property
+    def gate_held(self) -> bool:
+        return self._store.gate.held

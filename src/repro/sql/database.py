@@ -101,9 +101,27 @@ class Database:
     def __init__(self, disk: Optional[SimulatedDisk] = None,
                  aux_disk: Optional[SimulatedDisk] = None,
                  page_size: int = DEFAULT_PAGE_SIZE,
-                 auto_checkpoint_on_snapshot: bool = True) -> None:
-        self.engine = StorageEngine(disk, page_size=page_size)
-        self.aux_engine = StorageEngine(aux_disk, page_size=page_size)
+                 auto_checkpoint_on_snapshot: bool = True,
+                 engine: Optional[StorageEngine] = None,
+                 aux_engine: Optional[StorageEngine] = None,
+                 write_gate: Optional[object] = None,
+                 owner: Optional[object] = None) -> None:
+        """``engine``/``aux_engine`` share an existing store (the
+        multi-session server passes both); otherwise private engines are
+        created from ``disk``/``aux_disk``.  ``write_gate`` (an object
+        with ``acquire()``/``release()``) serializes write statements
+        and explicit transactions across facades sharing the engines;
+        ``owner`` tags this facade's MVCC read contexts so they can be
+        reaped if a client disappears (defaults to the facade itself).
+        """
+        self.engine = engine if engine is not None \
+            else StorageEngine(disk, page_size=page_size)
+        self.aux_engine = aux_engine if aux_engine is not None \
+            else StorageEngine(aux_disk, page_size=page_size)
+        self._owns_engines = engine is None and aux_engine is None
+        self._write_gate = write_gate
+        self._owner = owner if owner is not None else self
+        self._closed = False
         self.functions = FunctionRegistry()
         self.metrics: Optional[MetricsSink] = None
         self.auto_checkpoint_on_snapshot = auto_checkpoint_on_snapshot
@@ -173,6 +191,22 @@ class Database:
             raise
         self.execute("COMMIT")
 
+    @contextmanager
+    def write_lock(self) -> Iterator[None]:
+        """Hold the shared write gate across several statements.
+
+        A no-op for embedded databases (no gate).  Sessions use this to
+        make multi-statement invariants atomic across facades — e.g.
+        declaring a snapshot and recording it in SnapIds must not
+        interleave with another session's declaration, or the SnapIds
+        row order diverges from snapshot order.  Reentrant per owner.
+        """
+        self._acquire_gate()
+        try:
+            yield
+        finally:
+            self._release_gate()
+
     def declare_snapshot(self) -> int:
         """Declare a snapshot outside any explicit transaction."""
         if self._in_explicit_txn:
@@ -199,11 +233,34 @@ class Database:
         self.engine.retro.metrics = sink
 
     def close(self) -> None:
-        if self._in_explicit_txn:
-            self._main.rollback()
-            self._aux.rollback()
-            self._in_explicit_txn = False
-        self.checkpoint()
+        """Release everything this facade holds; safe to call twice.
+
+        Any open explicit transaction is rolled back, the write gate is
+        released, and read contexts this facade's owner left open (e.g.
+        abandoned cursors) are deregistered.  Facades over a shared
+        store skip the checkpoint — flushing shared engines is the
+        store's job, not one session's.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if self._in_explicit_txn:
+                try:
+                    self._main.rollback()
+                    self._aux.rollback()
+                finally:
+                    self._in_explicit_txn = False
+                    self._release_gate()
+        finally:
+            self.engine.release_read_contexts(self._owner)
+            self.aux_engine.release_read_contexts(self._owner)
+        if self._owns_engines:
+            self.checkpoint()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     # -- streaming (sqlite3_exec-style) --------------------------------------------
 
@@ -269,9 +326,9 @@ class Database:
         as_of = None
         if statement.as_of is not None:
             as_of = self._constant_int(statement.as_of, "AS OF")
-        read_ctx = self.engine.begin_read()
+        read_ctx = self.engine.begin_read(owner=self._owner)
         try:
-            aux_read_ctx = self.aux_engine.begin_read()
+            aux_read_ctx = self.aux_engine.begin_read(owner=self._owner)
             try:
                 if as_of is not None:
                     main_source = self.engine.snapshot_source(as_of, read_ctx)
@@ -325,7 +382,38 @@ class Database:
     # Dispatch
     # ------------------------------------------------------------------
 
+    #: statements that mutate either engine and therefore must hold the
+    #: write gate when facades share a store (reads never take it: MVCC
+    #: serves them from registered read contexts).
+    _WRITE_STATEMENTS = (
+        ast.Insert, ast.Delete, ast.Update, ast.CreateTable, ast.DropTable,
+        ast.CreateIndex, ast.DropIndex,
+    )
+
+    def _acquire_gate(self) -> None:
+        if self._write_gate is not None:
+            self._write_gate.acquire()
+
+    def _release_gate(self) -> None:
+        if self._write_gate is not None:
+            self._write_gate.release()
+
     def _execute_statement(self, statement) -> ResultSet:
+        # The gate wraps the whole dispatch, not just the _statement()
+        # scope: DDL helpers (e.g. _find_table_for_ddl) lazily open
+        # engine write transactions before the scope begins.  Inside an
+        # explicit transaction the gate is already held (acquired at
+        # BEGIN) and stays held until COMMIT/ROLLBACK.
+        if isinstance(statement, self._WRITE_STATEMENTS) \
+                and not self._in_explicit_txn:
+            self._acquire_gate()
+            try:
+                return self._dispatch_statement(statement)
+            finally:
+                self._release_gate()
+        return self._dispatch_statement(statement)
+
+    def _dispatch_statement(self, statement) -> ResultSet:
         if isinstance(statement, ast.Explain):
             return self._execute_explain(statement)
         if isinstance(statement, ast.Select):
@@ -357,6 +445,10 @@ class Database:
     def _execute_begin(self) -> ResultSet:
         if self._in_explicit_txn:
             raise TransactionError("already inside a transaction")
+        # The gate is held for the whole explicit transaction: released
+        # on COMMIT/ROLLBACK success (or by close() after a failure —
+        # mirroring how _in_explicit_txn itself is cleared).
+        self._acquire_gate()
         self._in_explicit_txn = True
         return _status()
 
@@ -368,9 +460,15 @@ class Database:
         )
         self._aux.commit()
         self._in_explicit_txn = False
-        if statement.with_snapshot:
-            if self.auto_checkpoint_on_snapshot:
+        try:
+            if statement.with_snapshot and self.auto_checkpoint_on_snapshot:
+                # Checkpoint before releasing the gate so no concurrent
+                # writer holds an open overlay while shared engines
+                # flush.
                 self.checkpoint()
+        finally:
+            self._release_gate()
+        if statement.with_snapshot:
             return ResultSet(["snapshot_id"], [(snapshot_id,)])
         return _status()
 
@@ -380,6 +478,7 @@ class Database:
         self._main.rollback()
         self._aux.rollback()
         self._in_explicit_txn = False
+        self._release_gate()
         return _status()
 
     def _autocommit(self) -> None:
@@ -438,9 +537,9 @@ class Database:
         as_of = None
         if statement.as_of is not None:
             as_of = self._constant_int(statement.as_of, "AS OF")
-        read_ctx = self.engine.begin_read()
+        read_ctx = self.engine.begin_read(owner=self._owner)
         try:
-            aux_read_ctx = self.aux_engine.begin_read()
+            aux_read_ctx = self.aux_engine.begin_read(owner=self._owner)
             try:
                 if as_of is not None:
                     # May raise UnknownSnapshotError for a bad AS OF id.
@@ -529,7 +628,7 @@ class Database:
             result = run_select(select, write_ctx)
             return result.columns, result.rows
         sid = self._constant_int(select.as_of, "AS OF")
-        read_ctx = self.engine.begin_read()
+        read_ctx = self.engine.begin_read(owner=self._owner)
         try:
             main_source = self.engine.snapshot_source(sid, read_ctx)
             ctx = _Context(self, main_source, self._aux.source())

@@ -19,8 +19,9 @@ disk runs recovery.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.errors import CorruptPageError, StorageError, TransactionError
 from repro.storage.disk import SimulatedDisk
@@ -64,19 +65,33 @@ class RecoveryReport:
 
 
 class ReadContext:
-    """A registered MVCC reader: stable view at ``begin_ts`` until closed."""
+    """A registered MVCC reader: stable view at ``begin_ts`` until closed.
+
+    ``owner`` is an opaque token (a session or database facade) used by
+    the multi-session server to find and reap contexts a disconnected
+    client left open.  ``close`` is idempotent.
+    """
 
     def __init__(self, engine: "StorageEngine", begin_ts: int,
-                 reader_id: int) -> None:
+                 reader_id: int, owner: Optional[object] = None) -> None:
         self._engine = engine
         self.begin_ts = begin_ts
         self._reader_id = reader_id
+        self.owner = owner
         self._closed = False
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def close(self) -> None:
-        if not self._closed:
+        if self._closed:
+            return
+        self._closed = True
+        # The registry pop is the atomic claim: concurrent closes (a
+        # session closing while the registry reaps it) deregister once.
+        if self._engine._forget_context(self._reader_id):
             self._engine._versions.deregister_reader(self._reader_id)
-            self._closed = True
 
     def __enter__(self) -> "ReadContext":
         return self
@@ -140,6 +155,17 @@ class StorageEngine:
         # ordering flush_all enforces at checkpoints).
         self.pager.pool.set_flush_hook(self.retro.on_flush)
         self._versions = VersionStore()
+        # Serializes reader registration against the commit's
+        # retain/install/timestamp-bump window: without it a reader
+        # registering mid-commit could read a page installed at a
+        # timestamp later than its own begin_ts (the version chain never
+        # retained the image it needed).  Latch order:
+        # StorageEngine._commit_latch -> {VersionStore._latch,
+        # Pager._latch -> BufferPool._latch}.
+        self._commit_latch = threading.RLock()
+        # reader_id -> open ReadContext; the multi-session server reaps
+        # contexts a crashed or disconnected client never closed.
+        self._contexts: Dict[int, ReadContext] = {}
         self._next_txn_id = 1
         self._last_commit_ts = 0
         self._active_writer: Optional[Transaction] = None
@@ -156,17 +182,24 @@ class StorageEngine:
     # ------------------------------------------------------------------
 
     def begin(self) -> Transaction:
-        """Start a write transaction (single writer at a time)."""
-        if self._active_writer is not None and self._active_writer.is_active():
-            raise TransactionError("another write transaction is active")
-        txn = Transaction(
-            txn_id=self._next_txn_id,
-            begin_ts=self._last_commit_ts,
-            first_new_page_id=self.pager.next_page_id,
-        )
-        self._next_txn_id += 1
-        self._active_writer = txn
-        return txn
+        """Start a write transaction (single writer at a time).
+
+        Concurrent sessions serialize *blocking* on the server's write
+        gate before reaching here; this check is the non-blocking
+        backstop that keeps the single-writer invariant explicit.
+        """
+        with self._commit_latch:
+            if self._active_writer is not None \
+                    and self._active_writer.is_active():
+                raise TransactionError("another write transaction is active")
+            txn = Transaction(
+                txn_id=self._next_txn_id,
+                begin_ts=self._last_commit_ts,
+                first_new_page_id=self.pager.next_page_id,
+            )
+            self._next_txn_id += 1
+            self._active_writer = txn
+            return txn
 
     def page_source(self, txn: Transaction) -> TransactionPageSource:
         """The overlay-backed page source for ``txn``."""
@@ -221,18 +254,23 @@ class StorageEngine:
             next_page_id=self.pager.next_page_id,
         )
 
-        retain_needed = self._versions.active_reader_count > 0
-        for page_id, image in pages.items():
-            if retain_needed and page_id < txn.first_new_page_id:
-                old = self._committed_bytes(page_id)
-                self._versions.retain(page_id, old, commit_ts)
-            self.pager.install(page_id, image)
-        for page_id in txn.freed:
-            self.pager.free(page_id)
+        # Retain/install/bump is atomic with respect to reader
+        # registration (begin_read takes the same latch): a reader can
+        # never slot in between the retention decision and the install,
+        # which would hand it a page newer than its begin_ts.
+        with self._commit_latch:
+            retain_needed = self._versions.active_reader_count > 0
+            for page_id, image in pages.items():
+                if retain_needed and page_id < txn.first_new_page_id:
+                    old = self._committed_bytes(page_id)
+                    self._versions.retain(page_id, old, commit_ts)
+                self.pager.install(page_id, image)
+            for page_id in txn.freed:
+                self.pager.free(page_id)
 
-        self._last_commit_ts = commit_ts
-        txn.state = TxnState.COMMITTED
-        self._active_writer = None
+            self._last_commit_ts = commit_ts
+            txn.state = TxnState.COMMITTED
+            self._active_writer = None
 
         if declare_snapshot:
             declared = self.retro.declare_snapshot()
@@ -246,26 +284,61 @@ class StorageEngine:
         (never reused) so pre-state capture can assume every reusable id
         has committed content."""
         txn.ensure_active()
-        txn.state = TxnState.ABORTED
-        txn.overlay.clear()
-        txn.dirty.clear()
-        self._active_writer = None
+        with self._commit_latch:
+            txn.state = TxnState.ABORTED
+            txn.overlay.clear()
+            txn.dirty.clear()
+            self._active_writer = None
 
     # ------------------------------------------------------------------
     # Read paths
     # ------------------------------------------------------------------
 
-    def begin_read(self) -> ReadContext:
-        """Register an MVCC reader at the current committed timestamp."""
-        begin_ts = self._last_commit_ts
-        reader_id = self._versions.register_reader(begin_ts)
-        try:
-            return ReadContext(self, begin_ts, reader_id)
-        except BaseException:
-            # A registered reader pins version chains against pruning;
-            # never leave it behind if the handle can't reach the caller.
-            self._versions.deregister_reader(reader_id)
-            raise
+    def begin_read(self, owner: Optional[object] = None) -> ReadContext:
+        """Register an MVCC reader at the current committed timestamp.
+
+        The timestamp read and the registration are atomic with respect
+        to commits (same latch as the commit's retain/install window).
+        ``owner`` tags the context so a per-session facade can later
+        find and release everything it left open.
+        """
+        with self._commit_latch:
+            begin_ts = self._last_commit_ts
+            reader_id = self._versions.register_reader(begin_ts,
+                                                       owner=owner)
+            try:
+                context = ReadContext(self, begin_ts, reader_id,
+                                      owner=owner)
+                self._contexts[reader_id] = context
+                return context
+            except BaseException:
+                # A registered reader pins version chains against
+                # pruning; never leave it behind if the handle can't
+                # reach the caller.
+                self._versions.deregister_reader(reader_id)
+                raise
+
+    def _forget_context(self, reader_id: int) -> bool:
+        """Drop a context from the open-reader registry; True if present."""
+        with self._commit_latch:
+            return self._contexts.pop(reader_id, None) is not None
+
+    def open_read_contexts(self,
+                           owner: Optional[object] = None
+                           ) -> List[ReadContext]:
+        """Open contexts, optionally only those tagged with ``owner``."""
+        with self._commit_latch:
+            return [c for c in self._contexts.values()
+                    if owner is None or c.owner is owner]
+
+    def release_read_contexts(self, owner: Optional[object] = None) -> int:
+        """Close leftover read contexts (all, or one owner's); returns
+        how many were still open.  The reaping path for session close,
+        crashed clients, and leak-detecting teardown."""
+        leaked = self.open_read_contexts(owner)
+        for context in leaked:
+            context.close()
+        return len(leaked)
 
     def read_source(self, context: ReadContext) -> ReadOnlyPageSource:
         """Page source with a stable view as of ``context.begin_ts``."""

@@ -36,6 +36,9 @@ class VersionStore:
         # [previous_replaced_at, replaced_at).
         self._chains: Dict[int, List[Tuple[int, bytes]]] = {}
         self._active_readers: Dict[int, int] = {}  # reader id -> begin_ts
+        # reader id -> opaque owner token (a session/database facade);
+        # lets a multi-session server attribute and reap leaked readers.
+        self._reader_owners: Dict[int, object] = {}
         self._next_reader_id = 1
         self._latch = threading.RLock()
         #: retained version count, exposed for tests/metrics
@@ -43,12 +46,15 @@ class VersionStore:
 
     # -- reader registration ------------------------------------------------
 
-    def register_reader(self, begin_ts: int) -> int:
+    def register_reader(self, begin_ts: int,
+                        owner: Optional[object] = None) -> int:
         """Track an active reader; returns a handle for deregistering."""
         with self._latch:
             reader_id = self._next_reader_id
             self._next_reader_id += 1
             self._active_readers[reader_id] = begin_ts
+            if owner is not None:
+                self._reader_owners[reader_id] = owner
             return reader_id
 
     def deregister_reader(self, reader_id: int) -> None:
@@ -56,7 +62,14 @@ class VersionStore:
             if reader_id not in self._active_readers:
                 raise TransactionError(f"unknown reader handle {reader_id}")
             del self._active_readers[reader_id]
+            self._reader_owners.pop(reader_id, None)
             self.prune()
+
+    def readers_for(self, owner: object) -> List[int]:
+        """Active reader handles registered under ``owner``."""
+        with self._latch:
+            return [rid for rid, who in self._reader_owners.items()
+                    if who is owner]
 
     def oldest_active_ts(self) -> Optional[int]:
         with self._latch:

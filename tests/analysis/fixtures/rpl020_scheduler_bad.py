@@ -1,0 +1,45 @@
+"""Known-bad RPL020: a scheduler's shared admission queue written
+without its latch from a dispatcher thread.
+
+``AdmissionQueue`` escapes into every dispatcher closure; ``admit``
+writes under the latch, but ``retire`` — reached from the dispatcher
+thread when a ticket finishes — rebinds the queue unlatched, so two
+dispatchers retiring concurrently can lose each other's removal.
+This is the race the real scheduler avoids by popping tickets from
+``_active`` under ``_latch``.
+"""
+
+import threading
+
+
+class AdmissionQueue:
+    def __init__(self):
+        self._latch = threading.Lock()
+        self.pending = ()
+        self.admitted = 0
+
+    def admit(self, ticket):
+        with self._latch:
+            self.pending = self.pending + (ticket,)
+            self.admitted += 1
+
+    def retire(self, ticket):
+        self.pending = tuple(t for t in self.pending if t is not ticket)
+
+
+class Dispatcher:
+    def run(self, tickets):
+        queue = AdmissionQueue()
+
+        def body(ticket):
+            queue.admit(ticket)
+            ticket()
+            queue.retire(ticket)
+
+        threads = [threading.Thread(target=body, args=(ticket,))
+                   for ticket in tickets]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return queue.admitted

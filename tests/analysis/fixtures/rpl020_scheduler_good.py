@@ -1,0 +1,39 @@
+"""Known-good RPL020: every write to the shared admission queue —
+admission and retirement alike — holds the queue's latch."""
+
+import threading
+
+
+class AdmissionQueue:
+    def __init__(self):
+        self._latch = threading.Lock()
+        self.pending = ()
+        self.admitted = 0
+
+    def admit(self, ticket):
+        with self._latch:
+            self.pending = self.pending + (ticket,)
+            self.admitted += 1
+
+    def retire(self, ticket):
+        with self._latch:
+            self.pending = tuple(
+                t for t in self.pending if t is not ticket)
+
+
+class Dispatcher:
+    def run(self, tickets):
+        queue = AdmissionQueue()
+
+        def body(ticket):
+            queue.admit(ticket)
+            ticket()
+            queue.retire(ticket)
+
+        threads = [threading.Thread(target=body, args=(ticket,))
+                   for ticket in tickets]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return queue.admitted

@@ -222,6 +222,26 @@ RPL020_WRITER_ONLY = (
 )
 
 
+def _run_scheduler_fixture(flavor):
+    source = (FIXTURES / f"rpl020_scheduler_{flavor}.py").read_text(
+        encoding="utf-8")
+    return analyze_source(source, "server/scheduler_fixture.py")
+
+
+def test_scheduler_admission_queue_race_fires():
+    # The server-scheduler shape: tickets admitted under the latch but
+    # retired without it from dispatcher threads.
+    findings = _run_scheduler_fixture("bad")
+    assert {f.rule for f in findings} == {"RPL020"}
+    assert any(f.symbol == "AdmissionQueue.retire"
+               and "pending" in f.message for f in findings)
+    assert all(f.symbol != "AdmissionQueue.admit" for f in findings)
+
+
+def test_scheduler_admission_queue_clean_when_latched():
+    assert _run_scheduler_fixture("good") == []
+
+
 def test_rpl020_cross_function_case_needs_the_thread_root():
     # The unlatched writer alone is innocent: without the spawner the
     # escape analysis has no thread root, so Counters never becomes

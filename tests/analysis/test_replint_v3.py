@@ -50,10 +50,17 @@ EXPECTED_LATCHES = {
     "ChaosController._latch",
     "DeviceStats._latch",
     "Pager._latch",
+    "QueryScheduler._latch",
+    "RQLServer._latch",
     "RetroManager._spt_latch",
+    "SessionRegistry._latch",
+    "SharedStore._latch",
     "SnapshotPageCache._latch",
     "VersionStore._latch",
+    "WireServer._latch",
+    "WorkerPool._latch",
     "WriteAheadLog._latch",
+    "WriteGate._cond",
     "_ErrorBoard._latch",
 }
 

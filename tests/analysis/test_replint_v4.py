@@ -173,18 +173,22 @@ def test_engine_module_is_clean_solo():
 def test_unguarded_reader_registration_is_caught():
     source = _real_source("storage/engine.py")
     mutated = source.replace(
-        "        reader_id = self._versions.register_reader(begin_ts)\n"
-        "        try:\n"
-        "            return ReadContext(self, begin_ts, reader_id)\n"
-        "        except BaseException:\n"
-        "            # A registered reader pins version chains against "
-        "pruning;\n"
-        "            # never leave it behind if the handle can't reach "
-        "the caller.\n"
-        "            self._versions.deregister_reader(reader_id)\n"
-        "            raise\n",
-        "        reader_id = self._versions.register_reader(begin_ts)\n"
-        "        return ReadContext(self, begin_ts, reader_id)\n",
+        "            try:\n"
+        "                context = ReadContext(self, begin_ts, reader_id,\n"
+        "                                      owner=owner)\n"
+        "                self._contexts[reader_id] = context\n"
+        "                return context\n"
+        "            except BaseException:\n"
+        "                # A registered reader pins version chains against\n"
+        "                # pruning; never leave it behind if the handle "
+        "can't\n"
+        "                # reach the caller.\n"
+        "                self._versions.deregister_reader(reader_id)\n"
+        "                raise\n",
+        "            context = ReadContext(self, begin_ts, reader_id,\n"
+        "                                  owner=owner)\n"
+        "            self._contexts[reader_id] = context\n"
+        "            return context\n",
     )
     assert mutated != source, "mutation target moved; update the test"
     findings = analyze_source(mutated, "storage/engine.py")

@@ -25,6 +25,9 @@ LAYERS = {
         errors.ExecutionError, errors.CatalogError, errors.UdfError,
     ],
     errors.RqlError: [errors.AggregateError, errors.MechanismError],
+    errors.ServerError: [
+        errors.SessionStateError, errors.QueryCancelled,
+    ],
 }
 
 #: every public error class, including the ones outside LAYERS
@@ -105,7 +108,7 @@ def test_hierarchy_is_exhaustive():
     direct = {
         errors.ReproError, errors.StorageError, errors.SnapshotError,
         errors.SqlError, errors.RqlError, errors.WorkloadError,
-        errors.AnalysisError,
+        errors.AnalysisError, errors.ServerError,
     }
     extra = {errors.TypeMismatchError, errors.TornWriteError}
     unaccounted = set(ALL_ERRORS) - layer_children - direct - extra
