@@ -1,0 +1,135 @@
+"""Materialized-view refresh: delta vs full Pagelog traffic.
+
+One view built over a growing history with **sparse updates**: most
+trailing snapshots touch only an unrelated table, a couple touch the
+view's read table.  At each history length N ∈ {16, 64, 256} two
+identical sessions refresh the same view to the latest snapshot — one
+incrementally (the planner picks delta against the Maplog diff), one
+with a forced FULL rebuild over ``1..N``.
+
+The recorded metric is the refresh's Pagelog page reads (the paper's
+archived-page traffic), taken from the retro manager's metrics sink.
+The full rebuild must re-read old snapshots, whose pages have been
+archived by later updates, so its Pagelog reads grow with N; the delta
+refresh only evaluates the trailing snapshots and must do **strictly
+fewer** Pagelog reads at every N — that inequality is the test's
+acceptance, the absolute numbers land in
+``benchmarks/results/view_refresh.txt`` as a trajectory for later PRs.
+"""
+
+import time
+
+from repro.bench import print_figure
+from repro.bench.figures import FigureResult
+from repro.bench.report import save_figure
+from repro.core import RQLSession
+from repro.sql.database import Database
+from repro.storage.disk import SimulatedDisk
+
+SNAPSHOT_COUNTS = (16, 64, 256)
+TAIL = 8  # snapshots declared after the view was built
+#: stored-row shape: the view table stays group-sized however long the
+#: history gets, so the measurement isolates snapshot *reads* (a concat
+#: view would grow quadratically with N and swamp the signal)
+QQ = "SELECT grp, val FROM events"
+ARG = "(val, sum)"
+
+FIXED_CLOCK = lambda: "2026-01-01 00:00:00"  # noqa: E731
+
+
+def _build_history(total: int) -> RQLSession:
+    """``total`` snapshots; the view is built ``TAIL`` snapshots ago.
+
+    The trailing snapshots are sparse: two touch ``events``, the rest
+    only ``noise`` — the shape where incremental maintenance pays.
+    The history is built on explicit disks and the session reopened
+    before measuring, so the refresh runs against a **cold page cache**
+    and archived reads actually hit the Pagelog (the initial build
+    would otherwise have warmed every page the full rebuild needs).
+    """
+    disk, aux = SimulatedDisk(4096), SimulatedDisk(4096)
+    session = RQLSession(db=Database(disk=disk, aux_disk=aux),
+                         clock=FIXED_CLOCK, workers=1)
+    session.execute("CREATE TABLE events (grp INTEGER, val INTEGER)")
+    session.execute("CREATE TABLE noise (x INTEGER)")
+    head = total - TAIL
+    for sid in range(1, head + 1):
+        if sid % 2 == 0:  # overwrite so old pages get archived
+            session.execute(
+                f"UPDATE events SET val = val + 1 WHERE grp = {sid % 3}")
+        else:
+            session.execute(
+                f"INSERT INTO events VALUES ({sid % 4}, {sid})")
+        session.declare_snapshot()
+    session.create_materialized_view("v", "AggregateDataInTable", QQ,
+                                     arg=ARG)
+    for n in range(TAIL):
+        if n in (2, 5):
+            session.execute(f"UPDATE events SET val = val + 1 "
+                            f"WHERE grp = {n % 4}")
+        else:
+            session.execute(f"INSERT INTO noise VALUES ({n})")
+        session.declare_snapshot()
+    session.close()
+    return RQLSession(db=Database(disk=disk, aux_disk=aux),
+                      clock=FIXED_CLOCK, workers=1)
+
+
+def _measure(total: int, full: bool):
+    session = _build_history(total)
+    try:
+        started = time.perf_counter()
+        report = session.refresh_view("v", full=full)
+        elapsed = time.perf_counter() - started
+        return {
+            "mode": report.mode,
+            "evaluated": float(report.evaluated_snapshots),
+            "pagelog_reads": float(report.pagelog_reads),
+            "cache_hits": float(report.cache_hits),
+            "wall_seconds": elapsed,
+        }
+    finally:
+        session.close()
+
+
+def run_view_refresh():
+    series = {"delta": [], "full": []}
+    failures = []
+    for total in SNAPSHOT_COUNTS:
+        delta = _measure(total, full=False)
+        full = _measure(total, full=True)
+        series["delta"].append((total, delta))
+        series["full"].append((total, full))
+        if delta["mode"] != "delta":
+            failures.append((total, f"planner picked {delta['mode']}"))
+        if full["evaluated"] != float(total):
+            failures.append((total, f"full evaluated {full['evaluated']}"))
+        if not delta["pagelog_reads"] < full["pagelog_reads"]:
+            failures.append(
+                (total, "delta did not beat full on Pagelog reads: "
+                        f"{delta['pagelog_reads']} vs "
+                        f"{full['pagelog_reads']}"))
+    result = FigureResult(
+        figure="View refresh",
+        title=f"incremental vs full refresh, view built {TAIL} "
+              "snapshots before the target, sparse trailing updates",
+        series=series,
+        notes=[
+            "pagelog_reads = archived-page fetches during the refresh "
+            "(the cost the Maplog diff avoids)",
+            "trajectory file: compare pagelog_reads across PRs, not "
+            "across machines",
+        ],
+    )
+    return result, failures
+
+
+def test_view_refresh(benchmark):
+    result, failures = benchmark.pedantic(
+        run_view_refresh, rounds=1, iterations=1)
+    save_figure(result)
+    print_figure(result)
+    assert failures == [], failures
+    for n, (total, delta) in enumerate(result.series["delta"]):
+        full = result.series["full"][n][1]
+        assert delta["pagelog_reads"] < full["pagelog_reads"]

@@ -2,7 +2,11 @@
 with Retro snapshots and RQL built in.
 
 Supports plain SQL (including ``SELECT AS OF`` and
-``COMMIT WITH SNAPSHOT``), the RQL mechanism UDFs, and dot-commands:
+``COMMIT WITH SNAPSHOT``), the RQL mechanism UDFs, materialized
+retrospective views (``CREATE MATERIALIZED VIEW v AS
+CollateData('<Qq>')``, ``REFRESH MATERIALIZED VIEW v [FULL]``,
+``DROP MATERIALIZED VIEW [IF EXISTS] v``, ``EXPLAIN REFRESH
+MATERIALIZED VIEW v``), and dot-commands:
 
 .help                       this text
 .tables                     list tables (main + aux/temp)
@@ -10,6 +14,8 @@ Supports plain SQL (including ``SELECT AS OF`` and
 .indexes [table]            list indexes
 .snapshots                  list declared snapshots (SnapIds)
 .snapshot [name]            declare a snapshot now
+.views [name]               list materialized views, or one view's
+                            refresh plan (EXPLAIN REFRESH)
 .checkpoint                 flush everything durably
 .stats                      storage / Retro statistics
 .workers [n]                show or set the RQL worker count
@@ -207,6 +213,22 @@ class Shell:
         sid = self.session.declare_snapshot(name=name)
         self.write(f"declared snapshot {sid}"
                    + (f" ({name})" if name else ""))
+
+    def cmd_views(self, args: List[str]) -> None:
+        if args:
+            for line in self.session.views.explain_refresh(args[0]):
+                self.write(line)
+            return
+        views = self.session.views.list_views()
+        if not views:
+            self.write("(no materialized views)")
+            return
+        result = ResultSet(
+            ["name", "mechanism", "merge_class", "built_from"],
+            [(v.name, v.mechanism, v.merge_class, v.built_from)
+             for v in views],
+        )
+        self.write(format_table(result))
 
     def cmd_checkpoint(self, args: List[str]) -> None:
         self.session.checkpoint()

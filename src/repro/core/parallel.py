@@ -544,16 +544,7 @@ class ParallelExecutor:
             # tables hold one row per group; merge them row-by-row, each
             # targeting the earliest accumulated row of its group (the
             # row the serial index probe would have updated).
-            for row in part_rows:
-                key = self._group_key(schema, row)
-                at = acc_by_key.get(key)
-                if at is None:
-                    acc_by_key[key] = len(acc_rows)
-                    acc_rows.append(row)
-                else:
-                    acc_rows[at] = self._merge_stored_rows(
-                        schema, acc_rows[at], row,
-                    )
+            fold_stored_rows(schema, acc_rows, acc_by_key, part_rows)
         if schema is not None:
             with self.db.transaction():
                 self._create_result_table(table, schema.columns, persistent)
@@ -639,24 +630,8 @@ class ParallelExecutor:
                 columns = part_columns
             if not partial.snapshot_ids:
                 continue
-            first_sid = partial.snapshot_ids[0]
-            for interval in part_intervals:
-                key, values, start, end = interval
-                if start == first_sid and global_prev is not None:
-                    # The serial probe would have extended the earliest
-                    # same-key interval ending at the previous
-                    # partition's last snapshot; stitch it here.
-                    stitched = False
-                    for at in acc_by_key.get(key, ()):
-                        acc_interval = acc[at]
-                        if acc_interval[3] == global_prev:
-                            acc_interval[3] = end
-                            stitched = True
-                            break
-                    if stitched:
-                        continue
-                acc_by_key.setdefault(key, []).append(len(acc))
-                acc.append(interval)
+            fold_intervals(acc, acc_by_key, part_intervals,
+                           partial.snapshot_ids[0], global_prev)
             global_prev = partial.snapshot_ids[-1]
         if columns is not None:
             with self.db.transaction():
@@ -784,23 +759,7 @@ class ParallelExecutor:
         """Evaluate rewritten Qq as of ``snapshot_id`` through a private
         read-only cursor, metering like the serial ``_run_qq``.
         """
-        clock = sink.clock
-        index_before = current.index_creation_seconds
-        started = clock()
-        columns, rows = self.db.execute_readonly_cursor(
-            rewrite_qq(qq, snapshot_id), metrics=sink,
-        )
-        out: List[tuple] = []
-        try:
-            for row in rows:
-                current.qq_rows += 1
-                out.append(tuple(row))
-        finally:
-            rows.close()
-        total = clock() - started
-        index_delta = current.index_creation_seconds - index_before
-        current.query_eval_seconds += max(total - index_delta, 0.0)
-        return columns, out
+        return eval_qq_at(self.db, qq, snapshot_id, sink, current)
 
     # -- merge helpers ------------------------------------------------------
 
@@ -860,3 +819,91 @@ class ParallelExecutor:
             else:
                 result.columns = list(all_columns)
         return result
+
+
+# ---------------------------------------------------------------------------
+# Delta-fold entry points
+#
+# The partition merges above are exactly the algebra an incremental
+# materialized view needs to fold a refresh delta into its stored
+# result: the view's stored state is the "first partition" and the
+# newly-declared snapshot range is a single "later partition".  These
+# module-level functions expose the later-partition side of the merge
+# so :mod:`repro.retro.views` folds through the same code path the
+# parallel differential harness proves equivalent to serial execution.
+# ---------------------------------------------------------------------------
+
+
+def eval_qq_at(db: Database, qq: str, snapshot_id: int, sink: MetricsSink,
+               current) -> Tuple[List[str], List[tuple]]:
+    """Evaluate rewritten Qq as of ``snapshot_id``, metering into
+    ``current`` (an open :class:`IterationMetrics`) like the serial
+    ``_run_qq`` — shared by the executor workers and view refresh.
+    """
+    clock = sink.clock
+    index_before = current.index_creation_seconds
+    started = clock()
+    columns, rows = db.execute_readonly_cursor(
+        rewrite_qq(qq, snapshot_id), metrics=sink,
+    )
+    out: List[tuple] = []
+    try:
+        for row in rows:
+            current.qq_rows += 1
+            out.append(tuple(row))
+    finally:
+        rows.close()
+    total = clock() - started
+    index_delta = current.index_creation_seconds - index_before
+    current.query_eval_seconds += max(total - index_delta, 0.0)
+    return columns, out
+
+
+def fold_stored_rows(schema: TableAggregateSchema,
+                     acc_rows: List[Tuple[SqlValue, ...]],
+                     acc_by_key: Dict[bytes, int],
+                     delta_rows: Sequence[Sequence[SqlValue]]) -> None:
+    """Fold probe-semantics group rows into a stored-row accumulator.
+
+    Mutates ``acc_rows``/``acc_by_key`` in place; each delta row targets
+    the earliest accumulated row of its group — the row the serial
+    index probe would have updated.
+    """
+    for row in delta_rows:
+        key = ParallelExecutor._group_key(schema, row)
+        at = acc_by_key.get(key)
+        if at is None:
+            acc_by_key[key] = len(acc_rows)
+            acc_rows.append(tuple(row))
+        else:
+            acc_rows[at] = ParallelExecutor._merge_stored_rows(
+                schema, acc_rows[at], row,
+            )
+
+
+def fold_intervals(acc: List[list], acc_by_key: Dict[bytes, List[int]],
+                   delta_intervals: Sequence[list],
+                   delta_first_sid: int,
+                   base_last_sid: Optional[int]) -> None:
+    """Stitch a later snapshot range's intervals onto an accumulator.
+
+    A delta interval that starts at the range's first snapshot extends
+    the earliest same-key accumulated interval ending at
+    ``base_last_sid`` (the snapshot just before the range) — the exact
+    extension the serial probe performs across the boundary.  Mutates
+    ``acc``/``acc_by_key`` in place.
+    """
+    for interval in delta_intervals:
+        key, values, start, end = interval
+        if start == delta_first_sid and base_last_sid is not None:
+            stitched = False
+            for at in acc_by_key.get(key, ()):
+                acc_interval = acc[at]
+                if acc_interval[3] == base_last_sid:
+                    acc_interval[3] = end
+                    stitched = True
+                    break
+            if stitched:
+                continue
+        acc_by_key.setdefault(key, []).append(len(acc))
+        acc.append([key, values, start, end])

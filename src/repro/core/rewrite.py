@@ -61,6 +61,21 @@ def rewrite_qq(qq: str, snapshot_id: int) -> str:
     return _apply_edits(sql, edits)
 
 
+def references_current_snapshot(qq: str) -> bool:
+    """True if Qq calls ``current_snapshot()`` — i.e. its rewritten
+    form differs per snapshot even over unchanged tables.  Incremental
+    view refresh uses this to tell when identical table contents imply
+    identical Qq output across a snapshot range.
+    """
+    for token in tokenize(qq.strip().rstrip(";")):
+        if token.kind == EOF:
+            break
+        if token.kind == IDENT and \
+                str(token.value).lower() == CURRENT_SNAPSHOT:
+            return True
+    return False
+
+
 def _already_as_of(tokens: List[Token], select_pos: int) -> bool:
     nxt = tokens[select_pos + 1] if select_pos + 1 < len(tokens) else None
     nxt2 = tokens[select_pos + 2] if select_pos + 2 < len(tokens) else None

@@ -34,6 +34,7 @@ from repro.core.parallel import ParallelExecutor, WorkerPool
 from repro.core.snapids import SnapIds
 from repro.errors import MechanismError
 from repro.retro.metrics import MetricsSink
+from repro.retro.views import RefreshReport, ViewManager
 from repro.sql.database import Database
 from repro.sql.executor import ResultSet
 from repro.storage.disk import SimulatedDisk
@@ -85,6 +86,11 @@ class RQLSession:
         # SQL-surface knob: SELECT rql_workers(4) sets the session
         # default; SELECT rql_workers() reads it back.
         self.db.register_function("rql_workers", self._udf_workers)
+        #: incremental materialized retrospective views; also installed
+        #: as the Database's view_handler so the CREATE/REFRESH/DROP
+        #: MATERIALIZED VIEW statements route here.
+        self.views = ViewManager(self)
+        self.db.view_handler = self.views
 
     @staticmethod
     def _validate_workers(workers: int) -> int:
@@ -175,7 +181,14 @@ class RQLSession:
     def close(self) -> None:
         """Idempotent: releases the facade and any read contexts it
         still holds (a double close must never deregister an MVCC
-        reader twice, nor leak one that a crashed caller left open)."""
+        reader twice, nor leak one that a crashed caller left open).
+
+        The view manager is aborted first so an in-flight refresh on
+        another thread unwinds (via QueryCancelled) before the facade
+        rolls back its transaction and releases its read contexts."""
+        views = getattr(self, "views", None)
+        if views is not None:
+            views.close()
         self.db.close()
 
     @property
@@ -260,6 +273,26 @@ class RQLSession:
 
     def _drop_result_table(self, table: str) -> None:
         self.db.execute(f'DROP TABLE IF EXISTS "{table}"')
+
+    # ------------------------------------------------------------------
+    # Materialized retrospective views (convenience over the SQL forms)
+    # ------------------------------------------------------------------
+
+    def create_materialized_view(self, name: str, mechanism: str, qq: str,
+                                 arg: Optional[str] = None,
+                                 if_not_exists: bool = False,
+                                 ) -> Optional[RefreshReport]:
+        """CREATE MATERIALIZED VIEW name AS Mechanism('Qq'[, 'arg'])."""
+        return self.views.create(name, mechanism, qq, arg=arg,
+                                 if_not_exists=if_not_exists)
+
+    def refresh_view(self, name: str, full: bool = False,
+                     cancel=None) -> RefreshReport:
+        """REFRESH MATERIALIZED VIEW name [FULL], returning the report."""
+        return self.views.refresh(name, full=full, cancel=cancel)
+
+    def drop_view(self, name: str, if_exists: bool = False) -> None:
+        self.views.drop(name, if_exists=if_exists)
 
     # ------------------------------------------------------------------
     # The Section 3 UDF forms

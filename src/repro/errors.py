@@ -124,6 +124,11 @@ class MechanismError(RqlError):
     """An RQL mechanism was invoked with invalid parameters."""
 
 
+class ViewError(RqlError):
+    """A materialized-view operation failed (unknown view, duplicate
+    name, refresh inside an open transaction, dependency cycle)."""
+
+
 class ServerError(ReproError):
     """Base class for multi-session server failures (registry,
     scheduler, wire protocol)."""

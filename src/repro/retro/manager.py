@@ -260,6 +260,10 @@ class RetroManager:
         """Pages not shared between two snapshots (paper's diff(S1,S2))."""
         return self.maplog.diff_size(older, newer)
 
+    def diff_pages(self, older: int, newer: int) -> Set[int]:
+        """Page ids modified between two snapshots' declarations."""
+        return self.maplog.diff_pages(older, newer)
+
     # -- snapshot availability ------------------------------------------------------
 
     def mark_unavailable(self, from_snap: int, to_snap: int) -> None:

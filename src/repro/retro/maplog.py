@@ -33,7 +33,7 @@ from __future__ import annotations
 import struct
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import CorruptPageError, SnapshotError, UnknownSnapshotError
 from repro.storage.disk import DiskFile
@@ -361,14 +361,24 @@ class Maplog:
         Pages captured in epochs (older, newer] differ between the two
         snapshots; everything else is shared.
         """
+        return len(self.diff_pages(older, newer))
+
+    def diff_pages(self, older: int, newer: int) -> Set[int]:
+        """The page ids NOT shared between two snapshots.
+
+        The set whose size ``diff_size`` reports: any page modified
+        between the two declarations was captured in one of the epochs
+        (older, newer] and appears here; incremental view refresh
+        intersects it with a table's page set to find affected pages.
+        """
         if older > newer:
             older, newer = newer, older
         with self._latch:
-            pages = set()
+            pages: Set[int] = set()
             for epoch in range(older, newer):
                 if epoch - 1 < len(self._levels[0]):
                     pages.update(self._levels[0][epoch - 1].keys())
-            return len(pages)
+            return pages
 
     def captures_in_epoch(self, epoch: int) -> int:
         with self._latch:

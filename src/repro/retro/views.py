@@ -1,0 +1,943 @@
+"""Incremental materialized retrospective views (ROADMAP open item 2).
+
+``CREATE MATERIALIZED VIEW v AS Mechanism('Qq'[, 'arg'])`` stores the
+result of a retrospective mechanism over *every declared snapshot* and
+maintains it incrementally as new snapshots are declared:
+
+* Each view records the snapshot it was last **built from** and the
+  rqlint merge class of its defining query (``__rql_views`` metadata,
+  aux engine — non-snapshotable but durable, like SnapIds).
+* ``REFRESH MATERIALIZED VIEW v`` computes the **affected page set**:
+  the Maplog diff between ``built_from`` and the refresh target,
+  intersected with the pages of the certificate's read tables (plus the
+  main catalog) *as of* ``built_from``.  Because the first mutation of
+  a B-tree after a snapshot always writes a page that belonged to the
+  tree at that snapshot, an empty intersection proves every read table
+  is unchanged at every snapshot in ``(built_from, target]``.
+* The delta — the newly declared snapshots — is evaluated per snapshot
+  through the same rewritten-Qq path as the executors and folded into
+  the stored result with the PR 3 merge algebra
+  (:func:`repro.core.parallel.fold_stored_rows` /
+  :func:`~repro.core.parallel.fold_intervals`, monoid ``merge`` for
+  AggregateDataInVariable, row concat for CollateData): the stored
+  state is the "first partition" and the delta a single "later
+  partition" of the parallel run the differential harness proves
+  equivalent to serial execution.  When the affected set is empty and
+  the Qq never calls ``current_snapshot()``, the delta is evaluated
+  **once** at the target and replayed per snapshot (identical table
+  contents imply identical Qq output).
+* Serial-only certificates, views whose Qq reads non-snapshotable
+  (aux) sources — including other views — and monoid views without
+  serializable fold state fall back to **full recompute** with the
+  reason logged on the :class:`RefreshReport` and the EXPLAIN surface.
+* Dependent views (a Qq reading another view's result table) refresh
+  first, dependency-ordered, **pinned to the same target snapshot**, so
+  a cascade observes one consistent snapshot across all sources.
+* All refresh writes — the result table and the metadata row — land in
+  one explicit transaction touching only the aux engine, so a crash
+  recovers to fully-old or fully-new ``built_from``, never a torn mix
+  (``tests/retro/test_view_crash.py``).
+
+Refresh admission is a write: the whole refresh holds the store's
+WriteGate, while MVCC keeps concurrently pinned readers on the
+stale-but-consistent pre-refresh contents.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.aggregates import (
+    make_cross_snapshot_aggregate,
+    parse_col_func_pairs,
+)
+from repro.core.mechanisms import (
+    CollateDataIntoIntervalsRun,
+    TableAggregateSchema,
+    _quote,
+)
+from repro.core.parallel import eval_qq_at, fold_intervals, fold_stored_rows
+from repro.core.rewrite import references_current_snapshot, rewrite_qq
+from repro.errors import (
+    MechanismError,
+    QueryCancelled,
+    SqlError,
+    ViewError,
+)
+from repro.retro.metrics import MetricsSink
+from repro.sql.executor import ResultSet
+from repro.storage.record import encode_key
+
+VIEWS_TABLE = "__rql_views"
+
+#: the implicit Qs of every view: all declared snapshots (certification
+#: input; the actual refresh iterates 1..target directly).
+VIEW_QS = "SELECT snap_id FROM SnapIds ORDER BY snap_id"
+
+# Merge-class literals, mirroring repro.analysis.query.mergeclass (the
+# analysis package is imported lazily through session.certify so that
+# importing the retro layer never drags the lint machinery in).
+CONCAT = "concat"
+MONOID = "monoid"
+STORED_ROW = "stored-row"
+INTERVAL_STITCH = "interval-stitch"
+SERIAL_ONLY = "serial-only"
+
+_CANONICAL_MECHANISMS = {
+    "collatedata": "CollateData",
+    "aggregatedatainvariable": "AggregateDataInVariable",
+    "aggregatedataintable": "AggregateDataInTable",
+    "collatedataintointervals": "CollateDataIntoIntervals",
+}
+
+_ARG_MECHANISMS = ("AggregateDataInVariable", "AggregateDataInTable")
+
+
+def _escape(text: str) -> str:
+    return text.replace("'", "''")
+
+
+def _canonical_mechanism(name: str) -> str:
+    canonical = _CANONICAL_MECHANISMS.get(
+        name.replace("_", "").strip().lower())
+    if canonical is None:
+        raise ViewError(
+            f"unknown mechanism {name!r}; materialized views support "
+            f"{', '.join(sorted(_CANONICAL_MECHANISMS.values()))}"
+        )
+    return canonical
+
+
+@dataclass
+class ViewMeta:
+    """One ``__rql_views`` row."""
+
+    name: str
+    mechanism: str
+    qq: str
+    arg: Optional[str]
+    merge_class: str
+    built_from: int
+    state: Optional[dict]
+
+    @property
+    def index_name(self) -> str:
+        return f"__rqlidx_{self.name.lower()}"
+
+
+@dataclass
+class RefreshReport:
+    """Telemetry of one refresh (in memory only — never persisted, so
+    full-database dumps stay byte-identical across refresh modes)."""
+
+    view: str
+    mechanism: str
+    merge_class: str
+    mode: str          # noop | delta | delta-skip | full
+    reason: str
+    built_from: int    # before the refresh
+    target: int
+    diff_page_count: int
+    affected_page_count: int
+    evaluated_snapshots: int
+    qq_rows: int
+    pagelog_reads: int
+    cache_hits: int
+    db_reads: int
+    table_written: bool
+    cascaded: List[str] = field(default_factory=list)
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"view {self.view}: {self.mechanism} "
+            f"[merge class {self.merge_class}]",
+            f"built_from {self.built_from} -> target {self.target}",
+            f"maplog diff {self.diff_page_count} pages, "
+            f"affected {self.affected_page_count} pages",
+            f"decision: {self.mode} ({self.reason})",
+            f"evaluated {self.evaluated_snapshots} snapshots, "
+            f"{self.qq_rows} Qq rows",
+            f"reads: pagelog {self.pagelog_reads}, cache "
+            f"{self.cache_hits}, db {self.db_reads}",
+        ]
+        if self.cascaded:
+            lines.append("cascaded: " + ", ".join(self.cascaded))
+        return lines
+
+
+@dataclass
+class _WritePlan:
+    """What the final (single, aux-only) transaction must do."""
+
+    rewrite: bool = False                 # drop + recreate the table
+    columns: Optional[List[str]] = None   # create with these columns
+    rows: List[tuple] = field(default_factory=list)
+    index_columns: Optional[List[str]] = None
+    append_rows: List[tuple] = field(default_factory=list)
+    state: Optional[dict] = None
+
+    @property
+    def touches_table(self) -> bool:
+        return self.rewrite or bool(self.append_rows)
+
+
+class ViewManager:
+    """Materialized-view catalog + refresh engine for one session.
+
+    Installed on the session's Database as ``view_handler``; the SQL
+    layer routes CREATE/REFRESH/DROP MATERIALIZED VIEW (and EXPLAIN
+    REFRESH) here.  Metadata lives in the shared aux engine, so every
+    session over a SharedStore sees the same views; reports are
+    per-session, in-memory telemetry.
+    """
+
+    def __init__(self, session) -> None:
+        self._session = session
+        self.db = session.db
+        self._abort = threading.Event()
+        self._closed = False
+        #: name (lower) -> report of the most recent refresh via this
+        #: session — EXPLAIN/CLI telemetry, deliberately not persisted.
+        self.last_reports: Dict[str, RefreshReport] = {}
+        self.db.execute(
+            f"CREATE TEMP TABLE IF NOT EXISTS {VIEWS_TABLE} ("
+            f"name, mechanism, qq, arg, merge_class, built_from, state)"
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Abort any in-flight refresh and refuse further view work.
+
+        Called from ``RQLSession.close()`` — a refresh running on
+        another thread observes the abort flag between snapshot
+        evaluations and unwinds via :class:`QueryCancelled` before it
+        opens its write transaction (an already-open one is rolled back
+        by ``Database.close``).
+        """
+        self._closed = True
+        self._abort.set()
+
+    def _ensure_usable(self) -> None:
+        if self._closed:
+            raise ViewError("view manager is closed")
+        if self.db._in_explicit_txn:
+            raise ViewError(
+                "materialized-view operations cannot run inside an "
+                "open transaction"
+            )
+
+    def _check_cancel(self, cancel) -> None:
+        if self._abort.is_set():
+            raise QueryCancelled("view refresh aborted by session close")
+        if cancel is not None and cancel.is_set():
+            raise QueryCancelled("view refresh cancelled")
+
+    # -- SQL statement surface ---------------------------------------------
+
+    def execute_create(self, statement) -> ResultSet:
+        report = self.create(
+            statement.name, statement.mechanism, statement.qq,
+            arg=statement.arg, if_not_exists=statement.if_not_exists,
+        )
+        if report is None:  # IF NOT EXISTS hit an existing view
+            return ResultSet([], [])
+        return ResultSet(
+            ["view", "merge_class", "built_from"],
+            [(report.view, report.merge_class, report.target)],
+        )
+
+    def execute_refresh(self, statement) -> ResultSet:
+        report = self.refresh(statement.name, full=statement.full)
+        return ResultSet(
+            ["view", "mode", "built_from", "target", "affected_pages",
+             "evaluated"],
+            [(report.view, report.mode, report.built_from, report.target,
+              report.affected_page_count, report.evaluated_snapshots)],
+        )
+
+    def execute_drop(self, statement) -> ResultSet:
+        self.drop(statement.name, if_exists=statement.if_exists)
+        return ResultSet([], [])
+
+    # -- create / drop ------------------------------------------------------
+
+    def create(self, name: str, mechanism: str, qq: str,
+               arg: Optional[str] = None, if_not_exists: bool = False,
+               cancel=None) -> Optional[RefreshReport]:
+        """Create the view and run its initial (full) build atomically."""
+        self._ensure_usable()
+        mech = _canonical_mechanism(mechanism)
+        if mech in _ARG_MECHANISMS and arg is None:
+            raise ViewError(f"{mech} requires an aggregate argument")
+        if mech not in _ARG_MECHANISMS and arg is not None:
+            raise ViewError(f"{mech} takes no aggregate argument")
+        if mech == "AggregateDataInVariable":
+            make_cross_snapshot_aggregate(arg)
+        elif mech == "AggregateDataInTable":
+            parse_col_func_pairs(arg)
+        rewrite_qq(qq, 1)  # fail fast on a malformed Qq
+        with self.db.write_lock():
+            views = self._load_all()
+            if name.lower() in views:
+                if if_not_exists:
+                    return None
+                raise ViewError(
+                    f"materialized view {name!r} already exists")
+            if self._table_exists(name):
+                raise ViewError(
+                    f"a table named {name!r} already exists")
+            certificate = self._certify(mech, qq, arg)
+            if name.lower() in {t.lower() for t in certificate.read_tables}:
+                raise ViewError(
+                    f"materialized view {name!r} cannot read itself")
+            meta = ViewMeta(
+                name=name, mechanism=mech, qq=qq, arg=arg,
+                merge_class=certificate.merge_class, built_from=0,
+                state=None,
+            )
+            try:
+                return self._refresh_one(
+                    meta, views, self._retro.latest_snapshot_id,
+                    full=True, reason="initial build", cancel=cancel,
+                    certificate=certificate, persist="insert",
+                )
+            except SqlError as exc:
+                # A Qq that cannot run (unknown table — including the
+                # view itself — bad column, ...) must fail the CREATE,
+                # not linger as an unbuildable view.
+                raise ViewError(
+                    f"cannot build materialized view {name!r}: {exc}"
+                ) from exc
+
+    def drop(self, name: str, if_exists: bool = False) -> None:
+        self._ensure_usable()
+        with self.db.write_lock():
+            views = self._load_all()
+            meta = views.get(name.lower())
+            if meta is None:
+                if if_exists:
+                    return
+                raise ViewError(f"unknown materialized view {name!r}")
+            dependents = self._dependents_of(meta, views)
+            if dependents:
+                raise ViewError(
+                    f"materialized view {meta.name!r} is read by "
+                    f"{', '.join(sorted(dependents))}; drop those first"
+                )
+            with self.db.transaction():
+                self.db.execute(
+                    f"DROP TABLE IF EXISTS {_quote(meta.name)}")
+                self.db.execute(
+                    f"DELETE FROM {VIEWS_TABLE} "
+                    f"WHERE name = '{_escape(meta.name)}'"
+                )
+            self.last_reports.pop(meta.name.lower(), None)
+
+    # -- refresh -----------------------------------------------------------
+
+    def refresh(self, name: str, full: bool = False,
+                cancel=None) -> RefreshReport:
+        """Refresh ``name`` (cascading over view dependencies first, all
+        pinned to one target snapshot); returns the refresh report."""
+        self._ensure_usable()
+        with self.db.write_lock():
+            views = self._load_all()
+            meta = views.get(name.lower())
+            if meta is None:
+                raise ViewError(f"unknown materialized view {name!r}")
+            target = self._retro.latest_snapshot_id
+            return self._refresh_cascade(meta, views, target, full=full,
+                                         cancel=cancel, chain=())
+
+    def _refresh_cascade(self, meta: ViewMeta, views: Dict[str, ViewMeta],
+                         target: int, full: bool, cancel,
+                         chain: Tuple[str, ...]) -> RefreshReport:
+        if meta.name.lower() in chain:
+            raise ViewError(
+                "materialized-view dependency cycle: "
+                + " -> ".join(chain + (meta.name.lower(),))
+            )
+        certificate = self._certify(meta.mechanism, meta.qq, meta.arg)
+        cascaded: List[str] = []
+        for table in sorted({t.lower() for t in certificate.read_tables}):
+            dep = views.get(table)
+            if dep is None or dep.name.lower() == meta.name.lower():
+                continue
+            if dep.built_from != target:
+                self._refresh_cascade(
+                    dep, views, target, full=False, cancel=cancel,
+                    chain=chain + (meta.name.lower(),),
+                )
+                cascaded.append(dep.name)
+                views = self._load_all()  # dep metadata advanced
+        report = self._refresh_one(
+            meta, views, target, full=full, reason=None, cancel=cancel,
+            certificate=certificate, persist="update",
+        )
+        report.cascaded = cascaded + report.cascaded
+        return report
+
+    def _refresh_one(self, meta: ViewMeta, views: Dict[str, ViewMeta],
+                     target: int, full: bool, reason: Optional[str],
+                     cancel, certificate,
+                     persist: str) -> RefreshReport:
+        sink = MetricsSink()
+        mode, why, diff_count, affected = self._plan(
+            meta, views, target, full, certificate, sink)
+        if reason is not None:
+            why = reason
+        report = RefreshReport(
+            view=meta.name, mechanism=meta.mechanism,
+            merge_class=meta.merge_class, mode=mode, reason=why,
+            built_from=meta.built_from, target=target,
+            diff_page_count=diff_count, affected_page_count=len(affected),
+            evaluated_snapshots=0, qq_rows=0, pagelog_reads=0,
+            cache_hits=0, db_reads=0, table_written=False,
+        )
+        if mode == "noop":
+            self._account(report, sink)
+            self.last_reports[meta.name.lower()] = report
+            return report
+
+        if mode == "full":
+            sids = list(range(1, target + 1))
+            base_empty = True
+        else:
+            sids = list(range(meta.built_from + 1, target + 1))
+            base_empty = False
+        skip_eval = mode == "delta-skip"
+
+        if meta.merge_class == MONOID and mode != "full" \
+                and self._monoid_state(meta) is None:
+            # Cannot fold without the persisted (sum, count) state.
+            mode = report.mode = "full"
+            report.reason = "no stored aggregate fold state"
+            sids = list(range(1, target + 1))
+            base_empty = True
+            skip_eval = False
+
+        evaluated = self._eval_range(meta.qq, sids, sink, cancel,
+                                     skip_eval)
+        report.evaluated_snapshots = evaluated.evaluations
+        plan = self._fold(meta, evaluated, base_empty)
+        self._check_cancel(cancel)
+        self._persist(meta, target, plan, persist)
+        report.table_written = plan.touches_table
+        self._account(report, sink)
+        self.last_reports[meta.name.lower()] = report
+        return report
+
+    # -- refresh planning ---------------------------------------------------
+
+    def _plan(self, meta: ViewMeta, views: Dict[str, ViewMeta],
+              target: int, full: bool, certificate,
+              sink: MetricsSink):
+        """(mode, reason, diff_page_count, affected_pages) for a refresh
+        of ``meta`` to ``target`` — shared by refresh and EXPLAIN."""
+        if target < meta.built_from:
+            raise ViewError(
+                f"view {meta.name!r} was built from snapshot "
+                f"{meta.built_from} but only {target} are declared"
+            )
+        if target == meta.built_from and not full:
+            return "noop", "already at the latest snapshot", 0, set()
+        if full:
+            return "full", "explicit FULL refresh", 0, set()
+        if meta.built_from == 0:
+            return "full", "initial build", 0, set()
+        if meta.merge_class == SERIAL_ONLY or not certificate.mergeable:
+            detail = "; ".join(
+                f.message for f in certificate.errors) or "not mergeable"
+            return ("full", f"serial-only certificate: {detail}", 0,
+                    set())
+        aux_reads = sorted(
+            t.lower() for t in set(certificate.read_tables)
+            if self._aux_table_exists(t)
+        )
+        if aux_reads:
+            return ("full",
+                    "reads non-snapshotable source(s): "
+                    + ", ".join(aux_reads), 0, set())
+        diff = self._retro.diff_pages(meta.built_from, target)
+        if not diff:
+            affected: Set[int] = set()
+        else:
+            read_pages = self._read_page_set(
+                meta.built_from, certificate.read_tables, sink)
+            affected = diff & read_pages
+        if not affected and not references_current_snapshot(meta.qq):
+            return ("delta-skip",
+                    "no affected pages and snapshot-invariant Qq: "
+                    "evaluate once at the target and replay",
+                    len(diff), affected)
+        if affected:
+            reason = (f"{len(affected)} affected pages in "
+                      f"{len(certificate.read_tables)} read tables")
+        else:
+            reason = ("no affected pages but Qq calls "
+                      "current_snapshot(); re-evaluating the delta")
+        return "delta", reason, len(diff), affected
+
+    def _read_page_set(self, built_from: int,
+                       read_tables: Sequence[str],
+                       sink: MetricsSink) -> Set[int]:
+        """Pages of the read tables (plus the main catalog, so DDL is
+        always detected) as of ``built_from``."""
+        from repro.sql.catalog import Catalog
+        from repro.storage.btree import BTree
+
+        engine = self.db.engine
+        ctx = engine.begin_read(owner=self.db._owner)
+        try:
+            with self._retro.route_metrics(sink):
+                sink.begin_iteration(built_from)
+                try:
+                    source = engine.snapshot_source(built_from, ctx)
+                    root = engine.pager.get_root("catalog")
+                    pages: Set[int] = set(BTree(source, root).page_ids())
+                    catalog = Catalog(source, root)
+                    for table in read_tables:
+                        info = catalog.get_table(table)
+                        if info is not None:
+                            pages.update(
+                                BTree(source, info.root_id).page_ids())
+                finally:
+                    sink.end_iteration()
+            return pages
+        finally:
+            ctx.close()
+
+    # -- evaluation ---------------------------------------------------------
+
+    @dataclass
+    class _Evaluated:
+        columns: Optional[List[str]]
+        per_sid: List[Tuple[int, List[tuple]]]
+        evaluations: int
+
+    def _eval_range(self, qq: str, sids: List[int], sink: MetricsSink,
+                    cancel, skip_eval) -> "ViewManager._Evaluated":
+        if not sids:
+            return self._Evaluated(None, [], 0)
+        with self._retro.route_metrics(sink):
+            if skip_eval:
+                # Identical table contents at every sid + snapshot-
+                # invariant Qq: one evaluation at the target stands in
+                # for the whole range.
+                self._check_cancel(cancel)
+                current = sink.begin_iteration(sids[-1])
+                try:
+                    columns, rows = eval_qq_at(
+                        self.db, qq, sids[-1], sink, current)
+                finally:
+                    sink.end_iteration()
+                return self._Evaluated(
+                    columns, [(sid, rows) for sid in sids], 1)
+            columns: Optional[List[str]] = None
+            per_sid: List[Tuple[int, List[tuple]]] = []
+            for sid in sids:
+                self._check_cancel(cancel)
+                current = sink.begin_iteration(sid)
+                try:
+                    sid_columns, rows = eval_qq_at(
+                        self.db, qq, sid, sink, current)
+                finally:
+                    sink.end_iteration()
+                if columns is None:
+                    columns = sid_columns
+                per_sid.append((sid, rows))
+            return self._Evaluated(columns, per_sid, len(sids))
+
+    # -- delta folding -------------------------------------------------------
+
+    #: fold shape per mechanism.  For certified views this matches the
+    #: certificate's merge class; a SERIAL-ONLY view still folds by its
+    #: mechanism's shape — the decision ladder has already forced a
+    #: full recompute (base_empty), where the fold functions replicate
+    #: the serial loop exactly.
+    _FOLD_CLASSES = {
+        "collatedata": CONCAT,
+        "aggregatedatainvariable": MONOID,
+        "aggregatedataintable": STORED_ROW,
+        "collatedataintointervals": INTERVAL_STITCH,
+    }
+
+    def _fold(self, meta: ViewMeta, evaluated: "ViewManager._Evaluated",
+              base_empty: bool) -> _WritePlan:
+        fold_class = self._FOLD_CLASSES[meta.mechanism.lower()]
+        if fold_class == CONCAT:
+            return self._fold_concat(meta, evaluated, base_empty)
+        if fold_class == MONOID:
+            return self._fold_monoid(meta, evaluated, base_empty)
+        if fold_class == STORED_ROW:
+            return self._fold_stored_row(meta, evaluated, base_empty)
+        return self._fold_intervals(meta, evaluated, base_empty)
+
+    def _fold_concat(self, meta, evaluated, base_empty) -> _WritePlan:
+        rows: List[tuple] = []
+        for _sid, sid_rows in evaluated.per_sid:
+            rows.extend(sid_rows)
+        if base_empty:
+            if evaluated.columns is None:
+                return _WritePlan()
+            return _WritePlan(rewrite=True, columns=list(evaluated.columns),
+                              rows=rows)
+        # Delta: the stored rows are exactly the serial prefix — append.
+        return _WritePlan(append_rows=rows)
+
+    def _fold_monoid(self, meta, evaluated, base_empty) -> _WritePlan:
+        if base_empty:
+            column: Optional[str] = None
+            state = make_cross_snapshot_aggregate(meta.arg)
+        else:
+            stored = self._monoid_state(meta)
+            column = stored["column"]
+            state = self._restore_agg(stored)
+        for sid, sid_rows in evaluated.per_sid:
+            if evaluated.columns is not None and \
+                    len(evaluated.columns) != 1:
+                raise MechanismError(
+                    "AggregateDataInVariable requires a single-column Qq"
+                )
+            if len(sid_rows) > 1:
+                raise MechanismError(
+                    "AggregateDataInVariable requires Qq to return a "
+                    f"single row; snapshot {sid} returned {len(sid_rows)}"
+                )
+            if column is None and evaluated.columns is not None:
+                column = evaluated.columns[0]
+            if sid_rows:
+                state.absorb(sid_rows[0][0])
+        if column is None:
+            return _WritePlan(state=None)
+        return _WritePlan(
+            rewrite=True, columns=[column], rows=[(state.result(),)],
+            state=self._dump_agg(column, state),
+        )
+
+    def _fold_stored_row(self, meta, evaluated, base_empty) -> _WritePlan:
+        schema = TableAggregateSchema(list(parse_col_func_pairs(meta.arg)))
+        acc_rows: List[tuple] = []
+        acc_by_key: Dict[bytes, int] = {}
+        if not base_empty:
+            stored_columns, base_rows = self._scan_table(meta.name)
+            schema.bind(self._visible_columns(stored_columns))
+            for row in base_rows:
+                acc_rows.append(tuple(row))
+                acc_by_key.setdefault(
+                    _group_key(schema, row), len(acc_rows) - 1)
+        delta_rows: List[tuple] = []
+        delta_by_key: Dict[bytes, int] = {}
+        first = True
+        for _sid, sid_rows in evaluated.per_sid:
+            if not schema.bound and evaluated.columns is not None:
+                schema.bind(list(evaluated.columns))
+            if base_empty and first:
+                # Serial first pass: insert every record unprobed
+                # (duplicate group rows possible), exactly like the
+                # executors' partition 0.
+                for row in sid_rows:
+                    key = _group_key(schema, row)
+                    delta_by_key.setdefault(key, len(delta_rows))
+                    delta_rows.append(schema.widen(row))
+            else:
+                for row in sid_rows:
+                    key = _group_key(schema, row)
+                    at = delta_by_key.get(key)
+                    if at is None:
+                        delta_by_key[key] = len(delta_rows)
+                        delta_rows.append(schema.widen(row))
+                    else:
+                        updated = schema.apply(delta_rows[at], row)
+                        if updated is not None:
+                            delta_rows[at] = updated
+            first = False
+        if not schema.bound:
+            return _WritePlan()  # nothing ever evaluated; no table yet
+        if base_empty:
+            acc_rows, acc_by_key = delta_rows, delta_by_key
+        elif delta_rows:
+            fold_stored_rows(schema, acc_rows, acc_by_key, delta_rows)
+        elif not base_empty:
+            # Empty delta: the stored table is already exact.
+            return _WritePlan()
+        return _WritePlan(
+            rewrite=True, columns=list(schema.columns), rows=acc_rows,
+            index_columns=[schema.columns[p]
+                           for p in schema.group_positions],
+        )
+
+    def _fold_intervals(self, meta, evaluated, base_empty) -> _WritePlan:
+        acc: List[list] = []
+        acc_by_key: Dict[bytes, List[int]] = {}
+        columns: Optional[List[str]] = None
+        if not base_empty:
+            stored_columns, base_rows = self._scan_table(meta.name)
+            columns = list(stored_columns[:-2])
+            for row in base_rows:
+                values = tuple(row[:-2])
+                key = encode_key(values)
+                acc_by_key.setdefault(key, []).append(len(acc))
+                acc.append([key, values, row[-2], row[-1]])
+        if columns is None and evaluated.columns is not None:
+            columns = list(evaluated.columns)
+        delta: List[list] = []
+        delta_by_key: Dict[bytes, List[int]] = {}
+        previous: Optional[int] = None
+        for sid, sid_rows in evaluated.per_sid:
+            for row in sid_rows:
+                values = tuple(row)
+                key = encode_key(values)
+                extended = False
+                if previous is not None:
+                    for at in delta_by_key.get(key, ()):
+                        interval = delta[at]
+                        if interval[3] == previous:
+                            interval[3] = sid
+                            extended = True
+                            break
+                if not extended:
+                    delta_by_key.setdefault(key, []).append(len(delta))
+                    delta.append([key, values, sid, sid])
+            previous = sid
+        if columns is None:
+            return _WritePlan()
+        if base_empty:
+            acc, acc_by_key = delta, delta_by_key
+        elif delta:
+            fold_intervals(acc, acc_by_key, delta,
+                           evaluated.per_sid[0][0], meta.built_from)
+        elif not base_empty:
+            return _WritePlan()
+        return _WritePlan(
+            rewrite=True,
+            columns=columns + [CollateDataIntoIntervalsRun.START_COLUMN,
+                               CollateDataIntoIntervalsRun.END_COLUMN],
+            rows=[values + (start, end)
+                  for _key, values, start, end in acc],
+            index_columns=columns,
+        )
+
+    # -- the single write transaction ---------------------------------------
+
+    def _persist(self, meta: ViewMeta, target: int, plan: _WritePlan,
+                 persist: str) -> None:
+        """Apply the write plan and advance the metadata row in ONE
+        explicit transaction.  Every statement here touches only the
+        aux engine (the result table is TEMP, the metadata table is
+        TEMP), so the commit is a single-WAL atomic step: a crash
+        recovers to fully-old or fully-new, never a torn view.
+        """
+        state_sql = "NULL"
+        if plan.state is not None:
+            state_sql = f"'{_escape(json.dumps(plan.state, sort_keys=True))}'"
+        with self.db.transaction():
+            if plan.rewrite:
+                self.db.execute(
+                    f"DROP TABLE IF EXISTS {_quote(meta.name)}")
+                assert plan.columns is not None
+                cols = ", ".join(_quote(c) for c in plan.columns)
+                self.db.execute(
+                    f"CREATE TEMP TABLE {_quote(meta.name)} ({cols})")
+                _, writer = self.db.table_writer(meta.name)
+                for row in plan.rows:
+                    writer.insert(tuple(row))
+                if plan.index_columns:
+                    index_cols = ", ".join(
+                        _quote(c) for c in plan.index_columns)
+                    self.db.execute(
+                        f"CREATE INDEX {_quote(meta.index_name)} ON "
+                        f"{_quote(meta.name)} ({index_cols})"
+                    )
+            elif plan.append_rows:
+                _, writer = self.db.table_writer(meta.name)
+                for row in plan.append_rows:
+                    writer.insert(tuple(row))
+            if persist == "insert":
+                arg_sql = ("NULL" if meta.arg is None
+                           else f"'{_escape(meta.arg)}'")
+                self.db.execute(
+                    f"INSERT INTO {VIEWS_TABLE} VALUES ("
+                    f"'{_escape(meta.name)}', '{_escape(meta.mechanism)}', "
+                    f"'{_escape(meta.qq)}', {arg_sql}, "
+                    f"'{_escape(meta.merge_class)}', {target}, {state_sql})"
+                )
+            else:
+                self.db.execute(
+                    f"UPDATE {VIEWS_TABLE} SET built_from = {target}, "
+                    f"state = {state_sql} "
+                    f"WHERE name = '{_escape(meta.name)}'"
+                )
+        meta.built_from = target
+        meta.state = plan.state
+
+    # -- EXPLAIN / listing ---------------------------------------------------
+
+    def explain_refresh(self, name: str, full: bool = False) -> List[str]:
+        """Dry-run refresh plan: built_from, affected pages, the
+        delta-vs-full decision, and the merge certificate."""
+        self._ensure_usable()
+        views = self._load_all()
+        meta = views.get(name.lower())
+        if meta is None:
+            raise ViewError(f"unknown materialized view {name!r}")
+        certificate = self._certify(meta.mechanism, meta.qq, meta.arg)
+        target = self._retro.latest_snapshot_id
+        sink = MetricsSink()
+        mode, why, diff_count, affected = self._plan(
+            meta, views, target, full, certificate, sink)
+        lines = [
+            f"view {meta.name}: {meta.mechanism} "
+            f"[merge class {meta.merge_class}]",
+            f"built_from {meta.built_from}, target {target}",
+            f"maplog diff {diff_count} pages, affected {len(affected)} "
+            f"pages",
+            f"decision: {mode} ({why})",
+        ]
+        report = self.last_reports.get(meta.name.lower())
+        if report is not None:
+            lines.append(
+                f"last refresh: {report.mode}, evaluated "
+                f"{report.evaluated_snapshots} snapshots, pagelog reads "
+                f"{report.pagelog_reads}"
+            )
+        lines.extend(certificate.summary_lines())
+        return lines
+
+    def list_views(self) -> List[ViewMeta]:
+        return sorted(self._load_all().values(),
+                      key=lambda m: m.name.lower())
+
+    # -- helpers -------------------------------------------------------------
+
+    @property
+    def _retro(self):
+        return self.db.engine.retro
+
+    def _certify(self, mechanism: str, qq: str, arg):
+        return self._session.certify(mechanism, VIEW_QS, qq, arg=arg)
+
+    def _account(self, report: RefreshReport, sink: MetricsSink) -> None:
+        for iteration in sink.iterations:
+            report.qq_rows += iteration.qq_rows
+            report.pagelog_reads += iteration.pagelog_reads
+            report.cache_hits += iteration.cache_hits
+            report.db_reads += iteration.db_reads
+
+    def _load_all(self) -> Dict[str, ViewMeta]:
+        result = self.db.execute(f"SELECT * FROM {VIEWS_TABLE}")
+        views: Dict[str, ViewMeta] = {}
+        for row in result.rows:
+            name, mechanism, qq, arg, merge_class, built_from, state = row
+            views[str(name).lower()] = ViewMeta(
+                name=str(name), mechanism=str(mechanism), qq=str(qq),
+                arg=None if arg is None else str(arg),
+                merge_class=str(merge_class),
+                built_from=int(built_from),
+                state=None if state is None else json.loads(state),
+            )
+        return views
+
+    def _dependents_of(self, meta: ViewMeta,
+                       views: Dict[str, ViewMeta]) -> List[str]:
+        dependents = []
+        for other in views.values():
+            if other.name.lower() == meta.name.lower():
+                continue
+            certificate = self._certify(other.mechanism, other.qq,
+                                        other.arg)
+            reads = {t.lower() for t in certificate.read_tables}
+            if meta.name.lower() in reads:
+                dependents.append(other.name)
+        return dependents
+
+    def _scan_table(self, name: str):
+        result = self.db.execute(f"SELECT * FROM {_quote(name)}")
+        return list(result.columns), [tuple(r) for r in result.rows]
+
+    @staticmethod
+    def _visible_columns(stored_columns: Sequence[str]) -> List[str]:
+        return [c for c in stored_columns if not c.startswith("__avg_")]
+
+    def _table_exists(self, name: str) -> bool:
+        from repro.sql.catalog import Catalog
+
+        for engine in (self.db.aux_engine, self.db.engine):
+            ctx = engine.begin_read(owner=self.db._owner)
+            try:
+                source = engine.read_source(ctx)
+                catalog = Catalog(source,
+                                  engine.pager.get_root("catalog"))
+                if catalog.get_table(name) is not None:
+                    return True
+            finally:
+                ctx.close()
+        return False
+
+    def _aux_table_exists(self, name: str) -> bool:
+        from repro.sql.catalog import Catalog
+
+        engine = self.db.aux_engine
+        ctx = engine.begin_read(owner=self.db._owner)
+        try:
+            source = engine.read_source(ctx)
+            catalog = Catalog(source, engine.pager.get_root("catalog"))
+            return catalog.get_table(name) is not None
+        finally:
+            ctx.close()
+
+    # -- monoid fold-state (de)serialization ---------------------------------
+
+    def _monoid_state(self, meta: ViewMeta) -> Optional[dict]:
+        state = meta.state
+        if not state or "column" not in state or "func" not in state:
+            return None
+        return state
+
+    @staticmethod
+    def _dump_agg(column: str, state) -> Optional[dict]:
+        """JSON-serializable fold state; None when the aggregate value
+        cannot round-trip through JSON (the next delta refresh then
+        falls back to full recompute)."""
+        func = state.name
+        if func == "avg":
+            payload = {"column": column, "func": func,
+                       "sum": state.total, "count": state.count}
+        elif func == "count":
+            payload = {"column": column, "func": func,
+                       "value": state.count}
+        elif func == "sum":
+            payload = {"column": column, "func": func,
+                       "value": state.total}
+        else:  # min / max
+            payload = {"column": column, "func": func,
+                       "value": state.best}
+        try:
+            json.dumps(payload)
+        except (TypeError, ValueError):
+            return None
+        return payload
+
+    @staticmethod
+    def _restore_agg(payload: dict):
+        state = make_cross_snapshot_aggregate(payload["func"])
+        func = payload["func"]
+        if func == "avg":
+            state.total = payload["sum"]
+            state.count = payload["count"]
+        elif func == "count":
+            state.count = payload["value"]
+        elif func == "sum":
+            state.total = payload["value"]
+        else:
+            state.best = payload["value"]
+        return state
+
+
+def _group_key(schema: TableAggregateSchema, row: Sequence) -> bytes:
+    """The executors' group identity (see ParallelExecutor._group_key)."""
+    return encode_key(tuple(row[p] for p in schema.group_positions))

@@ -73,7 +73,9 @@ class QueryTicket:
         self.cancel = threading.Event()
         #: set exactly once, after the dispatcher thread fully retired
         self.done = threading.Event()
-        self.result: Optional[RQLResult] = None
+        #: RQLResult for mechanism tickets; a views.RefreshReport for
+        #: refresh tickets
+        self.result = None
         self.error: Optional[BaseException] = None
         #: True when the run was partitioned through the worker pool
         self.partitioned = False
@@ -144,6 +146,46 @@ class QueryScheduler:
                            persistent=persistent,
                            workers=workers).outcome()
 
+    def submit_refresh(self, session: RQLSession, name: str,
+                       full: bool = False) -> QueryTicket:
+        """Run ``REFRESH MATERIALIZED VIEW name`` asynchronously.
+
+        Refresh admission is a **write**: the whole refresh holds the
+        store's write gate (via the view manager) while concurrently
+        pinned readers keep seeing the stale-but-consistent pre-refresh
+        contents through MVCC.  Unlike mechanism tickets, a cancelled
+        refresh must NOT drop its table — the view's single commit
+        already guarantees the stored result is fully old or fully new,
+        and dropping it would destroy the committed base.
+        """
+        if session.name is None:
+            raise ServerError(
+                "scheduler sessions need a name (open them through the "
+                "registry)"
+            )
+        with self._latch:
+            if self._closed:
+                raise ServerError("scheduler is shut down")
+            ticket = QueryTicket(self._next_id, session.name,
+                                 "refresh_view", name)
+            self._next_id += 1
+            self._active[ticket.id] = ticket
+            lock = self._session_locks.setdefault(session.name,
+                                                  threading.Lock())
+        thread = threading.Thread(
+            target=self._run_refresh,
+            args=(lock, session, ticket, name, full),
+            name=f"rql-refresh-{ticket.id}",
+        )
+        thread.start()
+        return ticket
+
+    def refresh(self, session: RQLSession, name: str,
+                full: bool = False):
+        """Synchronous convenience wrapper around :meth:`submit_refresh`;
+        returns the :class:`~repro.retro.views.RefreshReport`."""
+        return self.submit_refresh(session, name, full=full).outcome()
+
     # -- execution ----------------------------------------------------------
 
     def _run(self, lock: threading.Lock, session: RQLSession,
@@ -159,6 +201,27 @@ class QueryScheduler:
             ticket.error = exc
             self._drop_partial(session, table)
         except BaseException as exc:  # replint: taxonomy-exempt -- stored on the ticket; outcome() re-raises it
+            ticket.error = exc
+        finally:
+            with self._latch:
+                self._active.pop(ticket.id, None)
+            ticket.done.set()
+
+    def _run_refresh(self, lock: threading.Lock, session: RQLSession,
+                     ticket: QueryTicket, name: str, full: bool) -> None:
+        try:
+            with lock:
+                if ticket.cancel.is_set():
+                    raise QueryCancelled(
+                        f"refresh of {name!r} cancelled before admission"
+                    )
+                ticket.result = session.views.refresh(
+                    name, full=full, cancel=ticket.cancel)
+        except BaseException as exc:  # replint: taxonomy-exempt -- stored on the ticket; outcome() re-raises it
+            # Deliberately no _drop_partial: the view table is only ever
+            # replaced by the refresh's single atomic commit, so on any
+            # failure (including cancellation) the committed base result
+            # is still exact for its recorded built_from snapshot.
             ticket.error = exc
         finally:
             with self._latch:

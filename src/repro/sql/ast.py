@@ -223,6 +223,36 @@ class DropIndex:
 
 
 @dataclass
+class CreateMaterializedView:
+    """CREATE MATERIALIZED VIEW name AS Mechanism('Qq'[, 'arg']).
+
+    The defining query is one of the four retrospective mechanisms
+    applied to a per-snapshot query ``qq`` (plus the aggregate argument
+    for the aggregating mechanisms); the snapshot set is implicit —
+    every declared snapshot up to the refresh target.
+    """
+    name: str
+    mechanism: str
+    qq: str
+    arg: Optional[str] = None
+    if_not_exists: bool = False
+
+
+@dataclass
+class RefreshMaterializedView:
+    """REFRESH MATERIALIZED VIEW name [FULL]."""
+    name: str
+    full: bool = False
+
+
+@dataclass
+class DropMaterializedView:
+    """DROP MATERIALIZED VIEW [IF EXISTS] name."""
+    name: str
+    if_exists: bool = False
+
+
+@dataclass
 class Insert:
     """INSERT INTO ... VALUES / SELECT."""
     table: str

@@ -124,6 +124,9 @@ class Database:
         self._closed = False
         self.functions = FunctionRegistry()
         self.metrics: Optional[MetricsSink] = None
+        #: materialized-view handler (a repro.retro.views.ViewManager),
+        #: installed by RQLSession; None on a bare Database.
+        self.view_handler = None
         self.auto_checkpoint_on_snapshot = auto_checkpoint_on_snapshot
         self._main = _EngineSession(self.engine)
         self._aux = _EngineSession(self.aux_engine)
@@ -387,7 +390,8 @@ class Database:
     #: serves them from registered read contexts).
     _WRITE_STATEMENTS = (
         ast.Insert, ast.Delete, ast.Update, ast.CreateTable, ast.DropTable,
-        ast.CreateIndex, ast.DropIndex,
+        ast.CreateIndex, ast.DropIndex, ast.CreateMaterializedView,
+        ast.RefreshMaterializedView, ast.DropMaterializedView,
     )
 
     def _acquire_gate(self) -> None:
@@ -432,6 +436,10 @@ class Database:
             return self._execute_create_index(statement)
         if isinstance(statement, ast.DropIndex):
             return self._execute_drop_index(statement)
+        if isinstance(statement, (ast.CreateMaterializedView,
+                                  ast.RefreshMaterializedView,
+                                  ast.DropMaterializedView)):
+            return self._execute_view_statement(statement)
         if isinstance(statement, ast.Begin):
             return self._execute_begin()
         if isinstance(statement, ast.Commit):
@@ -439,6 +447,25 @@ class Database:
         if isinstance(statement, ast.Rollback):
             return self._execute_rollback()
         raise SqlError(f"unsupported statement {type(statement).__name__}")
+
+    def _execute_view_statement(self, statement) -> ResultSet:
+        """Route materialized-view DDL to the session's ViewManager.
+
+        The handler is installed by :class:`repro.core.session.RQLSession`
+        (views need the mechanism/certificate machinery above the SQL
+        layer); a bare Database has none.
+        """
+        handler = self.view_handler
+        if handler is None:
+            raise SqlError(
+                "materialized views require an RQL session "
+                "(no view handler attached to this Database)"
+            )
+        if isinstance(statement, ast.CreateMaterializedView):
+            return handler.execute_create(statement)
+        if isinstance(statement, ast.RefreshMaterializedView):
+            return handler.execute_refresh(statement)
+        return handler.execute_drop(statement)
 
     # -- transactions -----------------------------------------------------------
 
@@ -514,8 +541,20 @@ class Database:
         from repro.sql.planner import explain_select
 
         inner = statement.statement
+        if isinstance(inner, ast.RefreshMaterializedView):
+            if self.view_handler is None:
+                raise SqlError(
+                    "materialized views require an RQL session "
+                    "(no view handler attached to this Database)"
+                )
+            lines = self.view_handler.explain_refresh(inner.name,
+                                                      full=inner.full)
+            return ResultSet(["detail"], [(line,) for line in lines])
         if not isinstance(inner, ast.Select):
-            raise SqlError("EXPLAIN supports SELECT statements")
+            raise SqlError(
+                "EXPLAIN supports SELECT and REFRESH MATERIALIZED VIEW "
+                "statements"
+            )
         ctx, cleanup = self._context_for_select(inner)
         try:
             notes = explain_select(inner, ctx)

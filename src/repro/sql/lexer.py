@@ -29,9 +29,10 @@ KEYWORDS = frozenset("""
     ABORT ALL AND AS ASC ASOF AVG BEGIN BETWEEN BLOB BY CASE COMMIT COUNT
     CREATE CROSS DATE DEFAULT DELETE DESC DISTINCT DROP ELSE END ESCAPE EXPLAIN
     EXISTS FROM GROUP HAVING IF IN INDEX INNER INSERT INTEGER INTO IS JOIN
-    KEY LEFT LIKE LIMIT MAX MIN NOT NULL NUMERIC OF OFFSET ON OR ORDER
-    PRIMARY REAL ROLLBACK SELECT SET SNAPSHOT SUM TABLE TEMP TEMPORARY
-    TEXT THEN TRANSACTION UNIQUE UPDATE VALUES WHEN WHERE WITH
+    KEY LEFT LIKE LIMIT MATERIALIZED MAX MIN NOT NULL NUMERIC OF OFFSET
+    ON OR ORDER PRIMARY REAL REFRESH ROLLBACK SELECT SET SNAPSHOT SUM
+    TABLE TEMP TEMPORARY TEXT THEN TRANSACTION UNIQUE UPDATE VALUES VIEW
+    WHEN WHERE WITH
 """.split())
 
 _OPERATORS = (

@@ -2,9 +2,10 @@
 
 Grammar covers the subset RQL and the paper's workloads need: SELECT
 (with ``AS OF``, joins, GROUP BY/HAVING, ORDER BY, LIMIT), INSERT,
-UPDATE, DELETE, CREATE/DROP TABLE and INDEX, BEGIN / COMMIT [WITH
-SNAPSHOT] / ROLLBACK, expressions with three-valued logic operators,
-CASE, IN, BETWEEN, LIKE and function calls.
+UPDATE, DELETE, CREATE/DROP TABLE and INDEX, CREATE/REFRESH/DROP
+MATERIALIZED VIEW, BEGIN / COMMIT [WITH SNAPSHOT] / ROLLBACK,
+expressions with three-valued logic operators, CASE, IN, BETWEEN,
+LIKE and function calls.
 """
 
 from __future__ import annotations
@@ -149,6 +150,8 @@ class Parser:
             return self._create()
         if keyword == "DROP":
             return self._drop()
+        if keyword == "REFRESH":
+            return self._refresh()
         if keyword == "BEGIN":
             self._next()
             self._accept(KEYWORD, "TRANSACTION")
@@ -351,8 +354,16 @@ class Parser:
                 raise ParseError("temporary indexes are not supported",
                                  self._peek().position)
             return self._create_index(unique)
-        raise ParseError("expected TABLE or INDEX after CREATE",
-                         self._peek().position)
+        if self._accept(KEYWORD, "MATERIALIZED"):
+            if temporary or unique:
+                raise ParseError(
+                    "TEMP/UNIQUE do not apply to materialized views",
+                    self._peek().position)
+            self._expect(KEYWORD, "VIEW")
+            return self._create_materialized_view()
+        raise ParseError(
+            "expected TABLE, INDEX or MATERIALIZED VIEW after CREATE",
+            self._peek().position)
 
     def _if_not_exists(self) -> bool:
         if self._accept(KEYWORD, "IF"):
@@ -433,6 +444,43 @@ class Parser:
             if_not_exists=if_not_exists,
         )
 
+    def _create_materialized_view(self) -> ast.CreateMaterializedView:
+        if_not_exists = self._if_not_exists()
+        name = self._ident()
+        self._expect(KEYWORD, "AS")
+        mechanism = self._ident()
+        self._expect(OPERATOR, "(")
+        qq = self._string_literal("the defining Qq query")
+        arg = None
+        if self._accept(OPERATOR, ","):
+            arg = self._string_literal("the aggregate argument")
+        self._expect(OPERATOR, ")")
+        return ast.CreateMaterializedView(
+            name=name, mechanism=mechanism, qq=qq, arg=arg,
+            if_not_exists=if_not_exists,
+        )
+
+    def _string_literal(self, what: str) -> str:
+        tok = self._peek()
+        if tok.kind != STRING:
+            raise ParseError(
+                f"expected a string literal for {what}, "
+                f"found {tok.value!r}", tok.position)
+        self._next()
+        return str(tok.value)
+
+    def _refresh(self) -> ast.RefreshMaterializedView:
+        self._expect(KEYWORD, "REFRESH")
+        self._expect(KEYWORD, "MATERIALIZED")
+        self._expect(KEYWORD, "VIEW")
+        name = self._ident()
+        full = False
+        tok = self._peek()
+        if tok.kind == IDENT and str(tok.value).upper() == "FULL":
+            self._next()
+            full = True
+        return ast.RefreshMaterializedView(name=name, full=full)
+
     def _drop(self) -> ast.Statement:
         self._expect(KEYWORD, "DROP")
         if self._accept(KEYWORD, "TABLE"):
@@ -441,8 +489,14 @@ class Parser:
         if self._accept(KEYWORD, "INDEX"):
             if_exists = self._if_exists()
             return ast.DropIndex(name=self._ident(), if_exists=if_exists)
-        raise ParseError("expected TABLE or INDEX after DROP",
-                         self._peek().position)
+        if self._accept(KEYWORD, "MATERIALIZED"):
+            self._expect(KEYWORD, "VIEW")
+            if_exists = self._if_exists()
+            return ast.DropMaterializedView(
+                name=self._ident(), if_exists=if_exists)
+        raise ParseError(
+            "expected TABLE, INDEX or MATERIALIZED VIEW after DROP",
+            self._peek().position)
 
     def _if_exists(self) -> bool:
         if self._accept(KEYWORD, "IF"):

@@ -1,0 +1,186 @@
+"""Differential harness: incremental view refresh == from-scratch rebuild.
+
+Hypothesis generates snapshot/update/refresh schedules and every
+schedule runs twice on two fresh embedded sessions:
+
+* **incremental** — each REFRESH takes whatever path the planner picks
+  (noop / delta / delta-skip / full fallback) against the Maplog diff;
+* **rebuild** — the same schedule with every refresh forced to
+  ``REFRESH ... FULL``, i.e. a from-scratch recompute over snapshots
+  ``1..target``.
+
+Equality is asserted on the **byte-level full dump** of both engines —
+every table's columns, rowids, physical row order and values, plus the
+index inventory (so the view's result table, its hidden AVG helper
+columns, its index, and the ``__rql_views`` metadata including the
+persisted monoid fold state must all coincide) — and on leak-freedom:
+after close, zero open MVCC read contexts on either engine and no
+transaction left open.
+
+Both sessions run a fixed SnapIds clock and integer-only data so the
+dumps are deterministic and exact.
+
+4 mechanism shapes x ``MAX_EXAMPLES`` examples = ≥100 schedules per
+full run, per the acceptance bar.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import RQLSession
+from tests.conftest import full_database_dump
+
+MAX_EXAMPLES = 26  # x4 view shapes = 104 schedules per full run
+
+FIXED_CLOCK = lambda: "2026-01-01 00:00:00"  # noqa: E731
+
+DIFFERENTIAL_SETTINGS = settings(
+    max_examples=MAX_EXAMPLES,
+    deadline=None,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow,
+                           HealthCheck.data_too_large,
+                           HealthCheck.filter_too_much],
+)
+
+#: (name, mechanism, qq, arg) — one per merge class
+VIEW_SHAPES = [
+    ("concat", "CollateData",
+     "SELECT grp, val, current_snapshot() FROM events", None),
+    ("monoid", "AggregateDataInVariable",
+     "SELECT SUM(val) FROM events", "sum"),
+    ("stored_row", "AggregateDataInTable",
+     "SELECT grp, val FROM events",
+     "(val, sum):(val, count):(val, avg):(val, max)"),
+    ("intervals", "CollateDataIntoIntervals",
+     "SELECT DISTINCT grp FROM events", None),
+]
+
+_groups = st.integers(min_value=0, max_value=3)
+_values = st.integers(min_value=-50, max_value=100)
+
+_update_op = st.one_of(
+    st.tuples(st.just("insert"), _groups, _values),
+    st.tuples(st.just("update"), _groups,
+              st.integers(min_value=1, max_value=9)),
+    st.tuples(st.just("delete"), _groups),
+    # noise: mutates a table the view never reads (the delta-skip path)
+    st.tuples(st.just("noise"), _values),
+)
+
+#: one schedule action: declare a snapshot after some updates, or
+#: refresh the view now
+_action = st.one_of(
+    st.tuples(st.just("snap"), st.lists(_update_op, min_size=0,
+                                        max_size=3)),
+    st.just(("refresh",)),
+)
+
+#: (snapshots before CREATE, actions after CREATE)
+_schedule = st.tuples(
+    st.integers(min_value=0, max_value=2),
+    st.lists(_action, min_size=1, max_size=6),
+)
+
+
+def _op_sql(op) -> str:
+    if op[0] == "insert":
+        return f"INSERT INTO events VALUES ({op[1]}, {op[2]})"
+    if op[0] == "update":
+        return (f"UPDATE events SET val = val + {op[2]} "
+                f"WHERE grp = {op[1]}")
+    if op[0] == "noise":
+        return f"INSERT INTO noise VALUES ({op[1]})"
+    return f"DELETE FROM events WHERE grp = {op[1]}"
+
+
+def run_schedule(schedule, shape, full: bool):
+    """Run one schedule; returns (dump, refresh modes, view rows)."""
+    name, mechanism, qq, arg = shape
+    warmup, actions = schedule
+    session = RQLSession(clock=FIXED_CLOCK, workers=1)
+    modes = []
+    try:
+        session.execute("CREATE TABLE events (grp INTEGER, val INTEGER)")
+        session.execute("CREATE TABLE noise (x INTEGER)")
+        session.execute("INSERT INTO events VALUES (0, 1)")
+        session.declare_snapshot()
+        for n in range(warmup):
+            session.execute(f"INSERT INTO events VALUES (1, {n})")
+            session.declare_snapshot()
+        session.create_materialized_view(name, mechanism, qq, arg=arg)
+        for action in actions:
+            if action[0] == "snap":
+                for op in action[1]:
+                    session.execute(_op_sql(op))
+                session.declare_snapshot()
+            else:
+                report = session.refresh_view(name, full=full)
+                modes.append(report.mode)
+        # Always converge on the final snapshot before comparing.
+        report = session.refresh_view(name, full=full)
+        modes.append(report.mode)
+        rows = session.execute(f'SELECT * FROM "{name}"').rows
+        dump = full_database_dump(session.db)
+    finally:
+        session.close()
+    # Leak-freedom: nothing outlives the session on either engine.
+    assert session.db.engine.open_read_contexts() == []
+    assert session.db.aux_engine.open_read_contexts() == []
+    assert not session.db._in_explicit_txn
+    return dump, modes, rows
+
+
+@pytest.mark.parametrize("shape", VIEW_SHAPES, ids=lambda s: s[0])
+@DIFFERENTIAL_SETTINGS
+@given(schedule=_schedule)
+def test_incremental_refresh_matches_full_rebuild(schedule, shape):
+    incremental = run_schedule(schedule, shape, full=False)
+    rebuild = run_schedule(schedule, shape, full=True)
+    # The rebuild run is all full refreshes by construction.
+    assert set(rebuild[1]) <= {"full", "noop"}
+    # Byte-identical state: result table, hidden columns, index
+    # inventory, SnapIds, view metadata (incl. persisted fold state).
+    assert incremental[0] == rebuild[0]
+    assert incremental[2] == rebuild[2]
+
+
+@DIFFERENTIAL_SETTINGS
+@given(schedule=_schedule)
+def test_dependent_view_cascade_matches_rebuild(schedule):
+    """A view over a view: the cascade refreshes the base first, both
+    pinned to one target, and still matches the all-FULL rebuild."""
+
+    def run(full: bool):
+        session = RQLSession(clock=FIXED_CLOCK, workers=1)
+        warmup, actions = schedule
+        try:
+            session.execute(
+                "CREATE TABLE events (grp INTEGER, val INTEGER)")
+            session.execute("CREATE TABLE noise (x INTEGER)")
+            session.execute("INSERT INTO events VALUES (0, 1)")
+            session.declare_snapshot()
+            for n in range(warmup):
+                session.execute(f"INSERT INTO events VALUES (1, {n})")
+                session.declare_snapshot()
+            session.create_materialized_view(
+                "base", "AggregateDataInTable",
+                "SELECT grp, val FROM events", arg="(val, sum)")
+            session.create_materialized_view(
+                "top", "CollateData", "SELECT grp, val FROM base")
+            for action in actions:
+                if action[0] == "snap":
+                    for op in action[1]:
+                        session.execute(_op_sql(op))
+                    session.declare_snapshot()
+                else:
+                    session.refresh_view("top", full=full)
+            session.refresh_view("top", full=full)
+            dump = full_database_dump(session.db)
+        finally:
+            session.close()
+        return dump
+
+    assert run(False) == run(True)

@@ -193,3 +193,105 @@ def test_server_close_is_idempotent_and_total():
                                 "SELECT snap_id FROM SnapIds",
                                 "SELECT a FROM t", "r")
     assert isinstance(QueryCancelled("x"), ServerError)
+
+
+# ---------------------------------------------------------------------------
+# kill-mid-refresh: materialized-view refresh vs session teardown
+# ---------------------------------------------------------------------------
+
+
+def _view_fixture(registry, started, release, blocking):
+    """A session with a 1-snapshot view whose Qq blocks on demand."""
+    session = registry.open("alice")
+
+    def gate(value):
+        if blocking.is_set():
+            started.set()
+            release.wait(30)
+        return value
+
+    session.db.register_function("gate", gate)
+    session.execute("CREATE TABLE events (val INTEGER)")
+    session.execute("INSERT INTO events VALUES (10)")
+    session.declare_snapshot()
+    session.execute(
+        "CREATE MATERIALIZED VIEW v AS "
+        "CollateData('SELECT gate(val) FROM events')")
+    for n in range(3):
+        session.execute(f"INSERT INTO events VALUES ({n})")
+        session.declare_snapshot()
+    return session
+
+
+def test_cancel_mid_refresh_keeps_committed_view(store, registry):
+    """Cancelling an in-flight refresh never tears the view: metadata
+    and table stay at the committed ``built_from``, teardown leaks
+    nothing, and a later session can still refresh to the target."""
+    from repro.server import QueryScheduler
+    from repro.errors import QueryCancelled as Cancelled
+
+    started = threading.Event()
+    release = threading.Event()
+    blocking = threading.Event()
+    scheduler = QueryScheduler(store)
+    session = _view_fixture(registry, started, release, blocking)
+    before = session.execute("SELECT * FROM v").rows
+
+    blocking.set()
+    ticket = scheduler.submit_refresh(session, "v")
+    assert started.wait(10), "refresh never reached the blocked Qq"
+    cancelled = scheduler.cancel_session("alice", wait=False)
+    assert cancelled == 1
+    release.set()
+    assert ticket.wait(10)
+    with pytest.raises(Cancelled):
+        ticket.outcome()
+
+    # Fully old: the cancelled refresh committed nothing.
+    blocking.clear()
+    (meta,) = session.views.list_views()
+    assert meta.built_from == 1
+    assert session.execute("SELECT * FROM v").rows == before
+    registry.close("alice")
+    assert registry.leak_report() == {
+        "sessions": 0, "read_contexts": 0, "gate_held": False,
+    }
+    # The committed base survives into the next session and is still
+    # refreshable to the real target (functions register per session).
+    bob = registry.open("bob")
+    bob.db.register_function("gate", lambda value: value)
+    report = bob.refresh_view("v")
+    assert (report.built_from, report.target) == (1, 4)
+    registry.close("bob")
+    assert registry.leak_report() == {
+        "sessions": 0, "read_contexts": 0, "gate_held": False,
+    }
+
+
+def test_session_close_aborts_in_flight_refresh(store, registry):
+    """The view manager's close() hook aborts an in-flight refresh with
+    QueryCancelled, so registry teardown reaps an all-zero report."""
+    from repro.server import QueryScheduler
+    from repro.errors import QueryCancelled as Cancelled
+
+    started = threading.Event()
+    release = threading.Event()
+    blocking = threading.Event()
+    scheduler = QueryScheduler(store)
+    session = _view_fixture(registry, started, release, blocking)
+
+    blocking.set()
+    ticket = scheduler.submit_refresh(session, "v")
+    assert started.wait(10), "refresh never reached the blocked Qq"
+    # Teardown signal first (what RQLSession.close does), then let the
+    # blocked evaluation run into the abort check.
+    session.views.close()
+    release.set()
+    assert ticket.wait(10)
+    assert isinstance(ticket.error, Cancelled)
+    assert "session close" in str(ticket.error)
+
+    registry.close("alice")
+    assert registry.leak_report() == {
+        "sessions": 0, "read_contexts": 0, "gate_held": False,
+    }

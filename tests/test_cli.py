@@ -97,6 +97,24 @@ class TestShell:
         assert "checkpointed" in output
         assert "database pages:" in output
 
+    def test_dot_views_lists_and_explains(self):
+        output = run_shell(
+            "CREATE TABLE t (a INTEGER);\n"
+            "INSERT INTO t VALUES (1);\n"
+            ".snapshot\n"
+            ".views\n"
+            "CREATE MATERIALIZED VIEW v AS "
+            "CollateData('SELECT a FROM t');\n"
+            ".views\n"
+            ".views v\n"
+            "REFRESH MATERIALIZED VIEW v;\n"
+            "DROP MATERIALIZED VIEW v;\n"
+        )
+        assert "(no materialized views)" in output
+        assert "concat" in output
+        assert "decision:" in output
+        assert "noop" in output
+
     def test_unknown_dot_command(self):
         output = run_shell(".nope\n")
         assert "unknown command" in output

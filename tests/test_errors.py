@@ -24,7 +24,9 @@ LAYERS = {
         errors.LexerError, errors.ParseError, errors.PlanError,
         errors.ExecutionError, errors.CatalogError, errors.UdfError,
     ],
-    errors.RqlError: [errors.AggregateError, errors.MechanismError],
+    errors.RqlError: [
+        errors.AggregateError, errors.MechanismError, errors.ViewError,
+    ],
     errors.ServerError: [
         errors.SessionStateError, errors.QueryCancelled,
     ],
