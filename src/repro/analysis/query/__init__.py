@@ -5,7 +5,11 @@ Where replint (:mod:`repro.analysis.rules`) checks the *implementation*
 *queries*: it resolves each RQL mechanism invocation against a schema,
 certifies its merge class (monoid / stored-row / concat /
 interval-stitch / serial-only) and emits RQL100-106 diagnostics through
-the same findings/baseline/pragma/SARIF machinery.
+the same findings/baseline/pragma/SARIF machinery.  planlint
+(:mod:`repro.analysis.query.planlint`) extends the pass to the *plans*:
+RQL110-114 certify the cost-based planner's access paths against
+declared ANALYZE statistics and the golden-plan corpus
+(:mod:`repro.workloads.plans`).
 
 Public surface:
 
@@ -26,6 +30,11 @@ from repro.analysis.query.mergeclass import (  # noqa: F401
     MergeCertificate,
     certify_mechanism,
     classify_select,
+)
+from repro.analysis.query.planlint import (  # noqa: F401
+    PlanCertificate,
+    certify_plan,
+    plan_corpus_findings,
 )
 from repro.analysis.query.rules import (  # noqa: F401
     QUERY_REGISTRY,

@@ -50,6 +50,7 @@ from repro.analysis.findings import (
     save_baseline,
 )
 from repro.analysis.query.mergeclass import certify_mechanism
+from repro.analysis.query.planlint import plan_corpus_findings
 from repro.analysis.query.rules import query_rule_descriptions
 from repro.analysis.sarif import render_sarif
 from repro.errors import AnalysisError
@@ -280,6 +281,9 @@ def analyze_query_paths(paths: Sequence[Path],
         corpus, entries = _corpus_findings()
         findings.extend(corpus)
         report.files_scanned += entries
+        plans, plan_entries = plan_corpus_findings()
+        findings.extend(plans)
+        report.files_scanned += plan_entries
     for finding in findings:
         if finding.matches(baseline):
             report.baselined.append(finding)

@@ -277,6 +277,15 @@ class Update:
 
 
 @dataclass
+class Analyze:
+    """ANALYZE [table]: gather planner statistics into ``__rql_stats``.
+
+    With no table, every table in the main catalog is analyzed.
+    """
+    table: Optional[str] = None
+
+
+@dataclass
 class Explain:
     """EXPLAIN <statement>: report the access plan."""
     statement: "Statement"

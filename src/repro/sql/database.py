@@ -339,7 +339,7 @@ class Database:
                     main_source = self.engine.read_source(read_ctx)
                 aux_source = self.aux_engine.read_source(aux_read_ctx)
                 ctx = _Context(self, main_source, aux_source,
-                               metrics=metrics)
+                               metrics=metrics, as_of=as_of)
             except BaseException:
                 aux_read_ctx.close()
                 raise
@@ -391,7 +391,7 @@ class Database:
     _WRITE_STATEMENTS = (
         ast.Insert, ast.Delete, ast.Update, ast.CreateTable, ast.DropTable,
         ast.CreateIndex, ast.DropIndex, ast.CreateMaterializedView,
-        ast.RefreshMaterializedView, ast.DropMaterializedView,
+        ast.RefreshMaterializedView, ast.DropMaterializedView, ast.Analyze,
     )
 
     def _acquire_gate(self) -> None:
@@ -436,6 +436,8 @@ class Database:
             return self._execute_create_index(statement)
         if isinstance(statement, ast.DropIndex):
             return self._execute_drop_index(statement)
+        if isinstance(statement, ast.Analyze):
+            return self._execute_analyze(statement)
         if isinstance(statement, (ast.CreateMaterializedView,
                                   ast.RefreshMaterializedView,
                                   ast.DropMaterializedView)):
@@ -591,7 +593,7 @@ class Database:
                     aux_source = self.aux_engine.page_source(self._aux.txn)
                 else:
                     aux_source = self.aux_engine.read_source(aux_read_ctx)
-                ctx = _Context(self, main_source, aux_source)
+                ctx = _Context(self, main_source, aux_source, as_of=as_of)
             except BaseException:
                 aux_read_ctx.close()
                 raise
@@ -670,7 +672,8 @@ class Database:
         read_ctx = self.engine.begin_read(owner=self._owner)
         try:
             main_source = self.engine.snapshot_source(sid, read_ctx)
-            ctx = _Context(self, main_source, self._aux.source())
+            ctx = _Context(self, main_source, self._aux.source(),
+                           as_of=sid)
             result = run_select(select, ctx)
             return result.columns, result.rows
         finally:
@@ -891,6 +894,69 @@ class Database:
             return _status()
         raise CatalogError(f"no such index: {statement.name}")
 
+    # -- ANALYZE ----------------------------------------------------------------------
+
+    def _execute_analyze(self, statement: ast.Analyze) -> ResultSet:
+        """Gather planner statistics into the aux ``__rql_stats`` table.
+
+        Statistics are non-snapshotable metadata (like SnapIds), so they
+        live in the aux engine; each gathering is stamped with the
+        latest declared snapshot id, which is what keeps plans
+        ``AS OF``-consistent — a query pinned to snapshot *s* only sees
+        statistics gathered at or before *s*.
+        """
+        from repro.sql.stats import (
+            STATS_COLUMNS,
+            STATS_TABLE,
+            compute_table_stats,
+            stats_to_rows,
+        )
+
+        ctx = self._write_context()
+        with self._statement():
+            aux_catalog = self._catalog_for_write(self._aux)
+            stats_info = aux_catalog.get_table(STATS_TABLE)
+            if stats_info is None:
+                stats_info = self._create_table_object(
+                    self._aux, aux_catalog, STATS_TABLE,
+                    [Column(name, type_name)
+                     for name, type_name in STATS_COLUMNS],
+                    [], True,
+                )
+            stats_info.temporary = True
+            stats_table = TableAccess(stats_info, self._aux.source())
+            writer = TableWriter(stats_table, [])
+            if statement.table is not None:
+                targets = [ctx.open_table(statement.table)]
+            else:
+                main_catalog = self._catalog_for_write(self._main)
+                targets = [
+                    TableAccess(info, self._main.source())
+                    for info in main_catalog.list_tables()
+                ]
+            snapshot_id = self.latest_snapshot_id
+            out_rows: List[Tuple[SqlValue, ...]] = []
+            for target in targets:
+                stats = compute_table_stats(
+                    target, snapshot_id,
+                    page_size=self.engine.page_size,
+                )
+                # Re-ANALYZE replaces this (table, snapshot) gathering.
+                doomed = [
+                    rowid for rowid, row in stats_table.scan()
+                    if str(row[0]).lower() == stats.table
+                    and int(row[1]) == snapshot_id
+                ]
+                for rowid in doomed:
+                    writer.delete(rowid)
+                for row in stats_to_rows(stats):
+                    writer.insert(row)
+                out_rows.append(
+                    (stats.table, stats.row_count, stats.page_count),
+                )
+            return ResultSet(["table", "row_count", "page_count"],
+                             out_rows)
+
 
 # ---------------------------------------------------------------------------
 # Execution context implementation
@@ -901,7 +967,8 @@ class _Context(ExecutionContext):
 
     def __init__(self, db: Database, main_source, aux_source,
                  writable: bool = False,
-                 metrics: Optional[MetricsSink] = None) -> None:
+                 metrics: Optional[MetricsSink] = None,
+                 as_of: Optional[int] = None) -> None:
         self._db = db
         self._main_source = main_source
         self._aux_source = aux_source
@@ -909,6 +976,11 @@ class _Context(ExecutionContext):
         # Per-context sink override: parallel workers meter into their
         # own sink instead of the database-wide one.
         self._metrics = metrics
+        # Snapshot pin of the statement (None = current state); bounds
+        # which ANALYZE gatherings the planner may see.
+        self._as_of = as_of
+        self._stats_rows: Optional[List[Tuple]] = None
+        self._stats_cache: Dict[str, object] = {}
         self._main_catalog = Catalog(
             main_source, db._catalog_root(db.engine),
         )
@@ -937,6 +1009,33 @@ class _Context(ExecutionContext):
     @property
     def functions(self) -> Dict[str, Callable[..., SqlValue]]:
         return self._db.functions.snapshot()
+
+    def table_stats(self, name: str):
+        """Newest ANALYZE statistics visible at this context's AS OF pin.
+
+        Reads the aux ``__rql_stats`` table directly (one scan, cached
+        per statement).  Returns None — heuristic planning — when no
+        eligible gathering exists, and never consults statistics for
+        the statistics table itself.
+        """
+        from repro.sql.stats import STATS_TABLE, stats_from_rows
+
+        key = name.lower()
+        if key in self._stats_cache:
+            return self._stats_cache[key]
+        stats = None
+        if key != STATS_TABLE:
+            if self._stats_rows is None:
+                info = self._aux_catalog.get_table(STATS_TABLE)
+                if info is None:
+                    self._stats_rows = []
+                else:
+                    table = TableAccess(info, self._aux_source)
+                    self._stats_rows = list(table.scan_rows())
+            stats = stats_from_rows(key, self._stats_rows,
+                                    as_of=self._as_of)
+        self._stats_cache[key] = stats
+        return stats
 
     def _sink(self) -> Optional[MetricsSink]:
         return self._metrics if self._metrics is not None else self._db.metrics

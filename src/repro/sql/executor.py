@@ -19,7 +19,12 @@ from repro.errors import ExecutionError
 from repro.sql.catalog import IndexInfo, TableInfo
 from repro.sql.types import SqlValue, coerce_for_column
 from repro.storage.btree import BTree
-from repro.storage.record import decode_record, encode_key, encode_record
+from repro.storage.record import (
+    KEY_AFTER_NULLS,
+    decode_record,
+    encode_key,
+    encode_record,
+)
 
 Row = Tuple[SqlValue, ...]
 
@@ -96,8 +101,14 @@ class IndexAccess:
                      hi: Optional[Sequence[SqlValue]],
                      lo_inclusive: bool = True,
                      hi_inclusive: bool = True) -> Iterator[int]:
-        """Rowids with lo <=/< first column(s) <=/< hi."""
-        lo_key = encode_key(tuple(lo)) if lo is not None else None
+        """Rowids with lo <=/< first column(s) <=/< hi.
+
+        NULL keys satisfy no range predicate (three-valued logic), so
+        an unbounded-below range starts after the NULL key class
+        instead of at the front of the index.
+        """
+        lo_key = encode_key(tuple(lo)) if lo is not None \
+            else KEY_AFTER_NULLS
         hi_key = encode_key(tuple(hi)) if hi is not None else None
         for key, payload in self.tree.scan_range(lo_key, hi_key,
                                                  hi_inclusive=hi_inclusive):

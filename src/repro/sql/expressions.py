@@ -66,6 +66,11 @@ class Scope:
         except PlanError:
             return None
 
+    def is_ambiguous(self, ref: ast.ColumnRef) -> bool:
+        """True when an unqualified ref matches columns of two bindings."""
+        return (ref.table is None
+                and len(self._by_name.get(ref.name.lower(), [])) > 1)
+
     def positions_for_binding(self, binding: str) -> List[int]:
         lowered = binding.lower()
         return [pos for pos, (b, _) in enumerate(self.bindings)

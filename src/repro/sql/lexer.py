@@ -26,7 +26,7 @@ PARAM = "PARAM"
 EOF = "EOF"
 
 KEYWORDS = frozenset("""
-    ABORT ALL AND AS ASC ASOF AVG BEGIN BETWEEN BLOB BY CASE COMMIT COUNT
+    ABORT ALL ANALYZE AND AS ASC ASOF AVG BEGIN BETWEEN BLOB BY CASE COMMIT COUNT
     CREATE CROSS DATE DEFAULT DELETE DESC DISTINCT DROP ELSE END ESCAPE EXPLAIN
     EXISTS FROM GROUP HAVING IF IN INDEX INNER INSERT INTEGER INTO IS JOIN
     KEY LEFT LIKE LIMIT MATERIALIZED MAX MIN NOT NULL NUMERIC OF OFFSET

@@ -166,6 +166,13 @@ class Parser:
         if keyword == "ROLLBACK":
             self._next()
             return ast.Rollback()
+        if keyword == "ANALYZE":
+            self._next()
+            nxt = self._peek()
+            table = None
+            if nxt.kind != EOF and not nxt.matches(OPERATOR, ";"):
+                table = self._ident()
+            return ast.Analyze(table=table)
         raise ParseError(f"unsupported statement {keyword}", tok.position)
 
     # -- SELECT ---------------------------------------------------------------

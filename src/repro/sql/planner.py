@@ -1,27 +1,43 @@
 """Query planning and SELECT execution.
 
-Planning follows SQLite's spirit at a smaller scale:
+Planning is split into a **pure planner** and an **executor**:
 
-* single-table access picks a native index when an equality or range
-  conjunct matches the index's leading column, else a sequential scan;
-* joins are left-deep nested loops; the inner side uses a native index
-  when one matches the join column, otherwise the planner builds an
-  **automatic covering index** (an ephemeral hash index) on the inner
-  join column — SQLite's "automatic index" that Figure 9 of the paper
-  shows dominating ad-hoc snapshot query cost.  Its build time is
-  metered as ``index_creation_seconds``;
+* :func:`plan_from` turns catalog facts (:class:`TableDesc`), the WHERE
+  conjuncts and a statistics lookup into an explicit :class:`SelectPlan`
+  tree of :class:`PlanNode` steps.  With no statistics it reproduces the
+  original fixed heuristics exactly (first matching equality index, then
+  range index, then scan; first equi-joinable table, native index
+  preferred).  Once ``ANALYZE`` has gathered statistics the planner
+  costs every candidate access path — sequential page fetches vs index
+  probe plus matched-row fetches — and keeps the cheapest, picking the
+  outer table and join side by estimated filtered cardinality.
+* ``_SelectPlanner`` executes a plan: single-table access picks the
+  planned native index or a sequential scan; joins are left-deep nested
+  loops where the inner side uses the planned native index or an
+  **automatic covering index** (an ephemeral hash index) — SQLite's
+  "automatic index" that Figure 9 of the paper shows dominating ad-hoc
+  snapshot query cost.  Its build time is metered as
+  ``index_creation_seconds``.  Predicate pushdown recorded in the plan
+  filters each join prefix as early as possible, so per-snapshot ``Qs``
+  iteration over a cold snapshot fetches only matching Pagelog pages.
 * GROUP BY is a hash aggregate; DISTINCT a hash dedupe; ORDER BY a sort
   on mixed-type-safe keys.
 
-The planner is source-agnostic: the execution context supplies page
-sources, so the same plan logic runs on the current state, inside a
-write transaction, or ``AS OF`` a Retro snapshot.
+The same pure planner serves three consumers: execution, ``EXPLAIN``
+(:func:`explain_select` renders access, COST and SEMANTIC lines without
+executing anything), and the static certification path
+(:func:`plan_select_static` / :func:`render_plan`) that planlint and the
+golden-plan corpus drive from catalog metadata alone.
+
+The executor is source-agnostic: the execution context supplies page
+sources, so the same plan runs on the current state, inside a write
+transaction, or ``AS OF`` a Retro snapshot.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import PlanError, ReproError
@@ -36,7 +52,31 @@ from repro.sql.expressions import (
     walk,
 )
 from repro.sql.functions import is_aggregate, make_aggregate
+from repro.sql.stats import StatsProvider, TableStats
 from repro.sql.types import SqlValue, is_true
+
+# ---------------------------------------------------------------------------
+# Cost model
+# ---------------------------------------------------------------------------
+
+#: fetching one Pagelog page during a sequential scan
+SEQ_PAGE_COST = 1.0
+#: descending an index to its first matching entry
+INDEX_PROBE_COST = 1.0
+#: fetching one matched row's page through an index
+ROW_FETCH_COST = 1.0
+#: evaluating predicates against one row
+CPU_ROW_COST = 0.01
+
+
+def _clamp01(value: float) -> float:
+    return min(1.0, max(0.0, value))
+
+
+def _fmt_num(value: Optional[float]) -> str:
+    if value is None:
+        return "?"
+    return f"{value:g}"
 
 
 @dataclass
@@ -50,6 +90,625 @@ class BoundTable:
         return self.access.info.column_names()
 
 
+# ---------------------------------------------------------------------------
+# Plan tree
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TableDesc:
+    """Catalog facts the pure planner needs about one FROM table."""
+
+    binding: str                               #: alias or table name
+    table: str                                 #: underlying table name
+    columns: List[str]
+    indexes: List[Tuple[str, Tuple[str, ...]]]  #: (index name, columns)
+    ordinal: int = 0                           #: position in the FROM list
+
+    def scope(self) -> Scope:
+        return Scope([(self.binding, c) for c in self.columns])
+
+
+@dataclass
+class AccessSpec:
+    """How the outer table is read: scan, index equality or index range."""
+
+    kind: str                        #: 'scan' | 'eq' | 'range'
+    index: Optional[str] = None      #: index name for 'eq'/'range'
+    column: Optional[str] = None     #: indexed column (lowered)
+    pred: Optional[ast.Expr] = None  #: conjunct consumed by the index
+    value: object = None             #: equality key
+    lo: object = None                #: range bounds ([value] or None)
+    hi: object = None
+    lo_inc: bool = True
+    hi_inc: bool = True
+
+
+@dataclass
+class JoinSpec:
+    """How one more table joins onto the prefix rows."""
+
+    kind: str                                  #: 'native' | 'auto' | 'cross'
+    index: Optional[str] = None                #: native index name
+    pred: Optional[ast.Expr] = None            #: equi-join conjunct consumed
+    inner_col: Optional[ast.ColumnRef] = None  #: join column on this table
+    outer_expr: Optional[ast.Expr] = None      #: key expr over the prefix
+
+
+@dataclass
+class PlanNode:
+    """One step of a left-deep plan: access the outer table or join one
+    more table, then apply the predicates pushed down to this prefix."""
+
+    desc: TableDesc
+    note: str                                   #: EXPLAIN access line
+    access: Optional[AccessSpec] = None         #: set on the first step
+    join: Optional[JoinSpec] = None             #: set on later steps
+    pushed: List[ast.Expr] = field(default_factory=list)
+    #: estimates are *raw* (unclamped): corrupt statistics surface as
+    #: est_rows above the table cardinality, which RQL114 flags.
+    est_rows: Optional[float] = None
+    est_pages: Optional[int] = None
+    selectivity: Optional[float] = None
+    cost: Optional[float] = None
+    seq_cost: Optional[float] = None
+    costed: bool = False                        #: statistics were available
+    chosen_by: str = "heuristic"                #: 'heuristic' | 'cost'
+    path_desc: str = ""                         #: human access-path label
+
+
+@dataclass
+class SelectPlan:
+    """An ordered plan tree plus the conjuncts no prefix could absorb."""
+
+    steps: List[PlanNode]
+    residual: List[ast.Expr] = field(default_factory=list)
+
+    def access_notes(self) -> List[str]:
+        return [step.note for step in self.steps]
+
+    def cost_notes(self) -> List[str]:
+        lines: List[str] = []
+        for node in self.steps:
+            binding = node.desc.binding
+            if not node.costed:
+                lines.append(
+                    f"COST: {binding} no statistics "
+                    f"(heuristic access path)"
+                )
+                continue
+            lines.append(
+                f"COST: {binding} est. rows {_fmt_num(node.est_rows)} "
+                f"est. pages {node.est_pages} "
+                f"cost {_fmt_num(node.cost)} via {node.path_desc}"
+            )
+        return lines
+
+
+# ---------------------------------------------------------------------------
+# The pure planner
+# ---------------------------------------------------------------------------
+
+StatsLookup = Callable[[str], Optional[TableStats]]
+
+
+def plan_from(descs: List[TableDesc], predicates: List[ast.Expr],
+              stats_for: StatsLookup) -> SelectPlan:
+    """Choose join order and access paths from catalog facts alone.
+
+    Deterministic and side-effect free: the same descs, predicates and
+    statistics always yield the same plan, which is what makes plans
+    certifiable artifacts (the golden-plan corpus pins this function's
+    output).  Without statistics the choices replicate the historical
+    heuristics exactly, so un-ANALYZEd databases plan as before.
+    """
+    if not descs:
+        return SelectPlan(steps=[], residual=list(predicates))
+    seen: Dict[str, bool] = {}
+    for desc in descs:
+        key = desc.binding.lower()
+        if key in seen:
+            raise PlanError(f"duplicate table binding: {desc.binding}")
+        seen[key] = True
+
+    # Ambiguity must not depend on join order: an unqualified ref that
+    # matches two FROM tables would silently bind to whichever table the
+    # plan visits first (pushdown resolves against prefix scopes), so a
+    # cost-driven reorder could change what the query *means*.  Reject
+    # against the full scope before any ordering decision.
+    full_scope = _desc_scope(descs)
+    for pred in predicates:
+        for node in walk(pred):
+            if isinstance(node, ast.ColumnRef) \
+                    and full_scope.is_ambiguous(node):
+                raise PlanError(f"ambiguous column name: {node.name}")
+
+    stats_by: Dict[int, Optional[TableStats]] = {
+        desc.ordinal: stats_for(desc.table) for desc in descs
+    }
+    fully_costed = all(stats_by[d.ordinal] is not None for d in descs)
+    remaining = list(predicates)
+    pending = list(descs)
+
+    def single_preds(desc: TableDesc) -> List[ast.Expr]:
+        scope = desc.scope()
+        return [p for p in remaining if _predicate_uses_only(p, scope)]
+
+    # Outer table: with full statistics, the table with the smallest
+    # estimated filtered cardinality (filter the selective side first);
+    # otherwise the historical heuristic — the first table constrained
+    # by a single-table predicate, else the first listed.
+    if fully_costed and len(descs) > 1:
+        outer = None
+        outer_rows = 0.0
+        for desc in pending:
+            est = _filtered_row_estimate(
+                stats_by[desc.ordinal], single_preds(desc), desc,
+            )
+            if outer is None or est < outer_rows:
+                outer, outer_rows = desc, est
+    else:
+        outer = next((d for d in pending if single_preds(d)), pending[0])
+    pending.remove(outer)
+
+    node, remaining = _plan_single_access(
+        outer, remaining, stats_by[outer.ordinal],
+    )
+    steps = [node]
+    remaining = _settle_pushdown(steps, remaining, stats_by)
+
+    while pending:
+        chosen = None
+        chosen_join = None
+        chosen_native: Optional[str] = None
+        if fully_costed:
+            best_cost = 0.0
+            for desc in pending:
+                join = _find_equi_join_desc(
+                    [s.desc for s in steps], desc, remaining,
+                )
+                if join is None:
+                    continue
+                native = _desc_leading_index(desc, join[1].name)
+                probe = _join_probe_cost(
+                    stats_by[desc.ordinal], join[1].name, native is not None,
+                )
+                if chosen is None or probe < best_cost:
+                    chosen, chosen_join = desc, join
+                    chosen_native, best_cost = native, probe
+        else:
+            for desc in pending:
+                join = _find_equi_join_desc(
+                    [s.desc for s in steps], desc, remaining,
+                )
+                if join is not None:
+                    native = _desc_leading_index(desc, join[1].name)
+                    if chosen is None or (native is not None
+                                          and chosen_native is None):
+                        chosen, chosen_join = desc, join
+                        chosen_native = native
+        if chosen is None:
+            chosen, chosen_join, chosen_native = pending[0], None, None
+        pending.remove(chosen)
+        node = _plan_join_node(
+            chosen, chosen_join, chosen_native,
+            stats_by[chosen.ordinal], fully_costed,
+        )
+        if chosen_join is not None:
+            consumed = chosen_join[0]
+            remaining = [p for p in remaining if p is not consumed]
+        steps.append(node)
+        remaining = _settle_pushdown(steps, remaining, stats_by)
+
+    return SelectPlan(steps=steps, residual=remaining)
+
+
+def _settle_pushdown(steps: List[PlanNode], remaining: List[ast.Expr],
+                     stats_by: Dict[int, Optional[TableStats]],
+                     ) -> List[ast.Expr]:
+    """Assign every conjunct resolvable over the current prefix to the
+    newest step (classic pushdown: filter before joining further), and
+    refine that step's row estimate with the pushed selectivities."""
+    scope = _desc_scope([step.desc for step in steps])
+    applicable = [p for p in remaining if _predicate_uses_only(p, scope)]
+    if not applicable:
+        return remaining
+    applicable_ids = {id(p) for p in applicable}
+    node = steps[-1]
+    node.pushed.extend(applicable)
+    stats = stats_by.get(node.desc.ordinal)
+    if stats is not None and node.est_rows is not None:
+        own_scope = node.desc.scope()
+        for pred in applicable:
+            if _predicate_uses_only(pred, own_scope):
+                node.est_rows *= _clamp01(
+                    _pred_selectivity(stats, pred, node.desc)
+                )
+    return [p for p in remaining if id(p) not in applicable_ids]
+
+
+def _plan_single_access(desc: TableDesc, predicates: List[ast.Expr],
+                        stats: Optional[TableStats],
+                        ) -> Tuple[PlanNode, List[ast.Expr]]:
+    """Access path for the outer table: heuristic first-match without
+    statistics, cheapest costed candidate with them."""
+    scope = desc.scope()
+    if stats is None:
+        for pred in predicates:
+            match = _desc_match_eq(pred, desc, scope)
+            if match is not None:
+                spec = AccessSpec(kind="eq", index=match[0],
+                                  column=match[1], pred=pred,
+                                  value=match[2])
+                node = _access_node(desc, spec, None)
+                return node, [p for p in predicates if p is not pred]
+        for pred in predicates:
+            match = _desc_match_range(pred, desc, scope)
+            if match is not None:
+                index, column, lo, hi, lo_inc, hi_inc = match
+                spec = AccessSpec(kind="range", index=index, column=column,
+                                  pred=pred, lo=lo, hi=hi,
+                                  lo_inc=lo_inc, hi_inc=hi_inc)
+                node = _access_node(desc, spec, None)
+                return node, [p for p in predicates if p is not pred]
+        node = _access_node(desc, AccessSpec(kind="scan"), None)
+        return node, list(predicates)
+
+    # Costed: enumerate every index candidate plus the sequential scan.
+    best_spec = AccessSpec(kind="scan")
+    best_cost, best_sel = _access_cost(best_spec, stats)
+    for pred in predicates:
+        match = _desc_match_eq(pred, desc, scope)
+        if match is None:
+            continue
+        spec = AccessSpec(kind="eq", index=match[0], column=match[1],
+                          pred=pred, value=match[2])
+        cost, sel = _access_cost(spec, stats)
+        if cost < best_cost:
+            best_spec, best_cost, best_sel = spec, cost, sel
+    for pred in predicates:
+        match = _desc_match_range(pred, desc, scope)
+        if match is None:
+            continue
+        index, column, lo, hi, lo_inc, hi_inc = match
+        spec = AccessSpec(kind="range", index=index, column=column,
+                          pred=pred, lo=lo, hi=hi,
+                          lo_inc=lo_inc, hi_inc=hi_inc)
+        cost, sel = _access_cost(spec, stats)
+        if cost < best_cost:
+            best_spec, best_cost, best_sel = spec, cost, sel
+    node = _access_node(desc, best_spec, stats,
+                        cost=best_cost, selectivity=best_sel)
+    if best_spec.pred is not None:
+        return node, [p for p in predicates if p is not best_spec.pred]
+    return node, list(predicates)
+
+
+def _access_node(desc: TableDesc, spec: AccessSpec,
+                 stats: Optional[TableStats],
+                 cost: Optional[float] = None,
+                 selectivity: Optional[float] = None) -> PlanNode:
+    if spec.kind == "eq":
+        note = (f"SEARCH {desc.binding} USING INDEX "
+                f"{spec.index} (=)")
+        path = f"index {spec.index} (=)"
+    elif spec.kind == "range":
+        note = (f"SEARCH {desc.binding} USING INDEX "
+                f"{spec.index} (range)")
+        path = f"index {spec.index} (range)"
+    else:
+        note = f"SCAN {desc.binding}"
+        path = "seq scan"
+    node = PlanNode(desc=desc, note=note, access=spec, path_desc=path)
+    if stats is None:
+        return node
+    node.costed = True
+    node.chosen_by = "cost"
+    node.selectivity = selectivity if selectivity is not None else 1.0
+    node.est_rows = node.selectivity * stats.row_count
+    pages = max(1, stats.page_count)
+    node.seq_cost = pages * SEQ_PAGE_COST + stats.row_count * CPU_ROW_COST
+    node.cost = cost if cost is not None else node.seq_cost
+    if spec.kind == "scan":
+        node.est_pages = pages
+    else:
+        node.est_pages = max(
+            1, min(pages, round(_clamp01(node.selectivity) * pages)),
+        )
+    return node
+
+
+def _access_cost(spec: AccessSpec,
+                 stats: TableStats) -> Tuple[float, float]:
+    """(cost, raw selectivity) of one access path under the model."""
+    rows = stats.row_count
+    pages = max(1, stats.page_count)
+    if spec.kind == "scan":
+        return pages * SEQ_PAGE_COST + rows * CPU_ROW_COST, 1.0
+    if spec.kind == "eq":
+        sel = stats.eq_selectivity(spec.column or "")
+    else:
+        lo = spec.lo[0] if spec.lo else None
+        hi = spec.hi[0] if spec.hi else None
+        sel = stats.range_selectivity(spec.column or "", lo, hi)
+    matched = _clamp01(sel) * rows
+    return (INDEX_PROBE_COST
+            + matched * (ROW_FETCH_COST + CPU_ROW_COST)), sel
+
+
+def _plan_join_node(desc: TableDesc, join, native: Optional[str],
+                    stats: Optional[TableStats],
+                    fully_costed: bool) -> PlanNode:
+    if join is None:
+        note = f"CROSS JOIN {desc.binding}"
+        spec = JoinSpec(kind="cross")
+        path = "cross join"
+    else:
+        pred, inner_col, outer_expr = join
+        if native is not None:
+            note = (f"SEARCH {desc.binding} USING INDEX "
+                    f"{native} ({inner_col.name}=?)")
+            spec = JoinSpec(kind="native", index=native, pred=pred,
+                            inner_col=inner_col, outer_expr=outer_expr)
+            path = f"index {native} join"
+        else:
+            note = (f"SEARCH {desc.binding} USING AUTOMATIC COVERING "
+                    f"INDEX ({inner_col.name}=?)")
+            spec = JoinSpec(kind="auto", pred=pred,
+                            inner_col=inner_col, outer_expr=outer_expr)
+            path = "automatic index join"
+    node = PlanNode(desc=desc, note=note, join=spec, path_desc=path)
+    if stats is None:
+        return node
+    node.costed = True
+    node.chosen_by = "cost" if fully_costed else "heuristic"
+    pages = max(1, stats.page_count)
+    node.seq_cost = pages * SEQ_PAGE_COST + stats.row_count * CPU_ROW_COST
+    if spec.kind == "cross":
+        node.selectivity = 1.0
+        node.est_rows = float(stats.row_count)
+        node.est_pages = pages
+        node.cost = node.seq_cost
+    else:
+        sel = stats.eq_selectivity(spec.inner_col.name)
+        node.selectivity = sel
+        node.est_rows = sel * stats.row_count
+        node.est_pages = max(1, min(pages, round(_clamp01(sel) * pages)))
+        node.cost = _join_probe_cost(stats, spec.inner_col.name,
+                                     spec.kind == "native")
+    return node
+
+
+def _join_probe_cost(stats: Optional[TableStats], inner_col: str,
+                     native: bool) -> float:
+    """Per-probe cost of an inner join access, plus the one-off build
+    cost of the automatic covering index when no native index fits."""
+    if stats is None:
+        return 0.0
+    matched = _clamp01(stats.eq_selectivity(inner_col)) * stats.row_count
+    cost = INDEX_PROBE_COST + matched * (ROW_FETCH_COST + CPU_ROW_COST)
+    if not native:
+        cost += (max(1, stats.page_count) * SEQ_PAGE_COST
+                 + stats.row_count * CPU_ROW_COST)
+    return cost
+
+
+def _filtered_row_estimate(stats: Optional[TableStats],
+                           preds: List[ast.Expr],
+                           desc: TableDesc) -> float:
+    if stats is None:
+        return 0.0
+    estimate = float(stats.row_count)
+    for pred in preds:
+        estimate *= _clamp01(_pred_selectivity(stats, pred, desc))
+    return estimate
+
+
+def _pred_selectivity(stats: TableStats, pred: ast.Expr,
+                      desc: TableDesc) -> float:
+    """Raw selectivity estimate of one single-table conjunct."""
+    if isinstance(pred, ast.BinaryOp) and pred.op == "=":
+        for col_side, val_side in ((pred.left, pred.right),
+                                   (pred.right, pred.left)):
+            if isinstance(col_side, ast.ColumnRef) \
+                    and _is_constant(val_side):
+                return stats.eq_selectivity(col_side.name)
+    if isinstance(pred, ast.BinaryOp) \
+            and pred.op in ("<", "<=", ">", ">="):
+        for col_side, val_side, op in (
+                (pred.left, pred.right, pred.op),
+                (pred.right, pred.left, _flip(pred.op))):
+            if isinstance(col_side, ast.ColumnRef) \
+                    and _is_constant(val_side):
+                value = _constant_value(val_side)
+                if op in ("<", "<="):
+                    return stats.range_selectivity(col_side.name,
+                                                   None, value)
+                return stats.range_selectivity(col_side.name, value, None)
+    if isinstance(pred, ast.Between) and not pred.negated \
+            and isinstance(pred.operand, ast.ColumnRef) \
+            and _is_constant(pred.low) and _is_constant(pred.high):
+        return stats.range_selectivity(
+            pred.operand.name,
+            _constant_value(pred.low), _constant_value(pred.high),
+        )
+    if isinstance(pred, ast.InList) and not pred.negated \
+            and isinstance(pred.operand, ast.ColumnRef) \
+            and all(_is_constant(item) for item in pred.items):
+        values = {_constant_value(item) for item in pred.items}
+        return min(1.0, len(values)
+                   * stats.eq_selectivity(pred.operand.name))
+    return 0.5
+
+
+def _desc_scope(descs: List[TableDesc]) -> Scope:
+    bindings: List[Tuple[str, str]] = []
+    for desc in descs:
+        for column in desc.columns:
+            bindings.append((desc.binding, column))
+    return Scope(bindings)
+
+
+def _desc_leading_index(desc: TableDesc, column: str) -> Optional[str]:
+    lowered = column.lower()
+    for name, cols in desc.indexes:
+        if cols and cols[0].lower() == lowered:
+            return name
+    return None
+
+
+def _desc_match_eq(pred: ast.Expr, desc: TableDesc, scope: Scope):
+    """(index name, column, constant) for ``col = <constant>`` preds."""
+    if not (isinstance(pred, ast.BinaryOp) and pred.op == "="):
+        return None
+    for col_side, val_side in ((pred.left, pred.right),
+                               (pred.right, pred.left)):
+        if isinstance(col_side, ast.ColumnRef) \
+                and scope.try_resolve(col_side) is not None \
+                and _is_comparable_constant(val_side):
+            name = col_side.name.lower()
+            for index_name, cols in desc.indexes:
+                if cols and cols[0].lower() == name:
+                    return index_name, name, _constant_value(val_side)
+    return None
+
+
+def _desc_match_range(pred: ast.Expr, desc: TableDesc, scope: Scope):
+    """(index, column, lo, hi, lo_inc, hi_inc) for range predicates.
+
+    Mirrors the historical matcher exactly, including the subtlety that
+    a comparison whose column resolves but has no leading index rejects
+    the *predicate* outright rather than trying the flipped side.
+    """
+    ops = ("<", "<=", ">", ">=")
+    if isinstance(pred, ast.Between) and not pred.negated:
+        col = pred.operand
+        if isinstance(col, ast.ColumnRef) \
+                and scope.try_resolve(col) is not None \
+                and _is_comparable_constant(pred.low) \
+                and _is_comparable_constant(pred.high):
+            index = _desc_leading_index(desc, col.name)
+            if index is not None:
+                return (index, col.name.lower(),
+                        [_constant_value(pred.low)],
+                        [_constant_value(pred.high)], True, True)
+        return None
+    if not (isinstance(pred, ast.BinaryOp) and pred.op in ops):
+        return None
+    for col_side, val_side, op in (
+            (pred.left, pred.right, pred.op),
+            (pred.right, pred.left, _flip(pred.op))):
+        if isinstance(col_side, ast.ColumnRef) \
+                and scope.try_resolve(col_side) is not None \
+                and _is_comparable_constant(val_side):
+            index = _desc_leading_index(desc, col_side.name)
+            if index is None:
+                return None
+            column = col_side.name.lower()
+            value = [_constant_value(val_side)]
+            if op == "<":
+                return index, column, None, value, True, False
+            if op == "<=":
+                return index, column, None, value, True, True
+            if op == ">":
+                return index, column, value, None, False, True
+            return index, column, value, None, True, True
+    return None
+
+
+def _find_equi_join_desc(prefix: List[TableDesc], desc: TableDesc,
+                         predicates: List[ast.Expr]):
+    """An equi-conjunct linking ``desc`` to the joined prefix.
+
+    Returns (predicate, inner_column_ref, outer_expr) or None.
+    """
+    prefix_scope = _desc_scope(prefix)
+    table_scope = desc.scope()
+    for pred in predicates:
+        if not (isinstance(pred, ast.BinaryOp) and pred.op == "="):
+            continue
+        for inner_side, outer_side in ((pred.left, pred.right),
+                                       (pred.right, pred.left)):
+            if not isinstance(inner_side, ast.ColumnRef):
+                continue
+            if table_scope.try_resolve(inner_side) is None:
+                continue
+            if not _predicate_uses_only(outer_side, prefix_scope):
+                continue
+            return pred, inner_side, outer_side
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Static planning (planlint / golden-plan corpus)
+# ---------------------------------------------------------------------------
+
+def plan_select_static(select: ast.Select, schema,
+                       stats: StatsProvider) -> SelectPlan:
+    """Plan a SELECT from catalog metadata alone — nothing executes.
+
+    ``schema`` is a :class:`repro.sql.semantic.SchemaProvider`; ``stats``
+    a :class:`StatsProvider` (:class:`repro.sql.stats.DeclaredStats` for
+    planlint and the golden-plan corpus).
+    """
+    descs, predicates = _descs_from_schema(select, schema)
+    return plan_from(descs, predicates, stats.table_stats)
+
+
+def render_plan(select: ast.Select, schema,
+                stats: StatsProvider) -> List[str]:
+    """The certifiable plan rendering: access + stage + COST lines.
+
+    This is the text the golden-plan corpus pins and RQL110 diffs; it
+    matches ``EXPLAIN SELECT`` output minus the SEMANTIC lines.
+    """
+    plan = plan_select_static(select, schema, stats)
+    lines = plan.access_notes()
+    if select.as_of is not None:
+        lines.insert(0, "AS OF snapshot (Retro SPT + snapshot cache)")
+    lines.extend(_stage_notes(select))
+    lines.extend(plan.cost_notes())
+    return lines
+
+
+def _descs_from_schema(select: ast.Select, schema,
+                       ) -> Tuple[List[TableDesc], List[ast.Expr]]:
+    descs: List[TableDesc] = []
+    filters: List[ast.Expr] = []
+
+    def flatten(node) -> None:
+        if node is None:
+            return
+        if isinstance(node, ast.Join):
+            flatten(node.left)
+            flatten(node.right)
+            if node.condition is not None:
+                filters.extend(conjuncts(node.condition))
+            return
+        if isinstance(node, ast.TableRef):
+            columns = schema.table_columns(node.name)
+            if columns is None:
+                raise PlanError(f"no such table: {node.name}")
+            descs.append(TableDesc(
+                binding=node.binding,
+                table=node.name,
+                columns=[name for name, _type in columns],
+                indexes=[(name, tuple(cols))
+                         for name, cols in schema.table_indexes(node.name)],
+                ordinal=len(descs),
+            ))
+            return
+        raise PlanError(f"unsupported FROM node {type(node).__name__}")
+
+    flatten(select.source)
+    predicates = conjuncts(select.where) + filters
+    return descs, predicates
+
+
+# ---------------------------------------------------------------------------
+# Execution context
+# ---------------------------------------------------------------------------
+
 class ExecutionContext:
     """What the planner needs from the database layer, per statement."""
 
@@ -62,6 +721,14 @@ class ExecutionContext:
     @property
     def functions(self) -> Dict[str, Callable[..., SqlValue]]:
         raise NotImplementedError
+
+    def table_stats(self, name: str) -> Optional[TableStats]:
+        """ANALYZE statistics for ``name``, or None (heuristic plans).
+
+        The database context reads ``__rql_stats`` honoring the
+        statement's ``AS OF`` pin; bare contexts plan heuristically.
+        """
+        return None
 
     def note_index_creation(self, seconds: float) -> None:
         """Report ephemeral (automatic) index build time."""
@@ -96,11 +763,13 @@ def run_select(select: ast.Select, ctx: ExecutionContext) -> ResultSet:
 
 
 def explain_select(select: ast.Select, ctx: ExecutionContext) -> List[str]:
-    """Access-path decisions for a SELECT, without executing it.
+    """Access-path, COST and SEMANTIC lines for a SELECT, without
+    executing it.
 
     Mirrors SQLite's EXPLAIN QUERY PLAN at a coarse grain: one line per
-    table access (scan / index search / automatic covering index) plus
-    pipeline stages (aggregate, distinct, sort, limit).
+    table access (scan / index search / automatic covering index),
+    pipeline stages (aggregate, distinct, sort, limit), then one COST
+    line per plan step and the rqlint semantic summary.
     """
     planner = _SelectPlanner(select, ctx)
     # Building the pipeline records the notes; the generators are never
@@ -109,6 +778,16 @@ def explain_select(select: ast.Select, ctx: ExecutionContext) -> List[str]:
     notes = list(planner.plan_notes)
     if select.as_of is not None:
         notes.insert(0, "AS OF snapshot (Retro SPT + snapshot cache)")
+    notes.extend(_stage_notes(select))
+    if planner.plan is not None:
+        notes.extend(planner.plan.cost_notes())
+    notes.extend(_semantic_notes(select, ctx))
+    return notes
+
+
+def _stage_notes(select: ast.Select) -> List[str]:
+    """Pipeline-stage lines shared by EXPLAIN and the static rendering."""
+    notes: List[str] = []
     if select.group_by or any(
             item.expr is not None and contains_aggregate(item.expr)
             for item in select.items if not item.is_star):
@@ -119,7 +798,6 @@ def explain_select(select: ast.Select, ctx: ExecutionContext) -> List[str]:
         notes.append("ORDER BY (sort)")
     if select.limit is not None or select.offset is not None:
         notes.append("LIMIT/OFFSET")
-    notes.extend(_semantic_notes(select, ctx))
     return notes
 
 
@@ -173,7 +851,7 @@ def run_select_streaming(select: ast.Select, ctx: ExecutionContext,
 
 
 # ---------------------------------------------------------------------------
-# The planner proper
+# The executor
 # ---------------------------------------------------------------------------
 
 class _SelectPlanner:
@@ -183,6 +861,8 @@ class _SelectPlanner:
         self.index_build_seconds = 0.0
         #: human-readable access-path decisions (EXPLAIN output)
         self.plan_notes: List[str] = []
+        #: the plan tree (None until FROM is planned; SELECT 1 has none)
+        self.plan: Optional[SelectPlan] = None
 
     # -- public -----------------------------------------------------------
 
@@ -261,180 +941,106 @@ class _SelectPlanner:
             return
         raise PlanError(f"unsupported FROM node {type(node).__name__}")
 
-    # -- access planning ----------------------------------------------------------
+    # -- plan execution -----------------------------------------------------------
 
     def _plan_access(self, tables: List[BoundTable],
                      predicates: List[ast.Expr]):
-        """Choose join order + access paths.
+        """Plan the FROM clause, then execute the plan steps.
 
-        Returns (ordered_tables, row_iterator, leftover_predicates); rows
-        are concatenations of the ordered tables' columns.
+        Returns (ordered_tables, row_iterator, residual_predicates);
+        rows are concatenations of the ordered tables' columns.
         """
-        remaining = list(predicates)
-        ordered: List[BoundTable] = []
-        pending = list(tables)
-
-        # Outer table choice: prefer one constrained by a single-table
-        # predicate (SQLite filters the selective side first), else the
-        # first listed.
-        def single_table_preds(table: BoundTable) -> List[ast.Expr]:
-            scope = _scope_for([table])
-            return [p for p in remaining if _predicate_uses_only(p, scope)]
-
-        outer = None
-        for table in pending:
-            if single_table_preds(table):
-                outer = table
-                break
-        if outer is None:
-            outer = pending[0]
-        pending.remove(outer)
-        ordered.append(outer)
-
-        rows, remaining = self._single_table_rows(outer, remaining)
-        rows, remaining = self._push_down(ordered, rows, remaining)
-
-        while pending:
-            # Prefer a table joinable to the current prefix via an
-            # equi-conjunct (with a native index if available).
-            chosen = None
-            chosen_join = None
-            chosen_join_native = None
-            for table in pending:
-                join = self._find_equi_join(ordered, table, remaining)
-                if join is not None:
-                    native = self._native_index_for(table, join[1])
-                    if chosen is None or (native is not None
-                                          and chosen_join_native is None):
-                        chosen, chosen_join = table, join
-                        chosen_join_native = native
-            if chosen is None:
-                chosen = pending[0]
-                chosen_join = None
-                chosen_join_native = None
-            pending.remove(chosen)
-            rows, remaining = self._join_step(
-                ordered, chosen, chosen_join, rows, remaining,
+        descs = [
+            TableDesc(
+                binding=table.binding,
+                table=table.access.info.name,
+                columns=list(table.column_names),
+                indexes=[(ix.info.name, tuple(ix.info.columns))
+                         for ix in table.indexes],
+                ordinal=position,
             )
-            ordered.append(chosen)
-            rows, remaining = self._push_down(ordered, rows, remaining)
-        return ordered, rows, remaining
+            for position, table in enumerate(tables)
+        ]
+        plan = plan_from(descs, predicates, self.ctx.table_stats)
+        self.plan = plan
 
-    def _push_down(self, ordered: List[BoundTable], rows,
-                   predicates: List[ast.Expr]):
-        """Filter with every predicate resolvable in the current prefix
-        (classic predicate pushdown: filter before joining further)."""
+        ordered: List[BoundTable] = []
+        first_step = plan.steps[0]
+        bound = tables[first_step.desc.ordinal]
+        self.plan_notes.append(first_step.note)
+        rows = self._exec_access(bound, first_step.access)
+        ordered.append(bound)
+        rows = self._apply_pushed(ordered, rows, first_step.pushed)
+
+        for step in plan.steps[1:]:
+            bound = tables[step.desc.ordinal]
+            self.plan_notes.append(step.note)
+            rows = self._exec_join(ordered, bound, step.join, rows)
+            ordered.append(bound)
+            rows = self._apply_pushed(ordered, rows, step.pushed)
+        return ordered, rows, list(plan.residual)
+
+    def _apply_pushed(self, ordered: List[BoundTable], rows,
+                      pushed: List[ast.Expr]):
+        """Filter with the predicates the plan pushed down to this
+        prefix (filter before joining further)."""
+        if not pushed:
+            return rows
         scope = _scope_for(ordered)
-        applicable = [p for p in predicates
-                      if _predicate_uses_only(p, scope)]
-        if not applicable:
-            return rows, predicates
-        applicable_ids = {id(p) for p in applicable}
-        remaining = [p for p in predicates if id(p) not in applicable_ids]
         compiler = ExpressionCompiler(scope, self.ctx.functions)
-        filters = [compiler.compile(p) for p in applicable]
-        return _filtered(rows, filters), remaining
+        filters = [compiler.compile(p) for p in pushed]
+        return _filtered(rows, filters)
 
-    def _single_table_rows(self, table: BoundTable,
-                           predicates: List[ast.Expr]):
-        """Pick index/seq access for the outer table."""
-        scope = _scope_for([table])
-        compiler = ExpressionCompiler(scope, self.ctx.functions)
-        # Equality on a native index's leading column?
-        for pred in predicates:
-            match = _match_index_equality(pred, table, scope)
-            if match is not None:
-                index, value = match
-                remaining = [p for p in predicates if p is not pred]
-                self.plan_notes.append(
-                    f"SEARCH {table.binding} USING INDEX "
-                    f"{index.info.name} (=)"
-                )
-
-                def rows_eq(index=index, value=value):
-                    for rowid in index.lookup_equal([value]):
-                        row = table.access.get(rowid)
-                        if row is not None:
-                            yield row
-                return rows_eq(), remaining
-        for pred in predicates:
-            match = _match_index_range(pred, table, scope)
-            if match is not None:
-                index, lo, hi, lo_inc, hi_inc = match
-                remaining = [p for p in predicates if p is not pred]
-                self.plan_notes.append(
-                    f"SEARCH {table.binding} USING INDEX "
-                    f"{index.info.name} (range)"
-                )
-
-                def rows_range(index=index, lo=lo, hi=hi,
-                               lo_inc=lo_inc, hi_inc=hi_inc):
-                    for rowid in index.lookup_range(
-                            lo, hi, lo_inclusive=lo_inc,
-                            hi_inclusive=hi_inc):
-                        row = table.access.get(rowid)
-                        if row is not None:
-                            yield row
-                return rows_range(), remaining
-        self.plan_notes.append(f"SCAN {table.binding}")
-        return (row for _, row in table.access.scan()), list(predicates)
-
-    def _find_equi_join(self, prefix: List[BoundTable], table: BoundTable,
-                        predicates: List[ast.Expr]):
-        """An equi-conjunct linking ``table`` to the joined prefix.
-
-        Returns (predicate, inner_column, outer_expr_ast) or None.
-        """
-        prefix_scope = _scope_for(prefix)
-        table_scope = _scope_for([table])
-        for pred in predicates:
-            if not (isinstance(pred, ast.BinaryOp) and pred.op == "="):
-                continue
-            for inner_side, outer_side in ((pred.left, pred.right),
-                                           (pred.right, pred.left)):
-                if not isinstance(inner_side, ast.ColumnRef):
-                    continue
-                if table_scope.try_resolve(inner_side) is None:
-                    continue
-                if not _predicate_uses_only(outer_side, prefix_scope):
-                    continue
-                return pred, inner_side, outer_side
-        return None
-
-    def _native_index_for(self, table: BoundTable,
-                          column_ref: ast.ColumnRef) -> Optional[IndexAccess]:
-        name = column_ref.name.lower()
+    def _index_named(self, table: BoundTable, name: str) -> IndexAccess:
         for index in table.indexes:
-            if index.info.columns and index.info.columns[0].lower() == name:
+            if index.info.name == name:
                 return index
-        return None
+        raise PlanError(f"planned index vanished: {name}")
 
-    def _join_step(self, prefix: List[BoundTable], table: BoundTable,
-                   join, prefix_rows, predicates: List[ast.Expr]):
-        """Join one more table onto the prefix rows."""
-        if join is None:
+    def _exec_access(self, table: BoundTable, spec: Optional[AccessSpec]):
+        """Row generator for the planned outer-table access path."""
+        if spec is None or spec.kind == "scan":
+            return (row for _, row in table.access.scan())
+        if spec.kind == "eq":
+            index = self._index_named(table, spec.index)
+
+            def rows_eq(index=index, value=spec.value):
+                for rowid in index.lookup_equal([value]):
+                    row = table.access.get(rowid)
+                    if row is not None:
+                        yield row
+            return rows_eq()
+        index = self._index_named(table, spec.index)
+
+        def rows_range(index=index, lo=spec.lo, hi=spec.hi,
+                       lo_inc=spec.lo_inc, hi_inc=spec.hi_inc):
+            for rowid in index.lookup_range(
+                    lo, hi, lo_inclusive=lo_inc,
+                    hi_inclusive=hi_inc):
+                row = table.access.get(rowid)
+                if row is not None:
+                    yield row
+        return rows_range()
+
+    def _exec_join(self, prefix: List[BoundTable], table: BoundTable,
+                   spec: Optional[JoinSpec], prefix_rows):
+        """Join one more table onto the prefix rows per the plan."""
+        if spec is None or spec.kind == "cross":
             # Cross join; predicates filter afterwards.
-            self.plan_notes.append(f"CROSS JOIN {table.binding}")
-
             def cross():
                 inner_rows = [row for _, row in table.access.scan()]
                 for left in prefix_rows:
                     for right in inner_rows:
                         yield left + right
-            return cross(), predicates
+            return cross()
 
-        pred, inner_col, outer_expr = join
-        remaining = [p for p in predicates if p is not pred]
         prefix_scope = _scope_for(prefix)
         outer_eval = ExpressionCompiler(
             prefix_scope, self.ctx.functions,
-        ).compile(outer_expr)
-        native = self._native_index_for(table, inner_col)
-        if native is not None:
-            self.plan_notes.append(
-                f"SEARCH {table.binding} USING INDEX "
-                f"{native.info.name} ({inner_col.name}=?)"
-            )
+        ).compile(spec.outer_expr)
+
+        if spec.kind == "native":
+            native = self._index_named(table, spec.index)
 
             def indexed():
                 for left in prefix_rows:
@@ -445,18 +1051,14 @@ class _SelectPlanner:
                         row = table.access.get(rowid)
                         if row is not None:
                             yield left + row
-            return indexed(), remaining
+            return indexed()
 
         # Automatic (ephemeral covering) index on the inner join column —
         # a real B+tree, as SQLite builds, so its creation cost carries
         # the realistic serialization work (Figure 9's dominant cost).
         from repro.sql.executor import EphemeralIndex
 
-        self.plan_notes.append(
-            f"SEARCH {table.binding} USING AUTOMATIC COVERING INDEX "
-            f"({inner_col.name}=?)"
-        )
-        column_pos = table.access.info.column_index(inner_col.name)
+        column_pos = table.access.info.column_index(spec.inner_col.name)
 
         def auto_indexed():
             clock = self.ctx.clock
@@ -473,7 +1075,7 @@ class _SelectPlanner:
                     continue
                 for row in auto_index.lookup(key):
                     yield left + row
-        return auto_indexed(), remaining
+        return auto_indexed()
 
     # -- star expansion ------------------------------------------------------------
 
@@ -798,6 +1400,14 @@ def _is_constant(expr: ast.Expr) -> bool:
                    for node in walk(expr))
 
 
+def _is_comparable_constant(expr: ast.Expr) -> bool:
+    """Constant, and usable as an index key: a comparison against NULL
+    is never true, so it must fall through to the scan filter (which
+    evaluates it to empty) rather than probe the index — NULL keys are
+    physically present in the tree but match no predicate."""
+    return _is_constant(expr) and _constant_value(expr) is not None
+
+
 def _constant_value(expr: ast.Expr,
                     functions: Optional[Dict] = None) -> SqlValue:
     compiler = ExpressionCompiler(Scope([]), functions or {})
@@ -823,7 +1433,7 @@ def _match_index_equality(pred: ast.Expr, table: BoundTable, scope: Scope):
                                (pred.right, pred.left)):
         if isinstance(col_side, ast.ColumnRef) \
                 and scope.try_resolve(col_side) is not None \
-                and _is_constant(val_side):
+                and _is_comparable_constant(val_side):
             name = col_side.name.lower()
             for index in table.indexes:
                 if index.info.columns and \
@@ -840,7 +1450,8 @@ def _match_index_range(pred: ast.Expr, table: BoundTable, scope: Scope):
         col = pred.operand
         if isinstance(col, ast.ColumnRef) \
                 and scope.try_resolve(col) is not None \
-                and _is_constant(pred.low) and _is_constant(pred.high):
+                and _is_comparable_constant(pred.low) \
+                and _is_comparable_constant(pred.high):
             index = _leading_index(table, col.name)
             if index is not None:
                 return (index, [_constant_value(pred.low)],
@@ -853,7 +1464,7 @@ def _match_index_range(pred: ast.Expr, table: BoundTable, scope: Scope):
             (pred.right, pred.left, _flip(pred.op))):
         if isinstance(col_side, ast.ColumnRef) \
                 and scope.try_resolve(col_side) is not None \
-                and _is_constant(val_side):
+                and _is_comparable_constant(val_side):
             index = _leading_index(table, col_side.name)
             if index is None:
                 return None
@@ -1039,7 +1650,6 @@ def _column_name(item: ast.SelectItem, position: int) -> str:
     if isinstance(expr, PostAggRef) and expr.display:
         return expr.display
     if isinstance(expr, ast.FunctionCall):
-        if expr.star:
-            return f"{expr.name.upper()}(*)"
-        return f"{expr.name.upper()}()"
+        return f"{expr.name.upper()}(*)" if expr.star \
+            else f"{expr.name.upper()}()"
     return f"column{position + 1}"

@@ -1,0 +1,272 @@
+"""Planner statistics catalog (the ``ANALYZE`` machinery).
+
+``ANALYZE [table]`` scans each table once and records per-table and
+per-column statistics — row count, an estimated page count, and for
+every column the distinct-value count plus min/max — stamped with the
+latest declared snapshot id.  The rows persist in the **aux** engine's
+``__rql_stats`` table (statistics, like SnapIds, are non-snapshotable
+metadata), so one history of statistics serves every ``AS OF`` reader:
+a query pinned to snapshot *s* plans with the newest statistics
+gathered at or before *s* and falls back to the heuristic planner when
+none exist yet.
+
+The cost model consumes statistics through :class:`StatsProvider`;
+:class:`DeclaredStats` is the static implementation planlint and the
+golden-plan corpus use (no database required), while the live
+implementation is ``repro.sql.database._Context.table_stats``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.storage.page import DEFAULT_PAGE_SIZE
+
+#: aux-engine table holding one row per (table, snapshot, column); the
+#: table-level row uses the empty column name.
+STATS_TABLE = "__rql_stats"
+
+#: column layout of ``__rql_stats`` (created on first ANALYZE).
+STATS_COLUMNS: Tuple[Tuple[str, str], ...] = (
+    ("tbl", "TEXT"),
+    ("snap", "INTEGER"),
+    ("col", "TEXT"),
+    ("row_count", "INTEGER"),
+    ("page_count", "INTEGER"),
+    ("n_distinct", "INTEGER"),
+    ("min_repr", "TEXT"),
+    ("max_repr", "TEXT"),
+)
+
+#: selectivity defaults when a column has no statistics (SQLite-ish).
+DEFAULT_EQ_SELECTIVITY = 0.1
+DEFAULT_RANGE_SELECTIVITY = 0.25
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Distribution summary for one column."""
+
+    column: str
+    distinct: int
+    min_value: object = None
+    max_value: object = None
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """One table's statistics as gathered by ANALYZE at a snapshot."""
+
+    table: str           #: lowered table name
+    snapshot_id: int     #: latest declared snapshot when gathered
+    row_count: int
+    page_count: int
+    columns: Dict[str, ColumnStats] = field(default_factory=dict)
+
+    def column(self, name: str) -> Optional[ColumnStats]:
+        return self.columns.get(name.lower())
+
+    def eq_selectivity(self, column: str) -> float:
+        """Estimated fraction of rows matching ``column = const``."""
+        stats = self.column(column)
+        if stats is None or stats.distinct <= 0:
+            return DEFAULT_EQ_SELECTIVITY
+        return 1.0 / stats.distinct
+
+    def range_selectivity(self, column: str,
+                          lo: object = None, hi: object = None) -> float:
+        """Estimated fraction of rows with ``lo <= column <= hi``.
+
+        Linear interpolation over the recorded [min, max] domain for
+        numeric columns; :data:`DEFAULT_RANGE_SELECTIVITY` otherwise.
+        The fraction is returned *unclamped* — corrupt statistics (a
+        reversed min/max domain) surface as selectivities above 1.0,
+        which the RQL114 cost-model sanity rule flags.
+        """
+        stats = self.column(column)
+        if stats is None:
+            return DEFAULT_RANGE_SELECTIVITY
+        lo_known, hi_known = stats.min_value, stats.max_value
+        numeric = all(
+            isinstance(v, (int, float)) or v is None
+            for v in (lo, hi, lo_known, hi_known)
+        )
+        if not numeric or lo_known is None or hi_known is None:
+            return DEFAULT_RANGE_SELECTIVITY
+        span = float(hi_known) - float(lo_known)
+        if span == 0:
+            return 1.0
+        lo_eff = float(lo_known) if lo is None else float(lo)
+        hi_eff = float(hi_known) if hi is None else float(hi)
+        return (hi_eff - lo_eff) / span
+
+
+class StatsProvider:
+    """What the cost model needs: statistics by table name, or None."""
+
+    def table_stats(self, name: str) -> Optional[TableStats]:
+        raise NotImplementedError
+
+
+class DeclaredStats(StatsProvider):
+    """Dict-backed provider for planlint, the golden-plan corpus and
+    tests — statistics declared up front instead of gathered."""
+
+    def __init__(self, stats: Iterable[TableStats] = ()) -> None:
+        self._stats: Dict[str, TableStats] = {}
+        for entry in stats:
+            self.declare(entry)
+
+    def declare(self, stats: TableStats) -> None:
+        self._stats[stats.table.lower()] = stats
+
+    def table_stats(self, name: str) -> Optional[TableStats]:
+        return self._stats.get(name.lower())
+
+
+class EmptyStats(StatsProvider):
+    """No statistics at all: the planner stays on its heuristics."""
+
+    def table_stats(self, name: str) -> Optional[TableStats]:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Gathering
+# ---------------------------------------------------------------------------
+
+def _value_width(value: object) -> int:
+    """Rough on-page width of one value (row-size estimation)."""
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, bytes):
+        return len(value) + 2
+    return len(str(value)) + 2
+
+
+def compute_table_stats(access, snapshot_id: int,
+                        page_size: int = DEFAULT_PAGE_SIZE) -> TableStats:
+    """One full scan -> :class:`TableStats` for ``access`` (a
+    ``TableAccess``).  The page count is a size estimate (serialized
+    row bytes / page size), which is what the cost model needs: it
+    tracks how many Pagelog pages a cold sequential scan must fetch.
+    """
+    info = access.info
+    names = [c.lower() for c in info.column_names()]
+    distinct: List[set] = [set() for _ in names]
+    minima: List[object] = [None] * len(names)
+    maxima: List[object] = [None] * len(names)
+    row_count = 0
+    total_bytes = 0
+    for row in access.scan_rows():
+        row_count += 1
+        for position, value in enumerate(row):
+            total_bytes += _value_width(value)
+            if value is None:
+                continue
+            distinct[position].add(value)
+            try:
+                low, high = minima[position], maxima[position]
+                if low is None or value < low:
+                    minima[position] = value
+                if high is None or value > high:
+                    maxima[position] = value
+            except TypeError:
+                # Mixed-type column: min/max are meaningless; keep the
+                # distinct count, drop the bounds.
+                minima[position] = None
+                maxima[position] = None
+    columns = {
+        name: ColumnStats(
+            column=name, distinct=len(distinct[position]),
+            min_value=minima[position], max_value=maxima[position],
+        )
+        for position, name in enumerate(names)
+    }
+    return TableStats(
+        table=info.name.lower(), snapshot_id=snapshot_id,
+        row_count=row_count,
+        page_count=max(1, -(-total_bytes // page_size)),
+        columns=columns,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Persistence (rows of ``__rql_stats``)
+# ---------------------------------------------------------------------------
+
+def _encode_value(value: object) -> Optional[str]:
+    if value is None:
+        return None
+    try:
+        return json.dumps(value)
+    except (TypeError, ValueError):
+        return None
+
+
+def _decode_value(text: object) -> object:
+    if text is None:
+        return None
+    try:
+        return json.loads(str(text))
+    except (TypeError, ValueError):
+        return None
+
+
+def stats_to_rows(stats: TableStats) -> List[Tuple]:
+    """``__rql_stats`` rows for one table's statistics."""
+    rows: List[Tuple] = [(
+        stats.table, stats.snapshot_id, "",
+        stats.row_count, stats.page_count, 0, None, None,
+    )]
+    for name in sorted(stats.columns):
+        col = stats.columns[name]
+        rows.append((
+            stats.table, stats.snapshot_id, name,
+            stats.row_count, stats.page_count, col.distinct,
+            _encode_value(col.min_value), _encode_value(col.max_value),
+        ))
+    return rows
+
+
+def stats_from_rows(table: str, rows: Sequence[Tuple],
+                    as_of: Optional[int] = None) -> Optional[TableStats]:
+    """Reassemble the newest :class:`TableStats` visible at ``as_of``.
+
+    ``rows`` are ``__rql_stats`` tuples for one table (any mix of
+    snapshots); the newest gathering with ``snap <= as_of`` wins, or
+    the newest overall when ``as_of`` is None.  Statistics gathered
+    only *after* the pinned snapshot are invisible to it — the AS OF
+    consistency rule.
+    """
+    key = table.lower()
+    eligible = [
+        row for row in rows
+        if str(row[0]).lower() == key
+        and (as_of is None or int(row[1]) <= as_of)
+    ]
+    if not eligible:
+        return None
+    snap = max(int(row[1]) for row in eligible)
+    chosen = [row for row in eligible if int(row[1]) == snap]
+    row_count = page_count = 0
+    columns: Dict[str, ColumnStats] = {}
+    for row in chosen:
+        _tbl, _snap, col, rows_n, pages_n, n_distinct, lo, hi = row
+        if not col:
+            row_count, page_count = int(rows_n), int(pages_n)
+            continue
+        columns[str(col)] = ColumnStats(
+            column=str(col), distinct=int(n_distinct),
+            min_value=_decode_value(lo), max_value=_decode_value(hi),
+        )
+    return TableStats(
+        table=key, snapshot_id=snap, row_count=row_count,
+        page_count=page_count, columns=columns,
+    )

@@ -133,6 +133,11 @@ _KCLASS_NUM = 0x20
 _KCLASS_TEXT = 0x30
 _KCLASS_BLOB = 0x40
 
+#: Lower bound that sorts after every key whose first value is NULL and
+#: before every non-NULL key.  Range predicates never match NULL (SQL
+#: three-valued logic), so unbounded-below index ranges start here.
+KEY_AFTER_NULLS = bytes([_KCLASS_NULL + 1])
+
 _SEP = b"\x00\x00"
 _ESCAPED = b"\x00\xff"
 

@@ -19,8 +19,9 @@ def plan(db, sql):
 
 
 def access_plan(notes):
-    """The access-path lines, without the rqlint semantic summary."""
-    return [n for n in notes if not n.startswith("SEMANTIC:")]
+    """The access-path lines, without the COST and SEMANTIC summaries."""
+    return [n for n in notes
+            if not n.startswith(("SEMANTIC:", "COST:"))]
 
 
 class TestExplain:
@@ -135,3 +136,65 @@ class TestExplainSemantics:
         notes = plan(planned, "SELECT probe(k) FROM t WHERE n > 1")
         assert calls == []
         assert any(n.startswith("SEMANTIC:") for n in notes)
+
+
+class TestExplainCost:
+    """The PLAN/COST section appended to every EXPLAIN."""
+
+    def test_unified_section_order(self, planned):
+        # access plan, then pipeline stages, then COST, then SEMANTIC —
+        # one unified report per query.
+        planned.execute("ANALYZE")
+        notes = plan(planned,
+                     "SELECT grp, COUNT(*) FROM t WHERE k > 0 "
+                     "GROUP BY grp")
+        kinds = []
+        for note in notes:
+            if note.startswith("COST:"):
+                kinds.append("cost")
+            elif note.startswith("SEMANTIC:"):
+                kinds.append("semantic")
+            else:
+                kinds.append("access")
+        assert kinds == sorted(
+            kinds, key=["access", "cost", "semantic"].index)
+        assert kinds.count("cost") == 1
+
+    def test_cost_line_per_from_table(self, planned):
+        planned.execute("ANALYZE")
+        notes = plan(planned, "SELECT * FROM u, t WHERE u.k = t.k")
+        costed = [n for n in notes if n.startswith("COST:")]
+        assert len(costed) == 2
+        assert costed[0].startswith("COST: u ")
+        assert costed[1].startswith("COST: t ")
+
+    def test_heuristic_cost_line_without_stats(self, planned):
+        notes = plan(planned, "SELECT * FROM t")
+        assert "COST: t no statistics (heuristic access path)" in notes
+
+    def test_explain_does_not_mutate_statistics(self, planned):
+        planned.execute("ANALYZE")
+        before = planned.execute(
+            "SELECT * FROM __rql_stats ORDER BY tbl, col").rows
+        planned.execute("EXPLAIN SELECT * FROM t WHERE k = 1")
+        planned.execute("EXPLAIN SELECT COUNT(*) FROM u")
+        after = planned.execute(
+            "SELECT * FROM __rql_stats ORDER BY tbl, col").rows
+        assert after == before
+
+    def test_explain_estimates_go_stale_not_refreshed(self, planned):
+        # EXPLAIN reads the catalog, never re-gathers: after the table
+        # doubles, estimates still reflect the last ANALYZE.
+        planned.execute("ANALYZE")
+        planned.execute("INSERT INTO t VALUES (3, 'c', 30), (4, 'd', 40)")
+        (line,) = [n for n in plan(planned, "SELECT * FROM t")
+                   if n.startswith("COST:")]
+        assert "est. rows 2" in line
+
+    def test_explain_costing_does_not_execute(self, planned):
+        planned.execute("ANALYZE")
+        calls = []
+        planned.register_function("probe", lambda v: calls.append(v) or v)
+        notes = plan(planned, "SELECT probe(k) FROM t WHERE k > 0")
+        assert calls == []
+        assert any(n.startswith("COST:") for n in notes)

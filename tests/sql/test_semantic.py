@@ -124,6 +124,18 @@ class TestResolution:
             select("SELECT mystery FROM nope"), schema)
         assert len(summary.issues) == 1
 
+    def test_qualified_star_expands_one_binding(self, schema):
+        summary = resolve_select(
+            select("SELECT t.* FROM t, u"), schema)
+        assert [o.name for o in summary.outputs] == ["k", "grp", "n"]
+        assert summary.read_columns["t"] == ["k", "grp", "n"]
+        assert summary.read_columns.get("u", []) == []
+
+    def test_qualified_star_unknown_binding(self, schema):
+        summary = resolve_select(select("SELECT z.* FROM t"), schema)
+        assert any("no such table: z" in i.message
+                   for i in summary.issues)
+
 
 class TestTypesAndOutputs:
     def test_output_kinds(self, schema):
@@ -209,6 +221,25 @@ class TestPushability:
             select("SELECT * FROM t JOIN u ON t.k = u.k"), schema)
         assert summary.predicates[0].pushable is False
 
+    def test_not_between_pushable_but_not_sargable(self, schema):
+        # The complement of a contiguous range is two ranges — still a
+        # single-table filter, but no single index range serves it.
+        summary = resolve_select(
+            select("SELECT * FROM t WHERE n NOT BETWEEN 2 AND 5"),
+            schema)
+        predicate = summary.predicates[0]
+        assert predicate.pushable
+        assert predicate.indexed_by is None
+        assert predicate.index_candidate is None
+
+    def test_negated_between_via_not_also_not_sargable(self, schema):
+        summary = resolve_select(
+            select("SELECT * FROM t WHERE NOT (n BETWEEN 2 AND 5)"),
+            schema)
+        predicate = summary.predicates[0]
+        assert predicate.pushable
+        assert predicate.index_candidate is None
+
 
 class TestRenderExpr:
     @pytest.mark.parametrize("sql", [
@@ -265,6 +296,22 @@ class TestQsAnalysis:
             self.qs("WHERE snap_id > 5 AND snap_id < 3"))
         assert bounds.statically_empty
         assert bounds.describe() == "empty"
+
+    def test_reversed_between_is_statically_empty(self):
+        _, bounds = analyze_qs(
+            self.qs("WHERE snap_id BETWEEN 9 AND 2"))
+        assert bounds.statically_empty
+
+    def test_contradictory_equalities_are_statically_empty(self):
+        # Each equality pins both ends; the intersection inverts.
+        _, bounds = analyze_qs(
+            self.qs("WHERE snap_id = 3 AND snap_id = 7"))
+        assert bounds.statically_empty
+
+    def test_in_list_duplicates_collapse(self):
+        _, bounds = analyze_qs(self.qs("WHERE snap_id IN (4, 4, 2)"))
+        assert (bounds.lower, bounds.upper) == (2, 4)
+        assert not bounds.statically_empty
 
     def test_as_of_rejected(self):
         issues, _ = analyze_qs(
